@@ -1,0 +1,148 @@
+//! Criterion micro-benchmarks of the collectives on the threaded runtime.
+//!
+//! These complement the figure-regeneration binaries: they measure the real
+//! (laptop-scale) execution of the GASPI collectives and their MPI-style
+//! baselines, per call, including all synchronization — useful for catching
+//! performance regressions in the runtime itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ec_baseline::{allreduce_ring as mpi_allreduce_ring, alltoall_pairwise, bcast_binomial, MpiWorld};
+use ec_collectives::{
+    AllToAll, BroadcastBst, ReduceBst, ReduceMode, ReduceOp, RingAllreduce, SspAllreduce, Threshold,
+};
+use ec_gaspi::{GaspiConfig, Job};
+
+const RANKS: usize = 4;
+const ELEMS: usize = 10_000;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("gaspi_ring", format!("{RANKS}x{ELEMS}")), |b| {
+        b.iter(|| {
+            Job::new(GaspiConfig::new(RANKS))
+                .run(|ctx| {
+                    let ring = RingAllreduce::new(ctx, ELEMS).unwrap();
+                    let mut data = vec![ctx.rank() as f64; ELEMS];
+                    for _ in 0..4 {
+                        ring.run(&mut data, ReduceOp::Sum).unwrap();
+                    }
+                    data[0]
+                })
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("gaspi_ssp_slack2", format!("{RANKS}x{ELEMS}")), |b| {
+        b.iter(|| {
+            Job::new(GaspiConfig::new(RANKS))
+                .run(|ctx| {
+                    let mut ssp = SspAllreduce::new(ctx, ELEMS, 2).unwrap();
+                    let data = vec![ctx.rank() as f64; ELEMS];
+                    let mut last = 0.0;
+                    for _ in 0..4 {
+                        last = ssp.run(&data, ReduceOp::Sum).unwrap().result[0];
+                    }
+                    last
+                })
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("mpi_ring", format!("{RANKS}x{ELEMS}")), |b| {
+        b.iter(|| {
+            MpiWorld::new(RANKS).run(|comm| {
+                let mut data = vec![comm.rank() as f64; ELEMS];
+                for _ in 0..4 {
+                    mpi_allreduce_ring(comm, &mut data).unwrap();
+                }
+                data[0]
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_bcast_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcast_reduce");
+    group.sample_size(10);
+    for threshold in [25u32, 100] {
+        group.bench_function(BenchmarkId::new("gaspi_bcast_bst", format!("{threshold}%")), |b| {
+            b.iter(|| {
+                Job::new(GaspiConfig::new(RANKS))
+                    .run(|ctx| {
+                        let bcast = BroadcastBst::new(ctx, ELEMS).unwrap();
+                        let mut data = vec![1.0; ELEMS];
+                        for _ in 0..4 {
+                            bcast.run(&mut data, 0, Threshold::percent(threshold as f64)).unwrap();
+                        }
+                        data[0]
+                    })
+                    .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("gaspi_reduce_bst", format!("{threshold}%")), |b| {
+            b.iter(|| {
+                Job::new(GaspiConfig::new(RANKS))
+                    .run(|ctx| {
+                        let reduce = ReduceBst::new(ctx, ELEMS).unwrap();
+                        let data = vec![1.0; ELEMS];
+                        for _ in 0..4 {
+                            reduce
+                                .run(&data, 0, ReduceOp::Sum, ReduceMode::DataThreshold(Threshold::percent(threshold as f64)))
+                                .unwrap();
+                        }
+                    })
+                    .unwrap()
+            })
+        });
+    }
+    group.bench_function("mpi_bcast_binomial", |b| {
+        b.iter(|| {
+            MpiWorld::new(RANKS).run(|comm| {
+                let mut data = vec![1.0; ELEMS];
+                for _ in 0..4 {
+                    bcast_binomial(comm, &mut data, 0).unwrap();
+                }
+                data[0]
+            })
+        })
+    });
+    group.finish();
+}
+
+fn bench_alltoall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alltoall");
+    group.sample_size(10);
+    let block = 16 * 1024; // the Quantum Espresso regime
+    group.bench_function("gaspi_direct_16KiB", |b| {
+        b.iter(|| {
+            Job::new(GaspiConfig::new(RANKS))
+                .run(|ctx| {
+                    let a2a = AllToAll::new(ctx, block).unwrap();
+                    let send = vec![ctx.rank() as u8; RANKS * block];
+                    let mut recv = vec![0u8; RANKS * block];
+                    for _ in 0..4 {
+                        a2a.run(&send, &mut recv, block).unwrap();
+                    }
+                    recv[0]
+                })
+                .unwrap()
+        })
+    });
+    group.bench_function("mpi_pairwise_16KiB", |b| {
+        b.iter(|| {
+            MpiWorld::new(RANKS).run(|comm| {
+                let send = vec![comm.rank() as f64; RANKS * block / 8];
+                let mut out = 0.0;
+                for _ in 0..4 {
+                    out = alltoall_pairwise(comm, &send, block / 8).unwrap()[0];
+                }
+                out
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_bcast_reduce, bench_alltoall);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the discrete-event simulator itself: how fast the
+//! figure-regeneration sweeps run (simulated seconds per wall-clock second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ec_baseline::MpiAllreduceVariant;
+use ec_collectives::schedule::{alltoall_direct_schedule, ring_allreduce_schedule};
+use ec_netsim::{ClusterSpec, CostModel, Engine};
+
+fn bench_schedule_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim");
+    group.sample_size(20);
+    let engine32 = Engine::new(ClusterSpec::homogeneous(32, 1), CostModel::skylake_fdr());
+    group.bench_function(BenchmarkId::new("ring_allreduce", "32x8MB"), |b| {
+        let prog = ring_allreduce_schedule(32, 8_000_000);
+        b.iter(|| engine32.makespan(&prog).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("mpi_rabenseifner", "32x8MB"), |b| {
+        let prog = MpiAllreduceVariant::Rabenseifner.schedule(32, 8_000_000, 1);
+        b.iter(|| engine32.makespan(&prog).unwrap())
+    });
+    let engine_galileo = Engine::new(ClusterSpec::homogeneous(16, 4), CostModel::galileo_opa());
+    group.bench_function(BenchmarkId::new("alltoall_direct", "64ranks_32KiB"), |b| {
+        let prog = alltoall_direct_schedule(64, 32 * 1024);
+        b.iter(|| engine_galileo.makespan(&prog).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("schedule_generation", "alltoall_64"), |b| {
+        b.iter(|| alltoall_direct_schedule(64, 32 * 1024).total_ops())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_simulation);
+criterion_main!(benches);

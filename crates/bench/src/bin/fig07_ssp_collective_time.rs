@@ -1,0 +1,126 @@
+//! Figure 7: per-call execution time of the `allreduce_ssp` collective as a
+//! function of slack (left) and the time spent waiting for fresh updates
+//! (right), compared against the consistent `gaspi_allreduce_ring` and an
+//! MPI-style allreduce.
+//!
+//! The workload mirrors the matrix-factorization setting: every rank
+//! repeatedly contributes a large vector, with injected compute jitter and a
+//! straggler so that staleness actually occurs.  The paper's observations to
+//! reproduce: (a) the SSP hypercube is substantially slower per call than
+//! the ring/MPI allreduce because it shuffles the full vector every step,
+//! and (b) the waiting time shrinks — and eventually vanishes — as the slack
+//! grows.
+//!
+//! Environment overrides: `FIG07_RANKS`, `FIG07_ELEMS`, `FIG07_ITERS`,
+//! `FIG07_STRAGGLER_MS`.
+
+use std::time::{Duration, Instant};
+
+use ec_baseline::{allreduce_ring as mpi_allreduce_ring, MpiWorld};
+use ec_bench::env_usize;
+use ec_collectives::{ReduceOp, RingAllreduce, SspAllreduce};
+use ec_gaspi::{GaspiConfig, Job, NetworkProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulated compute phase between collective calls: jitter plus a straggler.
+fn compute_phase(rank: usize, iteration: usize, straggler_ms: u64, rng: &mut StdRng) {
+    let base = Duration::from_millis(2);
+    let jitter = base.mul_f64(rng.gen_range(0.0..0.5));
+    std::thread::sleep(base + jitter);
+    if rank == 0 && iteration % 2 == 0 {
+        std::thread::sleep(Duration::from_millis(straggler_ms));
+    }
+}
+
+fn main() {
+    let ranks = env_usize("FIG07_RANKS", 8);
+    let elems = env_usize("FIG07_ELEMS", 100_000);
+    let iters = env_usize("FIG07_ITERS", 20);
+    let straggler_ms = env_usize("FIG07_STRAGGLER_MS", 4) as u64;
+    let slacks = [0u64, 2, 8, 32, 64];
+
+    println!("# Figure 7 — allreduce_ssp per-call time and wait-for-updates time");
+    println!("# {ranks} ranks, {elems} doubles per contribution, {iters} iterations\n");
+    println!(
+        "{:>18} {:>20} {:>22} {:>20}",
+        "variant", "mean call time [s]", "mean wait/iter [s]", "total wait [s]"
+    );
+
+    let network = NetworkProfile::lan();
+    let mut ssp_means: Vec<(u64, f64)> = Vec::new();
+
+    // SSP hypercube allreduce for each slack value.
+    for &slack in &slacks {
+        let reports = Job::new(GaspiConfig::new(ranks).with_network(network.clone()))
+            .run(move |ctx| {
+                let mut ssp = SspAllreduce::new(ctx, elems, slack).expect("ssp handle");
+                let mut rng = StdRng::seed_from_u64(7 + ctx.rank() as u64);
+                let mut call_time = Duration::ZERO;
+                for it in 0..iters {
+                    compute_phase(ctx.rank(), it, straggler_ms, &mut rng);
+                    let contribution = vec![1.0 + ctx.rank() as f64; elems];
+                    let t0 = Instant::now();
+                    ssp.run(&contribution, ReduceOp::Sum).expect("ssp allreduce");
+                    call_time += t0.elapsed();
+                }
+                (call_time.as_secs_f64() / iters as f64, ssp.stats().total_wait().as_secs_f64())
+            })
+            .expect("job");
+        let mean_call = reports.iter().map(|r| r.0).sum::<f64>() / ranks as f64;
+        let total_wait = reports.iter().map(|r| r.1).sum::<f64>() / ranks as f64;
+        ssp_means.push((slack, mean_call));
+        println!(
+            "{:>18} {:>20.6} {:>22.6} {:>20.6}",
+            format!("ssp slack={slack}"),
+            mean_call,
+            total_wait / iters as f64,
+            total_wait
+        );
+    }
+
+    // Consistent GASPI ring allreduce.
+    let ring_reports = Job::new(GaspiConfig::new(ranks).with_network(network))
+        .run(move |ctx| {
+            let ring = RingAllreduce::new(ctx, elems).expect("ring handle");
+            let mut rng = StdRng::seed_from_u64(11 + ctx.rank() as u64);
+            let mut call_time = Duration::ZERO;
+            for it in 0..iters {
+                compute_phase(ctx.rank(), it, straggler_ms, &mut rng);
+                let mut data = vec![1.0 + ctx.rank() as f64; elems];
+                let t0 = Instant::now();
+                ring.run(&mut data, ReduceOp::Sum).expect("ring allreduce");
+                call_time += t0.elapsed();
+            }
+            call_time.as_secs_f64() / iters as f64
+        })
+        .expect("job");
+    let ring_mean = ring_reports.iter().sum::<f64>() / ranks as f64;
+    println!("{:>18} {:>20.6} {:>22} {:>20}", "gaspi_ring", ring_mean, "-", "-");
+
+    // MPI-style (two-sided) ring allreduce as the vendor-library stand-in.
+    let mpi_reports = MpiWorld::new(ranks).run(move |comm| {
+        let mut rng = StdRng::seed_from_u64(13 + comm.rank() as u64);
+        let mut call_time = Duration::ZERO;
+        for it in 0..iters {
+            compute_phase(comm.rank(), it, straggler_ms, &mut rng);
+            let mut data = vec![1.0 + comm.rank() as f64; elems];
+            let t0 = Instant::now();
+            mpi_allreduce_ring(comm, &mut data).expect("mpi allreduce");
+            call_time += t0.elapsed();
+        }
+        call_time.as_secs_f64() / iters as f64
+    });
+    let mpi_mean = mpi_reports.iter().sum::<f64>() / ranks as f64;
+    println!("{:>18} {:>20.6} {:>22} {:>20}", "mpi_allreduce", mpi_mean, "-", "-");
+
+    println!("\nSSP collective time relative to gaspi_ring (paper: ~58% slower even at the best slack):");
+    for (slack, mean) in &ssp_means {
+        println!("  slack={slack:<3} {:+.1}%", (mean / ring_mean - 1.0) * 100.0);
+    }
+    println!(
+        "(deviation note: with very large slack our threaded substrate lets the SSP collective skip\n\
+         waiting entirely, so it can undercut the ring — see EXPERIMENTS.md for the discussion)"
+    );
+    println!("waiting time shrinks as slack grows (paper: higher slack reduces, and eventually eliminates, waiting)");
+}

@@ -1,0 +1,61 @@
+//! Figure 10: Reduce operating on the **full amount of data** but engaging
+//! only a fraction of the processes (the leaves farthest from the root stay
+//! silent), for 1,000,000 doubles on SkyLake nodes.
+//!
+//! Series: at least 25 %, 50 %, 75 % and 100 % of the processes engaged,
+//! against the MPI default and binomial reduce.
+//!
+//! Environment override: `FIG10_ELEMS`.
+
+use ec_baseline::{mpi_reduce_binomial_schedule, mpi_reduce_default_schedule};
+use ec_bench::{env_usize, node_sweep, render_table, Series};
+use ec_collectives::schedule::reduce_process_threshold_schedule;
+use ec_netsim::{ClusterSpec, CostModel, Engine};
+
+fn main() {
+    let elems = env_usize("FIG10_ELEMS", 1_000_000);
+    let bytes = (elems * 8) as u64;
+    let thresholds = [0.25, 0.5, 0.75, 1.0];
+    let mut series: Vec<Series> = thresholds
+        .iter()
+        .map(|t| Series::new(format!("{}% gaspi", (t * 100.0) as u32)))
+        .collect();
+    series.push(Series::new("100% mpi-def"));
+    series.push(Series::new("100% mpi-bin"));
+
+    for &nodes in &node_sweep() {
+        let engine = Engine::new(ClusterSpec::homogeneous(nodes, 1), CostModel::skylake_fdr());
+        for (i, &t) in thresholds.iter().enumerate() {
+            let time = engine
+                .makespan(&reduce_process_threshold_schedule(nodes, bytes, t))
+                .expect("gaspi process-threshold reduce schedule");
+            series[i].push(nodes as f64, time);
+        }
+        series[4].push(
+            nodes as f64,
+            engine.makespan(&mpi_reduce_default_schedule(nodes, bytes)).expect("mpi default reduce"),
+        );
+        series[5].push(
+            nodes as f64,
+            engine.makespan(&mpi_reduce_binomial_schedule(nodes, bytes)).expect("mpi binomial reduce"),
+        );
+    }
+
+    println!(
+        "{}",
+        render_table(
+            "Figure 10 — Reduce with full data, xx% of processes engaged (1,000,000 doubles, SkyLake)",
+            "nodes",
+            "seconds",
+            &series
+        )
+    );
+    // Paper observation: the 75% and 100% lines are nearly identical because
+    // half of the processes only join in the last stage of the binomial tree.
+    if let (Some(s75), Some(s100)) = (series[2].y_at(32.0), series[3].y_at(32.0)) {
+        println!(
+            "  75% vs 100% processes at 32 nodes: {:.1}% difference (paper: identical performance)",
+            ((s100 - s75) / s100 * 100.0).abs()
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! # ec-bench — figure-regeneration harness
+//!
+//! One binary per evaluation figure of the paper (`fig06` … `fig13`), plus
+//! Criterion micro-benchmarks of the collectives on the threaded runtime.
+//! Each binary prints the same series the corresponding figure plots, as an
+//! aligned text table, and a short comparison against the numbers the paper
+//! reports (speedups, crossover points).
+//!
+//! The cluster-scale figures (8–13) are produced with the `ec-netsim` cost
+//! model; the SSP figures (6–7) run the real threaded runtime with injected
+//! latency and stragglers.  Workload sizes can be scaled down (or up to the
+//! paper's exact parameters) through environment variables documented in
+//! each binary's `--help`-style header comment and in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+/// A labelled series of (x, y) measurements (one line of a paper figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The measured points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|(px, _)| (*px - x).abs() < 1e-9).map(|&(_, y)| y)
+    }
+}
+
+/// Render a set of series sharing the same x axis as an aligned text table.
+///
+/// The x values are taken from the union of all series; missing entries are
+/// printed as `-`.
+pub fn render_table(title: &str, x_label: &str, y_unit: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|&(x, _)| x)).collect();
+    xs.sort_by(f64::total_cmp);
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "# y unit: {y_unit}");
+    let _ = write!(out, "{x_label:>14}");
+    for s in series {
+        let _ = write!(out, " {:>22}", s.label);
+    }
+    let _ = writeln!(out);
+    for &x in &xs {
+        let _ = write!(out, "{x:>14.0}");
+        for s in series {
+            match s.y_at(x) {
+                Some(y) => {
+                    let _ = write!(out, " {y:>22.6e}");
+                }
+                None => {
+                    let _ = write!(out, " {:>22}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Pretty ratio formatting used in the "paper vs measured" summaries.
+pub fn speedup(base: f64, other: f64) -> f64 {
+    if other <= 0.0 {
+        f64::NAN
+    } else {
+        base / other
+    }
+}
+
+/// Read an environment variable as `usize` with a default (used to scale the
+/// figure workloads up to paper size or down for quick runs).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Read an environment variable as `f64` with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Standard node-count sweep used by the "time vs nodes" figures (8, 9, 10, 11).
+pub fn node_sweep() -> Vec<usize> {
+    vec![2, 4, 8, 16, 32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_store_and_lookup_points() {
+        let mut s = Series::new("gaspi");
+        s.push(2.0, 1e-5);
+        s.push(4.0, 2e-5);
+        assert_eq!(s.y_at(4.0), Some(2e-5));
+        assert_eq!(s.y_at(8.0), None);
+    }
+
+    #[test]
+    fn table_renders_all_series_and_missing_points() {
+        let mut a = Series::new("a");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("b");
+        b.push(2.0, 200.0);
+        let t = render_table("Fig X", "nodes", "seconds", &[a, b]);
+        assert!(t.contains("Fig X"));
+        assert!(t.contains('a') && t.contains('b'));
+        assert!(t.lines().count() >= 5);
+        assert!(t.contains('-'), "missing points are rendered as '-'");
+    }
+
+    #[test]
+    fn speedup_and_env_helpers() {
+        assert_eq!(speedup(2.0, 1.0), 2.0);
+        assert!(speedup(1.0, 0.0).is_nan());
+        assert_eq!(env_usize("EC_BENCH_NOT_SET_VARIABLE", 7), 7);
+        assert_eq!(env_f64("EC_BENCH_NOT_SET_VARIABLE", 1.5), 1.5);
+    }
+
+    #[test]
+    fn node_sweep_matches_the_paper_x_axis() {
+        assert_eq!(node_sweep(), vec![2, 4, 8, 16, 32]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Classic/consistent AlltoAll (`gaspi_alltoall`, Section IV-B).
+//!
+//! The algorithm is deliberately simple and well-performing: every rank
+//! writes its block for rank `j` directly into rank `j`'s segment using
+//! `write_notify` with a unique notification (the writer's rank), then waits
+//! until the `P - 1` notifications addressed to it have arrived, resetting
+//! each.  A per-call "buffer free" notification from the receiver to every
+//! writer implements the Figure 1 producer/consumer handshake, which makes
+//! the handle safe to reuse back-to-back.
+
+use ec_gaspi::{Context, SegmentId};
+
+use crate::error::{CollectiveError, Result};
+
+/// Direct one-sided AlltoAll handle.
+#[derive(Debug)]
+pub struct AllToAll<'a> {
+    ctx: &'a Context,
+    segment: SegmentId,
+    capacity_block: usize,
+}
+
+impl<'a> AllToAll<'a> {
+    /// Default segment id used by [`AllToAll::new`].
+    pub const DEFAULT_SEGMENT: SegmentId = 35;
+
+    /// Collectively create an AlltoAll handle able to carry blocks of up to
+    /// `capacity_block_bytes` bytes per peer.
+    pub fn new(ctx: &'a Context, capacity_block_bytes: usize) -> Result<Self> {
+        Self::with_segment(ctx, Self::DEFAULT_SEGMENT, capacity_block_bytes)
+    }
+
+    /// Like [`AllToAll::new`] with an explicit segment id.
+    pub fn with_segment(ctx: &'a Context, segment: SegmentId, capacity_block_bytes: usize) -> Result<Self> {
+        if capacity_block_bytes == 0 {
+            return Err(CollectiveError::EmptyPayload);
+        }
+        let p = ctx.num_ranks();
+        ctx.segment_create(segment, p * capacity_block_bytes)?;
+        Ok(Self { ctx, segment, capacity_block: capacity_block_bytes })
+    }
+
+    /// Block capacity in bytes.
+    pub fn capacity_block_bytes(&self) -> usize {
+        self.capacity_block
+    }
+
+    fn data_notify(src: usize) -> u32 {
+        src as u32
+    }
+
+    fn ready_notify(&self, src: usize) -> u32 {
+        (self.ctx.num_ranks() + src) as u32
+    }
+
+    /// Exchange `block` bytes with every rank: `send[j*block..(j+1)*block]`
+    /// ends up in `recv[i*block..(i+1)*block]` on rank `j`, where `i` is the
+    /// calling rank.
+    pub fn run(&self, send: &[u8], recv: &mut [u8], block: usize) -> Result<()> {
+        let ctx = self.ctx;
+        let p = ctx.num_ranks();
+        let rank = ctx.rank();
+        if block == 0 {
+            return Err(CollectiveError::EmptyPayload);
+        }
+        if block > self.capacity_block {
+            return Err(CollectiveError::CapacityExceeded { requested: block, capacity: self.capacity_block });
+        }
+        if send.len() != p * block {
+            return Err(CollectiveError::LengthMismatch { expected: p * block, actual: send.len() });
+        }
+        if recv.len() != p * block {
+            return Err(CollectiveError::LengthMismatch { expected: p * block, actual: recv.len() });
+        }
+
+        // Our own block never touches the network.
+        recv[rank * block..(rank + 1) * block].copy_from_slice(&send[rank * block..(rank + 1) * block]);
+        if p == 1 {
+            return Ok(());
+        }
+
+        // 1. Announce to every peer that our landing slots are free.
+        for peer in 0..p {
+            if peer != rank {
+                ctx.notify(peer, self.segment, self.ready_notify(rank), 1, 0)?;
+            }
+        }
+
+        // 2. Write our block to every peer once the peer's slot is free.
+        for peer in 0..p {
+            if peer == rank {
+                continue;
+            }
+            ctx.notify_waitsome(self.segment, self.ready_notify(peer), 1, None)?;
+            ctx.notify_reset(self.segment, self.ready_notify(peer))?;
+            ctx.write_notify(
+                peer,
+                self.segment,
+                rank * self.capacity_block,
+                &send[peer * block..(peer + 1) * block],
+                Self::data_notify(rank),
+                1,
+                0,
+            )?;
+        }
+
+        // 3. Wait for the P-1 blocks addressed to us, resetting each
+        //    notification as it is consumed (gaspi_notify_reset).
+        let mut pending = p - 1;
+        let mut buf = vec![0u8; block];
+        while pending > 0 {
+            let id = ctx.notify_waitsome(self.segment, 0, p as u32, None)?;
+            ctx.notify_reset(self.segment, id)?;
+            let src = id as usize;
+            debug_assert_ne!(src, rank);
+            ctx.segment_read(self.segment, src * self.capacity_block, &mut buf)?;
+            recv[src * block..(src + 1) * block].copy_from_slice(&buf);
+            pending -= 1;
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper exchanging `f64` blocks of `block_elems` elements.
+    pub fn run_f64s(&self, send: &[f64], recv: &mut [f64], block_elems: usize) -> Result<()> {
+        let p = self.ctx.num_ranks();
+        if send.len() != p * block_elems || recv.len() != p * block_elems {
+            return Err(CollectiveError::LengthMismatch { expected: p * block_elems, actual: send.len().min(recv.len()) });
+        }
+        let send_bytes: Vec<u8> = send.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut recv_bytes = vec![0u8; recv.len() * 8];
+        self.run(&send_bytes, &mut recv_bytes, block_elems * 8)?;
+        for (i, chunk) in recv_bytes.chunks_exact(8).enumerate() {
+            recv[i] = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_gaspi::{GaspiConfig, Job, NetworkProfile};
+
+    /// Reference AlltoAll: out[j][i*block..] = in[i][j*block..].
+    fn reference(inputs: &[Vec<u8>], block: usize) -> Vec<Vec<u8>> {
+        let p = inputs.len();
+        let mut out = vec![vec![0u8; p * block]; p];
+        for (i, input) in inputs.iter().enumerate() {
+            for j in 0..p {
+                out[j][i * block..(i + 1) * block].copy_from_slice(&input[j * block..(j + 1) * block]);
+            }
+        }
+        out
+    }
+
+    fn run_alltoall(p: usize, block: usize) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
+        let inputs: Vec<Vec<u8>> = (0..p)
+            .map(|r| (0..p * block).map(|i| (r * 31 + i) as u8).collect())
+            .collect();
+        let expected = reference(&inputs, block);
+        let inputs_clone = inputs.clone();
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let a2a = AllToAll::new(ctx, block).unwrap();
+                let send = inputs_clone[ctx.rank()].clone();
+                let mut recv = vec![0u8; p * block];
+                a2a.run(&send, &mut recv, block).unwrap();
+                recv
+            })
+            .unwrap();
+        (out, expected)
+    }
+
+    #[test]
+    fn alltoall_matches_reference_for_various_rank_counts() {
+        for p in [2usize, 3, 4, 8] {
+            let (got, want) = run_alltoall(p, 24);
+            assert_eq!(got, want, "p={p}");
+        }
+    }
+
+    #[test]
+    fn single_byte_blocks_work() {
+        let (got, want) = run_alltoall(5, 1);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_rank_is_local_copy() {
+        let (got, want) = run_alltoall(1, 16);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn f64_wrapper_round_trips() {
+        let p = 4;
+        let block = 3;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let a2a = AllToAll::new(ctx, block * 8).unwrap();
+                let send: Vec<f64> = (0..p * block).map(|i| (ctx.rank() * 100 + i) as f64).collect();
+                let mut recv = vec![0.0; p * block];
+                a2a.run_f64s(&send, &mut recv, block).unwrap();
+                recv
+            })
+            .unwrap();
+        // Element k of rank j's block from rank i is i*100 + j*block + k.
+        for (j, recv) in out.iter().enumerate() {
+            for i in 0..p {
+                for k in 0..block {
+                    assert_eq!(recv[i * block + k], (i * 100 + j * block + k) as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_exchanges_reuse_the_handle() {
+        let p = 4;
+        let block = 8;
+        let rounds = 5;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let a2a = AllToAll::new(ctx, block).unwrap();
+                let mut sums = Vec::new();
+                for round in 0..rounds {
+                    let send: Vec<u8> = vec![(ctx.rank() + round) as u8; p * block];
+                    let mut recv = vec![0u8; p * block];
+                    a2a.run(&send, &mut recv, block).unwrap();
+                    sums.push(recv.iter().map(|&b| b as usize).sum::<usize>());
+                }
+                sums
+            })
+            .unwrap();
+        for rank_sums in &out {
+            for (round, &sum) in rank_sums.iter().enumerate() {
+                let want: usize = (0..p).map(|r| (r + round) * block).sum();
+                assert_eq!(sum, want, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_block_than_capacity_is_fine() {
+        let p = 3;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let a2a = AllToAll::new(ctx, 64).unwrap();
+                let send = vec![ctx.rank() as u8 + 1; p * 4];
+                let mut recv = vec![0u8; p * 4];
+                a2a.run(&send, &mut recv, 4).unwrap();
+                recv
+            })
+            .unwrap();
+        for recv in &out {
+            assert_eq!(&recv[0..4], &[1; 4]);
+            assert_eq!(&recv[4..8], &[2; 4]);
+            assert_eq!(&recv[8..12], &[3; 4]);
+        }
+    }
+
+    #[test]
+    fn mismatched_buffer_lengths_are_rejected() {
+        let out = Job::new(GaspiConfig::new(2))
+            .run(|ctx| {
+                let a2a = AllToAll::new(ctx, 8).unwrap();
+                let send = vec![0u8; 8]; // should be 16
+                let mut recv = vec![0u8; 16];
+                a2a.run(&send, &mut recv, 8).is_err()
+            })
+            .unwrap();
+        assert!(out.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn works_with_injected_latency() {
+        let p = 4;
+        let block = 32;
+        let config = GaspiConfig::new(p).with_network(NetworkProfile::lan());
+        let out = Job::new(config)
+            .run(move |ctx| {
+                let a2a = AllToAll::new(ctx, block).unwrap();
+                let send: Vec<u8> = vec![ctx.rank() as u8; p * block];
+                let mut recv = vec![0u8; p * block];
+                a2a.run(&send, &mut recv, block).unwrap();
+                recv[3 * block] // first byte of the block from rank 3
+            })
+            .unwrap();
+        assert!(out.iter().all(|&b| b == 3));
+    }
+}

@@ -1,0 +1,306 @@
+//! Eventually consistent Broadcast over a binomial spanning tree
+//! (`gaspi_bcast`, Section III-B of the paper).
+//!
+//! The root owns the payload; every other rank receives — depending on the
+//! [`Threshold`] — the full payload or only its leading fraction, written
+//! one-sidedly into its receive segment and announced by a notification.
+//! Interior ranks forward to their children as soon as their own data
+//! arrived, so the stages of the binomial tree overlap down the tree.
+
+use ec_gaspi::{Context, Rank, SegmentId};
+
+use crate::error::{CollectiveError, Result};
+use crate::threshold::Threshold;
+use crate::topology::BinomialTree;
+
+/// How completion is acknowledged back up the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckMode {
+    /// Only leaf ranks acknowledge to their parent, and parents wait only for
+    /// their leaf children — the paper's relaxed completion rule ("the
+    /// collective is considered complete when the outer nodes receive data").
+    Leaves,
+    /// Every child acknowledges after it has forwarded the data, and parents
+    /// wait for all children.  Slightly more synchronous, but makes the
+    /// handle safe to reuse back-to-back at arbitrary rates.
+    #[default]
+    AllChildren,
+}
+
+/// Outcome of one broadcast call on this rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BcastReport {
+    /// Number of payload elements actually shipped per edge of the tree.
+    pub elements_shipped: usize,
+    /// Number of bytes this rank forwarded to its children.
+    pub bytes_forwarded: u64,
+    /// Number of children this rank forwarded to.
+    pub children: usize,
+}
+
+/// Binomial-spanning-tree broadcast handle.
+///
+/// Create one handle per rank (collectively), then call [`BroadcastBst::run`]
+/// any number of times.
+#[derive(Debug)]
+pub struct BroadcastBst<'a> {
+    ctx: &'a Context,
+    segment: SegmentId,
+    capacity: usize,
+    ack_mode: AckMode,
+}
+
+/// Notification slot announcing the payload from the parent.
+const NOTIFY_DATA: u32 = 0;
+/// First notification slot for child acknowledgements (one per child index).
+const NOTIFY_ACK_BASE: u32 = 1;
+
+impl<'a> BroadcastBst<'a> {
+    /// Default segment id used by [`BroadcastBst::new`].
+    pub const DEFAULT_SEGMENT: SegmentId = 32;
+
+    /// Collectively create a broadcast handle able to carry up to
+    /// `capacity_elems` doubles.
+    pub fn new(ctx: &'a Context, capacity_elems: usize) -> Result<Self> {
+        Self::with_segment(ctx, Self::DEFAULT_SEGMENT, capacity_elems)
+    }
+
+    /// Like [`BroadcastBst::new`] but with an explicit segment id (use this
+    /// when multiple handles coexist).
+    pub fn with_segment(ctx: &'a Context, segment: SegmentId, capacity_elems: usize) -> Result<Self> {
+        if capacity_elems == 0 {
+            return Err(CollectiveError::EmptyPayload);
+        }
+        ctx.segment_create(segment, capacity_elems * 8)?;
+        Ok(Self { ctx, segment, capacity: capacity_elems, ack_mode: AckMode::default() })
+    }
+
+    /// Change the acknowledgement mode (see [`AckMode`]).
+    pub fn with_ack_mode(mut self, mode: AckMode) -> Self {
+        self.ack_mode = mode;
+        self
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Broadcast the leading `threshold` fraction of `data` from `root` to
+    /// every rank.
+    ///
+    /// On non-root ranks the first `threshold.count_of(data.len())` elements
+    /// of `data` are overwritten with the root's values; the tail keeps its
+    /// previous (stale) contents — that is the eventually consistent
+    /// semantics the paper proposes.
+    pub fn run(&self, data: &mut [f64], root: Rank, threshold: Threshold) -> Result<BcastReport> {
+        let ctx = self.ctx;
+        let p = ctx.num_ranks();
+        if root >= p {
+            return Err(CollectiveError::InvalidRoot { root, ranks: p });
+        }
+        if data.is_empty() {
+            return Err(CollectiveError::EmptyPayload);
+        }
+        if data.len() > self.capacity {
+            return Err(CollectiveError::CapacityExceeded { requested: data.len(), capacity: self.capacity });
+        }
+        let ship = threshold.count_of(data.len());
+        let tree = BinomialTree::new(p, root);
+        let rank = ctx.rank();
+
+        if p == 1 {
+            return Ok(BcastReport { elements_shipped: ship, bytes_forwarded: 0, children: 0 });
+        }
+
+        // 1. Receive from the parent (unless we are the root).
+        if rank != root {
+            ctx.notify_waitsome(self.segment, NOTIFY_DATA, 1, None)?;
+            ctx.notify_reset(self.segment, NOTIFY_DATA)?;
+            let received = ctx.segment_read_f64s(self.segment, 0, ship)?;
+            data[..ship].copy_from_slice(&received);
+        }
+
+        // 2. Forward to our children as soon as our data is in place.
+        let children = tree.children(rank);
+        let mut bytes_forwarded = 0u64;
+        for &child in &children {
+            ctx.write_notify_f64s(child, self.segment, 0, &data[..ship], NOTIFY_DATA, 1, 0)?;
+            bytes_forwarded += (ship * 8) as u64;
+        }
+
+        // 3. Acknowledge / collect acknowledgements.
+        self.handle_acks(&tree, rank, &children)?;
+
+        Ok(BcastReport { elements_shipped: ship, bytes_forwarded, children: children.len() })
+    }
+
+    fn handle_acks(&self, tree: &BinomialTree, rank: Rank, children: &[Rank]) -> Result<()> {
+        let ctx = self.ctx;
+        let should_ack_parent = match self.ack_mode {
+            AckMode::Leaves => children.is_empty(),
+            AckMode::AllChildren => true,
+        };
+        if should_ack_parent {
+            if let Some(parent) = tree.parent(rank) {
+                let my_index = tree
+                    .children(parent)
+                    .iter()
+                    .position(|&c| c == rank)
+                    .expect("a rank is always among its parent's children");
+                ctx.notify(parent, self.segment, NOTIFY_ACK_BASE + my_index as u32, 1, 0)?;
+            }
+        }
+        // Wait for the acknowledgements we are owed.
+        for (idx, &child) in children.iter().enumerate() {
+            let expected = match self.ack_mode {
+                AckMode::Leaves => tree.is_leaf(child),
+                AckMode::AllChildren => true,
+            };
+            if expected {
+                let slot = NOTIFY_ACK_BASE + idx as u32;
+                ctx.notify_waitsome(self.segment, slot, 1, None)?;
+                ctx.notify_reset(self.segment, slot)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_gaspi::{GaspiConfig, Job};
+
+    fn run_bcast(p: usize, n: usize, threshold: Threshold, ack: AckMode) -> Vec<Vec<f64>> {
+        Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let bcast = BroadcastBst::new(ctx, n).unwrap().with_ack_mode(ack);
+                let mut data = if ctx.rank() == 0 {
+                    (0..n).map(|i| i as f64 + 1.0).collect::<Vec<_>>()
+                } else {
+                    vec![-1.0; n]
+                };
+                bcast.run(&mut data, 0, threshold).unwrap();
+                data
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn full_broadcast_replicates_root_data() {
+        for p in [2usize, 3, 4, 7, 8] {
+            let out = run_bcast(p, 33, Threshold::FULL, AckMode::AllChildren);
+            let expect: Vec<f64> = (0..33).map(|i| i as f64 + 1.0).collect();
+            for (rank, data) in out.iter().enumerate() {
+                assert_eq!(data, &expect, "rank {rank} of {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn quarter_threshold_ships_only_prefix() {
+        let n = 100;
+        let out = run_bcast(8, n, Threshold::percent(25.0), AckMode::AllChildren);
+        for data in out.iter().skip(1) {
+            for (i, &v) in data.iter().enumerate() {
+                if i < 25 {
+                    assert_eq!(v, i as f64 + 1.0, "prefix element {i} must be broadcast");
+                } else {
+                    assert_eq!(v, -1.0, "tail element {i} must keep its stale value");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_ack_mode_completes() {
+        let out = run_bcast(8, 16, Threshold::FULL, AckMode::Leaves);
+        let expect: Vec<f64> = (0..16).map(|i| i as f64 + 1.0).collect();
+        for data in &out {
+            assert_eq!(data, &expect);
+        }
+    }
+
+    #[test]
+    fn non_zero_root_works() {
+        let p = 6;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(|ctx| {
+                let bcast = BroadcastBst::new(ctx, 8).unwrap();
+                let mut data = if ctx.rank() == 3 { vec![42.0; 8] } else { vec![0.0; 8] };
+                bcast.run(&mut data, 3, Threshold::FULL).unwrap();
+                data
+            })
+            .unwrap();
+        for data in &out {
+            assert_eq!(data, &vec![42.0; 8]);
+        }
+    }
+
+    #[test]
+    fn repeated_broadcasts_reuse_the_handle() {
+        let p = 4;
+        let rounds = 5;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(|ctx| {
+                let bcast = BroadcastBst::new(ctx, 16).unwrap();
+                let mut results = Vec::new();
+                for round in 0..rounds {
+                    let mut data = if ctx.rank() == 0 { vec![round as f64; 16] } else { vec![f64::NAN; 16] };
+                    bcast.run(&mut data, 0, Threshold::FULL).unwrap();
+                    results.push(data[7]);
+                }
+                results
+            })
+            .unwrap();
+        for rank_results in &out {
+            assert_eq!(rank_results, &(0..rounds).map(|r| r as f64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn payload_larger_than_capacity_is_rejected() {
+        let out = Job::new(GaspiConfig::new(2))
+            .run(|ctx| {
+                let bcast = BroadcastBst::new(ctx, 4).unwrap();
+                let mut data = vec![0.0; 8];
+                let r = bcast.run(&mut data, 0, Threshold::FULL);
+                ctx.barrier();
+                r.is_err()
+            })
+            .unwrap();
+        assert!(out.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn single_rank_broadcast_is_a_no_op() {
+        let out = Job::new(GaspiConfig::new(1))
+            .run(|ctx| {
+                let bcast = BroadcastBst::new(ctx, 4).unwrap();
+                let mut data = vec![1.0, 2.0, 3.0, 4.0];
+                let report = bcast.run(&mut data, 0, Threshold::FULL).unwrap();
+                (data, report.children)
+            })
+            .unwrap();
+        assert_eq!(out[0].0, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(out[0].1, 0);
+    }
+
+    #[test]
+    fn report_counts_forwarded_bytes() {
+        let out = Job::new(GaspiConfig::new(8))
+            .run(|ctx| {
+                let bcast = BroadcastBst::new(ctx, 40).unwrap();
+                let mut data = vec![1.0; 40];
+                bcast.run(&mut data, 0, Threshold::percent(50.0)).unwrap()
+            })
+            .unwrap();
+        // Rank 0 has 3 children in an 8-rank binomial tree; 20 elements shipped.
+        assert_eq!(out[0].elements_shipped, 20);
+        assert_eq!(out[0].children, 3);
+        assert_eq!(out[0].bytes_forwarded, 3 * 20 * 8);
+        // Leaves forward nothing.
+        assert_eq!(out[7].bytes_forwarded, 0);
+    }
+}

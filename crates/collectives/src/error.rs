@@ -1,0 +1,89 @@
+//! Error type for collective operations.
+
+use ec_gaspi::GaspiError;
+
+/// Errors returned by collective operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// An underlying runtime operation failed.
+    Runtime(GaspiError),
+    /// The collective requires a power-of-two number of ranks.
+    NotPowerOfTwo {
+        /// Actual number of ranks.
+        ranks: usize,
+    },
+    /// The payload exceeds the capacity the collective handle was created with.
+    CapacityExceeded {
+        /// Requested number of elements.
+        requested: usize,
+        /// Capacity in elements.
+        capacity: usize,
+    },
+    /// The payload is empty (nothing to do, but almost certainly a bug).
+    EmptyPayload,
+    /// The root rank is outside the job.
+    InvalidRoot {
+        /// Offending root.
+        root: usize,
+        /// Number of ranks in the job.
+        ranks: usize,
+    },
+    /// Buffers passed by different call sites disagree in length.
+    LengthMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+}
+
+impl From<GaspiError> for CollectiveError {
+    fn from(e: GaspiError) -> Self {
+        CollectiveError::Runtime(e)
+    }
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::Runtime(e) => write!(f, "runtime error: {e}"),
+            CollectiveError::NotPowerOfTwo { ranks } => {
+                write!(f, "this collective requires a power-of-two rank count, got {ranks}")
+            }
+            CollectiveError::CapacityExceeded { requested, capacity } => {
+                write!(f, "payload of {requested} elements exceeds handle capacity of {capacity}")
+            }
+            CollectiveError::EmptyPayload => write!(f, "payload must not be empty"),
+            CollectiveError::InvalidRoot { root, ranks } => {
+                write!(f, "root rank {root} out of range for {ranks} ranks")
+            }
+            CollectiveError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {}
+
+/// Result alias for collectives.
+pub type Result<T> = std::result::Result<T, CollectiveError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaspi_errors_convert() {
+        let e: CollectiveError = GaspiError::Timeout.into();
+        assert_eq!(e, CollectiveError::Runtime(GaspiError::Timeout));
+        assert!(e.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn messages_mention_key_numbers() {
+        let e = CollectiveError::CapacityExceeded { requested: 100, capacity: 64 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
+    }
+}

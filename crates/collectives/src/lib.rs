@@ -1,0 +1,68 @@
+//! # ec-collectives — eventually consistent and classic collectives over GASPI
+//!
+//! This crate is the paper's primary contribution: a library of collective
+//! operations built on the one-sided, notification-based communication model
+//! of `ec-gaspi`, in two flavours:
+//!
+//! **Eventually consistent collectives**
+//! * [`SspAllreduce`] — a hypercube allreduce adapted to the Stale
+//!   Synchronous Parallel model (Algorithm 1 of the paper): per-step
+//!   dedicated receive slots remember the last contribution, logical clocks
+//!   track staleness, and a worker only blocks when the remembered
+//!   contribution is older than its allowed *slack*.
+//! * [`BroadcastBst`] — binomial-spanning-tree broadcast that ships only a
+//!   caller-chosen [`Threshold`] fraction of the payload.
+//! * [`ReduceBst`] — binomial-tree reduce with two relaxations: ship only a
+//!   fraction of the data, or ship everything but engage only a fraction of
+//!   the processes (pruning the leaves farthest from the root).
+//!
+//! **Classic / consistent collectives**
+//! * [`RingAllreduce`] — segmented pipelined ring allreduce
+//!   (scatter-reduce + allgather) for large messages, synchronized purely by
+//!   notifications (no barrier between the stages).
+//! * [`AllToAll`] — the direct algorithm: every rank writes its block to
+//!   every other rank with a unique notification, then waits for the P-1
+//!   notifications addressed to it.
+//!
+//! Every collective also has a **schedule generator** in [`schedule`] that
+//! emits an `ec-netsim` program, which is how the paper's cluster-scale
+//! figures are regenerated without a cluster.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ec_gaspi::{GaspiConfig, Job};
+//! use ec_collectives::{RingAllreduce, ReduceOp};
+//!
+//! let results = Job::new(GaspiConfig::new(4)).run(|ctx| {
+//!     let allreduce = RingAllreduce::new(ctx, 64).unwrap();
+//!     let mut data = vec![ctx.rank() as f64 + 1.0; 16];
+//!     allreduce.run(&mut data, ReduceOp::Sum).unwrap();
+//!     data[0]
+//! }).unwrap();
+//! // 1 + 2 + 3 + 4 = 10 on every rank.
+//! assert!(results.iter().all(|&v| (v - 10.0).abs() < 1e-12));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alltoall;
+pub mod bcast;
+pub mod error;
+pub mod op;
+pub mod reduce;
+pub mod ring;
+pub mod schedule;
+pub mod ssp_allreduce;
+pub mod threshold;
+pub mod topology;
+
+pub use alltoall::AllToAll;
+pub use bcast::{AckMode, BcastReport, BroadcastBst};
+pub use error::CollectiveError;
+pub use op::ReduceOp;
+pub use reduce::{ReduceBst, ReduceMode, ReduceReport};
+pub use ring::RingAllreduce;
+pub use ssp_allreduce::{SspAllreduce, SspAllreduceReport};
+pub use threshold::Threshold;

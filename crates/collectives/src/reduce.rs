@@ -1,0 +1,326 @@
+//! Eventually consistent Reduce over a binomial spanning tree
+//! (`gaspi_reduce`, Section III-B and Figures 9–10 of the paper).
+//!
+//! Children write their partial reductions one-sidedly into per-child slots
+//! of the parent's segment, after the parent announced that the slots may be
+//! overwritten (the Figure 1 producer/consumer handshake).  Two relaxations
+//! are available:
+//!
+//! * [`ReduceMode::DataThreshold`] — every process participates but only a
+//!   fraction of the payload is shipped and reduced,
+//! * [`ReduceMode::ProcessThreshold`] — the full payload is shipped but only
+//!   a fraction of the processes participate; the leaves joining in the last
+//!   tree stages are pruned first (Figure 10).
+
+use ec_gaspi::{Context, Rank, SegmentId};
+
+use crate::error::{CollectiveError, Result};
+use crate::op::ReduceOp;
+use crate::threshold::Threshold;
+use crate::topology::BinomialTree;
+
+/// Which relaxation a reduce call applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReduceMode {
+    /// Ship and reduce only the leading `Threshold` fraction of the payload.
+    DataThreshold(Threshold),
+    /// Ship the full payload but engage only a `Threshold` fraction of the
+    /// processes (leaves farthest from the root stay silent).
+    ProcessThreshold(Threshold),
+}
+
+impl ReduceMode {
+    /// The classic, fully consistent reduce.
+    pub const fn full() -> Self {
+        ReduceMode::DataThreshold(Threshold::FULL)
+    }
+}
+
+/// Outcome of one reduce call on this rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReduceReport {
+    /// The reduction result; `Some` only on the root rank.
+    pub result: Option<Vec<f64>>,
+    /// How many elements were shipped per tree edge.
+    pub elements_shipped: usize,
+    /// How many ranks actually contributed data.
+    pub engaged_ranks: usize,
+    /// Whether this rank contributed (it may have been pruned).
+    pub participated: bool,
+}
+
+/// Binomial-tree reduce handle.
+#[derive(Debug)]
+pub struct ReduceBst<'a> {
+    ctx: &'a Context,
+    segment: SegmentId,
+    capacity: usize,
+    max_children: usize,
+}
+
+/// Notification slot: the parent tells this rank its slot may be written.
+const NOTIFY_READY: u32 = 0;
+/// First notification slot for data arriving from children (one per child index).
+const NOTIFY_DATA_BASE: u32 = 1;
+
+impl<'a> ReduceBst<'a> {
+    /// Default segment id used by [`ReduceBst::new`].
+    pub const DEFAULT_SEGMENT: SegmentId = 33;
+
+    /// Collectively create a reduce handle for payloads of up to
+    /// `capacity_elems` doubles.
+    pub fn new(ctx: &'a Context, capacity_elems: usize) -> Result<Self> {
+        Self::with_segment(ctx, Self::DEFAULT_SEGMENT, capacity_elems)
+    }
+
+    /// Like [`ReduceBst::new`] with an explicit segment id.
+    pub fn with_segment(ctx: &'a Context, segment: SegmentId, capacity_elems: usize) -> Result<Self> {
+        if capacity_elems == 0 {
+            return Err(CollectiveError::EmptyPayload);
+        }
+        // In a binomial tree a rank has at most ceil(log2 P) children.
+        let p = ctx.num_ranks();
+        let max_children = if p <= 1 { 0 } else { (usize::BITS - (p - 1).leading_zeros()) as usize };
+        let slots = max_children.max(1);
+        ctx.segment_create(segment, slots * capacity_elems * 8)?;
+        Ok(Self { ctx, segment, capacity: capacity_elems, max_children })
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn slot_offset(&self, child_index: usize) -> usize {
+        child_index * self.capacity * 8
+    }
+
+    /// Reduce `contribution` towards `root` with operator `op` under the
+    /// given [`ReduceMode`].
+    ///
+    /// Only the root receives the result (`ReduceReport::result`).  With a
+    /// data threshold, elements beyond the shipped prefix contain only the
+    /// root's own contribution.
+    pub fn run(&self, contribution: &[f64], root: Rank, op: ReduceOp, mode: ReduceMode) -> Result<ReduceReport> {
+        let ctx = self.ctx;
+        let p = ctx.num_ranks();
+        let rank = ctx.rank();
+        if root >= p {
+            return Err(CollectiveError::InvalidRoot { root, ranks: p });
+        }
+        if contribution.is_empty() {
+            return Err(CollectiveError::EmptyPayload);
+        }
+        if contribution.len() > self.capacity {
+            return Err(CollectiveError::CapacityExceeded { requested: contribution.len(), capacity: self.capacity });
+        }
+        let n = contribution.len();
+        let tree = BinomialTree::new(p, root);
+
+        let (ship, engaged) = match mode {
+            ReduceMode::DataThreshold(t) => (t.count_of(n), vec![true; p]),
+            ReduceMode::ProcessThreshold(t) => (n, tree.engaged_under_process_threshold(t.fraction())),
+        };
+        let engaged_ranks = engaged.iter().filter(|&&e| e).count();
+
+        if !engaged[rank] {
+            // Pruned rank: contributes nothing and returns immediately.
+            return Ok(ReduceReport { result: None, elements_shipped: ship, engaged_ranks, participated: false });
+        }
+
+        let children: Vec<Rank> = tree.children(rank).into_iter().filter(|&c| engaged[c]).collect();
+        debug_assert!(children.len() <= self.max_children.max(1));
+        let mut acc = contribution.to_vec();
+
+        // 1. Tell every engaged child that its slot in our segment is free.
+        for &child in &children {
+            ctx.notify(child, self.segment, NOTIFY_READY, 1, 0)?;
+        }
+
+        // 2. Collect the children's partial reductions as they arrive.
+        let mut pending = children.len();
+        let mut received = vec![false; children.len()];
+        while pending > 0 {
+            let first = NOTIFY_DATA_BASE;
+            let id = ctx.notify_waitsome(self.segment, first, children.len() as u32, None)?;
+            ctx.notify_reset(self.segment, id)?;
+            let idx = (id - NOTIFY_DATA_BASE) as usize;
+            debug_assert!(!received[idx], "duplicate contribution from child index {idx}");
+            received[idx] = true;
+            pending -= 1;
+            let child_data = ctx.segment_read_f64s(self.segment, self.slot_offset(idx), ship)?;
+            op.accumulate(&mut acc[..ship], &child_data);
+        }
+
+        // 3. Forward our partial reduction to the parent (unless we are root).
+        if rank != root {
+            if let Some(parent) = tree.parent(rank) {
+                let parent_children: Vec<Rank> =
+                    tree.children(parent).into_iter().filter(|&c| engaged[c]).collect();
+                let my_index = parent_children
+                    .iter()
+                    .position(|&c| c == rank)
+                    .expect("an engaged rank is among its parent's engaged children");
+                // Wait for the parent's "slot free" announcement, then write.
+                ctx.notify_waitsome(self.segment, NOTIFY_READY, 1, None)?;
+                ctx.notify_reset(self.segment, NOTIFY_READY)?;
+                ctx.write_notify_f64s(
+                    parent,
+                    self.segment,
+                    my_index * self.capacity * 8,
+                    &acc[..ship],
+                    NOTIFY_DATA_BASE + my_index as u32,
+                    1,
+                    0,
+                )?;
+            }
+            return Ok(ReduceReport { result: None, elements_shipped: ship, engaged_ranks, participated: true });
+        }
+
+        Ok(ReduceReport { result: Some(acc), elements_shipped: ship, engaged_ranks, participated: true })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_gaspi::{GaspiConfig, Job};
+
+    fn expected_sum(p: usize, n: usize) -> Vec<f64> {
+        // Rank r contributes the vector [r+1, r+1, ...]; the sum is P(P+1)/2.
+        let total = (p * (p + 1) / 2) as f64;
+        vec![total; n]
+    }
+
+    fn run_reduce(p: usize, n: usize, mode: ReduceMode) -> Vec<ReduceReport> {
+        Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let reduce = ReduceBst::new(ctx, n).unwrap();
+                let contribution = vec![ctx.rank() as f64 + 1.0; n];
+                reduce.run(&contribution, 0, ReduceOp::Sum, mode).unwrap()
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn full_reduce_sums_all_contributions() {
+        for p in [2usize, 3, 5, 8] {
+            let n = 17;
+            let out = run_reduce(p, n, ReduceMode::full());
+            let root = out[0].result.as_ref().expect("root holds the result");
+            assert_eq!(root, &expected_sum(p, n), "p={p}");
+            for r in &out[1..] {
+                assert!(r.result.is_none());
+                assert!(r.participated);
+            }
+        }
+    }
+
+    #[test]
+    fn data_threshold_reduces_only_prefix() {
+        let p = 8;
+        let n = 40;
+        let out = run_reduce(p, n, ReduceMode::DataThreshold(Threshold::percent(25.0)));
+        let root = out[0].result.as_ref().unwrap();
+        let full = expected_sum(p, n);
+        assert_eq!(out[0].elements_shipped, 10);
+        for i in 0..n {
+            if i < 10 {
+                assert_eq!(root[i], full[i], "prefix element {i} is fully reduced");
+            } else {
+                assert_eq!(root[i], 1.0, "tail element {i} holds only the root's contribution");
+            }
+        }
+    }
+
+    #[test]
+    fn process_threshold_prunes_late_stage_leaves() {
+        let p = 8;
+        let n = 12;
+        let out = run_reduce(p, n, ReduceMode::ProcessThreshold(Threshold::percent(50.0)));
+        // Engaged: ranks 0..3 (stages 0..2); pruned: 4..7.
+        assert_eq!(out[0].engaged_ranks, 4);
+        for (rank, r) in out.iter().enumerate() {
+            assert_eq!(r.participated, rank < 4, "rank {rank}");
+        }
+        let root = out[0].result.as_ref().unwrap();
+        // Sum of contributions of ranks 0..3: 1+2+3+4 = 10.
+        assert_eq!(root, &vec![10.0; n]);
+    }
+
+    #[test]
+    fn process_threshold_full_equals_classic_reduce() {
+        let p = 8;
+        let n = 9;
+        let out = run_reduce(p, n, ReduceMode::ProcessThreshold(Threshold::FULL));
+        assert_eq!(out[0].result.as_ref().unwrap(), &expected_sum(p, n));
+        assert_eq!(out[0].engaged_ranks, p);
+    }
+
+    #[test]
+    fn max_and_min_operators_work() {
+        let p = 6;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(|ctx| {
+                let reduce = ReduceBst::new(ctx, 4).unwrap();
+                let contribution = vec![ctx.rank() as f64; 4];
+                let max = reduce.run(&contribution, 0, ReduceOp::Max, ReduceMode::full()).unwrap();
+                let min = reduce.run(&contribution, 0, ReduceOp::Min, ReduceMode::full()).unwrap();
+                (max.result, min.result)
+            })
+            .unwrap();
+        assert_eq!(out[0].0.as_ref().unwrap(), &vec![(p - 1) as f64; 4]);
+        assert_eq!(out[0].1.as_ref().unwrap(), &vec![0.0; 4]);
+    }
+
+    #[test]
+    fn non_zero_root_receives_result() {
+        let p = 5;
+        let root = 2;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let reduce = ReduceBst::new(ctx, 3).unwrap();
+                let contribution = vec![1.0; 3];
+                reduce.run(&contribution, root, ReduceOp::Sum, ReduceMode::full()).unwrap()
+            })
+            .unwrap();
+        for (rank, r) in out.iter().enumerate() {
+            assert_eq!(r.result.is_some(), rank == root);
+        }
+        assert_eq!(out[root].result.as_ref().unwrap(), &vec![p as f64; 3]);
+    }
+
+    #[test]
+    fn repeated_reductions_reuse_the_handle() {
+        let p = 8;
+        let rounds = 4;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(|ctx| {
+                let reduce = ReduceBst::new(ctx, 8).unwrap();
+                let mut roots = Vec::new();
+                for round in 0..rounds {
+                    let contribution = vec![(ctx.rank() + round) as f64; 8];
+                    let rep = reduce.run(&contribution, 0, ReduceOp::Sum, ReduceMode::full()).unwrap();
+                    if let Some(res) = rep.result {
+                        roots.push(res[0]);
+                    }
+                }
+                roots
+            })
+            .unwrap();
+        let base: f64 = (0..8).map(|r| r as f64).sum();
+        let expect: Vec<f64> = (0..rounds).map(|round| base + (8 * round) as f64).collect();
+        assert_eq!(out[0], expect);
+    }
+
+    #[test]
+    fn single_rank_reduce_returns_own_contribution() {
+        let out = Job::new(GaspiConfig::new(1))
+            .run(|ctx| {
+                let reduce = ReduceBst::new(ctx, 4).unwrap();
+                reduce.run(&[5.0, 6.0, 7.0, 8.0], 0, ReduceOp::Sum, ReduceMode::full()).unwrap()
+            })
+            .unwrap();
+        assert_eq!(out[0].result.as_ref().unwrap(), &vec![5.0, 6.0, 7.0, 8.0]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Classic/consistent Allreduce for large messages: the segmented pipelined
+//! ring algorithm (`gaspi_allreduce_ring`, Section IV-A, Figures 4–5).
+//!
+//! The algorithm has two stages of `P - 1` steps each.  During
+//! **scatter-reduce** every rank sends one chunk (1/P of the payload) to its
+//! clockwise neighbour and reduces the chunk arriving from its
+//! counter-clockwise neighbour into its local data; after the stage each rank
+//! owns the fully reduced values of exactly one chunk.  During **allgather**
+//! the fully reduced chunks travel once around the ring so that every rank
+//! ends up with the complete result.
+//!
+//! Synchronization uses only notifications — there is no barrier between the
+//! two stages, which is exactly the advantage over the MPI ring variants the
+//! paper points out.
+
+use ec_gaspi::{Context, SegmentId};
+
+use crate::error::{CollectiveError, Result};
+use crate::op::ReduceOp;
+use crate::topology::{
+    allgather_recv_chunk, allgather_send_chunk, chunk_ranges, ring_next, scatter_recv_chunk, scatter_send_chunk,
+};
+
+/// Segmented pipelined ring allreduce handle.
+#[derive(Debug)]
+pub struct RingAllreduce<'a> {
+    ctx: &'a Context,
+    segment: SegmentId,
+    capacity: usize,
+    max_chunk: usize,
+}
+
+impl<'a> RingAllreduce<'a> {
+    /// Default segment id used by [`RingAllreduce::new`].
+    pub const DEFAULT_SEGMENT: SegmentId = 34;
+
+    /// Collectively create a ring-allreduce handle for payloads of up to
+    /// `capacity_elems` doubles.
+    pub fn new(ctx: &'a Context, capacity_elems: usize) -> Result<Self> {
+        Self::with_segment(ctx, Self::DEFAULT_SEGMENT, capacity_elems)
+    }
+
+    /// Like [`RingAllreduce::new`] with an explicit segment id.
+    pub fn with_segment(ctx: &'a Context, segment: SegmentId, capacity_elems: usize) -> Result<Self> {
+        if capacity_elems == 0 {
+            return Err(CollectiveError::EmptyPayload);
+        }
+        let p = ctx.num_ranks();
+        // Largest chunk size (the first chunk takes the remainder).
+        let max_chunk = chunk_ranges(capacity_elems, p)[0].1.max(1);
+        // Layout: [allgather landing area: capacity elems][scatter scratch: (P-1) slots of max_chunk].
+        let scratch_slots = p.saturating_sub(1);
+        let bytes = (capacity_elems + scratch_slots * max_chunk) * 8;
+        ctx.segment_create(segment, bytes.max(8))?;
+        Ok(Self { ctx, segment, capacity: capacity_elems, max_chunk })
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn scratch_offset(&self, step: usize) -> usize {
+        (self.capacity + step * self.max_chunk) * 8
+    }
+
+    /// Notification id for scatter-reduce step `step`.
+    fn scatter_notify(step: usize) -> u32 {
+        step as u32
+    }
+
+    /// Notification id for allgather step `step`.
+    fn allgather_notify(&self, step: usize) -> u32 {
+        (self.ctx.num_ranks() - 1 + step) as u32
+    }
+
+    /// Allreduce `data` in place with operator `op`; on return every rank
+    /// holds the element-wise reduction over all ranks' inputs.
+    pub fn run(&self, data: &mut [f64], op: ReduceOp) -> Result<()> {
+        let ctx = self.ctx;
+        let p = ctx.num_ranks();
+        let rank = ctx.rank();
+        if data.is_empty() {
+            return Err(CollectiveError::EmptyPayload);
+        }
+        if data.len() > self.capacity {
+            return Err(CollectiveError::CapacityExceeded { requested: data.len(), capacity: self.capacity });
+        }
+        if p == 1 {
+            return Ok(());
+        }
+        let n = data.len();
+        let chunks = chunk_ranges(n, p);
+        let next = ring_next(rank, p);
+
+        // Stage 1: scatter-reduce.  After step k we have reduced the chunk
+        // arriving from our predecessor into our local copy.
+        for step in 0..p - 1 {
+            let send_chunk = scatter_send_chunk(rank, step, p);
+            let (s_start, s_len) = chunks[send_chunk];
+            if s_len > 0 {
+                ctx.write_notify_f64s(
+                    next,
+                    self.segment,
+                    self.scratch_offset(step),
+                    &data[s_start..s_start + s_len],
+                    Self::scatter_notify(step),
+                    1,
+                    0,
+                )?;
+            } else {
+                // Zero-length chunk: still notify so the receiver's step count stays aligned.
+                ctx.notify(next, self.segment, Self::scatter_notify(step), 1, 0)?;
+            }
+
+            ctx.notify_waitsome(self.segment, Self::scatter_notify(step), 1, None)?;
+            ctx.notify_reset(self.segment, Self::scatter_notify(step))?;
+            let recv_chunk = scatter_recv_chunk(rank, step, p);
+            let (r_start, r_len) = chunks[recv_chunk];
+            if r_len > 0 {
+                let incoming = ctx.segment_read_f64s(self.segment, self.scratch_offset(step), r_len)?;
+                op.accumulate(&mut data[r_start..r_start + r_len], &incoming);
+            }
+        }
+
+        // Stage 2: allgather.  The fully reduced chunks circulate once around
+        // the ring, landing directly at their final offsets.
+        for step in 0..p - 1 {
+            let send_chunk = allgather_send_chunk(rank, step, p);
+            let (s_start, s_len) = chunks[send_chunk];
+            if s_len > 0 {
+                ctx.write_notify_f64s(
+                    next,
+                    self.segment,
+                    s_start * 8,
+                    &data[s_start..s_start + s_len],
+                    self.allgather_notify(step),
+                    1,
+                    0,
+                )?;
+            } else {
+                ctx.notify(next, self.segment, self.allgather_notify(step), 1, 0)?;
+            }
+
+            ctx.notify_waitsome(self.segment, self.allgather_notify(step), 1, None)?;
+            ctx.notify_reset(self.segment, self.allgather_notify(step))?;
+            let recv_chunk = allgather_recv_chunk(rank, step, p);
+            let (r_start, r_len) = chunks[recv_chunk];
+            if r_len > 0 {
+                let incoming = ctx.segment_read_f64s(self.segment, r_start * 8, r_len)?;
+                data[r_start..r_start + r_len].copy_from_slice(&incoming);
+            }
+        }
+
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_gaspi::{GaspiConfig, Job, NetworkProfile};
+
+    fn run_allreduce(p: usize, n: usize, op: ReduceOp) -> Vec<Vec<f64>> {
+        Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let allreduce = RingAllreduce::new(ctx, n).unwrap();
+                let mut data: Vec<f64> = (0..n).map(|i| (ctx.rank() + 1) as f64 * (i + 1) as f64).collect();
+                allreduce.run(&mut data, op).unwrap();
+                data
+            })
+            .unwrap()
+    }
+
+    fn expected(p: usize, n: usize, op: ReduceOp) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let contributions: Vec<f64> = (0..p).map(|r| (r + 1) as f64 * (i + 1) as f64).collect();
+                op.fold(&contributions)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sum_allreduce_matches_reference_for_various_rank_counts() {
+        for p in [2usize, 3, 4, 5, 8] {
+            let n = 41;
+            let out = run_allreduce(p, n, ReduceOp::Sum);
+            let expect = expected(p, n, ReduceOp::Sum);
+            for (rank, data) in out.iter().enumerate() {
+                for (i, (&got, &want)) in data.iter().zip(expect.iter()).enumerate() {
+                    assert!((got - want).abs() < 1e-9, "p={p} rank={rank} elem={i}: {got} != {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_allreduce_matches_reference() {
+        let out = run_allreduce(4, 10, ReduceOp::Max);
+        let expect = expected(4, 10, ReduceOp::Max);
+        for data in &out {
+            assert_eq!(data, &expect);
+        }
+    }
+
+    #[test]
+    fn payload_smaller_than_rank_count_still_works() {
+        // 3 elements across 8 ranks: several chunks are empty.
+        let out = run_allreduce(8, 3, ReduceOp::Sum);
+        let expect = expected(8, 3, ReduceOp::Sum);
+        for data in &out {
+            for (got, want) in data.iter().zip(expect.iter()) {
+                assert!((got - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let out = run_allreduce(1, 5, ReduceOp::Sum);
+        assert_eq!(out[0], vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn repeated_allreduces_reuse_the_handle_without_barriers() {
+        let p = 4;
+        let rounds = 6;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(|ctx| {
+                let allreduce = RingAllreduce::new(ctx, 32).unwrap();
+                let mut results = Vec::new();
+                for round in 0..rounds {
+                    let mut data = vec![(ctx.rank() + 1 + round) as f64; 32];
+                    allreduce.run(&mut data, ReduceOp::Sum).unwrap();
+                    results.push(data[31]);
+                }
+                results
+            })
+            .unwrap();
+        for rank_results in &out {
+            for (round, &got) in rank_results.iter().enumerate() {
+                let want: f64 = (0..p).map(|r| (r + 1 + round) as f64).sum();
+                assert!((got - want).abs() < 1e-9, "round {round}: {got} != {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_injected_latency() {
+        let config = GaspiConfig::new(4).with_network(NetworkProfile::lan());
+        let out = Job::new(config)
+            .run(|ctx| {
+                let allreduce = RingAllreduce::new(ctx, 64).unwrap();
+                let mut data = vec![(ctx.rank() + 1) as f64; 64];
+                allreduce.run(&mut data, ReduceOp::Sum).unwrap();
+                data[0]
+            })
+            .unwrap();
+        for &v in &out {
+            assert!((v - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let out = Job::new(GaspiConfig::new(2))
+            .run(|ctx| {
+                let allreduce = RingAllreduce::new(ctx, 4).unwrap();
+                let mut data = vec![0.0; 16];
+                allreduce.run(&mut data, ReduceOp::Sum).is_err()
+            })
+            .unwrap();
+        assert!(out.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn smaller_payload_than_capacity_is_fine() {
+        let out = Job::new(GaspiConfig::new(4))
+            .run(|ctx| {
+                let allreduce = RingAllreduce::new(ctx, 1000).unwrap();
+                let mut data = vec![1.0; 10];
+                allreduce.run(&mut data, ReduceOp::Sum).unwrap();
+                data[9]
+            })
+            .unwrap();
+        assert!(out.iter().all(|&v| (v - 4.0).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,74 @@
+//! Schedule generator for the direct one-sided AlltoAll.
+
+use ec_netsim::{Program, ProgramBuilder};
+
+/// Build the `gaspi_alltoall` schedule: every rank writes its `block_bytes`
+/// block to every other rank with a unique notification, then waits for the
+/// `P - 1` notifications addressed to it (Section IV-B, Figure 13).
+pub fn alltoall_direct_schedule(ranks: usize, block_bytes: u64) -> Program {
+    let mut b = ProgramBuilder::new(ranks);
+    if ranks <= 1 {
+        return b.build();
+    }
+    for rank in 0..ranks {
+        // Issue all writes first: they are one-sided and overlap freely.
+        for offset in 1..ranks {
+            let peer = (rank + offset) % ranks;
+            b.put_notify(rank, peer, block_bytes, rank as u32);
+        }
+        // Then wait for everything addressed to us.
+        let expected: Vec<u32> = (0..ranks).filter(|&r| r != rank).map(|r| r as u32).collect();
+        b.wait_notify(rank, &expected);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_netsim::{validate, ClusterSpec, CostModel, Engine};
+
+    #[test]
+    fn traffic_is_p_times_p_minus_1_blocks() {
+        let p = 16u64;
+        let block = 4096u64;
+        let prog = alltoall_direct_schedule(p as usize, block);
+        assert_eq!(prog.total_wire_bytes(), p * (p - 1) * block);
+    }
+
+    #[test]
+    fn simulates_with_multiple_ranks_per_node() {
+        // Figure 13 uses four ranks per node; the shared NIC must be modelled.
+        let nodes = 4;
+        let ppn = 4;
+        let p = nodes * ppn;
+        let prog = alltoall_direct_schedule(p, 8192);
+        validate(&prog, p).unwrap();
+        let shared = Engine::new(ClusterSpec::homogeneous(nodes, ppn), CostModel::galileo_opa())
+            .makespan(&prog)
+            .unwrap();
+        let spread = Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::galileo_opa())
+            .makespan(&prog)
+            .unwrap();
+        assert!(shared > spread, "sharing a NIC among {ppn} ranks must cost time");
+    }
+
+    #[test]
+    fn completion_grows_roughly_linearly_with_rank_count() {
+        let cost = CostModel::test_model();
+        let block = 100_000u64;
+        let t4 = Engine::new(ClusterSpec::homogeneous(4, 1), cost.clone())
+            .makespan(&alltoall_direct_schedule(4, block))
+            .unwrap();
+        let t16 = Engine::new(ClusterSpec::homogeneous(16, 1), cost)
+            .makespan(&alltoall_direct_schedule(16, block))
+            .unwrap();
+        let ratio = t16 / t4;
+        assert!(ratio > 3.0 && ratio < 7.0, "alltoall scales ~linearly in P, got ratio {ratio}");
+    }
+
+    #[test]
+    fn single_rank_schedule_is_empty() {
+        assert_eq!(alltoall_direct_schedule(1, 128).total_ops(), 0);
+    }
+}

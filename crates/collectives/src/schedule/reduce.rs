@@ -1,0 +1,122 @@
+//! Schedule generators for the binomial-tree reduce variants.
+
+use ec_netsim::{Program, ProgramBuilder};
+
+use crate::topology::BinomialTree;
+
+/// Notification id: the parent announces a child's slot is writable.
+const NOTIFY_READY: u32 = 0;
+/// First notification id for data arriving from children.
+const NOTIFY_DATA_BASE: u32 = 1;
+
+/// Build the `gaspi_reduce` schedule with a **data threshold**: every rank
+/// participates but only `threshold` of the payload is shipped and reduced
+/// (Figure 9).
+pub fn reduce_bst_schedule(ranks: usize, total_bytes: u64, threshold: f64) -> Program {
+    assert!(threshold > 0.0 && threshold <= 1.0);
+    let ship = ((total_bytes as f64 * threshold).round() as u64).clamp(1, total_bytes.max(1));
+    build(ranks, ship, &vec![true; ranks])
+}
+
+/// Build the `gaspi_reduce` schedule with a **process threshold**: the full
+/// payload is shipped but only a fraction of the processes participate; the
+/// leaves joining in the latest tree stages are pruned first (Figure 10).
+pub fn reduce_process_threshold_schedule(ranks: usize, total_bytes: u64, threshold: f64) -> Program {
+    assert!(threshold > 0.0 && threshold <= 1.0);
+    let tree = BinomialTree::new(ranks, 0);
+    let engaged = tree.engaged_under_process_threshold(threshold);
+    build(ranks, total_bytes.max(1), &engaged)
+}
+
+fn build(ranks: usize, ship_bytes: u64, engaged: &[bool]) -> Program {
+    let tree = BinomialTree::new(ranks, 0);
+    let mut b = ProgramBuilder::new(ranks);
+    for rank in 0..ranks {
+        if !engaged[rank] {
+            continue;
+        }
+        let children: Vec<usize> = tree.children(rank).into_iter().filter(|&c| engaged[c]).collect();
+        // 1. Announce slot availability to every engaged child.
+        for &child in &children {
+            b.notify(rank, child, NOTIFY_READY);
+        }
+        // 2. Collect and reduce the children's partial results.  Children
+        //    with smaller subtrees finish earlier, so waiting for them first
+        //    (reverse index order) lets their reductions overlap with the
+        //    wait for the deep subtrees — this mirrors the threaded
+        //    implementation, which consumes notifications in arrival order.
+        for (idx, _) in children.iter().enumerate().rev() {
+            b.wait_notify(rank, &[NOTIFY_DATA_BASE + idx as u32]);
+            b.reduce(rank, ship_bytes);
+        }
+        // 3. Forward our partial reduction to the parent.
+        if rank != 0 {
+            if let Some(parent) = tree.parent(rank) {
+                let siblings: Vec<usize> = tree.children(parent).into_iter().filter(|&c| engaged[c]).collect();
+                let my_index = siblings.iter().position(|&c| c == rank).expect("engaged child index") as u32;
+                b.wait_notify(rank, &[NOTIFY_READY]);
+                b.put_notify(rank, parent, ship_bytes, NOTIFY_DATA_BASE + my_index);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_netsim::{validate, ClusterSpec, CostModel, Engine, Op};
+
+    #[test]
+    fn data_threshold_scales_wire_bytes() {
+        let p = 8;
+        let full = reduce_bst_schedule(p, 1_000_000, 1.0).total_wire_bytes();
+        let quarter = reduce_bst_schedule(p, 1_000_000, 0.25).total_wire_bytes();
+        assert_eq!(full, 7 * 1_000_000);
+        assert_eq!(quarter, 7 * 250_000);
+    }
+
+    #[test]
+    fn process_threshold_reduces_message_count() {
+        let p = 32;
+        let full: usize = reduce_process_threshold_schedule(p, 1000, 1.0)
+            .ranks
+            .iter()
+            .flat_map(|r| &r.ops)
+            .filter(|o| matches!(o, Op::PutNotify { .. }))
+            .count();
+        let half: usize = reduce_process_threshold_schedule(p, 1000, 0.5)
+            .ranks
+            .iter()
+            .flat_map(|r| &r.ops)
+            .filter(|o| matches!(o, Op::PutNotify { .. }))
+            .count();
+        assert_eq!(full, 31);
+        assert_eq!(half, 15, "half the processes engaged => 16 participants => 15 contributions");
+    }
+
+    #[test]
+    fn schedules_simulate_cleanly() {
+        let p = 16;
+        let e = Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::test_model());
+        for prog in [
+            reduce_bst_schedule(p, 10_000, 1.0),
+            reduce_bst_schedule(p, 10_000, 0.5),
+            reduce_process_threshold_schedule(p, 10_000, 0.25),
+        ] {
+            validate(&prog, p).unwrap();
+            assert!(e.makespan(&prog).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn pruned_ranks_have_empty_programs() {
+        let p = 8;
+        let prog = reduce_process_threshold_schedule(p, 1000, 0.5);
+        // Ranks 4..8 join in the last stage and are pruned.
+        for r in 4..8 {
+            assert!(prog.ranks[r].is_empty(), "rank {r} should be pruned");
+        }
+        assert!(!prog.ranks[0].is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Schedule generators for the segmented pipelined ring allreduce and the
+//! plain hypercube allreduce.
+
+use ec_netsim::{Program, ProgramBuilder};
+
+use crate::topology::{
+    allgather_send_chunk, chunk_ranges, hypercube_dims, hypercube_partner, ring_next, scatter_recv_chunk,
+    scatter_send_chunk,
+};
+
+/// Build the `gaspi_allreduce_ring` schedule: scatter-reduce followed by
+/// allgather, each of `P - 1` steps, synchronized only by notifications
+/// (Figures 4–5, 11–12).
+pub fn ring_allreduce_schedule(ranks: usize, total_bytes: u64) -> Program {
+    let mut b = ProgramBuilder::new(ranks);
+    if ranks <= 1 {
+        return b.build();
+    }
+    let chunks = chunk_ranges(total_bytes as usize, ranks);
+    let chunk_bytes = |c: usize| chunks[c].1 as u64;
+
+    for rank in 0..ranks {
+        let next = ring_next(rank, ranks);
+        // Stage 1: scatter-reduce.
+        for step in 0..ranks - 1 {
+            let send = chunk_bytes(scatter_send_chunk(rank, step, ranks));
+            b.put_notify(rank, next, send, step as u32);
+            b.wait_notify(rank, &[step as u32]);
+            let recv = chunk_bytes(scatter_recv_chunk(rank, step, ranks));
+            b.reduce(rank, recv);
+        }
+        // Stage 2: allgather (no reduction, chunks land at their final spot).
+        for step in 0..ranks - 1 {
+            let send = chunk_bytes(allgather_send_chunk(rank, step, ranks));
+            let id = (ranks - 1 + step) as u32;
+            b.put_notify(rank, next, send, id);
+            b.wait_notify(rank, &[id]);
+        }
+    }
+    b.build()
+}
+
+/// Build a fully synchronous hypercube allreduce schedule: `log2(P)` steps,
+/// each exchanging the *entire* vector with the step partner and reducing it.
+///
+/// This is the communication structure underlying `allreduce_ssp`
+/// (Algorithm 1) when no staleness is exploited; the paper uses it to explain
+/// why the SSP collective cannot compete with the ring for large vectors
+/// (Figure 7, left).
+pub fn hypercube_allreduce_schedule(ranks: usize, total_bytes: u64) -> Program {
+    let mut b = ProgramBuilder::new(ranks);
+    let Some(dims) = hypercube_dims(ranks) else {
+        // Non-power-of-two rank counts are not supported by the hypercube;
+        // emit an empty program (callers check `hypercube_dims` themselves).
+        return b.build();
+    };
+    for rank in 0..ranks {
+        for k in 0..dims {
+            let partner = hypercube_partner(rank, k);
+            b.put_notify(rank, partner, total_bytes, k);
+            b.wait_notify(rank, &[k]);
+            b.reduce(rank, total_bytes);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_netsim::{validate, ClusterSpec, CostModel, Engine};
+
+    #[test]
+    fn ring_moves_2_p_minus_1_over_p_of_the_data_per_rank() {
+        let p = 8u64;
+        let bytes = 800_000u64;
+        let prog = ring_allreduce_schedule(p as usize, bytes);
+        let per_rank = prog.total_wire_bytes() / p;
+        let expect = 2 * (p - 1) * (bytes / p);
+        let diff = per_rank.abs_diff(expect);
+        assert!(diff <= bytes / p, "per-rank traffic {per_rank} far from {expect}");
+    }
+
+    #[test]
+    fn hypercube_moves_log_p_full_vectors_per_rank() {
+        let p = 16;
+        let bytes = 1_000;
+        let prog = hypercube_allreduce_schedule(p, bytes);
+        assert_eq!(prog.total_wire_bytes(), (p as u64) * 4 * bytes);
+    }
+
+    #[test]
+    fn schedules_validate_and_simulate() {
+        let p = 8;
+        let e = Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::test_model());
+        for prog in [ring_allreduce_schedule(p, 64_000), hypercube_allreduce_schedule(p, 64_000)] {
+            validate(&prog, p).unwrap();
+            assert!(e.makespan(&prog).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn single_rank_schedules_are_empty() {
+        assert_eq!(ring_allreduce_schedule(1, 100).total_ops(), 0);
+        assert_eq!(hypercube_allreduce_schedule(1, 100).total_ops(), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_hypercube_is_empty() {
+        assert_eq!(hypercube_allreduce_schedule(6, 100).total_ops(), 0);
+    }
+
+    #[test]
+    fn ring_time_is_dominated_by_bandwidth_for_large_vectors() {
+        // For 8 MB on 32 ranks the alpha terms are negligible; the makespan
+        // should be close to 2 * (P-1)/P * message_time.
+        let p = 32;
+        let bytes: u64 = 8_000_000;
+        let cost = CostModel::skylake_fdr();
+        let e = Engine::new(ClusterSpec::homogeneous(p, 1), cost.clone());
+        let t = e.makespan(&ring_allreduce_schedule(p, bytes)).unwrap();
+        let ideal = 2.0 * (p as f64 - 1.0) / p as f64 * bytes as f64 * cost.beta_inter;
+        assert!(t >= ideal, "cannot beat the bandwidth bound");
+        assert!(t < ideal * 2.0, "ring should be within 2x of the bandwidth bound, got {t} vs {ideal}");
+    }
+}

@@ -1,0 +1,380 @@
+//! Eventually consistent Allreduce following the Stale Synchronous Parallel
+//! model (`allreduce_ssp`, Algorithm 1 and Figure 2 of the paper).
+//!
+//! The collective is a hypercube allreduce in `d = log2(P)` steps.  The SSP
+//! twist: every rank reserves, for each step, a dedicated receive slot that
+//! *remembers the last contribution received for that step*.  When a rank
+//! reaches step `k` it sends its current partial reduction (stamped with its
+//! logical clock) to the step-`k` partner and then looks at its own slot `k`:
+//!
+//! * if the remembered contribution is at most `slack` iterations old it is
+//!   used immediately — communication of fresher data overlaps with the
+//!   ongoing computation;
+//! * only if the contribution is *too* stale does the rank block waiting for
+//!   a new notification on that slot.
+//!
+//! Reducing two contributions propagates the **minimum** of their clocks, so
+//! the clock attached to the final result lower-bounds the age of everything
+//! folded into it.  With `slack = 0` the collective degenerates to a fully
+//! synchronous hypercube allreduce.
+
+use std::time::Instant;
+
+use ec_gaspi::{Context, SegmentId};
+use ec_ssp::{Clock, SspPolicy, WaitStats};
+
+use crate::error::{CollectiveError, Result};
+use crate::op::ReduceOp;
+use crate::topology::{hypercube_dims, hypercube_partner};
+
+/// Result of one `allreduce_ssp` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SspAllreduceReport {
+    /// The (possibly stale) reduction result.
+    pub result: Vec<f64>,
+    /// Clock of the oldest contribution folded into the result.
+    pub result_clock: Clock,
+    /// The caller's iteration at the time of the call.
+    pub iteration: Clock,
+    /// How many of the `d` steps used a stale (but acceptable) contribution.
+    pub stale_steps: usize,
+    /// How many of the `d` steps had to block for a fresh contribution.
+    pub waited_steps: usize,
+}
+
+/// Stale-Synchronous-Parallel hypercube allreduce handle.
+///
+/// Unlike the other collectives this handle is stateful: it owns the logical
+/// clock of the calling worker and the per-step receive slots, so one handle
+/// must be created per rank and reused across iterations.
+#[derive(Debug)]
+pub struct SspAllreduce<'a> {
+    ctx: &'a Context,
+    segment: SegmentId,
+    capacity: usize,
+    dims: u32,
+    policy: SspPolicy,
+    clock: Clock,
+    stats: WaitStats,
+}
+
+/// Clock value stored in untouched receive slots: old enough that any slack
+/// policy considers it stale, forcing a wait for the first real contribution.
+const NEVER_RECEIVED: f64 = -1.0e15;
+
+impl<'a> SspAllreduce<'a> {
+    /// Default segment id used by [`SspAllreduce::new`].
+    pub const DEFAULT_SEGMENT: SegmentId = 36;
+
+    /// Collectively create an SSP allreduce handle for payloads of up to
+    /// `capacity_elems` doubles and the given `slack`.
+    ///
+    /// Requires a power-of-two number of ranks (hypercube).
+    pub fn new(ctx: &'a Context, capacity_elems: usize, slack: u64) -> Result<Self> {
+        Self::with_segment(ctx, Self::DEFAULT_SEGMENT, capacity_elems, slack)
+    }
+
+    /// Like [`SspAllreduce::new`] with an explicit segment id.
+    pub fn with_segment(ctx: &'a Context, segment: SegmentId, capacity_elems: usize, slack: u64) -> Result<Self> {
+        if capacity_elems == 0 {
+            return Err(CollectiveError::EmptyPayload);
+        }
+        let p = ctx.num_ranks();
+        let dims = hypercube_dims(p).ok_or(CollectiveError::NotPowerOfTwo { ranks: p })?;
+        // One slot per hypercube dimension: [clock][capacity elements].
+        let slot_elems = capacity_elems + 1;
+        let bytes = (slot_elems * dims.max(1) as usize) * 8;
+        ctx.segment_create(segment, bytes.max(8))?;
+        // Mark every slot as never-received.
+        for k in 0..dims {
+            ctx.segment_write_local_f64s(segment, k as usize * slot_elems * 8, &[NEVER_RECEIVED])?;
+        }
+        // Handle creation is collective: make sure every rank has finished
+        // initializing its slots before any peer's first write can land,
+        // otherwise the marker initialization could overwrite real data.
+        ctx.barrier();
+        Ok(Self {
+            ctx,
+            segment,
+            capacity: capacity_elems,
+            dims,
+            policy: SspPolicy::new(slack),
+            clock: Clock::ZERO,
+            stats: WaitStats::new(),
+        })
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured slack.
+    pub fn slack(&self) -> u64 {
+        self.policy.slack()
+    }
+
+    /// The worker's current logical clock (number of completed calls).
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// Wait-time statistics accumulated so far (Figure 7, right).
+    pub fn stats(&self) -> &WaitStats {
+        &self.stats
+    }
+
+    fn slot_offset(&self, step: u32) -> usize {
+        step as usize * (self.capacity + 1) * 8
+    }
+
+    /// Perform one SSP allreduce of `contribution` with operator `op`.
+    ///
+    /// Advances the worker's logical clock by one.  The returned report
+    /// carries the reduction result together with the clock of its oldest
+    /// contribution; with `slack = 0` the result equals a classic allreduce.
+    pub fn run(&mut self, contribution: &[f64], op: ReduceOp) -> Result<SspAllreduceReport> {
+        let ctx = self.ctx;
+        if contribution.is_empty() {
+            return Err(CollectiveError::EmptyPayload);
+        }
+        if contribution.len() > self.capacity {
+            return Err(CollectiveError::CapacityExceeded { requested: contribution.len(), capacity: self.capacity });
+        }
+        let n = contribution.len();
+        let rank = ctx.rank();
+
+        // Line 1 of Algorithm 1: advance the logical clock.
+        self.clock = self.clock.tick();
+        let clock = self.clock;
+        let iteration_index = (clock.value().max(1) - 1) as usize;
+
+        let mut part_red = contribution.to_vec();
+        let mut part_clock = clock;
+        let mut stale_steps = 0usize;
+        let mut waited_steps = 0usize;
+
+        for k in 0..self.dims {
+            let partner = hypercube_partner(rank, k);
+
+            // Send our partial reduction, stamped with its clock, into the
+            // partner's dedicated slot for this step.
+            let mut message = Vec::with_capacity(n + 1);
+            message.push(part_clock.value() as f64);
+            message.extend_from_slice(&part_red);
+            ctx.write_notify_f64s(partner, self.segment, self.slot_offset(k), &message, k, 1, 0)?;
+
+            // Use the last contribution remembered for this step, waiting
+            // only if it is staler than the allowed slack.
+            let mut waited_here = false;
+            let (rcv_clock, rcv_data) = loop {
+                let slot = ctx.segment_read_f64s(self.segment, self.slot_offset(k), n + 1)?;
+                let rcv_clock = Clock::from(slot[0] as i64);
+                if self.policy.is_acceptable(clock, rcv_clock) {
+                    break (rcv_clock, slot[1..].to_vec());
+                }
+                // Too stale: block until the partner's next update lands.
+                let t0 = Instant::now();
+                ctx.notify_waitsome(self.segment, k, 1, None)?;
+                ctx.notify_reset(self.segment, k)?;
+                self.stats.record_wait(iteration_index, t0.elapsed());
+                waited_here = true;
+            };
+            if waited_here {
+                waited_steps += 1;
+            } else if rcv_clock < clock {
+                stale_steps += 1;
+                self.stats.record_stale_use();
+            } else {
+                self.stats.record_fresh_use();
+            }
+
+            // Line 12: reduce the received contribution into the partial one.
+            op.accumulate(&mut part_red, &rcv_data);
+            part_clock = part_clock.merge(rcv_clock);
+        }
+
+        Ok(SspAllreduceReport {
+            result: part_red,
+            result_clock: part_clock,
+            iteration: clock,
+            stale_steps,
+            waited_steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_gaspi::{GaspiConfig, Job, NetworkProfile};
+    use std::time::Duration;
+
+    #[test]
+    fn power_of_two_is_required() {
+        let out = Job::new(GaspiConfig::new(3))
+            .run(|ctx| SspAllreduce::new(ctx, 4, 0).err())
+            .unwrap();
+        assert!(matches!(out[0], Some(CollectiveError::NotPowerOfTwo { ranks: 3 })));
+    }
+
+    #[test]
+    fn slack_zero_equals_exact_allreduce_every_iteration() {
+        let p = 8;
+        let n = 16;
+        let iters = 5;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let mut ssp = SspAllreduce::new(ctx, n, 0).unwrap();
+                let mut results = Vec::new();
+                for it in 1..=iters {
+                    let contribution = vec![(ctx.rank() + it) as f64; n];
+                    let rep = ssp.run(&contribution, ReduceOp::Sum).unwrap();
+                    // With zero slack the result must be exact and fresh.
+                    assert_eq!(rep.result_clock, Clock::from(it as i64));
+                    results.push(rep.result[0]);
+                    // Keep the iterations aligned so no rank races one
+                    // iteration ahead and overwrites a slot before it is read
+                    // (the algorithm itself only bounds staleness, not skew).
+                    ctx.barrier();
+                }
+                results
+            })
+            .unwrap();
+        for rank_results in &out {
+            for (i, &got) in rank_results.iter().enumerate() {
+                let it = i + 1;
+                let want: f64 = (0..p).map(|r| (r + it) as f64).sum();
+                assert!((got - want).abs() < 1e-9, "iteration {it}: {got} != {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn result_clock_respects_slack_bound() {
+        let p = 8;
+        let n = 8;
+        let slack = 3;
+        let iters = 12;
+        let out = Job::new(GaspiConfig::new(p).with_network(NetworkProfile::lan()))
+            .run(move |ctx| {
+                let mut ssp = SspAllreduce::new(ctx, n, slack).unwrap();
+                let mut ok = true;
+                for it in 1..=iters {
+                    // Rank 0 is an artificial straggler.
+                    if ctx.rank() == 0 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    let contribution = vec![1.0; n];
+                    let rep = ssp.run(&contribution, ReduceOp::Sum).unwrap();
+                    // Invariant: nothing folded into the result is older than
+                    // clock - slack.
+                    ok &= rep.result_clock.value() >= it as i64 - slack as i64;
+                    ok &= rep.iteration == Clock::from(it as i64);
+                }
+                ok
+            })
+            .unwrap();
+        assert!(out.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn higher_slack_never_waits_more_than_lower_slack() {
+        // Statistical property of the mechanism rather than timing: with a
+        // very large slack, after the first iteration no step should ever
+        // block, because any remembered contribution is acceptable.
+        let p = 4;
+        let n = 4;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let mut ssp = SspAllreduce::new(ctx, n, 1_000).unwrap();
+                let mut waited_after_first = 0usize;
+                for it in 0..6 {
+                    let rep = ssp.run(&vec![1.0; n], ReduceOp::Sum).unwrap();
+                    if it > 0 {
+                        waited_after_first += rep.waited_steps;
+                    }
+                }
+                waited_after_first
+            })
+            .unwrap();
+        assert!(out.iter().all(|&w| w == 0), "large slack must not block after warm-up: {out:?}");
+    }
+
+    #[test]
+    fn first_iteration_is_exact_even_with_large_slack() {
+        // The receive slots start as "never received", which no slack policy
+        // accepts, so the very first iteration always folds in real data from
+        // every hypercube dimension and is therefore exact.
+        let p = 4;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(|ctx| {
+                let mut ssp = SspAllreduce::new(ctx, 4, 64).unwrap();
+                let rep = ssp.run(&[1.0, 1.0, 1.0, 1.0], ReduceOp::Sum).unwrap();
+                (rep.waited_steps, rep.result[0])
+            })
+            .unwrap();
+        for &(waited, value) in &out {
+            assert!(waited <= 2, "a 4-rank hypercube has only 2 steps");
+            assert!((value - 4.0).abs() < 1e-9, "first iteration result must be exact");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_waits_and_uses() {
+        let p = 4;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(|ctx| {
+                let mut ssp = SspAllreduce::new(ctx, 4, 2).unwrap();
+                for _ in 0..5 {
+                    ssp.run(&[1.0; 4], ReduceOp::Sum).unwrap();
+                }
+                let s = ssp.stats().summary();
+                (s.waits, s.fresh_uses + s.stale_uses)
+            })
+            .unwrap();
+        for &(waits, uses) in &out {
+            // 5 iterations x 2 steps = 10 step decisions; every step records
+            // either at least one blocking wait or exactly one use.
+            assert!(uses <= 10);
+            assert!(waits as usize + uses as usize >= 10, "waits={waits} uses={uses}");
+        }
+    }
+
+    #[test]
+    fn two_rank_hypercube_works() {
+        let out = Job::new(GaspiConfig::new(2))
+            .run(|ctx| {
+                let mut ssp = SspAllreduce::new(ctx, 3, 0).unwrap();
+                let rep = ssp.run(&[ctx.rank() as f64 + 1.0; 3], ReduceOp::Sum).unwrap();
+                rep.result
+            })
+            .unwrap();
+        assert_eq!(out[0], vec![3.0, 3.0, 3.0]);
+        assert_eq!(out[1], vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn single_rank_needs_no_communication() {
+        let out = Job::new(GaspiConfig::new(1))
+            .run(|ctx| {
+                let mut ssp = SspAllreduce::new(ctx, 4, 0).unwrap();
+                let rep = ssp.run(&[2.0; 4], ReduceOp::Sum).unwrap();
+                (rep.result, rep.waited_steps)
+            })
+            .unwrap();
+        assert_eq!(out[0].0, vec![2.0; 4]);
+        assert_eq!(out[0].1, 0);
+    }
+
+    #[test]
+    fn oversized_contribution_is_rejected() {
+        let out = Job::new(GaspiConfig::new(2))
+            .run(|ctx| {
+                let mut ssp = SspAllreduce::new(ctx, 2, 0).unwrap();
+                ssp.run(&[0.0; 8], ReduceOp::Sum).is_err()
+            })
+            .unwrap();
+        assert!(out.iter().all(|&e| e));
+    }
+}

@@ -1,0 +1,104 @@
+//! Thresholds controlling how much data (or how many processes) an
+//! eventually consistent collective engages.
+
+/// Fraction in `(0, 1]` of the payload (or of the processes) that an
+/// eventually consistent collective ships or engages.
+///
+/// A threshold of `1.0` recovers the classic, fully consistent collective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Threshold(f64);
+
+impl Threshold {
+    /// The full, consistent collective (100 %).
+    pub const FULL: Threshold = Threshold(1.0);
+
+    /// Create a threshold from a fraction.
+    ///
+    /// # Panics
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn new(fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "threshold must be in (0, 1], got {fraction}");
+        Self(fraction)
+    }
+
+    /// Create a threshold from a percentage in `(0, 100]`.
+    pub fn percent(p: f64) -> Self {
+        Self::new(p / 100.0)
+    }
+
+    /// The raw fraction.
+    pub fn fraction(self) -> f64 {
+        self.0
+    }
+
+    /// How many of `total` items this threshold selects (at least 1,
+    /// at most `total`, rounded to the nearest integer).
+    pub fn count_of(self, total: usize) -> usize {
+        if total == 0 {
+            return 0;
+        }
+        ((total as f64 * self.0).round() as usize).clamp(1, total)
+    }
+
+    /// Whether this threshold keeps everything.
+    pub fn is_full(self) -> bool {
+        (self.0 - 1.0).abs() < f64::EPSILON
+    }
+}
+
+impl Default for Threshold {
+    fn default() -> Self {
+        Self::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quarter_half_full_counts() {
+        assert_eq!(Threshold::percent(25.0).count_of(1_000_000), 250_000);
+        assert_eq!(Threshold::percent(50.0).count_of(10_000), 5_000);
+        assert_eq!(Threshold::FULL.count_of(123), 123);
+    }
+
+    #[test]
+    fn at_least_one_element_is_selected() {
+        assert_eq!(Threshold::percent(1.0).count_of(10), 1);
+        assert_eq!(Threshold::percent(25.0).count_of(1), 1);
+        assert_eq!(Threshold::FULL.count_of(0), 0);
+    }
+
+    #[test]
+    fn is_full_detects_unity() {
+        assert!(Threshold::FULL.is_full());
+        assert!(!Threshold::percent(75.0).is_full());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threshold_rejected() {
+        let _ = Threshold::new(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn above_one_rejected() {
+        let _ = Threshold::new(1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn count_is_monotone_in_threshold(total in 1usize..100_000, a in 0.01f64..1.0, b in 0.01f64..1.0) {
+            prop_assume!(a <= b);
+            prop_assert!(Threshold::new(a).count_of(total) <= Threshold::new(b).count_of(total));
+        }
+
+        #[test]
+        fn count_never_exceeds_total(total in 0usize..100_000, f in 0.01f64..1.0) {
+            prop_assert!(Threshold::new(f).count_of(total) <= total);
+        }
+    }
+}

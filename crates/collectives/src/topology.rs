@@ -1,0 +1,366 @@
+//! Communication topologies used by the collectives: binomial spanning tree,
+//! hypercube and ring.
+
+use ec_gaspi::Rank;
+
+// ---------------------------------------------------------------------------
+// Binomial spanning tree (Broadcast / Reduce, Figure 3 of the paper)
+// ---------------------------------------------------------------------------
+
+/// Binomial spanning tree rooted at rank 0 over `0..ranks`.
+///
+/// Rank 0 is the root; the children of a rank `p` are `p + 2^i` for all `i`
+/// such that `2^i > p` (equivalently: `p` joined the tree at the stage of its
+/// highest set bit, and spawns children in every later stage).  This is the
+/// classic binomial broadcast tree the paper sketches in Figure 3.
+///
+/// Roots other than 0 are handled by relabeling: the "virtual" rank of `p`
+/// is `(p + ranks - root) % ranks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinomialTree {
+    ranks: usize,
+    root: Rank,
+}
+
+impl BinomialTree {
+    /// Build the tree for `ranks` ranks rooted at `root`.
+    pub fn new(ranks: usize, root: Rank) -> Self {
+        assert!(ranks > 0, "tree needs at least one rank");
+        assert!(root < ranks, "root must be a member rank");
+        Self { ranks, root }
+    }
+
+    /// Number of ranks spanned by the tree.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The root rank.
+    pub fn root(&self) -> Rank {
+        self.root
+    }
+
+    fn to_virtual(&self, rank: Rank) -> usize {
+        (rank + self.ranks - self.root) % self.ranks
+    }
+
+    fn to_real(&self, v: usize) -> Rank {
+        (v + self.root) % self.ranks
+    }
+
+    /// The parent of `rank`, or `None` for the root.
+    pub fn parent(&self, rank: Rank) -> Option<Rank> {
+        let v = self.to_virtual(rank);
+        if v == 0 {
+            return None;
+        }
+        // Clear the highest set bit: the stage in which `rank` received data.
+        let highest = usize::BITS - 1 - v.leading_zeros();
+        Some(self.to_real(v & !(1 << highest)))
+    }
+
+    /// The children of `rank`, in the order they are contacted (earliest
+    /// stage first).
+    pub fn children(&self, rank: Rank) -> Vec<Rank> {
+        let v = self.to_virtual(rank);
+        let mut out = Vec::new();
+        let mut bit = 1usize;
+        // A rank with virtual id v owns children v + 2^i for 2^i > v.
+        while bit < self.ranks {
+            if bit > v || v == 0 {
+                let child = v + bit;
+                if child < self.ranks {
+                    out.push(self.to_real(child));
+                }
+            }
+            bit <<= 1;
+        }
+        out
+    }
+
+    /// The stage (1-based) in which `rank` first receives data; the root is
+    /// stage 0.  Stage `s` doubles the number of involved processes, as the
+    /// paper notes when discussing which processes to prune.
+    pub fn stage(&self, rank: Rank) -> u32 {
+        let v = self.to_virtual(rank);
+        if v == 0 {
+            0
+        } else {
+            usize::BITS - v.leading_zeros()
+        }
+    }
+
+    /// Total number of stages needed to reach every rank (`ceil(log2 P)`).
+    pub fn stages(&self) -> u32 {
+        if self.ranks <= 1 {
+            0
+        } else {
+            (usize::BITS - (self.ranks - 1).leading_zeros()).max(1)
+        }
+    }
+
+    /// Whether `rank` is a leaf (has no children).
+    pub fn is_leaf(&self, rank: Rank) -> bool {
+        self.children(rank).is_empty()
+    }
+
+    /// The set of ranks engaged when at least `fraction` of the processes
+    /// must participate: ranks joining in the latest stages (the leaves
+    /// farthest from the root) are excluded first, root and early stages are
+    /// always kept (the paper's Figure 10 variant of Reduce).
+    ///
+    /// Returns a boolean mask indexed by rank.
+    pub fn engaged_under_process_threshold(&self, fraction: f64) -> Vec<bool> {
+        assert!(fraction > 0.0 && fraction <= 1.0);
+        let keep = ((self.ranks as f64 * fraction).round() as usize).clamp(1, self.ranks);
+        // Order ranks by (stage, virtual id): earlier stages are more
+        // "central" to the tree and are kept preferentially.
+        let mut order: Vec<Rank> = (0..self.ranks).collect();
+        order.sort_by_key(|&r| (self.stage(r), self.to_virtual(r)));
+        let mut engaged = vec![false; self.ranks];
+        for &r in order.iter().take(keep) {
+            engaged[r] = true;
+        }
+        engaged
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hypercube (SSP allreduce, Figure 2)
+// ---------------------------------------------------------------------------
+
+/// Number of hypercube dimensions needed for `ranks` ranks
+/// (`ranks` must be a power of two).
+pub fn hypercube_dims(ranks: usize) -> Option<u32> {
+    if ranks.is_power_of_two() {
+        Some(ranks.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// The communication partner of `rank` in hypercube step `step`.
+pub fn hypercube_partner(rank: Rank, step: u32) -> Rank {
+    rank ^ (1usize << step)
+}
+
+// ---------------------------------------------------------------------------
+// Ring (segmented pipelined allreduce, Figures 4–5)
+// ---------------------------------------------------------------------------
+
+/// The clockwise neighbour of `rank` in a ring of `ranks` ranks.
+pub fn ring_next(rank: Rank, ranks: usize) -> Rank {
+    (rank + 1) % ranks
+}
+
+/// The counter-clockwise neighbour of `rank`.
+pub fn ring_prev(rank: Rank, ranks: usize) -> Rank {
+    (rank + ranks - 1) % ranks
+}
+
+/// Split `n` elements into `parts` contiguous chunks as evenly as possible.
+/// Returns `(start, len)` per chunk; early chunks get the remainder.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// The chunk index rank `i` sends in step `k` of the scatter-reduce stage
+/// ("in the k-th step, node i will send the (i - k)-th chunk").
+pub fn scatter_send_chunk(rank: Rank, step: usize, ranks: usize) -> usize {
+    (rank + ranks - (step % ranks)) % ranks
+}
+
+/// The chunk index rank `i` receives (and reduces) in step `k` of the
+/// scatter-reduce stage ("receive the (i - k - 1)-th chunk").
+pub fn scatter_recv_chunk(rank: Rank, step: usize, ranks: usize) -> usize {
+    (rank + ranks - (step % ranks) + ranks - 1) % ranks
+}
+
+/// The chunk index rank `i` sends in step `k` of the allgather stage
+/// ("node i will send chunk i - k + 1").
+pub fn allgather_send_chunk(rank: Rank, step: usize, ranks: usize) -> usize {
+    (rank + 1 + ranks - (step % ranks)) % ranks
+}
+
+/// The chunk index rank `i` receives in step `k` of the allgather stage
+/// ("receive chunk i - k").
+pub fn allgather_recv_chunk(rank: Rank, step: usize, ranks: usize) -> usize {
+    (rank + ranks - (step % ranks)) % ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn binomial_tree_of_eight_matches_figure_3() {
+        let t = BinomialTree::new(8, 0);
+        assert_eq!(t.children(0), vec![1, 2, 4]);
+        assert_eq!(t.children(1), vec![3, 5]);
+        assert_eq!(t.children(2), vec![6]);
+        assert_eq!(t.children(3), vec![7]);
+        assert!(t.is_leaf(4) && t.is_leaf(7));
+        assert_eq!(t.children(4), vec![]);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(2), Some(0));
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.parent(7), Some(3));
+        assert_eq!(t.stage(0), 0);
+        assert_eq!(t.stage(1), 1);
+        assert_eq!(t.stage(2), 2);
+        assert_eq!(t.stage(3), 2);
+        assert_eq!(t.stage(7), 3);
+        assert_eq!(t.stages(), 3);
+    }
+
+    #[test]
+    fn children_and_parent_are_consistent_for_non_power_of_two() {
+        for ranks in [1usize, 2, 3, 5, 6, 7, 12, 13, 16, 31] {
+            let t = BinomialTree::new(ranks, 0);
+            for r in 0..ranks {
+                for c in t.children(r) {
+                    assert_eq!(t.parent(c), Some(r), "ranks={ranks} child {c} of {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_rank_reachable_from_root() {
+        for ranks in [1usize, 2, 4, 5, 8, 11, 16, 32, 33] {
+            for root in [0, ranks / 2, ranks - 1] {
+                let t = BinomialTree::new(ranks, root);
+                let mut seen = HashSet::new();
+                let mut stack = vec![root];
+                while let Some(r) = stack.pop() {
+                    assert!(seen.insert(r), "rank {r} visited twice (ranks={ranks}, root={root})");
+                    stack.extend(t.children(r));
+                }
+                assert_eq!(seen.len(), ranks);
+            }
+        }
+    }
+
+    #[test]
+    fn process_threshold_keeps_root_and_prunes_leaves_last_stage_first() {
+        let t = BinomialTree::new(8, 0);
+        let half = t.engaged_under_process_threshold(0.5);
+        assert_eq!(half.iter().filter(|&&e| e).count(), 4);
+        assert!(half[0], "the root is always engaged");
+        // The last-stage joiners (virtual ids 4..8) are pruned first.
+        assert!(half[1] && half[2] && half[3]);
+        assert!(!half[4] && !half[5] && !half[6] && !half[7]);
+        let full = t.engaged_under_process_threshold(1.0);
+        assert!(full.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn hypercube_partner_is_an_involution() {
+        assert_eq!(hypercube_dims(8), Some(3));
+        assert_eq!(hypercube_dims(6), None);
+        for rank in 0..8 {
+            for step in 0..3 {
+                let p = hypercube_partner(rank, step);
+                assert_ne!(p, rank);
+                assert_eq!(hypercube_partner(p, step), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_neighbours_wrap_around() {
+        assert_eq!(ring_next(7, 8), 0);
+        assert_eq!(ring_prev(0, 8), 7);
+        assert_eq!(ring_next(3, 8), 4);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_everything_without_overlap() {
+        for (n, parts) in [(10usize, 3usize), (7, 7), (100, 8), (5, 8), (0, 4)] {
+            let chunks = chunk_ranges(n, parts);
+            assert_eq!(chunks.len(), parts);
+            let total: usize = chunks.iter().map(|&(_, l)| l).sum();
+            assert_eq!(total, n);
+            let mut pos = 0;
+            for (start, len) in chunks {
+                assert_eq!(start, pos);
+                pos += len;
+            }
+        }
+    }
+
+    #[test]
+    fn ring_chunk_schedule_matches_paper_formulas() {
+        let p = 4;
+        // Scatter-reduce: what rank 2 sends at step 0 is chunk 2, receives chunk 1.
+        assert_eq!(scatter_send_chunk(2, 0, p), 2);
+        assert_eq!(scatter_recv_chunk(2, 0, p), 1);
+        // The chunk a rank receives in step k is the chunk its predecessor sends in step k.
+        for rank in 0..p {
+            for step in 0..p - 1 {
+                let pred = ring_prev(rank, p);
+                assert_eq!(scatter_recv_chunk(rank, step, p), scatter_send_chunk(pred, step, p));
+                assert_eq!(allgather_recv_chunk(rank, step, p), allgather_send_chunk(pred, step, p));
+            }
+        }
+        // After P-1 scatter steps, rank i owns the fully reduced chunk i+1.
+        // (It last received and reduced chunk scatter_recv_chunk(i, P-2).)
+        for rank in 0..p {
+            let owned = scatter_recv_chunk(rank, p - 2, p);
+            assert_eq!(owned, (rank + 1) % p);
+            // The allgather stage starts by sending exactly that chunk.
+            assert_eq!(allgather_send_chunk(rank, 0, p), owned);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn tree_depth_is_logarithmic(ranks in 1usize..512) {
+            let t = BinomialTree::new(ranks, 0);
+            // Follow parents from the deepest rank; the path must be short.
+            for start in 0..ranks {
+                let mut depth = 0;
+                let mut r = start;
+                while let Some(p) = t.parent(r) {
+                    r = p;
+                    depth += 1;
+                    prop_assert!(depth <= 10, "depth exceeded log2(512)");
+                }
+                prop_assert_eq!(r, 0);
+            }
+        }
+
+        #[test]
+        fn engaged_count_respects_threshold(ranks in 1usize..256, pct in 1u32..=100) {
+            let t = BinomialTree::new(ranks, 0);
+            let frac = pct as f64 / 100.0;
+            let engaged = t.engaged_under_process_threshold(frac);
+            let count = engaged.iter().filter(|&&e| e).count();
+            let expect = ((ranks as f64 * frac).round() as usize).clamp(1, ranks);
+            prop_assert_eq!(count, expect);
+            prop_assert!(engaged[0]);
+        }
+
+        #[test]
+        fn scatter_and_allgather_chunks_stay_in_range(ranks in 2usize..64, rank in 0usize..64, step in 0usize..64) {
+            prop_assume!(rank < ranks);
+            prop_assert!(scatter_send_chunk(rank, step, ranks) < ranks);
+            prop_assert!(scatter_recv_chunk(rank, step, ranks) < ranks);
+            prop_assert!(allgather_send_chunk(rank, step, ranks) < ranks);
+            prop_assert!(allgather_recv_chunk(rank, step, ranks) < ranks);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! A minimal complex-number type (the paper's substrate must be built from
+//! scratch, so no external num crate is used).
+
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Construct from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{i theta}`.
+    pub fn from_polar_unit(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_hand_computation() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((a.abs() - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_unit_lies_on_the_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            let z = Complex::from_polar_unit(theta);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_and_add_assign() {
+        let mut a = Complex::new(1.0, 1.0);
+        a += Complex::new(0.5, -0.5);
+        assert_eq!(a, Complex::new(1.5, 0.5));
+        assert_eq!(a.scale(2.0), Complex::new(3.0, 1.0));
+    }
+}

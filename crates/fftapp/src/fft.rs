@@ -1,0 +1,209 @@
+//! Radix-2 Cooley–Tukey FFT, written from scratch and verified against a
+//! naive DFT.
+
+use crate::complex::Complex;
+
+/// In-place iterative radix-2 FFT of `data` (forward transform).
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization).
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    transform(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let theta = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let w_len = Complex::from_polar_unit(theta);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let even = data[start + k];
+                let odd = data[start + k + len / 2] * w;
+                data[start + k] = even + odd;
+                data[start + k + len / 2] = even - odd;
+                w = w * w_len;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive `O(n^2)` DFT used as a reference in tests.
+pub fn dft_reference(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                let theta = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc += x * Complex::from_polar_unit(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Forward FFT of every row of a row-major `rows x cols` matrix.
+///
+/// # Panics
+/// Panics if `cols` is not a power of two or the matrix size is inconsistent.
+pub fn fft_rows(matrix: &mut [Complex], rows: usize, cols: usize) {
+    assert_eq!(matrix.len(), rows * cols);
+    for r in 0..rows {
+        fft_in_place(&mut matrix[r * cols..(r + 1) * cols]);
+    }
+}
+
+/// Serial 2-D FFT of a row-major `rows x cols` matrix (rows first, then
+/// columns) — the reference the distributed version is checked against.
+pub fn fft2d_serial(matrix: &mut Vec<Complex>, rows: usize, cols: usize) {
+    assert_eq!(matrix.len(), rows * cols);
+    fft_rows(matrix, rows, cols);
+    // Transpose, FFT the (former) columns, transpose back.
+    let mut t = transpose_serial(matrix, rows, cols);
+    fft_rows(&mut t, cols, rows);
+    *matrix = transpose_serial(&t, cols, rows);
+}
+
+/// Serial transpose of a row-major `rows x cols` matrix.
+pub fn transpose_serial(matrix: &[Complex], rows: usize, cols: usize) -> Vec<Complex> {
+    assert_eq!(matrix.len(), rows * cols);
+    let mut out = vec![Complex::ZERO; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = matrix[r * cols + c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64] {
+            let input: Vec<Complex> =
+                (0..n).map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos())).collect();
+            let mut fft = input.clone();
+            fft_in_place(&mut fft);
+            let reference = dft_reference(&input);
+            assert!(close(&fft, &reference, 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_fft_round_trips() {
+        let input: Vec<Complex> = (0..128).map(|i| Complex::new(i as f64, -(i as f64) * 0.5)).collect();
+        let mut data = input.clone();
+        fft_in_place(&mut data);
+        ifft_in_place(&mut data);
+        assert!(close(&data, &input, 1e-9));
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 32];
+        data[0] = Complex::ONE;
+        fft_in_place(&mut data);
+        assert!(data.iter().all(|c| (*c - Complex::ONE).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fft_of_constant_is_an_impulse() {
+        let n = 64;
+        let mut data = vec![Complex::ONE; n];
+        fft_in_place(&mut data);
+        assert!((data[0] - Complex::new(n as f64, 0.0)).abs() < 1e-9);
+        assert!(data[1..].iter().all(|c| c.abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_length_panics() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft_in_place(&mut data);
+    }
+
+    #[test]
+    fn serial_transpose_is_an_involution() {
+        let rows = 4;
+        let cols = 8;
+        let m: Vec<Complex> = (0..rows * cols).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let tt = transpose_serial(&transpose_serial(&m, rows, cols), cols, rows);
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn fft2d_of_constant_concentrates_energy_at_origin() {
+        let (rows, cols) = (8, 16);
+        let mut m = vec![Complex::ONE; rows * cols];
+        fft2d_serial(&mut m, rows, cols);
+        assert!((m[0] - Complex::new((rows * cols) as f64, 0.0)).abs() < 1e-9);
+        assert!(m[1..].iter().all(|c| c.abs() < 1e-9));
+    }
+
+    proptest! {
+        #[test]
+        fn parseval_energy_is_preserved(values in proptest::collection::vec(-100.0f64..100.0, 64)) {
+            let input: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let mut freq = input.clone();
+            fft_in_place(&mut freq);
+            let time_energy: f64 = input.iter().map(|c| c.norm_sqr()).sum();
+            let freq_energy: f64 = freq.iter().map(|c| c.norm_sqr()).sum::<f64>() / input.len() as f64;
+            prop_assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+        }
+
+        #[test]
+        fn fft_is_linear(a in proptest::collection::vec(-10.0f64..10.0, 32), b in proptest::collection::vec(-10.0f64..10.0, 32)) {
+            let xa: Vec<Complex> = a.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let xb: Vec<Complex> = b.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            let sum: Vec<Complex> = xa.iter().zip(&xb).map(|(x, y)| *x + *y).collect();
+            let mut fa = xa.clone();
+            let mut fb = xb.clone();
+            let mut fsum = sum.clone();
+            fft_in_place(&mut fa);
+            fft_in_place(&mut fb);
+            fft_in_place(&mut fsum);
+            for i in 0..fa.len() {
+                prop_assert!((fsum[i] - (fa[i] + fb[i])).abs() < 1e-7);
+            }
+        }
+    }
+}

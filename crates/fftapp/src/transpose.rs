@@ -1,0 +1,139 @@
+//! Block pack/unpack helpers and the distributed matrix transpose built on
+//! the one-sided AlltoAll collective.
+
+use ec_collectives::{AllToAll, CollectiveError};
+use ec_gaspi::Context;
+
+use crate::complex::Complex;
+
+/// Pack the local rows of a distributed `rows_total x cols` matrix into one
+/// contiguous block per destination rank, ready for an AlltoAll.
+///
+/// `local` holds `local_rows` consecutive global rows in row-major order.
+/// Destination rank `j` receives the columns `j * cols/P .. (j+1) * cols/P`
+/// of every local row.  Returns a buffer of `P * block_elems` doubles where
+/// `block_elems = local_rows * cols/P * 2`.
+pub fn pack_blocks(local: &[Complex], local_rows: usize, cols: usize, ranks: usize) -> Vec<f64> {
+    assert_eq!(local.len(), local_rows * cols);
+    assert_eq!(cols % ranks, 0, "column count must divide evenly among ranks");
+    let cols_per = cols / ranks;
+    let mut out = Vec::with_capacity(local.len() * 2);
+    for dst in 0..ranks {
+        for row in 0..local_rows {
+            for c in 0..cols_per {
+                let v = local[row * cols + dst * cols_per + c];
+                out.push(v.re);
+                out.push(v.im);
+            }
+        }
+    }
+    out
+}
+
+/// Unpack the blocks received from an AlltoAll into the local slice of the
+/// transposed matrix.
+///
+/// The received buffer holds, for every source rank `i`, a block of
+/// `rows_per x cols_per` complex values (that rank's rows, our columns).  The
+/// result is this rank's `cols_per` rows of the transposed matrix, each of
+/// length `rows_total`.
+pub fn unpack_blocks(received: &[f64], rows_per: usize, cols_per: usize, ranks: usize) -> Vec<Complex> {
+    let rows_total = rows_per * ranks;
+    assert_eq!(received.len(), ranks * rows_per * cols_per * 2);
+    let mut out = vec![Complex::ZERO; cols_per * rows_total];
+    for src in 0..ranks {
+        let base = src * rows_per * cols_per * 2;
+        for row in 0..rows_per {
+            for c in 0..cols_per {
+                let idx = base + (row * cols_per + c) * 2;
+                let v = Complex::new(received[idx], received[idx + 1]);
+                // Transposed: local row = c, column = global row index.
+                out[c * rows_total + src * rows_per + row] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Distributed transpose of a `rows_total x cols` matrix spread over the
+/// ranks in contiguous row blocks, using the one-sided AlltoAll collective.
+///
+/// Returns this rank's rows of the transposed `cols x rows_total` matrix.
+pub fn distributed_transpose(
+    ctx: &Context,
+    alltoall: &AllToAll<'_>,
+    local: &[Complex],
+    rows_total: usize,
+    cols: usize,
+) -> Result<Vec<Complex>, CollectiveError> {
+    let p = ctx.num_ranks();
+    if rows_total % p != 0 || cols % p != 0 {
+        return Err(CollectiveError::LengthMismatch { expected: rows_total / p * p, actual: rows_total });
+    }
+    let rows_per = rows_total / p;
+    let cols_per = cols / p;
+    assert_eq!(local.len(), rows_per * cols);
+    let send = pack_blocks(local, rows_per, cols, p);
+    let block_elems = rows_per * cols_per * 2;
+    let mut recv = vec![0.0; p * block_elems];
+    alltoall.run_f64s(&send, &mut recv, block_elems)?;
+    Ok(unpack_blocks(&recv, rows_per, cols_per, p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::transpose_serial;
+    use ec_gaspi::{GaspiConfig, Job};
+
+    fn test_matrix(rows: usize, cols: usize) -> Vec<Complex> {
+        (0..rows * cols).map(|i| Complex::new(i as f64, -(i as f64) / 2.0)).collect()
+    }
+
+    #[test]
+    fn pack_then_unpack_is_the_serial_transpose_for_one_rank() {
+        let (rows, cols) = (4, 6);
+        let m = test_matrix(rows, cols);
+        let packed = pack_blocks(&m, rows, cols, 1);
+        let unpacked = unpack_blocks(&packed, rows, cols, 1);
+        assert_eq!(unpacked, transpose_serial(&m, rows, cols));
+    }
+
+    #[test]
+    fn distributed_transpose_matches_serial_reference() {
+        for p in [1usize, 2, 4] {
+            let rows = 8;
+            let cols = 8;
+            let full = test_matrix(rows, cols);
+            let expected = transpose_serial(&full, rows, cols);
+            let full_clone = full.clone();
+            let out = Job::new(GaspiConfig::new(p))
+                .run(move |ctx| {
+                    let rows_per = rows / ctx.num_ranks();
+                    let cols_per = cols / ctx.num_ranks();
+                    let a2a = AllToAll::new(ctx, rows_per * cols_per * 16).unwrap();
+                    let local = full_clone[ctx.rank() * rows_per * cols..(ctx.rank() + 1) * rows_per * cols].to_vec();
+                    distributed_transpose(ctx, &a2a, &local, rows, cols).unwrap()
+                })
+                .unwrap();
+            let mut gathered = Vec::new();
+            for part in out {
+                gathered.extend(part);
+            }
+            assert_eq!(gathered, expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn uneven_distribution_is_rejected() {
+        let out = Job::new(GaspiConfig::new(3))
+            .run(|ctx| {
+                let a2a = AllToAll::new(ctx, 64).unwrap();
+                // 8 rows cannot be split over 3 ranks.
+                let local = vec![Complex::ZERO; 8 / 2 * 8];
+                distributed_transpose(ctx, &a2a, &local, 8, 8).is_err()
+            })
+            .unwrap();
+        assert!(out.iter().all(|&e| e));
+    }
+}

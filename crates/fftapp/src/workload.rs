@@ -1,0 +1,81 @@
+//! Quantum-Espresso-like workload descriptions.
+
+use crate::complex::Complex;
+use crate::distributed::DistributedFft2d;
+
+/// A QE-like FFT workload: a grid size and rank count whose AlltoAll block
+/// size falls in the regime the paper reports for the Quantum Espresso FFT
+/// mini-app (6–24 KB per block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QeWorkload {
+    /// FFT grid rows.
+    pub rows: usize,
+    /// FFT grid columns.
+    pub cols: usize,
+    /// Number of ranks the grid is distributed over.
+    pub ranks: usize,
+}
+
+impl QeWorkload {
+    /// The workload whose AlltoAll block size is closest to the middle of the
+    /// paper's 6–24 KB range for the given rank count.
+    pub fn for_ranks(ranks: usize) -> Self {
+        assert!(ranks.is_power_of_two(), "QE workloads use power-of-two rank counts");
+        // block = (rows/P) * (cols/P) * 16 B; pick rows = cols = 32 * P so the
+        // block is 16 KiB regardless of P.
+        let side = 32 * ranks;
+        Self { rows: side, cols: side, ranks }
+    }
+
+    /// AlltoAll block size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        DistributedFft2d::new(self.rows, self.cols).block_bytes(self.ranks)
+    }
+
+    /// The FFT plan for this workload.
+    pub fn plan(&self) -> DistributedFft2d {
+        DistributedFft2d::new(self.rows, self.cols)
+    }
+
+    /// Generate this rank's local rows of a smooth synthetic wavefunction.
+    pub fn local_input(&self, rank: usize) -> Vec<Complex> {
+        let local_rows = self.rows / self.ranks;
+        let mut out = Vec::with_capacity(local_rows * self.cols);
+        for lr in 0..local_rows {
+            let r = rank * local_rows + lr;
+            for c in 0..self.cols {
+                let phase = 2.0 * std::f64::consts::PI * (3.0 * r as f64 / self.rows as f64 + 5.0 * c as f64 / self.cols as f64);
+                out.push(Complex::new(phase.cos(), phase.sin()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_size_is_16_kib_for_all_power_of_two_rank_counts() {
+        for ranks in [1usize, 2, 4, 8, 16] {
+            let w = QeWorkload::for_ranks(ranks);
+            assert_eq!(w.block_bytes(), 16 * 1024, "ranks={ranks}");
+            assert!(w.rows % ranks == 0 && w.cols % ranks == 0);
+        }
+    }
+
+    #[test]
+    fn local_input_has_the_right_shape_and_unit_magnitude() {
+        let w = QeWorkload::for_ranks(4);
+        let local = w.local_input(2);
+        assert_eq!(local.len(), w.rows / w.ranks * w.cols);
+        assert!(local.iter().all(|c| (c.abs() - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn different_ranks_see_different_rows() {
+        let w = QeWorkload::for_ranks(2);
+        assert_ne!(w.local_input(0), w.local_input(1));
+    }
+}

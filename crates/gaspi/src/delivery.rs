@@ -1,0 +1,212 @@
+//! Delayed delivery of one-sided operations.
+//!
+//! When a [`crate::NetworkProfile`] injects latency, a write must not become
+//! visible at the target before its virtual arrival time — but the *initiator*
+//! must return immediately (that is the whole point of one-sided
+//! communication).  The [`DeliveryEngine`] owns a background thread with a
+//! deadline-ordered queue; the initiating rank computes the delivery deadline,
+//! hands the payload over and keeps computing.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use crate::notification::{NotificationId, NotificationValue};
+use crate::segment::SegmentStorage;
+use crate::state::QueueSlot;
+
+/// A single pending remote operation.
+#[derive(Debug)]
+pub struct Delivery {
+    /// When the operation becomes visible at the target.
+    pub deliver_at: Instant,
+    /// Target segment.
+    pub target: Arc<SegmentStorage>,
+    /// Optional payload: destination offset and bytes to copy.
+    pub payload: Option<(usize, Vec<u8>)>,
+    /// Optional notification: slot id and value to set *after* the payload.
+    pub notification: Option<(NotificationId, NotificationValue)>,
+    /// Queue accounting entry to complete once delivered.
+    pub queue: Arc<QueueSlot>,
+}
+
+impl Delivery {
+    /// Apply the operation to the target segment (payload first, then the
+    /// notification, preserving GASPI's "data before notification" rule).
+    fn apply(self) {
+        if let Some((offset, bytes)) = self.payload {
+            let ok = self.target.write(offset, &bytes);
+            debug_assert!(ok, "delivery out of bounds; writes are validated before posting");
+        }
+        if let Some((id, value)) = self.notification {
+            self.target.notifications().set(id, value);
+        }
+        self.queue.complete();
+    }
+}
+
+struct HeapEntry {
+    deliver_at: Instant,
+    seq: u64,
+    delivery: Delivery,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deliver_at.cmp(&other.deliver_at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// Background thread that applies [`Delivery`] operations at their deadline.
+#[derive(Debug)]
+pub struct DeliveryEngine {
+    tx: Option<Sender<Delivery>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl DeliveryEngine {
+    /// Start the delivery thread.
+    pub fn start() -> Self {
+        let (tx, rx) = unbounded::<Delivery>();
+        let worker = std::thread::Builder::new()
+            .name("gaspi-delivery".to_owned())
+            .spawn(move || Self::worker_loop(rx))
+            .expect("spawning the delivery thread");
+        Self { tx: Some(tx), worker: Some(worker) }
+    }
+
+    fn worker_loop(rx: Receiver<Delivery>) {
+        let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        loop {
+            // How long may we sleep before the next deadline?
+            let now = Instant::now();
+            let next_deadline = heap.peek().map(|Reverse(e)| e.deliver_at);
+            let wait = match next_deadline {
+                Some(d) if d <= now => Duration::ZERO,
+                Some(d) => d - now,
+                None => Duration::from_millis(50),
+            };
+            match rx.recv_timeout(wait) {
+                Ok(d) => {
+                    heap.push(Reverse(HeapEntry { deliver_at: d.deliver_at, seq, delivery: d }));
+                    seq += 1;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Drain everything that is still pending, in order.
+                    while let Some(Reverse(e)) = heap.pop() {
+                        let now = Instant::now();
+                        if e.deliver_at > now {
+                            std::thread::sleep(e.deliver_at - now);
+                        }
+                        e.delivery.apply();
+                    }
+                    return;
+                }
+            }
+            // Apply everything whose deadline has passed.
+            let now = Instant::now();
+            while heap.peek().is_some_and(|Reverse(e)| e.deliver_at <= now) {
+                let Reverse(e) = heap.pop().expect("peeked entry exists");
+                e.delivery.apply();
+            }
+        }
+    }
+
+    /// Submit a delivery; it will be applied at (or shortly after) its
+    /// deadline.  Returns `false` if the engine already shut down.
+    pub fn submit(&self, delivery: Delivery) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(delivery).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for DeliveryEngine {
+    fn drop(&mut self) {
+        // Closing the channel tells the worker to drain and exit.
+        self.tx = None;
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_delivery(target: &Arc<SegmentStorage>, queue: &Arc<QueueSlot>, delay: Duration, value: u8) -> Delivery {
+        queue.post();
+        Delivery {
+            deliver_at: Instant::now() + delay,
+            target: Arc::clone(target),
+            payload: Some((0, vec![value; 4])),
+            notification: Some((0, value as u32)),
+            queue: Arc::clone(queue),
+        }
+    }
+
+    #[test]
+    fn delayed_delivery_arrives_after_deadline() {
+        let engine = DeliveryEngine::start();
+        let seg = Arc::new(SegmentStorage::new(16, 4));
+        let queue = Arc::new(QueueSlot::default());
+        let start = Instant::now();
+        assert!(engine.submit(make_delivery(&seg, &queue, Duration::from_millis(30), 7)));
+        // Not visible immediately.
+        assert_eq!(seg.notifications().peek(0), Some(0));
+        // Wait for the queue to drain.
+        assert!(queue.wait_empty(Some(Duration::from_secs(5))));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert_eq!(seg.notifications().peek(0), Some(7));
+        let mut buf = [0u8; 4];
+        seg.read(0, &mut buf);
+        assert_eq!(buf, [7; 4]);
+    }
+
+    #[test]
+    fn deliveries_are_applied_in_deadline_order() {
+        let engine = DeliveryEngine::start();
+        let seg = Arc::new(SegmentStorage::new(16, 4));
+        let queue = Arc::new(QueueSlot::default());
+        // Later-submitted but earlier-deadline delivery must land first; the
+        // final state must be that of the later deadline.
+        engine.submit(make_delivery(&seg, &queue, Duration::from_millis(60), 2));
+        engine.submit(make_delivery(&seg, &queue, Duration::from_millis(20), 1));
+        assert!(queue.wait_empty(Some(Duration::from_secs(5))));
+        let mut buf = [0u8; 1];
+        seg.read(0, &mut buf);
+        assert_eq!(buf[0], 2, "the delivery with the later deadline must be applied last");
+    }
+
+    #[test]
+    fn drop_drains_pending_deliveries() {
+        let seg = Arc::new(SegmentStorage::new(16, 4));
+        let queue = Arc::new(QueueSlot::default());
+        {
+            let engine = DeliveryEngine::start();
+            engine.submit(make_delivery(&seg, &queue, Duration::from_millis(40), 9));
+            // Engine dropped immediately: it must still deliver before exiting.
+        }
+        assert_eq!(queue.outstanding(), 0);
+        assert_eq!(seg.notifications().peek(0), Some(9));
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type shared by all runtime operations.
+
+use crate::{Rank, SegmentId};
+
+/// Errors returned by the GASPI-like runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GaspiError {
+    /// The referenced segment was never created on the target rank.
+    SegmentNotFound {
+        /// Owning rank of the missing segment.
+        rank: Rank,
+        /// Missing segment id.
+        segment: SegmentId,
+    },
+    /// A segment with this id already exists on the calling rank.
+    SegmentAlreadyExists {
+        /// Duplicated segment id.
+        segment: SegmentId,
+    },
+    /// An access went past the end of a segment.
+    OutOfBounds {
+        /// Owning rank of the segment.
+        rank: Rank,
+        /// Segment id.
+        segment: SegmentId,
+        /// First byte of the attempted access.
+        offset: usize,
+        /// Length of the attempted access.
+        len: usize,
+        /// Actual segment size.
+        segment_size: usize,
+    },
+    /// A notification id is outside the configured slot range.
+    InvalidNotification {
+        /// Offending notification id.
+        id: u32,
+        /// Number of notification slots per segment.
+        slots: u32,
+    },
+    /// A notification value of zero was passed (zero means "not set").
+    ZeroNotificationValue,
+    /// The referenced rank does not exist in this job.
+    InvalidRank {
+        /// Offending rank.
+        rank: Rank,
+        /// Number of ranks in the job.
+        num_ranks: usize,
+    },
+    /// The referenced queue does not exist.
+    InvalidQueue {
+        /// Offending queue id.
+        queue: u32,
+        /// Number of queues configured.
+        queues: u32,
+    },
+    /// A blocking call exceeded its timeout.
+    Timeout,
+    /// The job is shutting down and can no longer accept operations.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for GaspiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GaspiError::SegmentNotFound { rank, segment } => {
+                write!(f, "segment {segment} does not exist on rank {rank}")
+            }
+            GaspiError::SegmentAlreadyExists { segment } => {
+                write!(f, "segment {segment} already exists on this rank")
+            }
+            GaspiError::OutOfBounds { rank, segment, offset, len, segment_size } => write!(
+                f,
+                "access [{offset}, {}) exceeds segment {segment} of size {segment_size} on rank {rank}",
+                offset + len
+            ),
+            GaspiError::InvalidNotification { id, slots } => {
+                write!(f, "notification id {id} out of range (segment has {slots} slots)")
+            }
+            GaspiError::ZeroNotificationValue => {
+                write!(f, "notification value must be non-zero (zero encodes 'not set')")
+            }
+            GaspiError::InvalidRank { rank, num_ranks } => {
+                write!(f, "rank {rank} out of range (job has {num_ranks} ranks)")
+            }
+            GaspiError::InvalidQueue { queue, queues } => {
+                write!(f, "queue {queue} out of range (job has {queues} queues)")
+            }
+            GaspiError::Timeout => write!(f, "operation timed out"),
+            GaspiError::ShuttingDown => write!(f, "the job is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for GaspiError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, GaspiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = GaspiError::OutOfBounds { rank: 2, segment: 1, offset: 10, len: 20, segment_size: 16 };
+        let s = e.to_string();
+        assert!(s.contains("rank 2"));
+        assert!(s.contains("size 16"));
+        assert!(GaspiError::Timeout.to_string().contains("timed out"));
+    }
+}

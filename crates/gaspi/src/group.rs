@@ -1,0 +1,101 @@
+//! Process groups (subsets of ranks participating in a collective).
+
+use crate::Rank;
+
+/// An ordered set of ranks participating in a collective operation.
+///
+/// The paper's collectives operate on all processes (`GASPI_GROUP_ALL`);
+/// groups are nevertheless useful for the process-pruning Reduce variant
+/// (Figure 10) and for building collectives on rank subsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    ranks: Vec<Rank>,
+}
+
+impl Group {
+    /// The group of all ranks `0..num_ranks`.
+    pub fn all(num_ranks: usize) -> Self {
+        Self { ranks: (0..num_ranks).collect() }
+    }
+
+    /// A group from an explicit rank list.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or contains duplicates.
+    pub fn from_ranks(ranks: Vec<Rank>) -> Self {
+        assert!(!ranks.is_empty(), "a group needs at least one rank");
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ranks.len(), "group ranks must be unique");
+        Self { ranks }
+    }
+
+    /// Number of ranks in the group.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether `rank` belongs to the group.
+    pub fn contains(&self, rank: Rank) -> bool {
+        self.ranks.contains(&rank)
+    }
+
+    /// Position of `rank` within the group (its "group rank").
+    pub fn index_of(&self, rank: Rank) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == rank)
+    }
+
+    /// The global rank at group position `index`.
+    pub fn rank_at(&self, index: usize) -> Rank {
+        self.ranks[index]
+    }
+
+    /// Iterate over the group's ranks in group order.
+    pub fn iter(&self) -> impl Iterator<Item = Rank> + '_ {
+        self.ranks.iter().copied()
+    }
+
+    /// The underlying rank list.
+    pub fn ranks(&self) -> &[Rank] {
+        &self.ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_every_rank() {
+        let g = Group::all(4);
+        assert_eq!(g.size(), 4);
+        for r in 0..4 {
+            assert!(g.contains(r));
+            assert_eq!(g.index_of(r), Some(r));
+            assert_eq!(g.rank_at(r), r);
+        }
+        assert!(!g.contains(4));
+    }
+
+    #[test]
+    fn custom_group_preserves_order() {
+        let g = Group::from_ranks(vec![5, 1, 3]);
+        assert_eq!(g.size(), 3);
+        assert_eq!(g.index_of(3), Some(2));
+        assert_eq!(g.rank_at(0), 5);
+        assert_eq!(g.iter().collect::<Vec<_>>(), vec![5, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_ranks_rejected() {
+        let _ = Group::from_ranks(vec![1, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_group_rejected() {
+        let _ = Group::from_ranks(vec![]);
+    }
+}

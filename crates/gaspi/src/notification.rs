@@ -1,0 +1,171 @@
+//! GASPI-style notifications: small flag values attached to a segment.
+//!
+//! A notification slot holds a `u32` value; zero means "not set".  Remote
+//! writes set a slot (overwriting any previous value, as in GPI-2), waiters
+//! block until some slot in a range becomes non-zero, and
+//! [`NotificationBoard::reset`] atomically reads and clears a slot.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Identifier of a notification slot within a segment.
+pub type NotificationId = u32;
+
+/// Value carried by a notification; zero encodes "not set".
+pub type NotificationValue = u32;
+
+/// Per-segment notification slots plus the condition variable used to wake
+/// blocked `notify_waitsome` callers.
+#[derive(Debug)]
+pub struct NotificationBoard {
+    slots: Mutex<Vec<NotificationValue>>,
+    cv: Condvar,
+}
+
+impl NotificationBoard {
+    /// Create a board with `slots` notification slots, all reset.
+    pub fn new(slots: u32) -> Self {
+        Self { slots: Mutex::new(vec![0; slots as usize]), cv: Condvar::new() }
+    }
+
+    /// Number of slots on this board.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// Whether the board has zero slots (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Set slot `id` to `value` (non-zero) and wake waiters.
+    ///
+    /// Returns `false` if `id` is out of range.
+    pub fn set(&self, id: NotificationId, value: NotificationValue) -> bool {
+        let mut slots = self.slots.lock();
+        let Some(slot) = slots.get_mut(id as usize) else { return false };
+        *slot = value;
+        drop(slots);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Read slot `id` without clearing it. `None` if out of range.
+    pub fn peek(&self, id: NotificationId) -> Option<NotificationValue> {
+        self.slots.lock().get(id as usize).copied()
+    }
+
+    /// Atomically read and clear slot `id`.  Returns the previous value
+    /// (which is zero if the notification had not been set).
+    pub fn reset(&self, id: NotificationId) -> Option<NotificationValue> {
+        let mut slots = self.slots.lock();
+        let slot = slots.get_mut(id as usize)?;
+        let old = *slot;
+        *slot = 0;
+        Some(old)
+    }
+
+    /// Wait until any slot in `[first, first + num)` is non-zero and return
+    /// its id (the lowest one).  Returns `None` on timeout.
+    ///
+    /// This mirrors `gaspi_notify_waitsome`: it does **not** clear the slot;
+    /// callers follow up with [`NotificationBoard::reset`].
+    pub fn waitsome(&self, first: NotificationId, num: u32, timeout: Option<Duration>) -> Option<NotificationId> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut slots = self.slots.lock();
+        let end = (first as usize).saturating_add(num as usize).min(slots.len());
+        let range = (first as usize).min(end)..end;
+        loop {
+            if let Some(id) = slots[range.clone()].iter().position(|&v| v != 0) {
+                return Some(first + id as u32);
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    if self.cv.wait_until(&mut slots, d).timed_out() {
+                        // Re-check once after the timeout fired.
+                        if let Some(id) = slots[range.clone()].iter().position(|&v| v != 0) {
+                            return Some(first + id as u32);
+                        }
+                        return None;
+                    }
+                }
+                None => self.cv.wait(&mut slots),
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`NotificationBoard::waitsome`].
+    pub fn test_some(&self, first: NotificationId, num: u32) -> Option<NotificationId> {
+        let slots = self.slots.lock();
+        let end = (first as usize).saturating_add(num as usize).min(slots.len());
+        let range = (first as usize).min(end)..end;
+        slots[range].iter().position(|&v| v != 0).map(|i| first + i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn set_peek_reset_round_trip() {
+        let b = NotificationBoard::new(8);
+        assert_eq!(b.peek(3), Some(0));
+        assert!(b.set(3, 42));
+        assert_eq!(b.peek(3), Some(42));
+        assert_eq!(b.reset(3), Some(42));
+        assert_eq!(b.peek(3), Some(0));
+        assert_eq!(b.reset(3), Some(0));
+    }
+
+    #[test]
+    fn out_of_range_slot_is_rejected() {
+        let b = NotificationBoard::new(2);
+        assert!(!b.set(2, 1));
+        assert_eq!(b.peek(5), None);
+        assert_eq!(b.reset(9), None);
+    }
+
+    #[test]
+    fn waitsome_returns_lowest_set_slot() {
+        let b = NotificationBoard::new(8);
+        b.set(5, 1);
+        b.set(2, 9);
+        assert_eq!(b.waitsome(0, 8, Some(Duration::from_millis(10))), Some(2));
+        assert_eq!(b.test_some(3, 5), Some(5));
+        assert_eq!(b.test_some(0, 2), None);
+    }
+
+    #[test]
+    fn waitsome_times_out_when_nothing_arrives() {
+        let b = NotificationBoard::new(4);
+        let start = Instant::now();
+        assert_eq!(b.waitsome(0, 4, Some(Duration::from_millis(20))), None);
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn waitsome_wakes_up_on_concurrent_set() {
+        let b = Arc::new(NotificationBoard::new(4));
+        let b2 = Arc::clone(&b);
+        let waiter = thread::spawn(move || b2.waitsome(0, 4, Some(Duration::from_secs(5))));
+        thread::sleep(Duration::from_millis(20));
+        b.set(1, 7);
+        assert_eq!(waiter.join().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn second_set_overwrites_value() {
+        let b = NotificationBoard::new(2);
+        b.set(0, 1);
+        b.set(0, 5);
+        assert_eq!(b.reset(0), Some(5));
+    }
+}

@@ -1,0 +1,158 @@
+//! Memory segments: byte buffers owned by a rank and remotely writable.
+
+use parking_lot::Mutex;
+
+use crate::notification::NotificationBoard;
+
+/// Identifier of a segment within a rank.
+pub type SegmentId = u32;
+
+/// A registered memory segment: data plus its notification board.
+///
+/// Segments are owned by the rank that created them but can be written by
+/// every rank in the job (that is the point of one-sided communication).
+#[derive(Debug)]
+pub struct SegmentStorage {
+    data: Mutex<Vec<u8>>,
+    notifications: NotificationBoard,
+}
+
+impl SegmentStorage {
+    /// Allocate a zero-initialized segment of `size` bytes with
+    /// `notification_slots` notification slots.
+    pub fn new(size: usize, notification_slots: u32) -> Self {
+        Self { data: Mutex::new(vec![0; size]), notifications: NotificationBoard::new(notification_slots) }
+    }
+
+    /// Size of the segment in bytes.
+    pub fn size(&self) -> usize {
+        self.data.lock().len()
+    }
+
+    /// The segment's notification board.
+    pub fn notifications(&self) -> &NotificationBoard {
+        &self.notifications
+    }
+
+    /// Copy `src` into the segment at `offset`.  Returns `false` if the write
+    /// would go out of bounds (nothing is written in that case).
+    pub fn write(&self, offset: usize, src: &[u8]) -> bool {
+        let mut data = self.data.lock();
+        let Some(end) = offset.checked_add(src.len()) else { return false };
+        if end > data.len() {
+            return false;
+        }
+        data[offset..end].copy_from_slice(src);
+        true
+    }
+
+    /// Copy from the segment at `offset` into `dst`.  Returns `false` if the
+    /// read would go out of bounds.
+    pub fn read(&self, offset: usize, dst: &mut [u8]) -> bool {
+        let data = self.data.lock();
+        let Some(end) = offset.checked_add(dst.len()) else { return false };
+        if end > data.len() {
+            return false;
+        }
+        dst.copy_from_slice(&data[offset..end]);
+        true
+    }
+
+    /// Apply a closure to the bytes at `[offset, offset + len)` while holding
+    /// the segment lock (used by reductions that accumulate in place).
+    ///
+    /// Returns `false` without invoking the closure if the range is out of
+    /// bounds.
+    pub fn with_range_mut<F: FnOnce(&mut [u8])>(&self, offset: usize, len: usize, f: F) -> bool {
+        let mut data = self.data.lock();
+        let Some(end) = offset.checked_add(len) else { return false };
+        if end > data.len() {
+            return false;
+        }
+        f(&mut data[offset..end]);
+        true
+    }
+
+    /// Fill the whole segment with zeroes.
+    pub fn clear(&self) {
+        self.data.lock().fill(0);
+    }
+}
+
+/// Encode a slice of `f64` into little-endian bytes.
+pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into `f64` values.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of 8.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len() % 8 == 0, "byte length must be a multiple of 8");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8 bytes")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let s = SegmentStorage::new(32, 4);
+        assert!(s.write(4, &[1, 2, 3, 4]));
+        let mut out = [0u8; 4];
+        assert!(s.read(4, &mut out));
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_rejected() {
+        let s = SegmentStorage::new(8, 4);
+        assert!(!s.write(5, &[0; 4]));
+        let mut buf = [0u8; 16];
+        assert!(!s.read(0, &mut buf));
+        assert!(!s.with_range_mut(6, 4, |_| panic!("must not be called")));
+    }
+
+    #[test]
+    fn with_range_mut_mutates_in_place() {
+        let s = SegmentStorage::new(8, 4);
+        s.write(0, &[1; 8]);
+        assert!(s.with_range_mut(2, 4, |r| r.iter_mut().for_each(|b| *b += 1)));
+        let mut out = [0u8; 8];
+        s.read(0, &mut out);
+        assert_eq!(out, [1, 1, 2, 2, 2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let s = SegmentStorage::new(4, 1);
+        s.write(0, &[9; 4]);
+        s.clear();
+        let mut out = [1u8; 4];
+        s.read(0, &mut out);
+        assert_eq!(out, [0; 4]);
+    }
+
+    #[test]
+    fn f64_byte_conversion_round_trips() {
+        let values = vec![0.0, 1.5, -2.25, f64::MAX, f64::MIN_POSITIVE];
+        let bytes = f64s_to_bytes(&values);
+        assert_eq!(bytes.len(), values.len() * 8);
+        assert_eq!(bytes_to_f64s(&bytes), values);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_f64_decode_panics() {
+        let _ = bytes_to_f64s(&[0u8; 7]);
+    }
+}

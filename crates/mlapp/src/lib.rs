@@ -1,0 +1,35 @@
+//! # ec-mlapp — distributed matrix factorization over the SSP allreduce
+//!
+//! The paper evaluates its eventually consistent `allreduce_ssp` collective
+//! on a Matrix Factorization model trained with Stochastic Gradient Descent
+//! (similar to Oh et al., KDD 2015) on the MovieLens 25M dataset, run with 32
+//! workers on MareNostrum4 (Figures 6–7).
+//!
+//! MovieLens and the cluster are substituted as documented in `DESIGN.md`:
+//!
+//! * [`dataset`] generates a synthetic low-rank-plus-noise rating matrix with
+//!   a configurable number of users, items and ratings — the convergence
+//!   behaviour under staleness depends on the iterative-convergent structure
+//!   of SGD, not on the particular ratings;
+//! * worker heterogeneity (the reason slack helps) is injected with
+//!   per-worker compute jitter and optional straggler ranks in
+//!   [`trainer::TrainerConfig`].
+//!
+//! The distributed layout mirrors the usual data-parallel MF setup: every
+//! worker owns a disjoint slice of the users (and their ratings) plus a full
+//! replica of the item-factor matrix; after each local SGD pass the workers
+//! combine their item-factor updates with an allreduce — here the paper's
+//! `allreduce_ssp`, so workers may proceed with bounded-stale updates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod model;
+pub mod sgd;
+pub mod trainer;
+
+pub use dataset::{DatasetConfig, Rating, RatingsDataset};
+pub use model::MfModel;
+pub use sgd::SgdConfig;
+pub use trainer::{IterationRecord, TrainReport, Trainer, TrainerConfig};

@@ -1,0 +1,114 @@
+//! The matrix-factorization model: user and item factor matrices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Rating;
+
+/// A rank-`k` matrix factorization model: `rating(u, i) ≈ p_u · q_i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfModel {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of items.
+    pub num_items: usize,
+    /// Latent dimensionality.
+    pub rank: usize,
+    /// User factors, row-major `num_users x rank`.
+    pub user_factors: Vec<f64>,
+    /// Item factors, row-major `num_items x rank`.
+    pub item_factors: Vec<f64>,
+}
+
+impl MfModel {
+    /// Initialize a model with small random factors (deterministic per seed).
+    pub fn random(num_users: usize, num_items: usize, rank: usize, seed: u64) -> Self {
+        assert!(rank > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = 1.0 / (rank as f64).sqrt();
+        let user_factors = (0..num_users * rank).map(|_| rng.gen::<f64>() * scale).collect();
+        let item_factors = (0..num_items * rank).map(|_| rng.gen::<f64>() * scale).collect();
+        Self { num_users, num_items, rank, user_factors, item_factors }
+    }
+
+    /// The predicted rating of `user` for `item`.
+    pub fn predict(&self, user: usize, item: usize) -> f64 {
+        let k = self.rank;
+        let p = &self.user_factors[user * k..(user + 1) * k];
+        let q = &self.item_factors[item * k..(item + 1) * k];
+        p.iter().zip(q.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// Sum of squared errors and count over a set of ratings.
+    pub fn squared_error(&self, ratings: &[Rating]) -> (f64, usize) {
+        let mut sse = 0.0;
+        for r in ratings {
+            let e = r.value - self.predict(r.user as usize, r.item as usize);
+            sse += e * e;
+        }
+        (sse, ratings.len())
+    }
+
+    /// Root-mean-square error over a set of ratings.
+    pub fn rmse(&self, ratings: &[Rating]) -> f64 {
+        let (sse, n) = self.squared_error(ratings);
+        if n == 0 {
+            0.0
+        } else {
+            (sse / n as f64).sqrt()
+        }
+    }
+
+    /// Mutable view of one user's factor row.
+    pub fn user_row_mut(&mut self, user: usize) -> &mut [f64] {
+        let k = self.rank;
+        &mut self.user_factors[user * k..(user + 1) * k]
+    }
+
+    /// Mutable view of one item's factor row.
+    pub fn item_row_mut(&mut self, item: usize) -> &mut [f64] {
+        let k = self.rank;
+        &mut self.item_factors[item * k..(item + 1) * k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, RatingsDataset};
+
+    #[test]
+    fn random_models_are_deterministic_per_seed() {
+        let a = MfModel::random(10, 8, 4, 42);
+        let b = MfModel::random(10, 8, 4, 42);
+        let c = MfModel::random(10, 8, 4, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn predict_is_dot_product() {
+        let mut m = MfModel::random(2, 2, 3, 1);
+        m.user_row_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        m.item_row_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.predict(0, 1), 32.0);
+    }
+
+    #[test]
+    fn rmse_is_zero_for_perfect_predictions() {
+        let mut m = MfModel::random(1, 1, 2, 1);
+        m.user_row_mut(0).copy_from_slice(&[1.0, 1.0]);
+        m.item_row_mut(0).copy_from_slice(&[1.5, 1.5]);
+        let ratings = vec![Rating { user: 0, item: 0, value: 3.0 }];
+        assert!(m.rmse(&ratings) < 1e-12);
+        assert_eq!(m.rmse(&[]), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_random_model_is_bounded_by_rating_range() {
+        let d = RatingsDataset::generate(&DatasetConfig::small(9));
+        let m = MfModel::random(d.num_users, d.num_items, 4, 9);
+        let rmse = m.rmse(&d.ratings);
+        assert!(rmse > 0.0 && rmse < 6.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The distributed trainer: local SGD passes combined through the paper's
+//! `allreduce_ssp` collective.
+
+use std::time::{Duration, Instant};
+
+use ec_collectives::{ReduceOp, SspAllreduce};
+use ec_gaspi::Context;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Rating;
+use crate::model::MfModel;
+use crate::sgd::{sgd_pass, SgdConfig};
+
+/// Configuration of a distributed training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerConfig {
+    /// Latent dimensionality of the factorization.
+    pub rank: usize,
+    /// Hyper-parameters of the local SGD pass.
+    pub sgd: SgdConfig,
+    /// Staleness bound handed to `allreduce_ssp` (0 = fully synchronous).
+    pub slack: u64,
+    /// Number of training iterations (outer loop).
+    pub iterations: usize,
+    /// Base seed; per-worker seeds are derived from it.
+    pub seed: u64,
+    /// Uniform per-iteration compute jitter as a fraction of the SGD pass
+    /// time (models OS noise and load imbalance on a real cluster).
+    pub compute_jitter: f64,
+    /// Ranks that are artificially slowed down every iteration.
+    pub straggler_ranks: Vec<usize>,
+    /// Extra sleep applied to straggler ranks per iteration.
+    pub straggler_delay: Duration,
+    /// Stop early once the (local) RMSE drops below this value, if set.
+    pub target_rmse: Option<f64>,
+}
+
+impl TrainerConfig {
+    /// A small configuration for tests and examples.
+    pub fn small(slack: u64, iterations: usize) -> Self {
+        Self {
+            rank: 4,
+            sgd: SgdConfig::default(),
+            slack,
+            iterations,
+            seed: 7,
+            compute_jitter: 0.0,
+            straggler_ranks: Vec::new(),
+            straggler_delay: Duration::ZERO,
+            target_rmse: None,
+        }
+    }
+}
+
+/// Per-iteration measurements of one worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index (1-based, equals the SSP clock).
+    pub iteration: usize,
+    /// Wall-clock time since training started, at the end of the iteration.
+    pub elapsed: Duration,
+    /// RMSE of the worker's model over its local ratings.
+    pub local_rmse: f64,
+    /// Time spent inside the allreduce call this iteration.
+    pub collective_time: Duration,
+    /// Time spent blocked waiting for fresh updates this iteration.
+    pub wait_time: Duration,
+    /// How many allreduce steps used stale contributions this iteration.
+    pub stale_steps: usize,
+}
+
+/// Result of a training run on one worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Per-iteration records in order.
+    pub iterations: Vec<IterationRecord>,
+    /// Final local RMSE.
+    pub final_rmse: f64,
+    /// Total wall-clock training time.
+    pub total_time: Duration,
+    /// Total time spent blocked in the collective waiting for fresh data.
+    pub total_wait: Duration,
+    /// Number of iterations actually executed (may be fewer than configured
+    /// when `target_rmse` stops training early).
+    pub iterations_run: usize,
+}
+
+/// Distributed matrix-factorization trainer bound to one rank.
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainerConfig,
+    ratings: Vec<Rating>,
+    num_users: usize,
+    num_items: usize,
+}
+
+impl Trainer {
+    /// Create a trainer for this worker's partition of the ratings.
+    pub fn new(num_users: usize, num_items: usize, ratings: Vec<Rating>, config: TrainerConfig) -> Self {
+        assert!(config.rank > 0 && config.iterations > 0);
+        Self { config, ratings, num_users, num_items }
+    }
+
+    /// Run distributed training on `ctx`, combining item-factor updates with
+    /// the SSP allreduce, and return this worker's measurements.
+    pub fn train(&self, ctx: &Context) -> Result<TrainReport, ec_collectives::CollectiveError> {
+        let cfg = &self.config;
+        let k = cfg.rank;
+        let delta_len = self.num_items * k;
+        let mut model = MfModel::random(self.num_users, self.num_items, k, cfg.seed);
+        let mut allreduce = SspAllreduce::new(ctx, delta_len, cfg.slack)?;
+        let mut jitter_rng = StdRng::seed_from_u64(cfg.seed ^ (ctx.rank() as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let p = ctx.num_ranks() as f64;
+
+        let start = Instant::now();
+        let mut records = Vec::with_capacity(cfg.iterations);
+        let mut delta = vec![0.0; delta_len];
+        let mut total_wait = Duration::ZERO;
+
+        for it in 1..=cfg.iterations {
+            // 1. Local SGD pass over (a sample of) this worker's ratings.
+            let pass_start = Instant::now();
+            delta.fill(0.0);
+            sgd_pass(&mut model, &self.ratings, &cfg.sgd, &mut delta, cfg.seed.wrapping_add(it as u64));
+            let pass_time = pass_start.elapsed();
+
+            // 2. Injected heterogeneity: jitter plus optional stragglers.
+            if cfg.compute_jitter > 0.0 {
+                let factor: f64 = jitter_rng.gen_range(0.0..cfg.compute_jitter);
+                std::thread::sleep(pass_time.mul_f64(factor));
+            }
+            if cfg.straggler_ranks.contains(&ctx.rank()) && !cfg.straggler_delay.is_zero() {
+                std::thread::sleep(cfg.straggler_delay);
+            }
+
+            // 3. Combine the item-factor updates of all workers (bounded-stale).
+            let wait_before = allreduce.stats().total_wait();
+            let coll_start = Instant::now();
+            let report = allreduce.run(&delta, ReduceOp::Sum)?;
+            let collective_time = coll_start.elapsed();
+            let wait_time = allreduce.stats().total_wait().saturating_sub(wait_before);
+            total_wait += wait_time;
+
+            // 4. Apply the averaged global update on top of the local one:
+            //    replace our local delta contribution with the global mean.
+            for (i, q) in model.item_factors.iter_mut().enumerate() {
+                *q += (report.result[i] - delta[i]) / p;
+            }
+
+            let local_rmse = model.rmse(&self.ratings);
+            records.push(IterationRecord {
+                iteration: it,
+                elapsed: start.elapsed(),
+                local_rmse,
+                collective_time,
+                wait_time,
+                stale_steps: report.stale_steps,
+            });
+            if let Some(target) = cfg.target_rmse {
+                if local_rmse <= target {
+                    break;
+                }
+            }
+        }
+
+        let final_rmse = records.last().map_or(f64::NAN, |r| r.local_rmse);
+        Ok(TrainReport {
+            iterations_run: records.len(),
+            final_rmse,
+            total_time: start.elapsed(),
+            total_wait,
+            iterations: records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, RatingsDataset};
+    use ec_gaspi::{GaspiConfig, Job};
+
+    fn train_world(p: usize, slack: u64, iterations: usize) -> Vec<TrainReport> {
+        let dataset = RatingsDataset::generate(&DatasetConfig::small(13));
+        let config = TrainerConfig { slack, ..TrainerConfig::small(slack, iterations) };
+        Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let part = dataset.partition(ctx.rank(), ctx.num_ranks());
+                let trainer = Trainer::new(dataset.num_users, dataset.num_items, part, config.clone());
+                trainer.train(ctx).unwrap()
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn synchronous_training_reduces_rmse() {
+        let reports = train_world(4, 0, 12);
+        for r in &reports {
+            assert_eq!(r.iterations_run, 12);
+            let first = r.iterations.first().unwrap().local_rmse;
+            assert!(r.final_rmse < first, "RMSE must decrease: {first} -> {}", r.final_rmse);
+        }
+    }
+
+    #[test]
+    fn stale_training_still_converges() {
+        let reports = train_world(4, 8, 12);
+        for r in &reports {
+            let first = r.iterations.first().unwrap().local_rmse;
+            assert!(r.final_rmse < first, "stale training must still converge: {first} -> {}", r.final_rmse);
+        }
+    }
+
+    #[test]
+    fn per_iteration_records_are_complete_and_ordered() {
+        let reports = train_world(2, 2, 5);
+        for r in &reports {
+            assert_eq!(r.iterations.len(), 5);
+            for (i, rec) in r.iterations.iter().enumerate() {
+                assert_eq!(rec.iteration, i + 1);
+                if i > 0 {
+                    assert!(rec.elapsed >= r.iterations[i - 1].elapsed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn target_rmse_stops_training_early() {
+        let dataset = RatingsDataset::generate(&DatasetConfig::small(17));
+        let mut config = TrainerConfig::small(0, 50);
+        config.target_rmse = Some(10.0); // trivially reached after one iteration
+        let reports = Job::new(GaspiConfig::new(2))
+            .run(move |ctx| {
+                let part = dataset.partition(ctx.rank(), ctx.num_ranks());
+                Trainer::new(dataset.num_users, dataset.num_items, part, config.clone()).train(ctx).unwrap()
+            })
+            .unwrap();
+        for r in &reports {
+            assert_eq!(r.iterations_run, 1);
+        }
+    }
+}

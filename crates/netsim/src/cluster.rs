@@ -1,0 +1,125 @@
+//! Cluster description: nodes, ranks-per-node placement and cluster presets.
+//!
+//! The paper evaluates on three clusters (SkyLake/FDR InfiniBand at
+//! Fraunhofer ITWM, MareNostrum4/OmniPath at BSC, Galileo/OmniPath at
+//! CINECA).  A [`ClusterSpec`] captures the placement side of that — how many
+//! nodes exist and how ranks are mapped onto them — while the timing side
+//! lives in [`crate::cost::CostModel`].
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a rank (process) participating in a collective.
+pub type RankId = usize;
+
+/// Identifier of a physical node in the cluster.
+pub type NodeId = usize;
+
+/// Static description of the simulated cluster.
+///
+/// A cluster is a set of `nodes` physical nodes; ranks are placed onto nodes
+/// in a block fashion (`ranks_per_node` consecutive ranks share a node), which
+/// matches how the paper launches jobs ("we assign one GASPI process per node
+/// unless otherwise mentioned"; the AlltoAll experiment uses four per node).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of physical nodes.
+    pub nodes: usize,
+    /// Number of ranks placed on each node.
+    pub ranks_per_node: usize,
+    /// Human-readable name used in reports (e.g. `"skylake-fdr"`).
+    pub name: String,
+}
+
+impl ClusterSpec {
+    /// A cluster with `nodes` nodes and `ranks_per_node` ranks on each node.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn homogeneous(nodes: usize, ranks_per_node: usize) -> Self {
+        assert!(nodes > 0, "cluster must have at least one node");
+        assert!(ranks_per_node > 0, "need at least one rank per node");
+        Self { nodes, ranks_per_node, name: format!("{nodes}x{ranks_per_node}") }
+    }
+
+    /// Same as [`ClusterSpec::homogeneous`] but with an explicit name.
+    pub fn named(name: impl Into<String>, nodes: usize, ranks_per_node: usize) -> Self {
+        let mut spec = Self::homogeneous(nodes, ranks_per_node);
+        spec.name = name.into();
+        spec
+    }
+
+    /// Total number of ranks in the job.
+    pub fn total_ranks(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// The node that hosts `rank`.
+    ///
+    /// Ranks are placed in blocks: ranks `0..ranks_per_node` live on node 0,
+    /// the next `ranks_per_node` on node 1 and so on.
+    pub fn node_of(&self, rank: RankId) -> NodeId {
+        debug_assert!(rank < self.total_ranks(), "rank {rank} out of range");
+        rank / self.ranks_per_node
+    }
+
+    /// Whether two ranks are placed on the same physical node.
+    pub fn same_node(&self, a: RankId, b: RankId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Iterator over all rank ids.
+    pub fn ranks(&self) -> impl Iterator<Item = RankId> {
+        0..self.total_ranks()
+    }
+
+    /// The ranks hosted on `node`.
+    pub fn ranks_on_node(&self, node: NodeId) -> impl Iterator<Item = RankId> {
+        let start = node * self.ranks_per_node;
+        start..start + self.ranks_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_placement_maps_ranks_to_nodes() {
+        let c = ClusterSpec::homogeneous(4, 3);
+        assert_eq!(c.total_ranks(), 12);
+        assert_eq!(c.node_of(0), 0);
+        assert_eq!(c.node_of(2), 0);
+        assert_eq!(c.node_of(3), 1);
+        assert_eq!(c.node_of(11), 3);
+        assert!(c.same_node(3, 5));
+        assert!(!c.same_node(2, 3));
+    }
+
+    #[test]
+    fn one_rank_per_node_is_identity() {
+        let c = ClusterSpec::homogeneous(8, 1);
+        for r in c.ranks() {
+            assert_eq!(c.node_of(r), r);
+        }
+    }
+
+    #[test]
+    fn ranks_on_node_enumerates_block() {
+        let c = ClusterSpec::homogeneous(3, 4);
+        let on1: Vec<_> = c.ranks_on_node(1).collect();
+        assert_eq!(on1, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_nodes_rejected() {
+        let _ = ClusterSpec::homogeneous(0, 1);
+    }
+
+    #[test]
+    fn named_preserves_geometry() {
+        let c = ClusterSpec::named("galileo", 16, 4);
+        assert_eq!(c.name, "galileo");
+        assert_eq!(c.total_ranks(), 64);
+    }
+}

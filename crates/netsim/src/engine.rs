@@ -1,0 +1,869 @@
+//! Discrete-event execution of [`Program`]s in virtual time.
+//!
+//! Each rank executes its operations strictly in program order.  Local
+//! operations advance only the rank's own clock; communication operations
+//! inject messages whose delivery is computed from the [`CostModel`] and the
+//! cluster placement, including per-node NIC serialization so that several
+//! ranks on one node compete for the interface.
+//!
+//! One-sided puts (`PutNotify`) never involve the remote CPU: they occupy the
+//! sender and receiver NICs and raise a notification at the target.  Two-sided
+//! sends additionally pay matching overheads, a progress-engine bandwidth
+//! penalty, and — above the eager threshold — a rendezvous handshake that
+//! couples the sender to the time the matching receive is posted (the
+//! "late receiver" effect the paper's GASPI collectives avoid).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use crate::cluster::{ClusterSpec, RankId};
+use crate::cost::{CostModel, Protocol};
+use crate::program::{NotifyId, Op, Program, Tag};
+use crate::report::{RankStats, RunReport};
+use crate::trace::{TraceEvent, TraceKind};
+use crate::validate::{validate, ValidationError};
+
+/// Errors produced while simulating a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The program failed static validation before execution.
+    Invalid(ValidationError),
+    /// Execution stalled: the event queue drained while ranks were still
+    /// blocked (mismatched sends/receives or missing notifications).
+    Deadlock {
+        /// For every stuck rank: its id, program counter and a description of
+        /// what it was waiting for.
+        blocked: Vec<(RankId, usize, String)>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Invalid(e) => write!(f, "invalid program: {e}"),
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlocked; blocked ranks: ")?;
+                for (r, pc, what) in blocked {
+                    write!(f, "[rank {r} at op {pc}: {what}] ")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Discrete-event simulator configured with a cluster and a cost model.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cluster: ClusterSpec,
+    cost: CostModel,
+    tracing: bool,
+}
+
+impl Engine {
+    /// Create an engine for the given cluster and cost model.
+    pub fn new(cluster: ClusterSpec, cost: CostModel) -> Self {
+        Self { cluster, cost, tracing: false }
+    }
+
+    /// Enable or disable event tracing (traces are returned in the report).
+    pub fn with_trace(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// The cluster this engine simulates.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The cost model this engine uses.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Simulate `program` and return the run report.
+    pub fn run(&self, program: &Program) -> Result<RunReport, SimError> {
+        validate(program, self.cluster.total_ranks()).map_err(SimError::Invalid)?;
+        let sim = Sim::new(&self.cluster, &self.cost, program, self.tracing);
+        sim.run()
+    }
+
+    /// Convenience: simulate and return only the makespan (seconds).
+    pub fn makespan(&self, program: &Program) -> Result<f64, SimError> {
+        Ok(self.run(program)?.makespan())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// internal simulation state
+// ---------------------------------------------------------------------------
+
+type MsgId = u64;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// The rank should try to execute its next operation.
+    Resume,
+    /// A two-sided message was fully delivered into the rank's memory.
+    Delivered { src: RankId, tag: Tag, bytes: u64, msg: MsgId },
+    /// A one-sided notification became visible at the rank.
+    NotifyVisible { notify: NotifyId, bytes: u64 },
+    /// A transfer injected by the rank finished leaving its NIC.
+    TxDone { msg: MsgId },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    rank: RankId,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Blocked {
+    Recv { src: RankId, tag: Tag },
+    Notify { ids: Vec<NotifyId>, count: usize },
+    SendTxDone { msg: MsgId },
+    WaitAllSends,
+    Barrier,
+}
+
+impl Blocked {
+    fn describe(&self) -> String {
+        match self {
+            Blocked::Recv { src, tag } => format!("recv from {src} tag {tag}"),
+            Blocked::Notify { ids, count } => format!("waiting for {count} of notifications {ids:?}"),
+            Blocked::SendTxDone { msg } => format!("blocking send, message {msg}"),
+            Blocked::WaitAllSends => "waiting for outstanding sends".to_owned(),
+            Blocked::Barrier => "barrier".to_owned(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingRendezvous {
+    msg: MsgId,
+    bytes: u64,
+    send_time: f64,
+}
+
+#[derive(Debug, Default)]
+struct RankSim {
+    pc: usize,
+    done: bool,
+    blocked: Option<Blocked>,
+    blocked_since: f64,
+    /// Notification counters (notify id -> number of unconsumed arrivals).
+    notify_counts: HashMap<NotifyId, u32>,
+    /// Fully arrived two-sided messages without a matching posted receive.
+    unexpected: HashMap<(RankId, Tag), VecDeque<(f64, u64)>>,
+    /// Rendezvous senders waiting for this rank to post a matching receive.
+    pending_rndv: HashMap<(RankId, Tag), VecDeque<PendingRendezvous>>,
+    /// Number of this rank's transfers still in flight (for WaitAllSends).
+    outstanding_sends: usize,
+    /// Earliest time this rank's injection path is free again.
+    tx_free: f64,
+    stats: RankStats,
+}
+
+struct Sim<'a> {
+    cluster: &'a ClusterSpec,
+    cost: &'a CostModel,
+    program: &'a Program,
+    tracing: bool,
+    now: f64,
+    seq: u64,
+    next_msg: MsgId,
+    events: BinaryHeap<Reverse<Event>>,
+    ranks: Vec<RankSim>,
+    node_tx_free: Vec<f64>,
+    node_rx_free: Vec<f64>,
+    barrier_arrived: Vec<Option<f64>>,
+    trace: Vec<TraceEvent>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(cluster: &'a ClusterSpec, cost: &'a CostModel, program: &'a Program, tracing: bool) -> Self {
+        let n = program.num_ranks();
+        let mut ranks = Vec::with_capacity(n);
+        ranks.resize_with(n, RankSim::default);
+        Self {
+            cluster,
+            cost,
+            program,
+            tracing,
+            now: 0.0,
+            seq: 0,
+            next_msg: 0,
+            events: BinaryHeap::new(),
+            ranks,
+            node_tx_free: vec![0.0; cluster.nodes],
+            node_rx_free: vec![0.0; cluster.nodes],
+            barrier_arrived: vec![None; n],
+            trace: Vec::new(),
+        }
+    }
+
+    fn push_event(&mut self, time: f64, rank: RankId, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, rank, kind }));
+    }
+
+    fn trace_event(&mut self, time: f64, rank: RankId, kind: TraceKind, op_index: Option<usize>, detail: String) {
+        if self.tracing {
+            self.trace.push(TraceEvent::new(time, rank, kind, op_index, detail));
+        }
+    }
+
+    fn run(mut self) -> Result<RunReport, SimError> {
+        for r in 0..self.program.num_ranks() {
+            self.push_event(0.0, r, EventKind::Resume);
+        }
+        while let Some(Reverse(ev)) = self.events.pop() {
+            debug_assert!(ev.time + 1e-15 >= self.now, "time must not run backwards");
+            self.now = self.now.max(ev.time);
+            match ev.kind {
+                EventKind::Resume => self.step_rank(ev.rank, ev.time),
+                EventKind::Delivered { src, tag, bytes, msg } => self.on_delivered(ev.rank, src, tag, bytes, msg, ev.time),
+                EventKind::NotifyVisible { notify, bytes } => self.on_notify(ev.rank, notify, bytes, ev.time),
+                EventKind::TxDone { msg } => self.on_tx_done(ev.rank, msg, ev.time),
+            }
+        }
+        let blocked: Vec<_> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.done)
+            .map(|(i, r)| {
+                let what = r.blocked.as_ref().map(|b| b.describe()).unwrap_or_else(|| "not scheduled".to_owned());
+                (i, r.pc, what)
+            })
+            .collect();
+        if !blocked.is_empty() {
+            return Err(SimError::Deadlock { blocked });
+        }
+        let ranks = self.ranks.into_iter().map(|r| r.stats).collect();
+        Ok(RunReport { ranks, trace: self.trace })
+    }
+
+    /// Resume a rank that was blocked, accounting the wait time.
+    fn unblock(&mut self, rank: RankId, at: f64) {
+        let r = &mut self.ranks[rank];
+        debug_assert!(r.blocked.is_some());
+        r.stats.wait_time += (at - r.blocked_since).max(0.0);
+        r.blocked = None;
+        r.pc += 1;
+        self.trace_event(at, rank, TraceKind::BlockEnd, Some(self.ranks[rank].pc.saturating_sub(1)), String::new());
+        self.push_event(at, rank, EventKind::Resume);
+    }
+
+    fn block(&mut self, rank: RankId, at: f64, why: Blocked) {
+        let detail = why.describe();
+        let r = &mut self.ranks[rank];
+        r.blocked = Some(why);
+        r.blocked_since = at;
+        self.trace_event(at, rank, TraceKind::BlockStart, Some(self.ranks[rank].pc), detail);
+    }
+
+    /// Execute the next operation of `rank` starting at time `t`.
+    fn step_rank(&mut self, rank: RankId, t: f64) {
+        if self.ranks[rank].blocked.is_some() || self.ranks[rank].done {
+            return;
+        }
+        let pc = self.ranks[rank].pc;
+        let ops = &self.program.ranks[rank].ops;
+        if pc >= ops.len() {
+            let r = &mut self.ranks[rank];
+            r.done = true;
+            r.stats.finish_time = r.stats.finish_time.max(t);
+            return;
+        }
+        let op = ops[pc].clone();
+        self.trace_event(t, rank, TraceKind::OpStart, Some(pc), format!("{op:?}"));
+        self.ranks[rank].stats.finish_time = self.ranks[rank].stats.finish_time.max(t);
+        match op {
+            Op::Compute { seconds } => self.finish_local(rank, t, seconds.max(0.0)),
+            Op::Reduce { bytes } => {
+                let d = self.cost.reduce_time(bytes);
+                self.finish_local(rank, t, d)
+            }
+            Op::Copy { bytes } => {
+                let d = self.cost.copy_time(bytes);
+                self.finish_local(rank, t, d)
+            }
+            Op::PutNotify { dst, bytes, notify } => {
+                let launch = t + self.cost.o_send;
+                self.schedule_put(rank, dst, bytes, notify, launch);
+                self.advance(rank, launch);
+            }
+            Op::Notify { dst, notify } => {
+                let launch = t + self.cost.o_send;
+                self.schedule_put(rank, dst, 0, notify, launch);
+                self.advance(rank, launch);
+            }
+            Op::WaitNotify { ids } => {
+                let needed = ids.len();
+                self.try_wait_notify(rank, t, ids, needed);
+            }
+            Op::WaitNotifyAny { ids, count } => {
+                self.try_wait_notify(rank, t, ids, count);
+            }
+            Op::Send { dst, bytes, tag } => self.exec_send(rank, dst, bytes, tag, t, true),
+            Op::Isend { dst, bytes, tag } => self.exec_send(rank, dst, bytes, tag, t, false),
+            Op::Recv { src, bytes, tag } => self.exec_recv(rank, src, bytes, tag, t),
+            Op::WaitAllSends => {
+                if self.ranks[rank].outstanding_sends == 0 {
+                    self.advance(rank, t);
+                } else {
+                    self.block(rank, t, Blocked::WaitAllSends);
+                }
+            }
+            Op::Barrier => self.exec_barrier(rank, t),
+        }
+    }
+
+    /// A purely local operation of duration `d` finishing at `t + d`.
+    fn finish_local(&mut self, rank: RankId, t: f64, d: f64) {
+        self.ranks[rank].stats.compute_time += d;
+        self.advance(rank, t + d);
+    }
+
+    /// Advance the program counter and schedule the next step at `at`.
+    fn advance(&mut self, rank: RankId, at: f64) {
+        let r = &mut self.ranks[rank];
+        r.pc += 1;
+        r.stats.finish_time = r.stats.finish_time.max(at);
+        self.trace_event(at, rank, TraceKind::OpEnd, Some(self.ranks[rank].pc.saturating_sub(1)), String::new());
+        self.push_event(at, rank, EventKind::Resume);
+    }
+
+    // -- transfers ----------------------------------------------------------
+
+    fn alloc_msg(&mut self) -> MsgId {
+        let id = self.next_msg;
+        self.next_msg += 1;
+        id
+    }
+
+    /// Schedule a one-sided put (or a zero-byte notification) from `src` to
+    /// `dst`, injected no earlier than `earliest`.
+    fn schedule_put(&mut self, src: RankId, dst: RankId, bytes: u64, notify: NotifyId, earliest: f64) {
+        let msg = self.alloc_msg();
+        let same = self.cluster.same_node(src, dst);
+        let beta = self.cost.beta_one_sided(same);
+        let (tx_done, delivered) = self.schedule_wire(src, dst, bytes, beta, same, earliest);
+        let visible = delivered + self.cost.notify_overhead;
+        self.ranks[src].outstanding_sends += 1;
+        self.ranks[src].stats.bytes_sent += bytes;
+        self.ranks[src].stats.messages_sent += 1;
+        self.push_event(tx_done, src, EventKind::TxDone { msg });
+        self.push_event(visible, dst, EventKind::NotifyVisible { notify, bytes });
+        self.trace_event(earliest, src, TraceKind::MsgInjected, None, format!("put dst={dst} bytes={bytes} notify={notify}"));
+    }
+
+    /// Schedule a two-sided transfer from `src` to `dst`.
+    fn schedule_two_sided(&mut self, src: RankId, dst: RankId, bytes: u64, tag: Tag, earliest: f64, msg: MsgId) {
+        let same = self.cluster.same_node(src, dst);
+        let beta = self.cost.beta_two_sided(same);
+        let (tx_done, delivered) = self.schedule_wire(src, dst, bytes, beta, same, earliest);
+        self.ranks[src].stats.bytes_sent += bytes;
+        self.ranks[src].stats.messages_sent += 1;
+        self.push_event(tx_done, src, EventKind::TxDone { msg });
+        self.push_event(delivered, dst, EventKind::Delivered { src, tag, bytes, msg });
+        self.trace_event(earliest, src, TraceKind::MsgInjected, None, format!("send dst={dst} bytes={bytes} tag={tag}"));
+    }
+
+    /// Common wire timing: returns (time the sender's NIC is released,
+    /// time the last byte lands in the receiver's memory).
+    fn schedule_wire(&mut self, src: RankId, dst: RankId, bytes: u64, beta: f64, same_node: bool, earliest: f64) -> (f64, f64) {
+        let ser = self.cost.serialization(bytes, beta);
+        let alpha = self.cost.alpha(same_node);
+        let src_node = self.cluster.node_of(src);
+        let dst_node = self.cluster.node_of(dst);
+        let mut tx_start = earliest.max(self.ranks[src].tx_free);
+        if !same_node {
+            tx_start = tx_start.max(self.node_tx_free[src_node]);
+        }
+        let tx_done = tx_start + ser;
+        self.ranks[src].tx_free = tx_done;
+        if !same_node {
+            self.node_tx_free[src_node] = tx_done;
+        }
+        // Cut-through delivery: the head arrives after `alpha`, the receiver
+        // NIC then needs the serialization time; inter-node messages also
+        // queue behind other traffic into the destination node.
+        let mut rx_start = tx_start + alpha;
+        if !same_node {
+            rx_start = rx_start.max(self.node_rx_free[dst_node]);
+        }
+        let delivered = rx_start + ser;
+        if !same_node {
+            self.node_rx_free[dst_node] = delivered;
+        }
+        self.ranks[dst].stats.bytes_received += bytes;
+        self.ranks[dst].stats.messages_received += 1;
+        (tx_done, delivered)
+    }
+
+    // -- two-sided send / receive -------------------------------------------
+
+    fn exec_send(&mut self, rank: RankId, dst: RankId, bytes: u64, tag: Tag, t: f64, blocking: bool) {
+        match self.cost.protocol_for(bytes) {
+            Protocol::Eager => {
+                let msg = self.alloc_msg();
+                let launch = t + self.cost.o_send;
+                self.ranks[rank].outstanding_sends += 1;
+                self.schedule_two_sided(rank, dst, bytes, tag, launch, msg);
+                // A blocking eager send returns after staging the payload in
+                // an internal buffer; a non-blocking one returns immediately.
+                let local_done = if blocking { launch + self.cost.copy_time(bytes) } else { launch };
+                self.advance(rank, local_done);
+            }
+            Protocol::Rendezvous => {
+                let msg = self.alloc_msg();
+                let send_time = t + self.cost.o_send;
+                // Does the receiver already block in a matching receive?
+                let matched = matches!(
+                    &self.ranks[dst].blocked,
+                    Some(Blocked::Recv { src, tag: rtag }) if *src == rank && *rtag == tag
+                );
+                if matched {
+                    let recv_post = self.ranks[dst].blocked_since;
+                    let earliest = send_time.max(recv_post + self.cost.o_recv) + self.cost.rendezvous_latency;
+                    self.schedule_two_sided(rank, dst, bytes, tag, earliest, msg);
+                } else {
+                    self.ranks[dst]
+                        .pending_rndv
+                        .entry((rank, tag))
+                        .or_default()
+                        .push_back(PendingRendezvous { msg, bytes, send_time });
+                }
+                self.ranks[rank].outstanding_sends += 1;
+                if blocking {
+                    self.block(rank, t, Blocked::SendTxDone { msg });
+                } else {
+                    self.advance(rank, send_time);
+                }
+            }
+        }
+    }
+
+    fn exec_recv(&mut self, rank: RankId, src: RankId, bytes: u64, tag: Tag, t: f64) {
+        let post_done = t + self.cost.o_recv;
+        // 1. Already-arrived (unexpected) eager message?
+        if let Some(q) = self.ranks[rank].unexpected.get_mut(&(src, tag)) {
+            if let Some((delivered, msg_bytes)) = q.pop_front() {
+                if q.is_empty() {
+                    self.ranks[rank].unexpected.remove(&(src, tag));
+                }
+                // Copy out of the unexpected-message buffer.
+                let done = post_done.max(delivered) + self.cost.copy_time(msg_bytes);
+                let waited = (delivered - post_done).max(0.0);
+                self.ranks[rank].stats.wait_time += waited;
+                self.advance(rank, done);
+                return;
+            }
+        }
+        // 2. A rendezvous sender already waiting for this receive?
+        if let Some(q) = self.ranks[rank].pending_rndv.get_mut(&(src, tag)) {
+            if let Some(p) = q.pop_front() {
+                if q.is_empty() {
+                    self.ranks[rank].pending_rndv.remove(&(src, tag));
+                }
+                let earliest = p.send_time.max(post_done) + self.cost.rendezvous_latency;
+                self.block(rank, t, Blocked::Recv { src, tag });
+                self.schedule_two_sided(src, rank, p.bytes, tag, earliest, p.msg);
+                return;
+            }
+        }
+        // 3. Nothing yet: block until a matching message is delivered.
+        let _ = bytes;
+        self.block(rank, t, Blocked::Recv { src, tag });
+    }
+
+    fn on_delivered(&mut self, dst: RankId, src: RankId, tag: Tag, bytes: u64, _msg: MsgId, t: f64) {
+        self.trace_event(t, dst, TraceKind::MsgDelivered, None, format!("src={src} bytes={bytes} tag={tag}"));
+        let matches_block = matches!(
+            &self.ranks[dst].blocked,
+            Some(Blocked::Recv { src: s, tag: rtag }) if *s == src && *rtag == tag
+        );
+        if matches_block {
+            self.unblock(dst, t);
+        } else {
+            self.ranks[dst].unexpected.entry((src, tag)).or_default().push_back((t, bytes));
+        }
+    }
+
+    // -- notifications -------------------------------------------------------
+
+    fn try_wait_notify(&mut self, rank: RankId, t: f64, ids: Vec<NotifyId>, count: usize) {
+        if self.consume_notifications(rank, &ids, count) {
+            self.advance(rank, t + self.cost.notify_overhead);
+        } else {
+            self.block(rank, t, Blocked::Notify { ids, count });
+        }
+    }
+
+    /// If at least `count` of `ids` have unconsumed arrivals, consume one
+    /// arrival from each available id and return true.
+    fn consume_notifications(&mut self, rank: RankId, ids: &[NotifyId], count: usize) -> bool {
+        let r = &mut self.ranks[rank];
+        let available: Vec<NotifyId> = ids
+            .iter()
+            .copied()
+            .filter(|id| r.notify_counts.get(id).copied().unwrap_or(0) > 0)
+            .collect();
+        if available.len() < count.min(ids.len()) {
+            return false;
+        }
+        for id in available {
+            if let Some(c) = r.notify_counts.get_mut(&id) {
+                *c -= 1;
+            }
+        }
+        true
+    }
+
+    fn on_notify(&mut self, rank: RankId, notify: NotifyId, bytes: u64, t: f64) {
+        self.trace_event(t, rank, TraceKind::NotifyVisible, None, format!("notify={notify} bytes={bytes}"));
+        *self.ranks[rank].notify_counts.entry(notify).or_insert(0) += 1;
+        let satisfied = if let Some(Blocked::Notify { ids, count }) = &self.ranks[rank].blocked {
+            let ids = ids.clone();
+            let count = *count;
+            self.consume_notifications(rank, &ids, count)
+        } else {
+            false
+        };
+        if satisfied {
+            self.unblock(rank, t + self.cost.notify_overhead);
+        }
+    }
+
+    // -- send completion ------------------------------------------------------
+
+    fn on_tx_done(&mut self, rank: RankId, msg: MsgId, t: f64) {
+        let r = &mut self.ranks[rank];
+        r.outstanding_sends = r.outstanding_sends.saturating_sub(1);
+        let should_unblock = match &r.blocked {
+            Some(Blocked::SendTxDone { msg: m }) => *m == msg,
+            Some(Blocked::WaitAllSends) => r.outstanding_sends == 0,
+            _ => false,
+        };
+        if should_unblock {
+            self.unblock(rank, t);
+        }
+    }
+
+    // -- barrier ---------------------------------------------------------------
+
+    fn exec_barrier(&mut self, rank: RankId, t: f64) {
+        self.barrier_arrived[rank] = Some(t);
+        self.block(rank, t, Blocked::Barrier);
+        if self.barrier_arrived.iter().all(Option::is_some) {
+            let last = self.barrier_arrived.iter().map(|x| x.unwrap()).fold(0.0, f64::max);
+            let release = last + self.cost.barrier_time(self.program.num_ranks());
+            for r in 0..self.program.num_ranks() {
+                self.barrier_arrived[r] = None;
+                self.unblock(r, release);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn engine(nodes: usize, ppn: usize) -> Engine {
+        Engine::new(ClusterSpec::homogeneous(nodes, ppn), CostModel::test_model())
+    }
+
+    #[test]
+    fn empty_program_completes_at_time_zero() {
+        let e = engine(2, 1);
+        let report = e.run(&Program::empty(2)).unwrap();
+        assert_eq!(report.makespan(), 0.0);
+    }
+
+    #[test]
+    fn compute_only_program_has_no_wait_time() {
+        let e = engine(1, 2);
+        let mut b = ProgramBuilder::new(2);
+        b.compute(0, 5e-6);
+        b.compute(1, 3e-6);
+        let r = e.run(&b.build()).unwrap();
+        assert!((r.finish_time(0) - 5e-6).abs() < 1e-12);
+        assert!((r.finish_time(1) - 3e-6).abs() < 1e-12);
+        assert_eq!(r.total_wait_time(), 0.0);
+    }
+
+    #[test]
+    fn put_notify_is_received_after_alpha_beta() {
+        let e = engine(2, 1);
+        let cost = e.cost().clone();
+        let bytes = 100_000u64;
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 1, bytes, 1);
+        b.wait_notify(1, &[1]);
+        let r = e.run(&b.build()).unwrap();
+        let expected = cost.o_send + cost.alpha_inter + bytes as f64 * cost.beta_inter + 2.0 * cost.notify_overhead;
+        assert!((r.finish_time(1) - expected).abs() < 1e-9, "got {} expected {expected}", r.finish_time(1));
+        // Receiver waited for the data.
+        assert!(r.ranks[1].wait_time > 0.0);
+        // Sender returned right after injection.
+        assert!(r.finish_time(0) < r.finish_time(1));
+    }
+
+    #[test]
+    fn eager_send_recv_round_trip() {
+        let e = engine(2, 1);
+        let mut b = ProgramBuilder::new(2);
+        b.send(0, 1, 512, 7);
+        b.recv(1, 0, 512, 7);
+        let r = e.run(&b.build()).unwrap();
+        assert!(r.finish_time(1) > 0.0);
+        assert_eq!(r.ranks[0].bytes_sent, 512);
+        assert_eq!(r.ranks[1].bytes_received, 512);
+    }
+
+    #[test]
+    fn rendezvous_send_waits_for_late_receiver() {
+        let e = engine(2, 1);
+        let bytes = 1 << 20; // above the 1 KiB test eager threshold
+        let late = 50e-6;
+        let mut b = ProgramBuilder::new(2);
+        b.send(0, 1, bytes, 0);
+        b.compute(1, late);
+        b.recv(1, 0, bytes, 0);
+        let r = e.run(&b.build()).unwrap();
+        // Sender cannot finish before the receiver posted its receive.
+        assert!(r.finish_time(0) > late, "sender finished at {} before late receiver at {late}", r.finish_time(0));
+        assert!(r.ranks[0].wait_time > 0.0);
+    }
+
+    #[test]
+    fn eager_send_does_not_wait_for_late_receiver() {
+        let e = engine(2, 1);
+        let bytes = 256;
+        let late = 50e-6;
+        let mut b = ProgramBuilder::new(2);
+        b.send(0, 1, bytes, 0);
+        b.compute(1, late);
+        b.recv(1, 0, bytes, 0);
+        let r = e.run(&b.build()).unwrap();
+        assert!(r.finish_time(0) < late);
+    }
+
+    #[test]
+    fn one_sided_put_does_not_wait_for_late_receiver() {
+        let e = engine(2, 1);
+        let bytes = 1 << 20;
+        let late = 50e-6;
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 1, bytes, 0);
+        b.compute(1, late);
+        b.wait_notify(1, &[0]);
+        let r = e.run(&b.build()).unwrap();
+        assert!(r.finish_time(0) < late, "one-sided sender must not block on the receiver");
+    }
+
+    #[test]
+    fn two_sided_transfer_is_slower_than_one_sided() {
+        let e = engine(2, 1);
+        let bytes = 4 << 20;
+        let mut one = ProgramBuilder::new(2);
+        one.put_notify(0, 1, bytes, 0);
+        one.wait_notify(1, &[0]);
+        let mut two = ProgramBuilder::new(2);
+        two.send(0, 1, bytes, 0);
+        two.recv(1, 0, bytes, 0);
+        let t_one = e.makespan(&one.build()).unwrap();
+        let t_two = e.makespan(&two.build()).unwrap();
+        assert!(t_two > t_one, "two-sided {t_two} should exceed one-sided {t_one}");
+    }
+
+    #[test]
+    fn nic_serializes_messages_from_same_node() {
+        let e = engine(3, 1);
+        let bytes = 1 << 20;
+        // Rank 0 sends to ranks 1 and 2; both transfers share rank 0's NIC.
+        let mut b = ProgramBuilder::new(3);
+        b.put_notify(0, 1, bytes, 0);
+        b.put_notify(0, 2, bytes, 0);
+        b.wait_notify(1, &[0]);
+        b.wait_notify(2, &[0]);
+        let r = e.run(&b.build()).unwrap();
+        let ser = bytes as f64 * e.cost().beta_inter;
+        // The second delivery must be at least one extra serialization later.
+        let t1 = r.finish_time(1);
+        let t2 = r.finish_time(2);
+        assert!((t2 - t1).abs() >= ser * 0.9, "expected NIC serialization between deliveries: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn ranks_on_same_node_share_the_nic() {
+        // 2 nodes x 2 ranks; both ranks of node 0 send to node 1 concurrently.
+        let e = engine(2, 2);
+        let bytes = 1 << 20;
+        let mut b = ProgramBuilder::new(4);
+        b.put_notify(0, 2, bytes, 0);
+        b.put_notify(1, 3, bytes, 0);
+        b.wait_notify(2, &[0]);
+        b.wait_notify(3, &[0]);
+        let shared = e.run(&b.build()).unwrap().makespan();
+
+        // Same volume but from two different nodes to two different nodes.
+        let e2 = engine(4, 1);
+        let mut b2 = ProgramBuilder::new(4);
+        b2.put_notify(0, 2, bytes, 0);
+        b2.put_notify(1, 3, bytes, 0);
+        b2.wait_notify(2, &[0]);
+        b2.wait_notify(3, &[0]);
+        let independent = e2.run(&b2.build()).unwrap().makespan();
+        assert!(shared > independent * 1.5, "NIC sharing must slow down co-located senders: {shared} vs {independent}");
+    }
+
+    #[test]
+    fn intra_node_transfer_is_faster_than_inter_node() {
+        let bytes = 1 << 20;
+        let e_intra = engine(1, 2);
+        let mut b1 = ProgramBuilder::new(2);
+        b1.put_notify(0, 1, bytes, 0);
+        b1.wait_notify(1, &[0]);
+        let e_inter = engine(2, 1);
+        let mut b2 = ProgramBuilder::new(2);
+        b2.put_notify(0, 1, bytes, 0);
+        b2.wait_notify(1, &[0]);
+        let t_intra = e_intra.makespan(&b1.build()).unwrap();
+        let t_inter = e_inter.makespan(&b2.build()).unwrap();
+        assert!(t_intra < t_inter);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_ranks() {
+        let e = engine(4, 1);
+        let mut b = ProgramBuilder::new(4);
+        b.compute(0, 10e-6);
+        b.compute(1, 20e-6);
+        b.compute(2, 30e-6);
+        b.compute(3, 1e-6);
+        b.barrier_all();
+        let r = e.run(&b.build()).unwrap();
+        let min_finish = r.ranks.iter().map(|s| s.finish_time).fold(f64::MAX, f64::min);
+        assert!(min_finish >= 30e-6, "no rank may leave the barrier before the slowest arrives");
+        assert!(r.ranks[3].wait_time > r.ranks[2].wait_time);
+    }
+
+    #[test]
+    fn wait_notify_any_count_allows_progress_with_partial_arrivals() {
+        let e = engine(3, 1);
+        let mut b = ProgramBuilder::new(3);
+        // Rank 2 only needs one of two notifications; rank 1 never sends.
+        b.put_notify(0, 2, 1024, 0);
+        b.wait_notify_any(2, &[0, 1], 1);
+        let r = e.run(&b.build()).unwrap();
+        assert!(r.finish_time(2) > 0.0);
+    }
+
+    #[test]
+    fn missing_notification_deadlocks() {
+        let e = engine(2, 1);
+        let mut b = ProgramBuilder::new(2);
+        b.wait_notify(1, &[9]);
+        let err = e.run(&b.build()).unwrap_err();
+        match err {
+            SimError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].0, 1);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_recv_is_rejected_by_validation() {
+        let e = engine(2, 1);
+        let mut b = ProgramBuilder::new(2);
+        b.send(0, 1, 128, 3);
+        b.recv(1, 0, 128, 4); // wrong tag
+        let err = e.run(&b.build()).unwrap_err();
+        assert!(matches!(err, SimError::Invalid(ValidationError::UnmatchedChannel { .. })));
+    }
+
+    #[test]
+    fn isend_wait_all_sends_completes() {
+        let e = engine(2, 1);
+        let mut b = ProgramBuilder::new(2);
+        b.isend(0, 1, 1 << 16, 0);
+        b.isend(0, 1, 1 << 16, 1);
+        b.wait_all_sends(0);
+        b.recv(1, 0, 1 << 16, 0);
+        b.recv(1, 0, 1 << 16, 1);
+        let r = e.run(&b.build()).unwrap();
+        assert_eq!(r.ranks[0].messages_sent, 2);
+        assert_eq!(r.ranks[1].messages_received, 2);
+    }
+
+    #[test]
+    fn unexpected_eager_message_is_matched_later() {
+        let e = engine(2, 1);
+        let mut b = ProgramBuilder::new(2);
+        b.send(0, 1, 64, 5);
+        b.compute(1, 100e-6);
+        b.recv(1, 0, 64, 5);
+        let r = e.run(&b.build()).unwrap();
+        // The receive finds the message already buffered: no wait time beyond compute.
+        assert!(r.finish_time(1) >= 100e-6);
+        assert!(r.ranks[1].wait_time < 1e-9);
+    }
+
+    #[test]
+    fn trace_is_collected_when_enabled() {
+        let e = engine(2, 1).with_trace(true);
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 1, 128, 0);
+        b.wait_notify(1, &[0]);
+        let r = e.run(&b.build()).unwrap();
+        assert!(!r.trace.is_empty());
+        assert!(r.trace.iter().any(|t| t.kind == TraceKind::NotifyVisible));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let e = engine(4, 2);
+        let mut b = ProgramBuilder::new(8);
+        for r in 0..8usize {
+            let peer = (r + 3) % 8;
+            b.put_notify(r, peer, 4096, r as u32);
+        }
+        for r in 0..8usize {
+            let from = (r + 8 - 3) % 8;
+            b.wait_notify(r, &[from as u32]);
+        }
+        let p = b.build();
+        let r1 = e.run(&p).unwrap();
+        let r2 = e.run(&p).unwrap();
+        assert_eq!(r1.makespan(), r2.makespan());
+        assert_eq!(r1.ranks, r2.ranks);
+    }
+}

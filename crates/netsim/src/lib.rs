@@ -1,0 +1,60 @@
+//! # ec-netsim — discrete-event cluster/network simulator
+//!
+//! This crate provides the *cluster substrate* used to regenerate the paper's
+//! evaluation figures at scale (2–32 nodes, one or more ranks per node) on a
+//! single machine.  It is a discrete-event simulator driven by an
+//! alpha–beta (latency/bandwidth) cost model extended with:
+//!
+//! * per-message CPU injection/matching overheads (LogGP-style `o`),
+//! * an eager/rendezvous protocol switch for two-sided (MPI-like) transfers,
+//! * a distinction between **one-sided RDMA-style puts** (full-duplex, no
+//!   remote CPU involvement, cheap notification) and **two-sided sends**
+//!   (progress-engine involvement on both sides, heavier matching overhead),
+//! * per-node NIC serialization so that several ranks on the same node share
+//!   the network interface (needed for the AlltoAll experiment with four
+//!   ranks per node),
+//! * a per-byte reduction cost for local reduction work inside collectives.
+//!
+//! Collective algorithms (both the paper's GASPI collectives and the MPI-like
+//! baselines) are expressed as [`Program`]s: one ordered list of [`Op`]s per
+//! rank.  The [`Engine`] executes a program in virtual time and returns a
+//! [`RunReport`] with per-rank completion times, wait times and traffic
+//! statistics.
+//!
+//! The simulator is deliberately deterministic: given the same program,
+//! cluster and cost model it always produces the same timings, which makes
+//! the figure-regeneration binaries reproducible.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ec_netsim::{ClusterSpec, CostModel, Engine, ProgramBuilder};
+//!
+//! // Two ranks on two nodes: rank 0 puts 1 MiB to rank 1 and notifies it.
+//! let cluster = ClusterSpec::homogeneous(2, 1);
+//! let cost = CostModel::skylake_fdr();
+//! let mut b = ProgramBuilder::new(2);
+//! b.put_notify(0, 1, 1 << 20, 7);
+//! b.wait_notify(1, &[7]);
+//! let report = Engine::new(cluster, cost).run(&b.build()).unwrap();
+//! assert!(report.makespan() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod cost;
+pub mod engine;
+pub mod program;
+pub mod report;
+pub mod trace;
+pub mod validate;
+
+pub use cluster::{ClusterSpec, NodeId, RankId};
+pub use cost::{CostModel, Protocol};
+pub use engine::{Engine, SimError};
+pub use program::{NotifyId, Op, Program, ProgramBuilder, RankProgram, Tag};
+pub use report::{RankStats, RunReport};
+pub use trace::{TraceEvent, TraceKind};
+pub use validate::{validate, ValidationError};

@@ -1,0 +1,336 @@
+//! Per-rank operation programs: the intermediate representation in which
+//! collective algorithms are handed to the simulator.
+//!
+//! A [`Program`] holds one ordered [`RankProgram`] per rank.  Each rank
+//! executes its operations strictly in order; overlap between ranks (and
+//! overlap of an individual rank's outstanding one-sided puts with its later
+//! operations) is what the simulator models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::RankId;
+
+/// Identifier of a GASPI-style notification slot on the *target* rank.
+pub type NotifyId = u32;
+
+/// Message tag used to match two-sided sends and receives.
+pub type Tag = u32;
+
+/// One operation executed by a rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Busy the rank for a fixed amount of local computation time.
+    Compute {
+        /// Duration in seconds.
+        seconds: f64,
+    },
+    /// Apply the reduction operator to `bytes` bytes of local data.
+    Reduce {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Copy `bytes` bytes locally (pack/unpack or staging copies).
+    Copy {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// One-sided write of `bytes` bytes into `dst`'s memory followed by a
+    /// notification (`gaspi_write_notify`).  The issuing rank only pays the
+    /// injection overhead; the transfer proceeds in the background.
+    PutNotify {
+        /// Target rank.
+        dst: RankId,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Notification slot updated on the target after the data landed.
+        notify: NotifyId,
+    },
+    /// Pure notification without payload (`gaspi_notify`).
+    Notify {
+        /// Target rank.
+        dst: RankId,
+        /// Notification slot updated on the target.
+        notify: NotifyId,
+    },
+    /// Block until **every** listed notification has been received at least
+    /// once; consume (reset) them.
+    WaitNotify {
+        /// Notification slots to wait for.
+        ids: Vec<NotifyId>,
+    },
+    /// Block until at least `count` of the listed notifications have been
+    /// received; consume the ones that arrived.
+    WaitNotifyAny {
+        /// Notification slots to wait for.
+        ids: Vec<NotifyId>,
+        /// How many of them must have arrived before execution continues.
+        count: usize,
+    },
+    /// Two-sided blocking send: the rank continues once the message has been
+    /// handed to the network (eager) or fully transferred (rendezvous).
+    Send {
+        /// Destination rank.
+        dst: RankId,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Matching tag.
+        tag: Tag,
+    },
+    /// Two-sided non-blocking send: the rank pays only the injection
+    /// overhead; completion can be awaited with [`Op::WaitAllSends`].
+    Isend {
+        /// Destination rank.
+        dst: RankId,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Matching tag.
+        tag: Tag,
+    },
+    /// Two-sided blocking receive of a message with matching `src`/`tag`.
+    Recv {
+        /// Source rank.
+        src: RankId,
+        /// Expected payload size in bytes (used for validation only).
+        bytes: u64,
+        /// Matching tag.
+        tag: Tag,
+    },
+    /// Wait until all of this rank's outstanding non-blocking sends have left
+    /// the NIC.
+    WaitAllSends,
+    /// Full synchronization of all ranks in the program.
+    Barrier,
+}
+
+impl Op {
+    /// Bytes this operation moves over the network (0 for local operations).
+    pub fn wire_bytes(&self) -> u64 {
+        match self {
+            Op::PutNotify { bytes, .. } | Op::Send { bytes, .. } | Op::Isend { bytes, .. } => *bytes,
+            _ => 0,
+        }
+    }
+
+    /// True for operations that may block the issuing rank on remote progress.
+    pub fn is_blocking(&self) -> bool {
+        matches!(
+            self,
+            Op::WaitNotify { .. }
+                | Op::WaitNotifyAny { .. }
+                | Op::Recv { .. }
+                | Op::Send { .. }
+                | Op::WaitAllSends
+                | Op::Barrier
+        )
+    }
+}
+
+/// Ordered list of operations executed by a single rank.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankProgram {
+    /// Operations in program order.
+    pub ops: Vec<Op>,
+}
+
+impl RankProgram {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the rank has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A complete multi-rank program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// One program per rank, indexed by rank id.
+    pub ranks: Vec<RankProgram>,
+}
+
+impl Program {
+    /// An empty program for `ranks` ranks.
+    pub fn empty(ranks: usize) -> Self {
+        Self { ranks: vec![RankProgram::default(); ranks] }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Total number of operations across all ranks.
+    pub fn total_ops(&self) -> usize {
+        self.ranks.iter().map(RankProgram::len).sum()
+    }
+
+    /// Total bytes injected into the network by all ranks.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.ops.iter())
+            .map(Op::wire_bytes)
+            .sum()
+    }
+}
+
+/// Convenience builder used by the collective schedule generators.
+///
+/// The builder exposes one method per [`Op`] variant; every method takes the
+/// issuing rank explicitly so a schedule generator can interleave the
+/// construction of all ranks' programs.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Start building a program for `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        Self { program: Program::empty(ranks) }
+    }
+
+    /// Number of ranks in the program being built.
+    pub fn num_ranks(&self) -> usize {
+        self.program.num_ranks()
+    }
+
+    fn push(&mut self, rank: RankId, op: Op) -> &mut Self {
+        self.program.ranks[rank].ops.push(op);
+        self
+    }
+
+    /// Append a [`Op::Compute`] on `rank`.
+    pub fn compute(&mut self, rank: RankId, seconds: f64) -> &mut Self {
+        self.push(rank, Op::Compute { seconds })
+    }
+
+    /// Append a [`Op::Reduce`] on `rank`.
+    pub fn reduce(&mut self, rank: RankId, bytes: u64) -> &mut Self {
+        self.push(rank, Op::Reduce { bytes })
+    }
+
+    /// Append a [`Op::Copy`] on `rank`.
+    pub fn copy(&mut self, rank: RankId, bytes: u64) -> &mut Self {
+        self.push(rank, Op::Copy { bytes })
+    }
+
+    /// Append a [`Op::PutNotify`] on `rank` targeting `dst`.
+    pub fn put_notify(&mut self, rank: RankId, dst: RankId, bytes: u64, notify: NotifyId) -> &mut Self {
+        self.push(rank, Op::PutNotify { dst, bytes, notify })
+    }
+
+    /// Append a payload-less [`Op::Notify`] on `rank` targeting `dst`.
+    pub fn notify(&mut self, rank: RankId, dst: RankId, notify: NotifyId) -> &mut Self {
+        self.push(rank, Op::Notify { dst, notify })
+    }
+
+    /// Append a [`Op::WaitNotify`] on `rank`.
+    pub fn wait_notify(&mut self, rank: RankId, ids: &[NotifyId]) -> &mut Self {
+        self.push(rank, Op::WaitNotify { ids: ids.to_vec() })
+    }
+
+    /// Append a [`Op::WaitNotifyAny`] on `rank`.
+    pub fn wait_notify_any(&mut self, rank: RankId, ids: &[NotifyId], count: usize) -> &mut Self {
+        self.push(rank, Op::WaitNotifyAny { ids: ids.to_vec(), count })
+    }
+
+    /// Append a blocking [`Op::Send`] on `rank`.
+    pub fn send(&mut self, rank: RankId, dst: RankId, bytes: u64, tag: Tag) -> &mut Self {
+        self.push(rank, Op::Send { dst, bytes, tag })
+    }
+
+    /// Append a non-blocking [`Op::Isend`] on `rank`.
+    pub fn isend(&mut self, rank: RankId, dst: RankId, bytes: u64, tag: Tag) -> &mut Self {
+        self.push(rank, Op::Isend { dst, bytes, tag })
+    }
+
+    /// Append a blocking [`Op::Recv`] on `rank`.
+    pub fn recv(&mut self, rank: RankId, src: RankId, bytes: u64, tag: Tag) -> &mut Self {
+        self.push(rank, Op::Recv { src, bytes, tag })
+    }
+
+    /// Append a [`Op::WaitAllSends`] on `rank`.
+    pub fn wait_all_sends(&mut self, rank: RankId) -> &mut Self {
+        self.push(rank, Op::WaitAllSends)
+    }
+
+    /// Append a [`Op::Barrier`] on every rank.
+    pub fn barrier_all(&mut self) -> &mut Self {
+        for r in 0..self.program.num_ranks() {
+            self.program.ranks[r].ops.push(Op::Barrier);
+        }
+        self
+    }
+
+    /// Append a [`Op::Barrier`] only on `rank` (all ranks must eventually
+    /// issue a matching barrier for the program to complete).
+    pub fn barrier(&mut self, rank: RankId) -> &mut Self {
+        self.push(rank, Op::Barrier)
+    }
+
+    /// Finish building and return the program.
+    pub fn build(self) -> Program {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_appends_in_program_order() {
+        let mut b = ProgramBuilder::new(2);
+        b.compute(0, 1e-6);
+        b.put_notify(0, 1, 100, 3);
+        b.wait_notify(1, &[3]);
+        let p = b.build();
+        assert_eq!(p.ranks[0].len(), 2);
+        assert_eq!(p.ranks[1].len(), 1);
+        assert!(matches!(p.ranks[0].ops[1], Op::PutNotify { dst: 1, bytes: 100, notify: 3 }));
+    }
+
+    #[test]
+    fn wire_bytes_counts_only_network_ops() {
+        let mut b = ProgramBuilder::new(2);
+        b.reduce(0, 999);
+        b.copy(0, 999);
+        b.put_notify(0, 1, 100, 0);
+        b.send(1, 0, 50, 1);
+        b.isend(1, 0, 25, 2);
+        let p = b.build();
+        assert_eq!(p.total_wire_bytes(), 175);
+    }
+
+    #[test]
+    fn blocking_classification() {
+        assert!(Op::Recv { src: 0, bytes: 1, tag: 0 }.is_blocking());
+        assert!(Op::Barrier.is_blocking());
+        assert!(Op::WaitAllSends.is_blocking());
+        assert!(!Op::Isend { dst: 0, bytes: 1, tag: 0 }.is_blocking());
+        assert!(!Op::Compute { seconds: 0.0 }.is_blocking());
+        assert!(!Op::PutNotify { dst: 0, bytes: 1, notify: 0 }.is_blocking());
+    }
+
+    #[test]
+    fn barrier_all_touches_every_rank() {
+        let mut b = ProgramBuilder::new(4);
+        b.barrier_all();
+        let p = b.build();
+        for r in &p.ranks {
+            assert_eq!(r.ops, vec![Op::Barrier]);
+        }
+    }
+
+    #[test]
+    fn empty_program_has_no_ops() {
+        let p = Program::empty(3);
+        assert_eq!(p.num_ranks(), 3);
+        assert_eq!(p.total_ops(), 0);
+        assert!(p.ranks.iter().all(RankProgram::is_empty));
+    }
+}

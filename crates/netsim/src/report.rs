@@ -1,0 +1,125 @@
+//! Simulation results: per-rank statistics and whole-run reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::RankId;
+
+/// Per-rank accounting gathered during a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankStats {
+    /// Virtual time at which the rank finished its last operation.
+    pub finish_time: f64,
+    /// Total time the rank spent blocked waiting for remote progress
+    /// (receives, notifications, rendezvous handshakes, barriers).
+    pub wait_time: f64,
+    /// Total time spent in local computation ([`crate::Op::Compute`],
+    /// [`crate::Op::Reduce`], [`crate::Op::Copy`]).
+    pub compute_time: f64,
+    /// Bytes this rank injected into the network.
+    pub bytes_sent: u64,
+    /// Bytes delivered into this rank's memory.
+    pub bytes_received: u64,
+    /// Number of messages this rank injected.
+    pub messages_sent: u64,
+    /// Number of messages delivered to this rank.
+    pub messages_received: u64,
+}
+
+/// Result of simulating one [`crate::Program`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-rank statistics, indexed by rank id.
+    pub ranks: Vec<RankStats>,
+    /// Trace of simulation events (empty unless tracing was enabled).
+    pub trace: Vec<crate::trace::TraceEvent>,
+}
+
+impl RunReport {
+    /// Completion time of the whole program: the maximum rank finish time.
+    pub fn makespan(&self) -> f64 {
+        self.ranks.iter().map(|r| r.finish_time).fold(0.0, f64::max)
+    }
+
+    /// Finish time of a specific rank.
+    pub fn finish_time(&self, rank: RankId) -> f64 {
+        self.ranks[rank].finish_time
+    }
+
+    /// Average finish time across ranks.
+    pub fn mean_finish_time(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(|r| r.finish_time).sum::<f64>() / self.ranks.len() as f64
+    }
+
+    /// Total time all ranks spent blocked on remote progress.
+    pub fn total_wait_time(&self) -> f64 {
+        self.ranks.iter().map(|r| r.wait_time).sum()
+    }
+
+    /// Average per-rank wait time.
+    pub fn mean_wait_time(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.total_wait_time() / self.ranks.len() as f64
+    }
+
+    /// Total bytes injected into the network across all ranks.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_sent).sum()
+    }
+
+    /// Total number of messages injected across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.ranks.iter().map(|r| r.messages_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with_finish_times(times: &[f64]) -> RunReport {
+        RunReport {
+            ranks: times
+                .iter()
+                .map(|&t| RankStats { finish_time: t, ..RankStats::default() })
+                .collect(),
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn makespan_is_max_finish_time() {
+        let r = report_with_finish_times(&[1.0, 3.0, 2.0]);
+        assert_eq!(r.makespan(), 3.0);
+        assert_eq!(r.finish_time(1), 3.0);
+    }
+
+    #[test]
+    fn mean_finish_time_averages() {
+        let r = report_with_finish_times(&[1.0, 3.0]);
+        assert!((r.mean_finish_time() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.makespan(), 0.0);
+        assert_eq!(r.mean_finish_time(), 0.0);
+        assert_eq!(r.mean_wait_time(), 0.0);
+    }
+
+    #[test]
+    fn byte_and_message_totals_sum_over_ranks() {
+        let mut r = report_with_finish_times(&[1.0, 1.0]);
+        r.ranks[0].bytes_sent = 10;
+        r.ranks[1].bytes_sent = 32;
+        r.ranks[0].messages_sent = 2;
+        r.ranks[1].messages_sent = 5;
+        assert_eq!(r.total_bytes_sent(), 42);
+        assert_eq!(r.total_messages(), 7);
+    }
+}

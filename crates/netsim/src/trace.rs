@@ -1,0 +1,61 @@
+//! Optional event tracing for debugging schedules and producing timelines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::RankId;
+
+/// Category of a traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A rank started executing an operation.
+    OpStart,
+    /// A rank finished executing an operation.
+    OpEnd,
+    /// A message (put or send) was injected into the network.
+    MsgInjected,
+    /// A message was fully delivered into the target rank's memory.
+    MsgDelivered,
+    /// A notification became visible at the target rank.
+    NotifyVisible,
+    /// A rank started blocking (on a receive, notification, send completion
+    /// or barrier).
+    BlockStart,
+    /// A rank resumed after blocking.
+    BlockEnd,
+}
+
+/// One entry of a simulation trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time of the event in seconds.
+    pub time: f64,
+    /// Rank the event belongs to.
+    pub rank: RankId,
+    /// Category of the event.
+    pub kind: TraceKind,
+    /// Index of the operation in the rank's program, when applicable.
+    pub op_index: Option<usize>,
+    /// Free-form details (peer rank, byte count, notification id, ...).
+    pub detail: String,
+}
+
+impl TraceEvent {
+    /// Create a trace event.
+    pub fn new(time: f64, rank: RankId, kind: TraceKind, op_index: Option<usize>, detail: impl Into<String>) -> Self {
+        Self { time, rank, kind, op_index, detail: detail.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_event_round_trip() {
+        let e = TraceEvent::new(1.5e-6, 3, TraceKind::MsgInjected, Some(2), "dst=4 bytes=1024");
+        assert_eq!(e.rank, 3);
+        assert_eq!(e.kind, TraceKind::MsgInjected);
+        assert_eq!(e.op_index, Some(2));
+        assert!(e.detail.contains("1024"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Static validation of programs before simulation.
+//!
+//! Validation catches schedule-generator bugs early (rank ids out of range,
+//! self-messages, mismatched send/receive counts) with a clear error instead
+//! of a virtual-time deadlock.
+
+use std::collections::HashMap;
+
+use crate::cluster::RankId;
+use crate::program::{Op, Program, Tag};
+
+/// Why a program was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The program defines a different number of ranks than the cluster has.
+    RankCountMismatch {
+        /// Ranks in the program.
+        program: usize,
+        /// Ranks in the cluster.
+        cluster: usize,
+    },
+    /// An operation references a rank outside the program.
+    RankOutOfRange {
+        /// Rank issuing the operation.
+        rank: RankId,
+        /// Index of the offending operation.
+        op_index: usize,
+        /// The referenced rank.
+        target: RankId,
+    },
+    /// An operation sends a message to its own rank.
+    SelfMessage {
+        /// Rank issuing the operation.
+        rank: RankId,
+        /// Index of the offending operation.
+        op_index: usize,
+    },
+    /// A `WaitNotifyAny` asks for more notifications than it lists.
+    BadNotifyCount {
+        /// Rank issuing the operation.
+        rank: RankId,
+        /// Index of the offending operation.
+        op_index: usize,
+    },
+    /// A compute duration is negative or not finite.
+    BadComputeDuration {
+        /// Rank issuing the operation.
+        rank: RankId,
+        /// Index of the offending operation.
+        op_index: usize,
+    },
+    /// The number of sends and receives on a channel differ.
+    UnmatchedChannel {
+        /// Sending rank.
+        src: RankId,
+        /// Receiving rank.
+        dst: RankId,
+        /// Message tag.
+        tag: Tag,
+        /// Number of sends on the channel.
+        sends: usize,
+        /// Number of receives on the channel.
+        recvs: usize,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::RankCountMismatch { program, cluster } => {
+                write!(f, "program has {program} ranks but the cluster has {cluster}")
+            }
+            ValidationError::RankOutOfRange { rank, op_index, target } => {
+                write!(f, "rank {rank} op {op_index} references out-of-range rank {target}")
+            }
+            ValidationError::SelfMessage { rank, op_index } => {
+                write!(f, "rank {rank} op {op_index} sends a message to itself")
+            }
+            ValidationError::BadNotifyCount { rank, op_index } => {
+                write!(f, "rank {rank} op {op_index} waits for more notifications than it lists")
+            }
+            ValidationError::BadComputeDuration { rank, op_index } => {
+                write!(f, "rank {rank} op {op_index} has a negative or non-finite compute duration")
+            }
+            ValidationError::UnmatchedChannel { src, dst, tag, sends, recvs } => {
+                write!(f, "channel {src}->{dst} tag {tag} has {sends} sends but {recvs} receives")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate `program` against a cluster with `cluster_ranks` ranks.
+pub fn validate(program: &Program, cluster_ranks: usize) -> Result<(), ValidationError> {
+    let n = program.num_ranks();
+    if n != cluster_ranks {
+        return Err(ValidationError::RankCountMismatch { program: n, cluster: cluster_ranks });
+    }
+    // Per-channel send and receive counts must agree, otherwise the
+    // simulation deadlocks (or leaves unmatched traffic behind).
+    let mut sends: HashMap<(RankId, RankId, Tag), usize> = HashMap::new();
+    let mut recvs: HashMap<(RankId, RankId, Tag), usize> = HashMap::new();
+
+    for (rank, rp) in program.ranks.iter().enumerate() {
+        for (op_index, op) in rp.ops.iter().enumerate() {
+            let check_target = |target: RankId| -> Result<(), ValidationError> {
+                if target >= n {
+                    Err(ValidationError::RankOutOfRange { rank, op_index, target })
+                } else if target == rank {
+                    Err(ValidationError::SelfMessage { rank, op_index })
+                } else {
+                    Ok(())
+                }
+            };
+            match op {
+                Op::PutNotify { dst, .. } | Op::Notify { dst, .. } => check_target(*dst)?,
+                Op::Send { dst, tag, .. } | Op::Isend { dst, tag, .. } => {
+                    check_target(*dst)?;
+                    *sends.entry((rank, *dst, *tag)).or_default() += 1;
+                }
+                Op::Recv { src, tag, .. } => {
+                    check_target(*src)?;
+                    *recvs.entry((*src, rank, *tag)).or_default() += 1;
+                }
+                Op::WaitNotifyAny { ids, count } => {
+                    if *count == 0 || *count > ids.len() {
+                        return Err(ValidationError::BadNotifyCount { rank, op_index });
+                    }
+                }
+                Op::Compute { seconds } => {
+                    if !seconds.is_finite() || *seconds < 0.0 {
+                        return Err(ValidationError::BadComputeDuration { rank, op_index });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    for (&(src, dst, tag), &s) in &sends {
+        let r = recvs.get(&(src, dst, tag)).copied().unwrap_or(0);
+        if r != s {
+            return Err(ValidationError::UnmatchedChannel { src, dst, tag, sends: s, recvs: r });
+        }
+    }
+    for (&(src, dst, tag), &r) in &recvs {
+        let s = sends.get(&(src, dst, tag)).copied().unwrap_or(0);
+        if r != s {
+            return Err(ValidationError::UnmatchedChannel { src, dst, tag, sends: s, recvs: r });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn valid_program_passes() {
+        let mut b = ProgramBuilder::new(2);
+        b.send(0, 1, 100, 0);
+        b.recv(1, 0, 100, 0);
+        b.put_notify(0, 1, 8, 1);
+        b.wait_notify(1, &[1]);
+        assert!(validate(&b.build(), 2).is_ok());
+    }
+
+    #[test]
+    fn rank_count_mismatch_detected() {
+        let p = Program::empty(3);
+        assert!(matches!(validate(&p, 4), Err(ValidationError::RankCountMismatch { .. })));
+    }
+
+    #[test]
+    fn out_of_range_target_detected() {
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 5, 8, 0);
+        assert!(matches!(validate(&b.build(), 2), Err(ValidationError::RankOutOfRange { target: 5, .. })));
+    }
+
+    #[test]
+    fn self_message_detected() {
+        let mut b = ProgramBuilder::new(2);
+        b.send(1, 1, 8, 0);
+        assert!(matches!(validate(&b.build(), 2), Err(ValidationError::SelfMessage { rank: 1, .. })));
+    }
+
+    #[test]
+    fn unmatched_channel_detected() {
+        let mut b = ProgramBuilder::new(2);
+        b.send(0, 1, 100, 0);
+        assert!(matches!(validate(&b.build(), 2), Err(ValidationError::UnmatchedChannel { .. })));
+    }
+
+    #[test]
+    fn bad_notify_count_detected() {
+        let mut b = ProgramBuilder::new(2);
+        b.wait_notify_any(0, &[1, 2], 3);
+        assert!(matches!(validate(&b.build(), 2), Err(ValidationError::BadNotifyCount { .. })));
+    }
+
+    #[test]
+    fn negative_compute_detected() {
+        let mut b = ProgramBuilder::new(1);
+        b.compute(0, -1.0);
+        assert!(matches!(validate(&b.build(), 1), Err(ValidationError::BadComputeDuration { .. })));
+    }
+
+    #[test]
+    fn errors_format_human_readably() {
+        let e = ValidationError::UnmatchedChannel { src: 0, dst: 1, tag: 2, sends: 3, recvs: 1 };
+        let s = e.to_string();
+        assert!(s.contains("0->1"));
+        assert!(s.contains("3 sends"));
+    }
+}

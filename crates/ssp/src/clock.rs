@@ -1,0 +1,98 @@
+//! Logical clocks attached to SSP contributions.
+
+use std::fmt;
+
+/// Logical iteration counter of an SSP worker or contribution.
+///
+/// Clocks are signed so that `clock - slack` is well-defined near the start
+/// of a run (it simply becomes negative, which every contribution satisfies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Clock(pub i64);
+
+impl Clock {
+    /// The clock before the first iteration.
+    pub const ZERO: Clock = Clock(0);
+
+    /// Advance to the next iteration.
+    #[must_use]
+    pub fn tick(self) -> Clock {
+        Clock(self.0 + 1)
+    }
+
+    /// The clock `slack` iterations earlier (may be negative).
+    #[must_use]
+    pub fn minus_slack(self, slack: u64) -> Clock {
+        Clock(self.0 - slack as i64)
+    }
+
+    /// Merge rule for reductions: the result of reducing two contributions is
+    /// as old as the older of the two, so the merged clock is the minimum.
+    #[must_use]
+    pub fn merge(self, other: Clock) -> Clock {
+        Clock(self.0.min(other.0))
+    }
+
+    /// Raw value.
+    pub fn value(self) -> i64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<i64> for Clock {
+    fn from(v: i64) -> Self {
+        Clock(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tick_increments() {
+        assert_eq!(Clock::ZERO.tick(), Clock(1));
+        assert_eq!(Clock(41).tick(), Clock(42));
+    }
+
+    #[test]
+    fn minus_slack_can_go_negative() {
+        assert_eq!(Clock(3).minus_slack(5), Clock(-2));
+        assert_eq!(Clock(10).minus_slack(0), Clock(10));
+    }
+
+    #[test]
+    fn merge_takes_minimum() {
+        // The paper's example: reducing clock 2 with clock 3 yields clock 2.
+        assert_eq!(Clock(2).merge(Clock(3)), Clock(2));
+        assert_eq!(Clock(7).merge(Clock(7)), Clock(7));
+    }
+
+    proptest! {
+        #[test]
+        fn merge_is_commutative_and_associative(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+            let (a, b, c) = (Clock(a), Clock(b), Clock(c));
+            prop_assert_eq!(a.merge(b), b.merge(a));
+            prop_assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+        }
+
+        #[test]
+        fn merge_never_exceeds_either_input(a in -1000i64..1000, b in -1000i64..1000) {
+            let m = Clock(a).merge(Clock(b));
+            prop_assert!(m <= Clock(a));
+            prop_assert!(m <= Clock(b));
+        }
+
+        #[test]
+        fn tick_then_minus_slack_is_monotone_in_slack(c in -1000i64..1000, s1 in 0u64..100, s2 in 0u64..100) {
+            prop_assume!(s1 <= s2);
+            prop_assert!(Clock(c).minus_slack(s1) >= Clock(c).minus_slack(s2));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # ec-ssp — Stale Synchronous Parallel machinery
+//!
+//! The Stale Synchronous Parallel (SSP) model lets iterative-convergent
+//! algorithms (e.g. SGD-based matrix factorization) compute on *bounded
+//! stale* data: a worker at iteration `c` may use contributions computed at
+//! any iteration `>= c - slack` instead of waiting for the freshest updates.
+//!
+//! This crate provides the clock and staleness bookkeeping the paper's
+//! `allreduce_ssp` collective relies on (Algorithm 1):
+//!
+//! * [`Clock`] — a logical iteration counter attached to every contribution;
+//!   reducing two contributions propagates the **minimum** clock, so the
+//!   clock of a partial reduction always lower-bounds the age of the data it
+//!   contains.
+//! * [`SspPolicy`] — the slack rule (`min_clock_accepted = clock - slack`).
+//! * [`WaitStats`] — per-iteration accounting of how long a worker had to
+//!   block for fresh updates and how often stale data was good enough
+//!   (Figure 7's right-hand plot).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod policy;
+pub mod stats;
+
+pub use clock::Clock;
+pub use policy::SspPolicy;
+pub use stats::{WaitStats, WaitSummary};

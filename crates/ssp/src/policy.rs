@@ -1,0 +1,103 @@
+//! The slack rule deciding whether a stale contribution may still be used.
+
+use crate::clock::Clock;
+
+/// Staleness policy of an SSP execution.
+///
+/// A worker at clock `c` with slack `s` accepts any contribution whose clock
+/// is at least `c - s`; with `s = 0` this degenerates to the fully
+/// synchronous (BSP) behaviour of a classic allreduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SspPolicy {
+    slack: u64,
+}
+
+impl SspPolicy {
+    /// A policy with the given slack (0 = fully synchronous).
+    pub fn new(slack: u64) -> Self {
+        Self { slack }
+    }
+
+    /// The configured slack.
+    pub fn slack(&self) -> u64 {
+        self.slack
+    }
+
+    /// Whether this policy is fully synchronous.
+    pub fn is_synchronous(&self) -> bool {
+        self.slack == 0
+    }
+
+    /// The oldest clock a worker currently at `current` may still use.
+    pub fn min_clock_accepted(&self, current: Clock) -> Clock {
+        current.minus_slack(self.slack)
+    }
+
+    /// Whether a contribution stamped `data_clock` is fresh enough for a
+    /// worker currently at `current`.
+    pub fn is_acceptable(&self, current: Clock, data_clock: Clock) -> bool {
+        data_clock >= self.min_clock_accepted(current)
+    }
+
+    /// How many iterations too old a contribution is (0 if acceptable).
+    pub fn staleness_excess(&self, current: Clock, data_clock: Clock) -> u64 {
+        let min = self.min_clock_accepted(current);
+        (min.value() - data_clock.value()).max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_slack_one() {
+        // "if the process is in iteration 5 and allows slack to be 1, the
+        //  collective can return after using contributions from iteration 5,
+        //  but also from the previous iteration, 4."
+        let p = SspPolicy::new(1);
+        assert!(p.is_acceptable(Clock(5), Clock(5)));
+        assert!(p.is_acceptable(Clock(5), Clock(4)));
+        assert!(!p.is_acceptable(Clock(5), Clock(3)));
+    }
+
+    #[test]
+    fn zero_slack_is_synchronous() {
+        let p = SspPolicy::new(0);
+        assert!(p.is_synchronous());
+        assert!(p.is_acceptable(Clock(7), Clock(7)));
+        assert!(!p.is_acceptable(Clock(7), Clock(6)));
+    }
+
+    #[test]
+    fn staleness_excess_counts_missing_iterations() {
+        let p = SspPolicy::new(2);
+        assert_eq!(p.staleness_excess(Clock(10), Clock(8)), 0);
+        assert_eq!(p.staleness_excess(Clock(10), Clock(7)), 1);
+        assert_eq!(p.staleness_excess(Clock(10), Clock(5)), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn larger_slack_accepts_a_superset(current in 0i64..10_000, data in -10_000i64..10_000, s1 in 0u64..64, s2 in 0u64..64) {
+            prop_assume!(s1 <= s2);
+            let (p1, p2) = (SspPolicy::new(s1), SspPolicy::new(s2));
+            if p1.is_acceptable(Clock(current), Clock(data)) {
+                prop_assert!(p2.is_acceptable(Clock(current), Clock(data)));
+            }
+        }
+
+        #[test]
+        fn fresh_data_is_always_acceptable(current in -10_000i64..10_000, slack in 0u64..128) {
+            let p = SspPolicy::new(slack);
+            prop_assert!(p.is_acceptable(Clock(current), Clock(current)));
+        }
+
+        #[test]
+        fn acceptable_iff_excess_zero(current in -1000i64..1000, data in -1000i64..1000, slack in 0u64..64) {
+            let p = SspPolicy::new(slack);
+            prop_assert_eq!(p.is_acceptable(Clock(current), Clock(data)), p.staleness_excess(Clock(current), Clock(data)) == 0);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Wait-time and staleness accounting for SSP executions.
+
+use std::time::Duration;
+
+/// Accumulates, per worker, how the SSP collective behaved: how often the
+/// last received contribution was fresh enough, how often the worker had to
+/// block for an update, and for how long (the quantity plotted in the paper's
+/// Figure 7, right).
+#[derive(Debug, Clone, Default)]
+pub struct WaitStats {
+    total_wait: Duration,
+    waits: u64,
+    stale_uses: u64,
+    fresh_uses: u64,
+    per_iteration_wait: Vec<Duration>,
+}
+
+impl WaitStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start accounting for iteration `iteration` (extends the per-iteration
+    /// vector as needed so out-of-order recording is tolerated).
+    fn slot(&mut self, iteration: usize) -> &mut Duration {
+        if iteration >= self.per_iteration_wait.len() {
+            self.per_iteration_wait.resize(iteration + 1, Duration::ZERO);
+        }
+        &mut self.per_iteration_wait[iteration]
+    }
+
+    /// Record that the worker blocked for `wait` during `iteration` because
+    /// the available contribution was too stale.
+    pub fn record_wait(&mut self, iteration: usize, wait: Duration) {
+        self.total_wait += wait;
+        self.waits += 1;
+        *self.slot(iteration) += wait;
+    }
+
+    /// Record that a step proceeded using a stale (but acceptable)
+    /// contribution without waiting.
+    pub fn record_stale_use(&mut self) {
+        self.stale_uses += 1;
+    }
+
+    /// Record that a step proceeded using a fresh contribution.
+    pub fn record_fresh_use(&mut self) {
+        self.fresh_uses += 1;
+    }
+
+    /// Total time spent blocked waiting for fresh updates.
+    pub fn total_wait(&self) -> Duration {
+        self.total_wait
+    }
+
+    /// Number of times the worker had to block.
+    pub fn wait_count(&self) -> u64 {
+        self.waits
+    }
+
+    /// Number of steps that reused stale data without blocking.
+    pub fn stale_use_count(&self) -> u64 {
+        self.stale_uses
+    }
+
+    /// Number of steps that used fresh data.
+    pub fn fresh_use_count(&self) -> u64 {
+        self.fresh_uses
+    }
+
+    /// Wait time attributed to a specific iteration (zero if none recorded).
+    pub fn wait_in_iteration(&self, iteration: usize) -> Duration {
+        self.per_iteration_wait.get(iteration).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Number of iterations with any recorded activity.
+    pub fn iterations(&self) -> usize {
+        self.per_iteration_wait.len()
+    }
+
+    /// Merge another accumulator into this one (used to aggregate workers).
+    pub fn merge(&mut self, other: &WaitStats) {
+        self.total_wait += other.total_wait;
+        self.waits += other.waits;
+        self.stale_uses += other.stale_uses;
+        self.fresh_uses += other.fresh_uses;
+        if other.per_iteration_wait.len() > self.per_iteration_wait.len() {
+            self.per_iteration_wait.resize(other.per_iteration_wait.len(), Duration::ZERO);
+        }
+        for (i, w) in other.per_iteration_wait.iter().enumerate() {
+            self.per_iteration_wait[i] += *w;
+        }
+    }
+
+    /// Condensed summary of this accumulator.
+    pub fn summary(&self) -> WaitSummary {
+        let steps = self.stale_uses + self.fresh_uses + self.waits;
+        WaitSummary {
+            total_wait: self.total_wait,
+            mean_wait_per_step: if steps == 0 { Duration::ZERO } else { self.total_wait / steps as u32 },
+            waits: self.waits,
+            stale_uses: self.stale_uses,
+            fresh_uses: self.fresh_uses,
+        }
+    }
+}
+
+/// Condensed view of a [`WaitStats`] accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitSummary {
+    /// Total blocked time.
+    pub total_wait: Duration,
+    /// Mean blocked time per collective step.
+    pub mean_wait_per_step: Duration,
+    /// Number of blocking waits.
+    pub waits: u64,
+    /// Steps satisfied by stale-but-acceptable data.
+    pub stale_uses: u64,
+    /// Steps satisfied by fresh data.
+    pub fresh_uses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query_waits() {
+        let mut s = WaitStats::new();
+        s.record_wait(0, Duration::from_millis(5));
+        s.record_wait(2, Duration::from_millis(3));
+        s.record_wait(2, Duration::from_millis(2));
+        assert_eq!(s.total_wait(), Duration::from_millis(10));
+        assert_eq!(s.wait_count(), 3);
+        assert_eq!(s.wait_in_iteration(0), Duration::from_millis(5));
+        assert_eq!(s.wait_in_iteration(1), Duration::ZERO);
+        assert_eq!(s.wait_in_iteration(2), Duration::from_millis(5));
+        assert_eq!(s.iterations(), 3);
+    }
+
+    #[test]
+    fn stale_and_fresh_uses_are_counted_separately() {
+        let mut s = WaitStats::new();
+        s.record_stale_use();
+        s.record_stale_use();
+        s.record_fresh_use();
+        assert_eq!(s.stale_use_count(), 2);
+        assert_eq!(s.fresh_use_count(), 1);
+        assert_eq!(s.wait_count(), 0);
+    }
+
+    #[test]
+    fn merge_aggregates_workers() {
+        let mut a = WaitStats::new();
+        a.record_wait(0, Duration::from_millis(1));
+        a.record_fresh_use();
+        let mut b = WaitStats::new();
+        b.record_wait(1, Duration::from_millis(4));
+        b.record_stale_use();
+        a.merge(&b);
+        assert_eq!(a.total_wait(), Duration::from_millis(5));
+        assert_eq!(a.wait_count(), 2);
+        assert_eq!(a.stale_use_count(), 1);
+        assert_eq!(a.fresh_use_count(), 1);
+        assert_eq!(a.wait_in_iteration(1), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn summary_computes_mean_per_step() {
+        let mut s = WaitStats::new();
+        s.record_wait(0, Duration::from_millis(9));
+        s.record_fresh_use();
+        s.record_stale_use();
+        let sum = s.summary();
+        assert_eq!(sum.total_wait, Duration::from_millis(9));
+        assert_eq!(sum.mean_wait_per_step, Duration::from_millis(3));
+        assert_eq!(sum.waits, 1);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = WaitStats::new().summary();
+        assert_eq!(s.total_wait, Duration::ZERO);
+        assert_eq!(s.mean_wait_per_step, Duration::ZERO);
+    }
+}

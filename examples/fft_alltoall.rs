@@ -1,0 +1,73 @@
+//! The Quantum-Espresso-like FFT mini-app: a distributed 2-D FFT whose
+//! global transpose is the one-sided AlltoAll collective (the Figure 13
+//! workload).
+//!
+//! The example verifies the distributed transform against the serial 2-D FFT
+//! and reports the AlltoAll block size together with the cost-model
+//! prediction of GASPI vs. MPI AlltoAll time at that block size on the
+//! Galileo cluster.
+//!
+//! ```bash
+//! cargo run --release --example fft_alltoall
+//! ```
+
+use ec_collectives_suite::baseline::mpi_alltoall_pairwise_schedule;
+use ec_collectives_suite::collectives::schedule::alltoall_direct_schedule;
+use ec_collectives_suite::collectives::AllToAll;
+use ec_collectives_suite::fftapp::{fft::fft2d_serial, QeWorkload};
+use ec_collectives_suite::gaspi::{GaspiConfig, Job};
+use ec_collectives_suite::netsim::{ClusterSpec, CostModel, Engine};
+
+fn main() {
+    let ranks = 4;
+    let workload = QeWorkload::for_ranks(ranks);
+    println!(
+        "Distributed {}x{} FFT over {ranks} ranks — AlltoAll block size {} KiB (QE regime: 6-24 KB)\n",
+        workload.rows,
+        workload.cols,
+        workload.block_bytes() / 1024
+    );
+
+    // Run the distributed FFT and check it against the serial reference.
+    let plan = workload.plan();
+    let outputs = Job::new(GaspiConfig::new(ranks))
+        .run(|ctx| {
+            let a2a = AllToAll::new(ctx, workload.block_bytes()).expect("alltoall handle");
+            let mut local = workload.local_input(ctx.rank());
+            let stats = plan.run(ctx, &a2a, &mut local, true).expect("distributed fft");
+            (local, stats)
+        })
+        .expect("job");
+
+    let mut full: Vec<_> = Vec::new();
+    for (local, _) in &outputs {
+        full.extend(local.iter().copied());
+    }
+    let mut reference: Vec<_> = (0..ranks).flat_map(|r| workload.local_input(r)).collect();
+    fft2d_serial(&mut reference, workload.rows, workload.cols);
+    let max_err = full
+        .iter()
+        .zip(&reference)
+        .map(|(a, b)| (*a - *b).abs())
+        .fold(0.0, f64::max);
+    println!("max |distributed - serial| = {max_err:.3e} (should be ~1e-9 or below)");
+    println!("transposes per transform: {}", outputs[0].1.transposes);
+
+    // Cost-model view: the same exchange on the Galileo cluster (Figure 13).
+    println!("\nCost-model prediction on Galileo (4 ranks/node) for this block size:");
+    let block = workload.block_bytes() as u64;
+    for nodes in [4usize, 8, 16] {
+        let world = nodes * 4;
+        let engine = Engine::new(ClusterSpec::homogeneous(nodes, 4), CostModel::galileo_opa());
+        let gaspi = engine.makespan(&alltoall_direct_schedule(world, block)).expect("gaspi schedule");
+        let mpi = engine.makespan(&mpi_alltoall_pairwise_schedule(world, block)).expect("mpi schedule");
+        println!(
+            "  {nodes:>2} nodes: gaspi_alltoall {:.3} ms vs MPI_Alltoall {:.3} ms  ({:.2}x)",
+            gaspi * 1e3,
+            mpi * 1e3,
+            mpi / gaspi
+        );
+    }
+    println!("\nSince MPI_Alltoall is 20-40% of the QE FFT runtime, these gains translate into");
+    println!("a significant end-to-end reduction for the application (Section IV-B of the paper).");
+}

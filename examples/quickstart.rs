@@ -1,0 +1,76 @@
+//! Quickstart: launch a four-rank GASPI-like job and run every collective of
+//! the library once.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use ec_collectives_suite::collectives::{
+    AllToAll, BroadcastBst, ReduceBst, ReduceMode, ReduceOp, RingAllreduce, SspAllreduce, Threshold,
+};
+use ec_collectives_suite::gaspi::{GaspiConfig, Job};
+
+fn main() {
+    let ranks = 4;
+    let elems = 1 << 16;
+
+    let summaries = Job::new(GaspiConfig::new(ranks))
+        .run(|ctx| {
+            let rank = ctx.rank();
+            let mut lines = Vec::new();
+
+            // 1. Classic consistent allreduce: segmented pipelined ring.
+            let ring = RingAllreduce::new(ctx, elems).expect("ring handle");
+            let mut data = vec![(rank + 1) as f64; elems];
+            ring.run(&mut data, ReduceOp::Sum).expect("ring allreduce");
+            lines.push(format!("ring allreduce:   every element = {}", data[0]));
+
+            // 2. Eventually consistent broadcast: ship only 25 % of the data.
+            let bcast = BroadcastBst::new(ctx, elems).expect("bcast handle");
+            let mut payload = if rank == 0 { vec![42.0; elems] } else { vec![0.0; elems] };
+            let report = bcast.run(&mut payload, 0, Threshold::percent(25.0)).expect("broadcast");
+            lines.push(format!(
+                "threshold bcast:  received prefix [{}..] = {}, tail untouched = {}",
+                report.elements_shipped, payload[0], payload[elems - 1]
+            ));
+
+            // 3. Eventually consistent reduce: engage only half of the processes.
+            let reduce = ReduceBst::new(ctx, 1024).expect("reduce handle");
+            let contribution = vec![1.0; 1024];
+            let rep = reduce
+                .run(&contribution, 0, ReduceOp::Sum, ReduceMode::ProcessThreshold(Threshold::percent(50.0)))
+                .expect("reduce");
+            if let Some(result) = rep.result {
+                lines.push(format!("process-pruned reduce: root sees sum = {} from {} ranks", result[0], rep.engaged_ranks));
+            }
+
+            // 4. Stale Synchronous Parallel allreduce with slack 2.
+            let mut ssp = SspAllreduce::new(ctx, 1024, 2).expect("ssp handle");
+            for _ in 0..3 {
+                ssp.run(&vec![1.0; 1024], ReduceOp::Sum).expect("ssp allreduce");
+            }
+            let last = ssp.run(&vec![1.0; 1024], ReduceOp::Sum).expect("ssp allreduce");
+            lines.push(format!(
+                "ssp allreduce:    iteration {} result[0] = {} (oldest contribution: clock {})",
+                last.iteration, last.result[0], last.result_clock
+            ));
+
+            // 5. Direct one-sided AlltoAll.
+            let block = 512;
+            let a2a = AllToAll::new(ctx, block).expect("alltoall handle");
+            let send = vec![rank as u8; ranks * block];
+            let mut recv = vec![0u8; ranks * block];
+            a2a.run(&send, &mut recv, block).expect("alltoall");
+            lines.push(format!("alltoall:         first byte from every peer = {:?}", (0..ranks).map(|r| recv[r * block]).collect::<Vec<_>>()));
+
+            (rank, lines)
+        })
+        .expect("job");
+
+    for (rank, lines) in summaries {
+        println!("--- rank {rank} ---");
+        for l in lines {
+            println!("  {l}");
+        }
+    }
+}

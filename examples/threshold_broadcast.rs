@@ -1,0 +1,66 @@
+//! Eventually consistent Broadcast and Reduce: how much time does shipping
+//! only a fraction of the data (or engaging only a fraction of the
+//! processes) save?
+//!
+//! The example runs the threaded collectives with an injected LAN-like
+//! network profile and also prints the cluster-scale prediction from the
+//! `ec-netsim` cost model (the Figure 8/9/10 setting).
+//!
+//! ```bash
+//! cargo run --release --example threshold_broadcast
+//! ```
+
+use std::time::Instant;
+
+use ec_collectives_suite::collectives::schedule::{bcast_bst_schedule, reduce_process_threshold_schedule};
+use ec_collectives_suite::collectives::{BroadcastBst, ReduceBst, ReduceMode, ReduceOp, Threshold};
+use ec_collectives_suite::gaspi::{GaspiConfig, Job, NetworkProfile};
+use ec_collectives_suite::netsim::{ClusterSpec, CostModel, Engine};
+
+fn main() {
+    let ranks = 8;
+    let elems = 200_000;
+    let thresholds = [25.0, 50.0, 75.0, 100.0];
+
+    println!("Threaded runtime ({ranks} ranks, {elems} doubles, LAN-like latency):");
+    println!("{:>12} {:>22} {:>22}", "threshold", "bcast time [ms]", "reduce time [ms]");
+    for &pct in &thresholds {
+        let results = Job::new(GaspiConfig::new(ranks).with_network(NetworkProfile::lan()))
+            .run(move |ctx| {
+                let bcast = BroadcastBst::new(ctx, elems).expect("bcast");
+                let reduce = ReduceBst::new(ctx, elems).expect("reduce");
+                let mut data = vec![1.0; elems];
+
+                let t0 = Instant::now();
+                bcast.run(&mut data, 0, Threshold::percent(pct)).expect("bcast run");
+                let bcast_time = t0.elapsed();
+
+                let t1 = Instant::now();
+                reduce
+                    .run(&data, 0, ReduceOp::Sum, ReduceMode::DataThreshold(Threshold::percent(pct)))
+                    .expect("reduce run");
+                let reduce_time = t1.elapsed();
+                (bcast_time.as_secs_f64(), reduce_time.as_secs_f64())
+            })
+            .expect("job");
+        let bcast_ms = results.iter().map(|r| r.0).fold(0.0, f64::max) * 1e3;
+        let reduce_ms = results.iter().map(|r| r.1).fold(0.0, f64::max) * 1e3;
+        println!("{:>11}% {:>22.3} {:>22.3}", pct, bcast_ms, reduce_ms);
+    }
+
+    println!("\nCluster cost model (32 SkyLake nodes, 1,000,000 doubles — the Figure 8/10 setting):");
+    let engine = Engine::new(ClusterSpec::homogeneous(32, 1), CostModel::skylake_fdr());
+    let bytes = 8_000_000u64;
+    println!("{:>12} {:>26} {:>30}", "threshold", "bcast (data frac) [ms]", "reduce (proc frac) [ms]");
+    for &pct in &thresholds {
+        let frac = pct / 100.0;
+        let bcast = engine.makespan(&bcast_bst_schedule(32, bytes, frac)).expect("bcast schedule") * 1e3;
+        let reduce = engine
+            .makespan(&reduce_process_threshold_schedule(32, bytes, frac))
+            .expect("reduce schedule")
+            * 1e3;
+        println!("{:>11}% {:>26.3} {:>30.3}", pct, bcast, reduce);
+    }
+    println!("\nShipping a quarter of the data (or pruning the outer tree stages) trades accuracy for time,");
+    println!("which is exactly the eventual-consistency knob the paper proposes for ML workloads.");
+}

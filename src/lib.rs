@@ -1,0 +1,32 @@
+//! # ec-collectives-suite — reproduction of "Efficient and Eventually Consistent Collective Operations"
+//!
+//! This facade crate re-exports the individual crates of the workspace so
+//! that the examples and integration tests (and downstream users who want a
+//! single dependency) can reach every layer of the system:
+//!
+//! * [`gaspi`] — the threaded GASPI-like one-sided runtime (segments,
+//!   notifications, `write_notify`).
+//! * [`ssp`] — Stale Synchronous Parallel clocks, slack policies and wait
+//!   statistics.
+//! * [`collectives`] — the paper's collectives: SSP hypercube allreduce,
+//!   threshold broadcast/reduce, segmented pipelined ring allreduce and the
+//!   direct AlltoAll, plus their `ec-netsim` schedule generators.
+//! * [`baseline`] — MPI-like baseline collectives and the twelve
+//!   `MPI_Allreduce` algorithm variants the paper compares against.
+//! * [`netsim`] — the discrete-event cluster simulator used to regenerate
+//!   the paper's cluster-scale figures.
+//! * [`mlapp`] — matrix factorization with SGD over the SSP allreduce
+//!   (Figures 6–7).
+//! * [`fftapp`] — the distributed FFT mini-app whose transpose is the
+//!   AlltoAll workload of Figure 13.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use ec_baseline as baseline;
+pub use ec_collectives as collectives;
+pub use ec_fftapp as fftapp;
+pub use ec_gaspi as gaspi;
+pub use ec_mlapp as mlapp;
+pub use ec_netsim as netsim;
+pub use ec_ssp as ssp;

@@ -1,0 +1,72 @@
+//! End-to-end integration tests of the two applications (matrix
+//! factorization over the SSP allreduce, and the distributed FFT whose
+//! transpose is the AlltoAll collective) running on the full stack.
+
+use std::time::Duration;
+
+use ec_collectives_suite::collectives::AllToAll;
+use ec_collectives_suite::fftapp::fft::fft2d_serial;
+use ec_collectives_suite::fftapp::QeWorkload;
+use ec_collectives_suite::gaspi::{GaspiConfig, Job, NetworkProfile};
+use ec_collectives_suite::mlapp::{DatasetConfig, RatingsDataset, SgdConfig, Trainer, TrainerConfig};
+
+#[test]
+fn matrix_factorization_converges_with_and_without_staleness() {
+    let dataset = RatingsDataset::generate(&DatasetConfig::small(5));
+    let mut finals = Vec::new();
+    for slack in [0u64, 4] {
+        let config = TrainerConfig {
+            rank: 4,
+            sgd: SgdConfig { learning_rate: 0.02, regularization: 0.02, sample_fraction: 1.0 },
+            slack,
+            iterations: 15,
+            seed: 3,
+            compute_jitter: 0.1,
+            straggler_ranks: vec![0],
+            straggler_delay: Duration::from_millis(1),
+            target_rmse: None,
+        };
+        let dataset = dataset.clone();
+        let reports = Job::new(GaspiConfig::new(4).with_network(NetworkProfile::lan()))
+            .run(move |ctx| {
+                let part = dataset.partition(ctx.rank(), ctx.num_ranks());
+                Trainer::new(dataset.num_users, dataset.num_items, part, config.clone()).train(ctx).unwrap()
+            })
+            .unwrap();
+        let first = reports.iter().map(|r| r.iterations[0].local_rmse).sum::<f64>() / 4.0;
+        let last = reports.iter().map(|r| r.final_rmse).sum::<f64>() / 4.0;
+        assert!(last < first, "slack={slack}: RMSE must decrease ({first} -> {last})");
+        finals.push(last);
+    }
+    // Bounded staleness must not destroy convergence: final error within 25%
+    // of the synchronous run.
+    assert!(finals[1] < finals[0] * 1.25, "stale final {} vs sync final {}", finals[1], finals[0]);
+}
+
+#[test]
+fn distributed_fft_matches_serial_reference_on_the_qe_workload() {
+    let ranks = 4;
+    let workload = QeWorkload { rows: 64, cols: 64, ranks };
+    let plan = workload.plan();
+    let outputs = Job::new(GaspiConfig::new(ranks))
+        .run(|ctx| {
+            let a2a = AllToAll::new(ctx, workload.block_bytes()).unwrap();
+            let mut local = workload.local_input(ctx.rank());
+            plan.run(ctx, &a2a, &mut local, true).unwrap();
+            local
+        })
+        .unwrap();
+    let distributed: Vec<_> = outputs.into_iter().flatten().collect();
+    let mut reference: Vec<_> = (0..ranks).flat_map(|r| workload.local_input(r)).collect();
+    fft2d_serial(&mut reference, workload.rows, workload.cols);
+    let max_err = distributed.iter().zip(&reference).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+    assert!(max_err < 1e-7, "distributed FFT deviates from the serial reference by {max_err}");
+}
+
+#[test]
+fn qe_workload_block_sizes_stay_in_the_papers_regime() {
+    for ranks in [2usize, 4, 8] {
+        let block = QeWorkload::for_ranks(ranks).block_bytes();
+        assert!((6 * 1024..=24 * 1024).contains(&block), "{block} bytes outside the 6-24 KB regime");
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: the GASPI collectives must agree with the
+//! MPI-like baseline implementations (and with straightforward sequential
+//! references) on the values they compute.
+
+use ec_collectives_suite::baseline::{
+    allreduce_recursive_doubling, allreduce_ring as mpi_allreduce_ring, alltoall_pairwise, bcast_binomial,
+    reduce_binomial, MpiWorld,
+};
+use ec_collectives_suite::collectives::{
+    AllToAll, BroadcastBst, ReduceBst, ReduceMode, ReduceOp, RingAllreduce, SspAllreduce, Threshold,
+};
+use ec_collectives_suite::gaspi::{GaspiConfig, Job, NetworkProfile};
+
+/// Deterministic per-rank input vector.
+fn input(rank: usize, n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((rank * 31 + i * 7) % 17) as f64 - 8.0).collect()
+}
+
+#[test]
+fn ring_allreduce_agrees_with_mpi_baselines() {
+    let p = 8;
+    let n = 137;
+    let gaspi = Job::new(GaspiConfig::new(p))
+        .run(|ctx| {
+            let ring = RingAllreduce::new(ctx, n).unwrap();
+            let mut data = input(ctx.rank(), n);
+            ring.run(&mut data, ReduceOp::Sum).unwrap();
+            data
+        })
+        .unwrap();
+    let mpi_ring = MpiWorld::new(p).run(|comm| {
+        let mut data = input(comm.rank(), n);
+        mpi_allreduce_ring(comm, &mut data).unwrap();
+        data
+    });
+    let mpi_rd = MpiWorld::new(p).run(|comm| {
+        let mut data = input(comm.rank(), n);
+        allreduce_recursive_doubling(comm, &mut data).unwrap();
+        data
+    });
+    for rank in 0..p {
+        for i in 0..n {
+            assert!((gaspi[rank][i] - mpi_ring[rank][i]).abs() < 1e-9);
+            assert!((gaspi[rank][i] - mpi_rd[rank][i]).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn ssp_allreduce_with_zero_slack_agrees_with_ring_allreduce() {
+    let p = 8;
+    let n = 64;
+    let results = Job::new(GaspiConfig::new(p))
+        .run(|ctx| {
+            let mut ssp = SspAllreduce::new(ctx, n, 0).unwrap();
+            let ring = RingAllreduce::new(ctx, n).unwrap();
+            let contribution = input(ctx.rank(), n);
+            let ssp_result = ssp.run(&contribution, ReduceOp::Sum).unwrap().result;
+            let mut ring_result = contribution;
+            ring.run(&mut ring_result, ReduceOp::Sum).unwrap();
+            (ssp_result, ring_result)
+        })
+        .unwrap();
+    for (ssp, ring) in results {
+        for (a, b) in ssp.iter().zip(ring.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn threshold_broadcast_prefix_agrees_with_mpi_broadcast() {
+    let p = 6;
+    let n = 90;
+    let gaspi = Job::new(GaspiConfig::new(p))
+        .run(|ctx| {
+            let bcast = BroadcastBst::new(ctx, n).unwrap();
+            let mut data = if ctx.rank() == 0 { input(0, n) } else { vec![f64::NAN; n] };
+            bcast.run(&mut data, 0, Threshold::percent(50.0)).unwrap();
+            data
+        })
+        .unwrap();
+    let mpi = MpiWorld::new(p).run(|comm| {
+        let mut data = if comm.rank() == 0 { input(0, n) } else { vec![0.0; n] };
+        bcast_binomial(comm, &mut data, 0).unwrap();
+        data
+    });
+    for rank in 1..p {
+        for i in 0..45 {
+            assert_eq!(gaspi[rank][i], mpi[rank][i], "prefix must match the full broadcast");
+        }
+        assert!(gaspi[rank][45..].iter().all(|v| v.is_nan()), "tail must stay untouched");
+    }
+}
+
+#[test]
+fn full_reduce_agrees_with_mpi_reduce() {
+    let p = 7;
+    let n = 55;
+    let gaspi = Job::new(GaspiConfig::new(p))
+        .run(|ctx| {
+            let reduce = ReduceBst::new(ctx, n).unwrap();
+            reduce.run(&input(ctx.rank(), n), 0, ReduceOp::Sum, ReduceMode::full()).unwrap().result
+        })
+        .unwrap();
+    let mpi = MpiWorld::new(p).run(|comm| reduce_binomial(comm, &input(comm.rank(), n), 0).unwrap());
+    let g = gaspi[0].as_ref().unwrap();
+    let m = mpi[0].as_ref().unwrap();
+    for i in 0..n {
+        assert!((g[i] - m[i]).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn alltoall_agrees_with_mpi_pairwise_exchange() {
+    let p = 5;
+    let block = 16;
+    let gaspi = Job::new(GaspiConfig::new(p))
+        .run(|ctx| {
+            let a2a = AllToAll::new(ctx, block * 8).unwrap();
+            let send: Vec<f64> = (0..p * block).map(|i| (ctx.rank() * 1000 + i) as f64).collect();
+            let mut recv = vec![0.0; p * block];
+            a2a.run_f64s(&send, &mut recv, block).unwrap();
+            recv
+        })
+        .unwrap();
+    let mpi = MpiWorld::new(p).run(|comm| {
+        let send: Vec<f64> = (0..p * block).map(|i| (comm.rank() * 1000 + i) as f64).collect();
+        alltoall_pairwise(comm, &send, block).unwrap()
+    });
+    assert_eq!(gaspi, mpi);
+}
+
+#[test]
+fn collectives_compose_in_one_job_with_injected_latency() {
+    // A "mini application": broadcast initial data, iterate SSP allreduce,
+    // then reduce a final summary — all in the same job over a lossy-ish
+    // network profile, exercising handle coexistence on distinct segments.
+    let p = 4;
+    let n = 256;
+    let results = Job::new(GaspiConfig::new(p).with_network(NetworkProfile::lan()))
+        .run(|ctx| {
+            let bcast = BroadcastBst::new(ctx, n).unwrap();
+            let mut model = if ctx.rank() == 0 { vec![1.0; n] } else { vec![0.0; n] };
+            bcast.run(&mut model, 0, Threshold::FULL).unwrap();
+
+            let mut ssp = SspAllreduce::new(ctx, n, 4).unwrap();
+            for _ in 0..5 {
+                let update = vec![0.25; n];
+                let rep = ssp.run(&update, ReduceOp::Sum).unwrap();
+                for (m, u) in model.iter_mut().zip(rep.result.iter()) {
+                    *m += u / p as f64;
+                }
+            }
+
+            let reduce = ReduceBst::new(ctx, n).unwrap();
+            reduce.run(&model, 0, ReduceOp::Max, ReduceMode::full()).unwrap().result
+        })
+        .unwrap();
+    let root = results[0].as_ref().expect("root result");
+    // Every rank applied five global updates of 0.25 * P / P = 0.25 each on
+    // top of the broadcast 1.0, modulo staleness; the max must be at least
+    // the synchronous value on some rank and bounded by the total update mass.
+    assert!(root.iter().all(|&v| v >= 1.0 && v <= 1.0 + 5.0 * 0.25 * 2.0));
+}

@@ -1,0 +1,158 @@
+//! Integration tests asserting the qualitative *shapes* of the paper's
+//! evaluation figures on the cost-model substrate: who wins, in which
+//! message-size regime, and in which direction the relaxations move the
+//! needle.  The figure binaries print the full series; these tests pin the
+//! headline claims so regressions in the model or the schedules are caught
+//! by `cargo test --workspace`.
+
+use ec_collectives_suite::baseline::{
+    mpi_alltoall_pairwise_schedule, mpi_bcast_binomial_schedule, mpi_bcast_default_schedule,
+    mpi_reduce_binomial_schedule, MpiAllreduceVariant,
+};
+use ec_collectives_suite::collectives::schedule::{
+    alltoall_direct_schedule, bcast_bst_schedule, hypercube_allreduce_schedule, reduce_bst_schedule,
+    reduce_process_threshold_schedule, ring_allreduce_schedule,
+};
+use ec_collectives_suite::netsim::{ClusterSpec, CostModel, Engine};
+
+fn skylake(nodes: usize) -> Engine {
+    Engine::new(ClusterSpec::homogeneous(nodes, 1), CostModel::skylake_fdr())
+}
+
+const SMALL: u64 = 10_000 * 8;
+const LARGE: u64 = 1_000_000 * 8;
+
+#[test]
+fn figure8_quarter_data_broadcast_is_about_3x_faster() {
+    let e = skylake(32);
+    let quarter = e.makespan(&bcast_bst_schedule(32, LARGE, 0.25)).unwrap();
+    let full = e.makespan(&bcast_bst_schedule(32, LARGE, 1.0)).unwrap();
+    let speedup = full / quarter;
+    assert!((2.5..5.0).contains(&speedup), "paper reports 3.25x-3.58x, model gives {speedup:.2}x");
+}
+
+#[test]
+fn figure8_mpi_default_broadcast_wins_for_large_payloads_against_full_gaspi_bst() {
+    // The paper notes its BST broadcast needs revising for large arrays; the
+    // scatter+allgather default of the vendor library beats a plain binomial
+    // tree there.
+    let e = skylake(32);
+    let mpi_def = e.makespan(&mpi_bcast_default_schedule(32, LARGE)).unwrap();
+    let mpi_bin = e.makespan(&mpi_bcast_binomial_schedule(32, LARGE)).unwrap();
+    assert!(mpi_def < mpi_bin);
+}
+
+#[test]
+fn figure9_reduce_threshold_scales_roughly_with_the_data_fraction() {
+    let e = skylake(32);
+    let quarter = e.makespan(&reduce_bst_schedule(32, LARGE, 0.25)).unwrap();
+    let full = e.makespan(&reduce_bst_schedule(32, LARGE, 1.0)).unwrap();
+    let ratio = full / quarter;
+    assert!((2.5..5.5).contains(&ratio), "paper reports ~5x at 8 MB, model gives {ratio:.2}x");
+}
+
+#[test]
+fn figure9_gaspi_reduce_beats_the_mpi_binomial_reduce_for_large_arrays() {
+    let e = skylake(32);
+    let gaspi = e.makespan(&reduce_bst_schedule(32, LARGE, 1.0)).unwrap();
+    let mpi_bin = e.makespan(&mpi_reduce_binomial_schedule(32, LARGE)).unwrap();
+    let gain = mpi_bin / gaspi;
+    assert!(gain > 1.2, "paper reports ~1.38x over the binomial variant, model gives {gain:.2}x");
+}
+
+#[test]
+fn figure10_process_pruning_helps_little_beyond_50_percent() {
+    // Half of the processes join only in the last binomial stage, so the 75%
+    // and 100% curves coincide while 25% and 50% are visibly cheaper.
+    let e = skylake(32);
+    let t25 = e.makespan(&reduce_process_threshold_schedule(32, LARGE, 0.25)).unwrap();
+    let t50 = e.makespan(&reduce_process_threshold_schedule(32, LARGE, 0.5)).unwrap();
+    let t75 = e.makespan(&reduce_process_threshold_schedule(32, LARGE, 0.75)).unwrap();
+    let t100 = e.makespan(&reduce_process_threshold_schedule(32, LARGE, 1.0)).unwrap();
+    assert!(t25 < t100 && t50 < t100);
+    assert!((t75 - t100).abs() / t100 < 0.05, "75% and 100% curves should be near-identical");
+}
+
+#[test]
+fn figure11_mpi_wins_small_vectors_gaspi_ring_wins_large_vectors() {
+    let e = skylake(32);
+    // Small vectors: at least one MPI variant beats the GASPI ring.
+    let gaspi_small = e.makespan(&ring_allreduce_schedule(32, SMALL)).unwrap();
+    let best_mpi_small = MpiAllreduceVariant::all()
+        .iter()
+        .map(|v| e.makespan(&v.schedule(32, SMALL, 1)).unwrap())
+        .fold(f64::INFINITY, f64::min);
+    assert!(best_mpi_small < gaspi_small, "MPI must win for 10,000 doubles");
+
+    // Large vectors: the GASPI ring beats every MPI variant, by >1.3x over
+    // the ring-based ones (paper: 1.78x / 2.26x).
+    let gaspi_large = e.makespan(&ring_allreduce_schedule(32, LARGE)).unwrap();
+    for v in MpiAllreduceVariant::all() {
+        let t = e.makespan(&v.schedule(32, LARGE, 1)).unwrap();
+        assert!(gaspi_large < t, "{v:?} must lose to the GASPI ring for 1M doubles");
+    }
+    let shumilin = e.makespan(&MpiAllreduceVariant::ShumilinRing.schedule(32, LARGE, 1)).unwrap();
+    assert!(shumilin / gaspi_large > 1.3, "paper reports 1.78x over Shumilin's ring");
+}
+
+#[test]
+fn figure12_crossover_lies_between_64kb_and_4mb() {
+    let e = skylake(32);
+    let mut crossover = None;
+    let mut elems: u64 = 1024;
+    while elems <= 8_388_608 {
+        let bytes = elems * 8;
+        let gaspi = e.makespan(&ring_allreduce_schedule(32, bytes)).unwrap();
+        let best_mpi = MpiAllreduceVariant::all()
+            .iter()
+            .map(|v| e.makespan(&v.schedule(32, bytes, 1)).unwrap())
+            .fold(f64::INFINITY, f64::min);
+        if gaspi < best_mpi {
+            crossover = Some(bytes);
+            break;
+        }
+        elems *= 2;
+    }
+    let crossover = crossover.expect("the GASPI ring must eventually win");
+    assert!(
+        (64 * 1024..=4 * 1024 * 1024).contains(&crossover),
+        "paper places the crossover around 1-2 MB; model gives {crossover} bytes"
+    );
+}
+
+#[test]
+fn figure12_hypercube_is_uncompetitive_for_large_vectors() {
+    // The explanation the paper gives for allreduce_ssp's absolute numbers.
+    let e = skylake(32);
+    let ring = e.makespan(&ring_allreduce_schedule(32, LARGE)).unwrap();
+    let cube = e.makespan(&hypercube_allreduce_schedule(32, LARGE)).unwrap();
+    assert!(cube > 1.5 * ring);
+}
+
+#[test]
+fn figure13_gaspi_alltoall_gains_grow_with_node_count() {
+    let block = 32 * 1024u64;
+    let mut gains = Vec::new();
+    for nodes in [4usize, 8, 16] {
+        let ranks = nodes * 4;
+        let e = Engine::new(ClusterSpec::homogeneous(nodes, 4), CostModel::galileo_opa());
+        let gaspi = e.makespan(&alltoall_direct_schedule(ranks, block)).unwrap();
+        let mpi = e.makespan(&mpi_alltoall_pairwise_schedule(ranks, block)).unwrap();
+        gains.push(mpi / gaspi);
+    }
+    // Paper: 2.85x, 5.14x, 5.07x — the gain must be >1.5x everywhere and
+    // larger on 8/16 nodes than on 4 nodes.
+    assert!(gains.iter().all(|&g| g > 1.5), "gains {gains:?}");
+    assert!(gains[1] > gains[0] * 0.9 && gains[2] > gains[0] * 0.9, "gains must not collapse with node count: {gains:?}");
+}
+
+#[test]
+fn alltoall_advantage_holds_in_the_quantum_espresso_block_range() {
+    // 6-24 KB blocks: the regime the QE FFT mini-app uses.
+    let e = Engine::new(ClusterSpec::homogeneous(8, 4), CostModel::galileo_opa());
+    for block in [6 * 1024u64, 12 * 1024, 24 * 1024] {
+        let gaspi = e.makespan(&alltoall_direct_schedule(32, block)).unwrap();
+        let mpi = e.makespan(&mpi_alltoall_pairwise_schedule(32, block)).unwrap();
+        assert!(gaspi < mpi, "GASPI must win at {block} byte blocks");
+    }
+}

@@ -1,0 +1,156 @@
+//! Cross-crate property-based invariants: the collectives must compute the
+//! mathematically correct results for arbitrary inputs, and the cost model
+//! must respond monotonically to workload parameters.
+
+use ec_collectives_suite::baseline::MpiAllreduceVariant;
+use ec_collectives_suite::collectives::schedule::{
+    alltoall_direct_schedule, bcast_bst_schedule, reduce_bst_schedule, ring_allreduce_schedule,
+};
+use ec_collectives_suite::collectives::{ReduceOp, RingAllreduce, SspAllreduce, Threshold};
+use ec_collectives_suite::gaspi::{GaspiConfig, Job};
+use ec_collectives_suite::netsim::{validate, ClusterSpec, CostModel, Engine};
+use proptest::prelude::*;
+
+fn engine(nodes: usize) -> Engine {
+    Engine::new(ClusterSpec::homogeneous(nodes, 1), CostModel::skylake_fdr())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The ring allreduce must equal the element-wise sum of all inputs for
+    /// arbitrary payloads and rank counts (including non powers of two).
+    #[test]
+    fn ring_allreduce_computes_exact_sums(
+        p in 2usize..6,
+        n in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        let inputs: Vec<Vec<f64>> = (0..p)
+            .map(|r| (0..n).map(|i| (((seed as usize + r * 31 + i * 7) % 23) as f64) - 11.0).collect())
+            .collect();
+        let expected: Vec<f64> = (0..n).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
+        let inputs_clone = inputs.clone();
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let ring = RingAllreduce::new(ctx, n).unwrap();
+                let mut data = inputs_clone[ctx.rank()].clone();
+                ring.run(&mut data, ReduceOp::Sum).unwrap();
+                data
+            })
+            .unwrap();
+        for data in out {
+            for (a, b) in data.iter().zip(expected.iter()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Whatever the slack, an SSP allreduce result is a sum of one
+    /// contribution per rank where every contribution is bounded by the
+    /// per-iteration contribution range, and its clock never violates the
+    /// slack bound.
+    #[test]
+    fn ssp_allreduce_results_stay_within_staleness_bounds(
+        log_p in 1u32..3,
+        slack in 0u64..5,
+        iters in 1usize..5,
+    ) {
+        let p = 1usize << log_p;
+        let n = 8;
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let mut ssp = SspAllreduce::new(ctx, n, slack).unwrap();
+                let mut ok = true;
+                for it in 1..=iters {
+                    let contribution = vec![1.0; n];
+                    let rep = ssp.run(&contribution, ReduceOp::Sum).unwrap();
+                    // Result is a sum of exactly P contributions of 1.0 each
+                    // (stale or fresh — the value is the same by construction).
+                    ok &= rep.result.iter().all(|&v| (v - p as f64).abs() < 1e-9);
+                    ok &= rep.result_clock.value() >= it as i64 - slack as i64;
+                    ok &= rep.result_clock.value() <= rep.iteration.value() + slack as i64 + iters as i64;
+                }
+                ok
+            })
+            .unwrap();
+        prop_assert!(out.into_iter().all(|v| v));
+    }
+
+    /// Simulated collective time must not decrease when the payload grows.
+    #[test]
+    fn makespan_is_monotone_in_message_size(bytes in 1_000u64..1_000_000) {
+        let e = engine(8);
+        let smaller = e.makespan(&ring_allreduce_schedule(8, bytes)).unwrap();
+        let larger = e.makespan(&ring_allreduce_schedule(8, bytes * 2)).unwrap();
+        prop_assert!(larger >= smaller);
+        let b_small = e.makespan(&bcast_bst_schedule(8, bytes, 1.0)).unwrap();
+        let b_large = e.makespan(&bcast_bst_schedule(8, bytes * 2, 1.0)).unwrap();
+        prop_assert!(b_large >= b_small);
+    }
+
+    /// Shipping a smaller fraction of the data never makes the eventually
+    /// consistent broadcast or reduce slower.
+    #[test]
+    fn threshold_is_monotone_in_simulated_time(bytes in 10_000u64..2_000_000, t1 in 0.1f64..1.0, t2 in 0.1f64..1.0) {
+        prop_assume!(t1 <= t2);
+        let e = engine(16);
+        let b1 = e.makespan(&bcast_bst_schedule(16, bytes, t1)).unwrap();
+        let b2 = e.makespan(&bcast_bst_schedule(16, bytes, t2)).unwrap();
+        prop_assert!(b1 <= b2 + 1e-12);
+        let r1 = e.makespan(&reduce_bst_schedule(16, bytes, t1)).unwrap();
+        let r2 = e.makespan(&reduce_bst_schedule(16, bytes, t2)).unwrap();
+        prop_assert!(r1 <= r2 + 1e-12);
+    }
+
+    /// Every MPI allreduce variant and the GASPI schedules validate for
+    /// arbitrary (reasonable) rank counts and sizes, and simulate to a
+    /// positive finite time.
+    #[test]
+    fn all_schedules_validate_and_simulate(p in 2usize..12, kb in 1u64..512) {
+        let bytes = kb * 1024;
+        let e = Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::test_model());
+        let mut programs = vec![
+            ring_allreduce_schedule(p, bytes),
+            bcast_bst_schedule(p, bytes, 0.5),
+            reduce_bst_schedule(p, bytes, 0.5),
+            alltoall_direct_schedule(p, bytes.min(64 * 1024)),
+        ];
+        for v in MpiAllreduceVariant::all() {
+            programs.push(v.schedule(p, bytes, 1));
+        }
+        for prog in programs {
+            prop_assert!(validate(&prog, p).is_ok());
+            let t = e.makespan(&prog).unwrap();
+            prop_assert!(t.is_finite() && t >= 0.0);
+        }
+    }
+
+    /// The broadcast threshold changes time but never the number of tree
+    /// edges: every non-root rank still receives exactly one message.
+    #[test]
+    fn broadcast_reaches_every_rank_regardless_of_threshold(p in 2usize..32, t in 0.05f64..1.0) {
+        let prog = bcast_bst_schedule(p, 1_000_000, t);
+        let receivers = prog
+            .ranks
+            .iter()
+            .flat_map(|r| r.ops.iter())
+            .filter_map(|op| match op {
+                ec_collectives_suite::netsim::Op::PutNotify { dst, .. } => Some(*dst),
+                _ => None,
+            })
+            .collect::<std::collections::HashSet<_>>();
+        prop_assert_eq!(receivers.len(), p - 1);
+    }
+}
+
+/// Simulated makespans are deterministic: repeated simulation of the same
+/// program yields bit-identical reports (required for reproducible figures).
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let e = engine(16);
+    let prog = MpiAllreduceVariant::Rabenseifner.schedule(16, 123_456, 1);
+    let a = e.run(&prog).unwrap();
+    let b = e.run(&prog).unwrap();
+    assert_eq!(a, b);
+}

@@ -323,7 +323,7 @@ fn hierarchical(
     leader_allreduce: impl Fn(usize, u64) -> Program,
 ) -> Program {
     let ppn = ranks_per_node.max(1);
-    if ppn == 1 || ranks % ppn != 0 {
+    if ppn == 1 || !ranks.is_multiple_of(ppn) {
         // One rank per node (or irregular placement): nothing hierarchical
         // about it — run the leader algorithm over everyone.
         return leader_allreduce(ranks, bytes);

@@ -37,7 +37,7 @@ pub fn knomial(rank: usize, ranks: usize, radix: usize) -> (Option<usize>, Vec<u
         let mut msd_place = 1usize;
         let mut r = rank;
         while r > 0 {
-            if r % radix != 0 {
+            if !r.is_multiple_of(radix) {
                 msd_place = place;
             }
             r /= radix;
@@ -53,7 +53,7 @@ pub fn knomial(rank: usize, ranks: usize, radix: usize) -> (Option<usize>, Vec<u
         let mut place = 1usize;
         let mut r = rank;
         while r > 0 {
-            if r % radix != 0 {
+            if !r.is_multiple_of(radix) {
                 limit = place * radix;
             }
             r /= radix;

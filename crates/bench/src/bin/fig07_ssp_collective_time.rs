@@ -28,7 +28,7 @@ fn compute_phase(rank: usize, iteration: usize, straggler_ms: u64, rng: &mut Std
     let base = Duration::from_millis(2);
     let jitter = base.mul_f64(rng.gen_range(0.0..0.5));
     std::thread::sleep(base + jitter);
-    if rank == 0 && iteration % 2 == 0 {
+    if rank == 0 && iteration.is_multiple_of(2) {
         std::thread::sleep(Duration::from_millis(straggler_ms));
     }
 }

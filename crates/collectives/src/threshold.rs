@@ -85,8 +85,65 @@ mod tests {
 
     #[test]
     #[should_panic]
+    fn zero_percent_rejected() {
+        let _ = Threshold::percent(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_threshold_rejected() {
+        let _ = Threshold::new(-0.25);
+    }
+
+    #[test]
+    #[should_panic]
     fn above_one_rejected() {
         let _ = Threshold::new(1.5);
+    }
+
+    #[test]
+    fn exact_threshold_selects_exactly_the_fraction() {
+        // fraction * total lands exactly on an integer: no rounding involved.
+        assert_eq!(Threshold::new(0.5).count_of(8), 4);
+        assert_eq!(Threshold::new(0.25).count_of(4), 1);
+        assert_eq!(Threshold::new(0.1).count_of(1000), 100);
+        assert_eq!(Threshold::percent(75.0).count_of(4), 3);
+    }
+
+    #[test]
+    fn crossing_the_rounding_boundary_moves_the_count_by_one() {
+        // 10 elements: the cut between "4 elements" and "5 elements" sits at
+        // fraction 0.45 (4.5 rounds half away from zero).
+        assert_eq!(Threshold::new(0.44).count_of(10), 4);
+        assert_eq!(Threshold::new(0.45).count_of(10), 5);
+        assert_eq!(Threshold::new(0.46).count_of(10), 5);
+        assert_eq!(Threshold::new(0.54).count_of(10), 5);
+        assert_eq!(Threshold::new(0.55).count_of(10), 6);
+    }
+
+    #[test]
+    fn all_below_the_cut_still_ships_one_element() {
+        // A fraction so small that fraction * total rounds to zero: every
+        // element is below the cut, but the collective must still make
+        // progress, so exactly one element is shipped.
+        assert_eq!(Threshold::new(0.0001).count_of(100), 1);
+        assert_eq!(Threshold::new(0.04).count_of(10), 1);
+        assert_eq!(Threshold::percent(0.001).count_of(1_000), 1);
+    }
+
+    #[test]
+    fn empty_payload_ships_nothing_at_any_threshold() {
+        assert_eq!(Threshold::new(0.0001).count_of(0), 0);
+        assert_eq!(Threshold::new(0.5).count_of(0), 0);
+        assert_eq!(Threshold::FULL.count_of(0), 0);
+    }
+
+    #[test]
+    fn full_threshold_ships_everything_exactly() {
+        assert_eq!(Threshold::FULL.count_of(1), 1);
+        assert_eq!(Threshold::FULL.count_of(999_999), 999_999);
+        assert_eq!(Threshold::percent(100.0).count_of(17), 17);
+        assert!(Threshold::percent(100.0).is_full());
     }
 
     proptest! {

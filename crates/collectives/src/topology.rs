@@ -40,29 +40,29 @@ impl BinomialTree {
         self.root
     }
 
-    fn to_virtual(&self, rank: Rank) -> usize {
+    fn virtual_of(&self, rank: Rank) -> usize {
         (rank + self.ranks - self.root) % self.ranks
     }
 
-    fn to_real(&self, v: usize) -> Rank {
+    fn real_of(&self, v: usize) -> Rank {
         (v + self.root) % self.ranks
     }
 
     /// The parent of `rank`, or `None` for the root.
     pub fn parent(&self, rank: Rank) -> Option<Rank> {
-        let v = self.to_virtual(rank);
+        let v = self.virtual_of(rank);
         if v == 0 {
             return None;
         }
         // Clear the highest set bit: the stage in which `rank` received data.
         let highest = usize::BITS - 1 - v.leading_zeros();
-        Some(self.to_real(v & !(1 << highest)))
+        Some(self.real_of(v & !(1 << highest)))
     }
 
     /// The children of `rank`, in the order they are contacted (earliest
     /// stage first).
     pub fn children(&self, rank: Rank) -> Vec<Rank> {
-        let v = self.to_virtual(rank);
+        let v = self.virtual_of(rank);
         let mut out = Vec::new();
         let mut bit = 1usize;
         // A rank with virtual id v owns children v + 2^i for 2^i > v.
@@ -70,7 +70,7 @@ impl BinomialTree {
             if bit > v || v == 0 {
                 let child = v + bit;
                 if child < self.ranks {
-                    out.push(self.to_real(child));
+                    out.push(self.real_of(child));
                 }
             }
             bit <<= 1;
@@ -82,7 +82,7 @@ impl BinomialTree {
     /// stage 0.  Stage `s` doubles the number of involved processes, as the
     /// paper notes when discussing which processes to prune.
     pub fn stage(&self, rank: Rank) -> u32 {
-        let v = self.to_virtual(rank);
+        let v = self.virtual_of(rank);
         if v == 0 {
             0
         } else {
@@ -116,7 +116,7 @@ impl BinomialTree {
         // Order ranks by (stage, virtual id): earlier stages are more
         // "central" to the tree and are kept preferentially.
         let mut order: Vec<Rank> = (0..self.ranks).collect();
-        order.sort_by_key(|&r| (self.stage(r), self.to_virtual(r)));
+        order.sort_by_key(|&r| (self.stage(r), self.virtual_of(r)));
         let mut engaged = vec![false; self.ranks];
         for &r in order.iter().take(keep) {
             engaged[r] = true;

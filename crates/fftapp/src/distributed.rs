@@ -76,8 +76,11 @@ impl DistributedFft2d {
         restore_layout: bool,
     ) -> Result<FftRunStats, CollectiveError> {
         let p = ctx.num_ranks();
-        if self.rows % p != 0 || self.cols % p != 0 {
+        if !self.rows.is_multiple_of(p) {
             return Err(CollectiveError::LengthMismatch { expected: self.rows / p * p, actual: self.rows });
+        }
+        if !self.cols.is_multiple_of(p) {
+            return Err(CollectiveError::LengthMismatch { expected: self.cols / p * p, actual: self.cols });
         }
         let local_rows = self.rows / p;
         if local.len() != local_rows * self.cols {

@@ -67,8 +67,11 @@ pub fn distributed_transpose(
     cols: usize,
 ) -> Result<Vec<Complex>, CollectiveError> {
     let p = ctx.num_ranks();
-    if rows_total % p != 0 || cols % p != 0 {
+    if !rows_total.is_multiple_of(p) {
         return Err(CollectiveError::LengthMismatch { expected: rows_total / p * p, actual: rows_total });
+    }
+    if !cols.is_multiple_of(p) {
+        return Err(CollectiveError::LengthMismatch { expected: cols / p * p, actual: cols });
     }
     let rows_per = rows_total / p;
     let cols_per = cols / p;

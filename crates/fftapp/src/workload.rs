@@ -61,7 +61,7 @@ mod tests {
         for ranks in [1usize, 2, 4, 8, 16] {
             let w = QeWorkload::for_ranks(ranks);
             assert_eq!(w.block_bytes(), 16 * 1024, "ranks={ranks}");
-            assert!(w.rows % ranks == 0 && w.cols % ranks == 0);
+            assert!(w.rows.is_multiple_of(ranks) && w.cols.is_multiple_of(ranks));
         }
     }
 

@@ -6,7 +6,6 @@
 //! nodes exist and how ranks are mapped onto them — while the timing side
 //! lives in [`crate::cost::CostModel`].
 
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a rank (process) participating in a collective.
 pub type RankId = usize;
@@ -20,7 +19,7 @@ pub type NodeId = usize;
 /// in a block fashion (`ranks_per_node` consecutive ranks share a node), which
 /// matches how the paper launches jobs ("we assign one GASPI process per node
 /// unless otherwise mentioned"; the AlltoAll experiment uses four per node).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterSpec {
     /// Number of physical nodes.
     pub nodes: usize,

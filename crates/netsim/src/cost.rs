@@ -17,10 +17,9 @@
 //! curves — who wins, at which message sizes the crossovers fall — is
 //! reproduced even though absolute microseconds are synthetic.
 
-use serde::{Deserialize, Serialize};
 
 /// Point-to-point protocol selected for a two-sided transfer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
     /// Small message: sent immediately, buffered at the receiver if needed.
     Eager,
@@ -32,7 +31,7 @@ pub enum Protocol {
 /// Parameters of the cluster interconnect and per-message software costs.
 ///
 /// All times are in seconds, all sizes in bytes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Preset name used in reports.
     pub name: String,

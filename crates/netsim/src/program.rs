@@ -6,7 +6,6 @@
 //! overlap of an individual rank's outstanding one-sided puts with its later
 //! operations) is what the simulator models.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cluster::RankId;
 
@@ -17,7 +16,7 @@ pub type NotifyId = u32;
 pub type Tag = u32;
 
 /// One operation executed by a rank.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     /// Busy the rank for a fixed amount of local computation time.
     Compute {
@@ -126,7 +125,7 @@ impl Op {
 }
 
 /// Ordered list of operations executed by a single rank.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RankProgram {
     /// Operations in program order.
     pub ops: Vec<Op>,
@@ -145,7 +144,7 @@ impl RankProgram {
 }
 
 /// A complete multi-rank program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Program {
     /// One program per rank, indexed by rank id.
     pub ranks: Vec<RankProgram>,

@@ -1,11 +1,10 @@
 //! Simulation results: per-rank statistics and whole-run reports.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cluster::RankId;
 
 /// Per-rank accounting gathered during a simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RankStats {
     /// Virtual time at which the rank finished its last operation.
     pub finish_time: f64,
@@ -26,7 +25,7 @@ pub struct RankStats {
 }
 
 /// Result of simulating one [`crate::Program`].
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Per-rank statistics, indexed by rank id.
     pub ranks: Vec<RankStats>,

@@ -1,11 +1,10 @@
 //! Optional event tracing for debugging schedules and producing timelines.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cluster::RankId;
 
 /// Category of a traced event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// A rank started executing an operation.
     OpStart,
@@ -25,7 +24,7 @@ pub enum TraceKind {
 }
 
 /// One entry of a simulation trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Virtual time of the event in seconds.
     pub time: f64,

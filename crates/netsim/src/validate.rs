@@ -123,15 +123,11 @@ pub fn validate(program: &Program, cluster_ranks: usize) -> Result<(), Validatio
                     check_target(*src)?;
                     *recvs.entry((*src, rank, *tag)).or_default() += 1;
                 }
-                Op::WaitNotifyAny { ids, count } => {
-                    if *count == 0 || *count > ids.len() {
-                        return Err(ValidationError::BadNotifyCount { rank, op_index });
-                    }
+                Op::WaitNotifyAny { ids, count } if *count == 0 || *count > ids.len() => {
+                    return Err(ValidationError::BadNotifyCount { rank, op_index });
                 }
-                Op::Compute { seconds } => {
-                    if !seconds.is_finite() || *seconds < 0.0 {
-                        return Err(ValidationError::BadComputeDuration { rank, op_index });
-                    }
+                Op::Compute { seconds } if !seconds.is_finite() || *seconds < 0.0 => {
+                    return Err(ValidationError::BadComputeDuration { rank, op_index });
                 }
                 _ => {}
             }

@@ -74,6 +74,52 @@ mod tests {
         assert_eq!(Clock(7).merge(Clock(7)), Clock(7));
     }
 
+    #[test]
+    fn repeated_ticks_advance_linearly() {
+        let c = (0..10).fold(Clock::ZERO, |c, _| c.tick());
+        assert_eq!(c, Clock(10));
+        assert_eq!(c.value(), 10);
+    }
+
+    #[test]
+    fn slack_window_lower_bound_tracks_the_worker() {
+        // A worker at clock c with slack s accepts clocks in [c - s, ∞): the
+        // window's lower bound advances in lockstep with the worker's clock.
+        let slack = 3;
+        let mut worker = Clock::ZERO;
+        for _ in 0..5 {
+            worker = worker.tick();
+            assert_eq!(worker.minus_slack(slack), Clock(worker.value() - 3));
+        }
+        // Advancing one iteration moves the window lower bound by exactly one.
+        assert_eq!(
+            worker.tick().minus_slack(slack).value(),
+            worker.minus_slack(slack).value() + 1
+        );
+    }
+
+    #[test]
+    fn slack_window_is_all_inclusive_at_run_start() {
+        // Near the start of a run, clock - slack is negative: every
+        // contribution ever produced (clock >= 0) falls inside the window.
+        let start = Clock::ZERO.tick(); // first iteration
+        assert_eq!(start.minus_slack(10), Clock(-9));
+        assert!(Clock::ZERO >= start.minus_slack(10));
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Clock(-1) < Clock::ZERO);
+        assert!(Clock(3) < Clock(4));
+        assert_eq!(Clock::ZERO, Clock::default());
+    }
+
+    #[test]
+    fn display_and_from_roundtrip() {
+        assert_eq!(Clock::from(-7).to_string(), "-7");
+        assert_eq!(Clock::from(42), Clock(42));
+    }
+
     proptest! {
         #[test]
         fn merge_is_commutative_and_associative(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {

@@ -78,6 +78,45 @@ mod tests {
         assert_eq!(p.staleness_excess(Clock(10), Clock(5)), 3);
     }
 
+    #[test]
+    fn min_clock_accepted_matches_the_slack_rule() {
+        // min_clock_accepted = clock - slack, including negative values at
+        // the start of a run where everything is acceptable.
+        assert_eq!(SspPolicy::new(4).min_clock_accepted(Clock(10)), Clock(6));
+        assert_eq!(SspPolicy::new(4).min_clock_accepted(Clock(1)), Clock(-3));
+        assert_eq!(SspPolicy::new(0).min_clock_accepted(Clock(9)), Clock(9));
+    }
+
+    #[test]
+    fn acceptance_window_spans_exactly_slack_plus_one_past_clocks() {
+        let slack = 3u64;
+        let p = SspPolicy::new(slack);
+        let current = Clock(20);
+        let accepted: Vec<i64> =
+            (0..=20).filter(|&d| p.is_acceptable(current, Clock(d))).collect();
+        // Clocks 17..=20 are acceptable: slack + 1 consecutive values.
+        assert_eq!(accepted, vec![17, 18, 19, 20]);
+        assert_eq!(accepted.len() as u64, slack + 1);
+    }
+
+    #[test]
+    fn data_from_the_future_is_always_acceptable() {
+        // A contribution computed *ahead* of this worker (possible under SSP,
+        // where fast workers run ahead) is never considered stale.
+        let p = SspPolicy::new(0);
+        assert!(p.is_acceptable(Clock(5), Clock(6)));
+        assert_eq!(p.staleness_excess(Clock(5), Clock(100)), 0);
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let p = SspPolicy::new(7);
+        assert_eq!(p.slack(), 7);
+        assert!(!p.is_synchronous());
+        assert_eq!(p, SspPolicy::new(7));
+        assert_ne!(p, SspPolicy::new(8));
+    }
+
     proptest! {
         #[test]
         fn larger_slack_accepts_a_superset(current in 0i64..10_000, data in -10_000i64..10_000, s1 in 0u64..64, s2 in 0u64..64) {

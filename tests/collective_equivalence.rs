@@ -161,5 +161,5 @@ fn collectives_compose_in_one_job_with_injected_latency() {
     // Every rank applied five global updates of 0.25 * P / P = 0.25 each on
     // top of the broadcast 1.0, modulo staleness; the max must be at least
     // the synchronous value on some rank and bounded by the total update mass.
-    assert!(root.iter().all(|&v| v >= 1.0 && v <= 1.0 + 5.0 * 0.25 * 2.0));
+    assert!(root.iter().all(|&v| (1.0..=1.0 + 5.0 * 0.25 * 2.0).contains(&v)));
 }

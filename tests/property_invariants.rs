@@ -6,13 +6,22 @@ use ec_collectives_suite::baseline::MpiAllreduceVariant;
 use ec_collectives_suite::collectives::schedule::{
     alltoall_direct_schedule, bcast_bst_schedule, reduce_bst_schedule, ring_allreduce_schedule,
 };
-use ec_collectives_suite::collectives::{ReduceOp, RingAllreduce, SspAllreduce, Threshold};
+use ec_collectives_suite::collectives::{BroadcastBst, ReduceOp, RingAllreduce, SspAllreduce, Threshold};
 use ec_collectives_suite::gaspi::{GaspiConfig, Job};
 use ec_collectives_suite::netsim::{validate, ClusterSpec, CostModel, Engine};
 use proptest::prelude::*;
 
 fn engine(nodes: usize) -> Engine {
     Engine::new(ClusterSpec::homogeneous(nodes, 1), CostModel::skylake_fdr())
+}
+
+/// Strategy over process counts that are *not* powers of two.
+///
+/// Binomial trees and ring schedules contain power-of-two fast paths (and,
+/// historically, power-of-two-only bugs in the remainder handling), so these
+/// counts deliberately exercise the general-case code.
+fn non_power_of_two_procs() -> impl Strategy<Value = usize> {
+    (3usize..16).prop_filter("power-of-two process counts excluded", |p| !p.is_power_of_two())
 }
 
 proptest! {
@@ -123,6 +132,64 @@ proptest! {
             prop_assert!(validate(&prog, p).is_ok());
             let t = e.makespan(&prog).unwrap();
             prop_assert!(t.is_finite() && t >= 0.0);
+        }
+    }
+
+    /// Ring allreduce on non-power-of-two rank counts: the segmented
+    /// scatter-reduce/allgather pipeline has no power-of-two shortcut, so odd
+    /// and prime process counts must still produce exact element-wise sums.
+    #[test]
+    fn ring_allreduce_is_exact_for_non_power_of_two_procs(
+        p in non_power_of_two_procs(),
+        n in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let inputs: Vec<Vec<f64>> = (0..p)
+            .map(|r| (0..n).map(|i| (((seed as usize + r * 17 + i * 13) % 19) as f64) - 9.0).collect())
+            .collect();
+        let expected: Vec<f64> = (0..n).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
+        let inputs_clone = inputs.clone();
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let ring = RingAllreduce::new(ctx, n).unwrap();
+                let mut data = inputs_clone[ctx.rank()].clone();
+                ring.run(&mut data, ReduceOp::Sum).unwrap();
+                data
+            })
+            .unwrap();
+        for data in out {
+            for (a, b) in data.iter().zip(expected.iter()) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Binomial-tree broadcast on non-power-of-two rank counts: with a full
+    /// threshold every rank must end up with the root's exact payload, for
+    /// every possible root (the tree is rotated around the root rank).
+    #[test]
+    fn binomial_bcast_reaches_all_ranks_for_non_power_of_two_procs(
+        p in non_power_of_two_procs(),
+        n in 1usize..32,
+        root_seed in 0usize..64,
+    ) {
+        let root = root_seed % p;
+        let payload: Vec<f64> = (0..n).map(|i| (root * 100 + i) as f64).collect();
+        let payload_clone = payload.clone();
+        let out = Job::new(GaspiConfig::new(p))
+            .run(move |ctx| {
+                let bcast = BroadcastBst::new(ctx, n).unwrap();
+                let mut data = if ctx.rank() == root {
+                    payload_clone.clone()
+                } else {
+                    vec![f64::NAN; n]
+                };
+                bcast.run(&mut data, root, Threshold::FULL).unwrap();
+                data
+            })
+            .unwrap();
+        for (rank, data) in out.iter().enumerate() {
+            prop_assert_eq!(data, &payload, "rank {} diverged from the root payload", rank);
         }
     }
 

@@ -1,0 +1,182 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the subset of the criterion API the workspace's benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function` (with
+//! either a string or a [`BenchmarkId`]), [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Unlike real criterion there is no statistical analysis: each benchmark is
+//! warmed up once and then timed over `sample_size` iterations, and the mean
+//! per-iteration wall time is printed.  That is enough to eyeball relative
+//! performance and, more importantly, keeps `cargo bench` compiling and
+//! running without the real dependency.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark: a function name plus a parameter string.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    /// e.g. `"gaspi_ring"`.
+    pub function_name: String,
+    /// e.g. `"4x10000"`; empty when constructed from a bare string.
+    pub parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with an explicit parameter component.
+    pub fn new(function_name: impl Into<String>, parameter: impl ToString) -> Self {
+        Self { function_name: function_name.into(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self) -> String {
+        if self.parameter.is_empty() {
+            self.function_name.clone()
+        } else {
+            format!("{}/{}", self.function_name, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { function_name: name.to_string(), parameter: String::new() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { function_name: name, parameter: String::new() }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            let _ = routine();
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (criterion's meaning is the
+    /// number of samples; here it is used directly as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let iterations = if self.criterion.test_mode { 1 } else { self.sample_size.max(1) };
+        let mut bencher = Bencher { iterations, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.as_secs_f64() / iterations as f64;
+        println!("{}/{}: {:>12.3?} per iter ({} iters)", self.name, id.render(), Duration::from_secs_f64(per_iter), iterations);
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` runs bench binaries with `--test`: run each
+        // benchmark exactly once so the suite stays fast.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, criterion: self }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner (subset of criterion's
+/// macro: the plain `name, fn...` form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| calls += 1));
+        group.finish();
+        // warm-up + 3 timed iterations (or 1 in test mode)
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn benchmark_id_renders_with_and_without_parameter() {
+        assert_eq!(BenchmarkId::new("f", "4x8").render(), "f/4x8");
+        assert_eq!(BenchmarkId::from("bare").render(), "bare");
+    }
+}

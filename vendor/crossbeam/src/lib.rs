@@ -1,0 +1,58 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! maps the `crossbeam::channel` API subset the workspace uses onto
+//! `std::sync::mpsc` (whose `Sender` has been `Sync` since Rust 1.72,
+//! which is what the shared `Arc<Vec<Sender<_>>>` peer tables rely on).
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// An unbounded FIFO channel (maps to `std::sync::mpsc::channel`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout_then_disconnect() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Disconnected));
+    }
+
+    #[test]
+    fn senders_are_shareable_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        let peers = std::sync::Arc::new(vec![tx]);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let peers = std::sync::Arc::clone(&peers);
+                std::thread::spawn(move || peers[0].send(i).unwrap())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(peers);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

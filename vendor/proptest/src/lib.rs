@@ -1,0 +1,479 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the proptest API the workspace's property tests
+//! use:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings, pass-through
+//!   attributes and an optional `#![proptest_config(...)]` header,
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`],
+//! * range strategies over the primitive numeric types (`lo..hi`,
+//!   `lo..=hi`) and [`collection::vec`] for fixed-length vectors,
+//! * [`test_runner::ProptestConfig`] with `with_cases` and the
+//!   `PROPTEST_CASES` environment variable.
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports the
+//! generated inputs verbatim.  Generation is deterministic per test name so
+//! failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG used to drive strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the generator; property runs derive the seed from the test name
+    /// so each test gets an independent but reproducible stream.
+    pub fn seed_from_u64(state: u64) -> Self {
+        Self { state }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How a single generated test case ended.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Reject,
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Result type produced by the body of a generated property test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of one type.
+///
+/// Only generation is supported (no shrinking); `Debug` output of the
+/// generated values is used in failure reports.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, map: f }
+    }
+
+    /// Keep only values satisfying `f`; generation retries (up to a bound)
+    /// until one passes, then panics citing `whence`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { source: self, filter: f, whence }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    filter: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.generate(rng);
+            if (self.filter)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % width) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let width = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                (*self.start() as i128 + (rng.next_u64() as u128 % width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.next_unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// A strategy yielding a constant value (subset of `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy for vectors of a fixed length (subset of
+    /// `proptest::collection::vec`, which also accepts length ranges).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    /// `vec(element_strategy, len)` — a vector of exactly `len` elements.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// Subset of `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(32);
+            Self { cases }
+        }
+    }
+}
+
+/// Derive a per-test deterministic seed from the test's full module path and
+/// name (FNV-1a).
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+        TestCaseError, TestCaseResult, TestRng,
+    };
+}
+
+/// Assert a condition inside a property; on failure the case (with its
+/// generated inputs) is reported and the test fails.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {} (left: {:?}, right: {:?})",
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {} == {} (left: {:?}, right: {:?})",
+                file!(),
+                line!(),
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {} != {} (both: {:?})",
+                file!(),
+                line!(),
+                stringify!($a),
+                stringify!($b),
+                left
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (skip it without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The property-test macro.  Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]`-style function (attributes are passed through)
+/// that generates inputs and runs the body for the configured number of
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal recursive expander for [`proptest!`] — one arm per test item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::seed_from_u64($crate::seed_for(concat!(
+                module_path!(), "::", stringify!($name)
+            )));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = config.cases.saturating_mul(50).max(200);
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "property {} rejected too many cases ({} attempts for {} accepted)",
+                    stringify!($name),
+                    attempts,
+                    accepted
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                let __case_desc = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n",)*),
+                    $(&$arg,)*
+                );
+                let mut __case = move || -> $crate::TestCaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                };
+                match __case() {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed after {} cases: {}\ninputs:\n{}",
+                            stringify!($name),
+                            accepted,
+                            msg,
+                            __case_desc
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3usize..10, b in -5i64..5, f in 0.25f64..0.75, p in 1u32..=100) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!((1..=100).contains(&p));
+        }
+
+        #[test]
+        fn vec_strategy_has_fixed_len(v in collection::vec(-1.0f64..1.0, 17)) {
+            prop_assert_eq!(v.len(), 17);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0usize..10, b in 0usize..10) {
+            prop_assume!(a <= b);
+            prop_assert!(b >= a);
+        }
+
+        #[test]
+        fn map_and_filter_compose(x in (1usize..50).prop_filter("even only", |v| v % 2 == 0).prop_map(|v| v * 10)) {
+            prop_assert_eq!(x % 20, 0);
+            prop_assert!((20..500).contains(&x));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_header_is_accepted(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(3))]
+
+            #[allow(dead_code)]
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

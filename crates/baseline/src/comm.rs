@@ -176,14 +176,7 @@ impl MpiWorld {
                     std::thread::Builder::new()
                         .name(format!("mpi-rank-{rank}"))
                         .spawn_scoped(scope, move || {
-                            let mut comm = MpiComm {
-                                rank,
-                                size,
-                                inbox,
-                                peers,
-                                unexpected: HashMap::new(),
-                                timeout,
-                            };
+                            let mut comm = MpiComm { rank, size, inbox, peers, unexpected: HashMap::new(), timeout };
                             f(&mut comm)
                         })
                         .expect("spawning rank thread"),
@@ -269,9 +262,13 @@ mod tests {
 
     #[test]
     fn recv_timeout_reports_instead_of_hanging() {
-        let out = MpiWorld::new(2)
-            .with_timeout(Duration::from_millis(20))
-            .run(|comm| if comm.rank() == 0 { comm.recv(1, 0).err() } else { None });
+        let out = MpiWorld::new(2).with_timeout(Duration::from_millis(20)).run(|comm| {
+            if comm.rank() == 0 {
+                comm.recv(1, 0).err()
+            } else {
+                None
+            }
+        });
         assert_eq!(out[0], Some(MpiError::Timeout));
     }
 }

@@ -100,8 +100,12 @@ impl MpiAllreduceVariant {
             Ring => ring(ranks, bytes, true),
             Knomial => tree_reduce_bcast(ranks, bytes, |r, n| knomial(r, n, 4)),
             TopoShmFlat => hierarchical(ranks, bytes, ranks_per_node, |r, n| tree_reduce_bcast(r, n, flat)),
-            TopoShmKnomial => hierarchical(ranks, bytes, ranks_per_node, |r, n| tree_reduce_bcast(r, n, |a, b| knomial(a, b, 8))),
-            TopoShmKnary => hierarchical(ranks, bytes, ranks_per_node, |r, n| tree_reduce_bcast(r, n, |a, b| knary(a, b, 3))),
+            TopoShmKnomial => {
+                hierarchical(ranks, bytes, ranks_per_node, |r, n| tree_reduce_bcast(r, n, |a, b| knomial(a, b, 8)))
+            }
+            TopoShmKnary => {
+                hierarchical(ranks, bytes, ranks_per_node, |r, n| tree_reduce_bcast(r, n, |a, b| knary(a, b, 3)))
+            }
         }
     }
 }
@@ -197,11 +201,7 @@ fn rabenseifner(ranks: usize, bytes: u64) -> Program {
 
 /// Reduce to rank 0 over an arbitrary tree shape, then broadcast the result
 /// back down the same tree (used for `mpi3`, `mpi9` and the SHM variants).
-fn tree_reduce_bcast(
-    ranks: usize,
-    bytes: u64,
-    shape: impl Fn(usize, usize) -> (Option<usize>, Vec<usize>),
-) -> Program {
+fn tree_reduce_bcast(ranks: usize, bytes: u64, shape: impl Fn(usize, usize) -> (Option<usize>, Vec<usize>)) -> Program {
     let mut b = ProgramBuilder::new(ranks);
     build_tree_reduce_bcast(&mut b, &(0..ranks).collect::<Vec<_>>(), bytes, &shape);
     b.build()
@@ -425,9 +425,7 @@ mod tests {
     fn makespan(variant: MpiAllreduceVariant, p: usize, bytes: u64) -> f64 {
         let prog = variant.schedule(p, bytes, 1);
         validate(&prog, p).unwrap();
-        Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::skylake_fdr())
-            .makespan(&prog)
-            .unwrap()
+        Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::skylake_fdr()).makespan(&prog).unwrap()
     }
 
     #[test]
@@ -495,9 +493,7 @@ mod tests {
         for v in MpiAllreduceVariant::all() {
             let prog = v.schedule(2, 1000, 1);
             validate(&prog, 2).unwrap();
-            let t = Engine::new(ClusterSpec::homogeneous(2, 1), CostModel::test_model())
-                .makespan(&prog)
-                .unwrap();
+            let t = Engine::new(ClusterSpec::homogeneous(2, 1), CostModel::test_model()).makespan(&prog).unwrap();
             assert!(t >= 0.0, "{v:?}");
         }
     }

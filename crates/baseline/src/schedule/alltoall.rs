@@ -43,9 +43,7 @@ mod tests {
         let p = nodes * ppn;
         let prog = mpi_alltoall_pairwise_schedule(p, 32 * 1024);
         validate(&prog, p).unwrap();
-        let t = Engine::new(ClusterSpec::homogeneous(nodes, ppn), CostModel::galileo_opa())
-            .makespan(&prog)
-            .unwrap();
+        let t = Engine::new(ClusterSpec::homogeneous(nodes, ppn), CostModel::galileo_opa()).makespan(&prog).unwrap();
         assert!(t > 0.0 && t < 1.0);
     }
 

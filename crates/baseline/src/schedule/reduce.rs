@@ -113,10 +113,7 @@ mod tests {
     #[test]
     fn schedules_simulate_cleanly() {
         let e = Engine::new(ClusterSpec::homogeneous(16, 1), CostModel::test_model());
-        for prog in [
-            mpi_reduce_binomial_schedule(16, 10_000),
-            mpi_reduce_default_schedule(16, 1_000_000),
-        ] {
+        for prog in [mpi_reduce_binomial_schedule(16, 10_000), mpi_reduce_default_schedule(16, 1_000_000)] {
             validate(&prog, 16).unwrap();
             assert!(e.makespan(&prog).unwrap() > 0.0);
         }

@@ -8,9 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use ec_baseline::{allreduce_ring as mpi_allreduce_ring, alltoall_pairwise, bcast_binomial, MpiWorld};
-use ec_collectives::{
-    AllToAll, BroadcastBst, ReduceBst, ReduceMode, ReduceOp, RingAllreduce, SspAllreduce, Threshold,
-};
+use ec_collectives::{AllToAll, BroadcastBst, ReduceBst, ReduceMode, ReduceOp, RingAllreduce, SspAllreduce, Threshold};
 use ec_gaspi::{GaspiConfig, Job};
 
 const RANKS: usize = 4;
@@ -88,7 +86,12 @@ fn bench_bcast_reduce(c: &mut Criterion) {
                         let data = vec![1.0; ELEMS];
                         for _ in 0..4 {
                             reduce
-                                .run(&data, 0, ReduceOp::Sum, ReduceMode::DataThreshold(Threshold::percent(threshold as f64)))
+                                .run(
+                                    &data,
+                                    0,
+                                    ReduceOp::Sum,
+                                    ReduceMode::DataThreshold(Threshold::percent(threshold as f64)),
+                                )
                                 .unwrap();
                         }
                     })

@@ -46,9 +46,7 @@ fn run_slack(dataset: &RatingsDataset, ranks: usize, iterations: usize, slack: u
     let reports = Job::new(GaspiConfig::new(ranks).with_network(NetworkProfile::lan()))
         .run(move |ctx| {
             let part = dataset.partition(ctx.rank(), ctx.num_ranks());
-            Trainer::new(dataset.num_users, dataset.num_items, part, config.clone())
-                .train(ctx)
-                .expect("training run")
+            Trainer::new(dataset.num_users, dataset.num_items, part, config.clone()).train(ctx).expect("training run")
         })
         .expect("job");
 
@@ -104,10 +102,7 @@ fn main() {
     let target = runs[0].curve.last().expect("non-empty curve").1 * 1.01;
     let baseline_time = runs[0].total_time;
     println!("## Summary (target error = {target:.6}, reached by slack=0 after {iterations} iterations)");
-    println!(
-        "{:>8} {:>14} {:>16} {:>14} {:>12}",
-        "slack", "iterations", "extra iters", "time [s]", "speedup"
-    );
+    println!("{:>8} {:>14} {:>16} {:>14} {:>12}", "slack", "iterations", "extra iters", "time [s]", "speedup");
     for run in &runs {
         let reached = run.curve.iter().position(|&(_, e)| e <= target);
         match reached {
@@ -123,10 +118,7 @@ fn main() {
                     gain
                 );
             }
-            None => println!(
-                "{:>8} {:>14} {:>16} {:>14} {:>12}",
-                run.slack, "not reached", "-", "-", "-"
-            ),
+            None => println!("{:>8} {:>14} {:>16} {:>14} {:>12}", run.slack, "not reached", "-", "-", "-"),
         }
     }
     println!("\n(paper: slack=2 was 6% faster, slack=32 12.3% faster, slack=64 19% faster than slack=0)");

@@ -42,10 +42,7 @@ fn main() {
 
     println!("# Figure 7 — allreduce_ssp per-call time and wait-for-updates time");
     println!("# {ranks} ranks, {elems} doubles per contribution, {iters} iterations\n");
-    println!(
-        "{:>18} {:>20} {:>22} {:>20}",
-        "variant", "mean call time [s]", "mean wait/iter [s]", "total wait [s]"
-    );
+    println!("{:>18} {:>20} {:>22} {:>20}", "variant", "mean call time [s]", "mean wait/iter [s]", "total wait [s]");
 
     let network = NetworkProfile::lan();
     let mut ssp_means: Vec<(u64, f64)> = Vec::new();

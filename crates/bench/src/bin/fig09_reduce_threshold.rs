@@ -14,10 +14,8 @@ use ec_netsim::{ClusterSpec, CostModel, Engine};
 fn run_panel(elems: usize) -> Vec<Series> {
     let bytes = (elems * 8) as u64;
     let thresholds = [0.25, 0.5, 0.75, 1.0];
-    let mut series: Vec<Series> = thresholds
-        .iter()
-        .map(|t| Series::new(format!("{}% gaspi", (t * 100.0) as u32)))
-        .collect();
+    let mut series: Vec<Series> =
+        thresholds.iter().map(|t| Series::new(format!("{}% gaspi", (t * 100.0) as u32))).collect();
     series.push(Series::new("100% mpi-def"));
     series.push(Series::new("100% mpi-bin"));
 

@@ -16,10 +16,8 @@ fn main() {
     let elems = env_usize("FIG10_ELEMS", 1_000_000);
     let bytes = (elems * 8) as u64;
     let thresholds = [0.25, 0.5, 0.75, 1.0];
-    let mut series: Vec<Series> = thresholds
-        .iter()
-        .map(|t| Series::new(format!("{}% gaspi", (t * 100.0) as u32)))
-        .collect();
+    let mut series: Vec<Series> =
+        thresholds.iter().map(|t| Series::new(format!("{}% gaspi", (t * 100.0) as u32))).collect();
     series.push(Series::new("100% mpi-def"));
     series.push(Series::new("100% mpi-bin"));
 

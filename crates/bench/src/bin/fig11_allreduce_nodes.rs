@@ -34,9 +34,7 @@ fn main() {
     let small = env_usize("FIG11_SMALL_ELEMS", 10_000);
     let large = env_usize("FIG11_LARGE_ELEMS", 1_000_000);
 
-    for (name, elems, is_large) in
-        [("left: 10,000 doubles", small, false), ("right: 1,000,000 doubles", large, true)]
-    {
+    for (name, elems, is_large) in [("left: 10,000 doubles", small, false), ("right: 1,000,000 doubles", large, true)] {
         let series = run_panel(elems);
         println!(
             "{}",
@@ -46,10 +44,7 @@ fn main() {
         let gaspi = series[0].y_at(at);
         let shumilin = series.iter().find(|s| s.label.starts_with("mpi7")).and_then(|s| s.y_at(at));
         let ring = series.iter().find(|s| s.label.starts_with("mpi8")).and_then(|s| s.y_at(at));
-        let best_mpi = series[1..]
-            .iter()
-            .filter_map(|s| s.y_at(at))
-            .fold(f64::INFINITY, f64::min);
+        let best_mpi = series[1..].iter().filter_map(|s| s.y_at(at)).fold(f64::INFINITY, f64::min);
         if let (Some(g), Some(s7), Some(s8)) = (gaspi, shumilin, ring) {
             if is_large {
                 println!(

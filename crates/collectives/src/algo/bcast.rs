@@ -1,0 +1,78 @@
+//! Single-source body of the binomial-spanning-tree broadcast
+//! (`gaspi_bcast`, Section III-B of the paper).
+
+use ec_comm::{CommError, NotifyId, Rank, Transport};
+
+use crate::topology::BinomialTree;
+
+/// Notification slot announcing the payload from the parent.
+const NOTIFY_DATA: NotifyId = 0;
+/// First notification slot for child acknowledgements (one per child index).
+const NOTIFY_ACK_BASE: NotifyId = 1;
+
+/// How completion is acknowledged back up the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckMode {
+    /// Only leaf ranks acknowledge to their parent, and parents wait only for
+    /// their leaf children — the paper's relaxed completion rule ("the
+    /// collective is considered complete when the outer nodes receive data").
+    Leaves,
+    /// Every child acknowledges after it has forwarded the data, and parents
+    /// wait for all children.  Slightly more synchronous, but makes the
+    /// handle safe to reuse back-to-back at arbitrary rates.
+    #[default]
+    AllChildren,
+}
+
+/// Run the broadcast of the leading `ship` payload elements from `root` on
+/// transport `t`; returns the number of children this rank forwarded to.
+///
+/// Non-root ranks first wait for the parent's `write_notify` and unpack the
+/// landed prefix into their payload; every rank then forwards to its binomial
+/// children as soon as its own data is in place, so the stages of the tree
+/// overlap down the tree.  Acknowledgements follow `ack` (see [`AckMode`]).
+pub fn bcast_bst<T: Transport>(t: &mut T, ship: usize, root: Rank, ack: AckMode) -> Result<usize, CommError> {
+    let p = t.num_ranks();
+    let rank = t.rank();
+    let tree = BinomialTree::new(p, root);
+
+    // 1. Receive from the parent (unless we are the root).
+    if rank != root {
+        t.wait_notify(NOTIFY_DATA)?;
+        t.local_copy(0, 0..ship)?;
+    }
+
+    // 2. Forward to our children as soon as our data is in place.
+    let children = tree.children(rank);
+    for &child in &children {
+        t.put_notify(child, 0, 0..ship, NOTIFY_DATA)?;
+    }
+
+    // 3. Acknowledge / collect acknowledgements.
+    let should_ack_parent = match ack {
+        AckMode::Leaves => children.is_empty(),
+        AckMode::AllChildren => true,
+    };
+    if should_ack_parent {
+        if let Some(parent) = tree.parent(rank) {
+            let my_index = tree
+                .children(parent)
+                .iter()
+                .position(|&c| c == rank)
+                .expect("a rank is always among its parent's children");
+            t.notify(parent, NOTIFY_ACK_BASE + my_index as NotifyId)?;
+        }
+    }
+    let expected_acks: Vec<NotifyId> = children
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| match ack {
+            AckMode::Leaves => tree.is_leaf(c),
+            AckMode::AllChildren => true,
+        })
+        .map(|(idx, _)| NOTIFY_ACK_BASE + idx as NotifyId)
+        .collect();
+    t.wait_all(&expected_acks)?;
+
+    Ok(children.len())
+}

@@ -1,0 +1,68 @@
+//! Single-source body of the binomial-tree reduce variants
+//! (`gaspi_reduce`, Section III-B and Figures 9–10 of the paper).
+
+use ec_comm::{CommError, NotifyId, Rank, ReduceOp, Transport};
+
+use crate::topology::BinomialTree;
+
+/// Notification slot: the parent tells this rank its slot may be written.
+const NOTIFY_READY: NotifyId = 0;
+/// First notification slot for data arriving from children (one per child index).
+const NOTIFY_DATA_BASE: NotifyId = 1;
+
+/// Run the binomial-tree reduce of the leading `ship` payload elements
+/// towards `root` on transport `t`.
+///
+/// `engaged` masks which ranks participate (all of them for the data
+/// threshold; a stage-pruned subset for the process threshold of Figure 10) —
+/// a pruned rank contributes nothing and returns immediately.  Each engaged
+/// child writes its partial reduction into a per-child slot of the parent's
+/// segment, `slot_stride` elements apart, after the parent announced that the
+/// slot may be overwritten (the Figure 1 producer/consumer handshake).
+/// Children's contributions are folded in arrival order; contributions of
+/// shallow subtrees land first and overlap the wait for the deep ones.
+pub fn reduce_bst<T: Transport>(
+    t: &mut T,
+    ship: usize,
+    root: Rank,
+    op: ReduceOp,
+    engaged: &[bool],
+    slot_stride: usize,
+) -> Result<(), CommError> {
+    let p = t.num_ranks();
+    let rank = t.rank();
+    if !engaged[rank] {
+        return Ok(());
+    }
+    let tree = BinomialTree::new(p, root);
+    let children: Vec<Rank> = tree.children(rank).into_iter().filter(|&c| engaged[c]).collect();
+
+    // 1. Tell every engaged child that its slot in our segment is free.
+    for &child in &children {
+        t.notify(child, NOTIFY_READY)?;
+    }
+
+    // 2. Collect the children's partial reductions as they arrive.
+    let data_ids: Vec<NotifyId> = (0..children.len()).map(|idx| NOTIFY_DATA_BASE + idx as NotifyId).collect();
+    for _ in 0..children.len() {
+        let id = t.wait_any(&data_ids)?;
+        let idx = (id - NOTIFY_DATA_BASE) as usize;
+        t.local_reduce(idx * slot_stride, 0..ship, op)?;
+    }
+
+    // 3. Forward our partial reduction to the parent (unless we are root).
+    if rank != root {
+        if let Some(parent) = tree.parent(rank) {
+            let my_index = tree
+                .children(parent)
+                .into_iter()
+                .filter(|&c| engaged[c])
+                .position(|c| c == rank)
+                .expect("an engaged rank is among its parent's engaged children");
+            // Wait for the parent's "slot free" announcement, then write.
+            t.wait_notify(NOTIFY_READY)?;
+            t.put_notify(parent, my_index * slot_stride, 0..ship, NOTIFY_DATA_BASE + my_index as NotifyId)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Single-source body of the segmented pipelined ring allreduce
+//! (`gaspi_allreduce_ring`, Section IV-A, Figures 4–5).
+
+use ec_comm::{CommError, NotifyId, ReduceOp, Transport};
+
+use crate::topology::{
+    allgather_recv_chunk, allgather_send_chunk, chunk_ranges, ring_next, scatter_recv_chunk, scatter_send_chunk,
+};
+
+/// Notification id announcing the scatter-reduce chunk of step `step`.
+fn scatter_notify(step: usize) -> NotifyId {
+    step as NotifyId
+}
+
+/// Notification id announcing the allgather chunk of step `step`.
+fn allgather_notify(ranks: usize, step: usize) -> NotifyId {
+    (ranks - 1 + step) as NotifyId
+}
+
+/// Run the ring allreduce over `n` payload elements on transport `t`.
+///
+/// Two stages of `P - 1` steps each: **scatter-reduce** (every rank sends one
+/// chunk to its clockwise neighbour and folds the chunk arriving from its
+/// counter-clockwise neighbour into its local data) followed by **allgather**
+/// (the fully reduced chunks travel once around the ring, landing at their
+/// final offsets).  Synchronization uses only notifications — no barrier
+/// between the stages.
+///
+/// The receive side of step `step` of the scatter stage lands at segment
+/// element offset `scratch_base + step * scratch_stride`; the allgather
+/// chunks land directly at their final element offsets.  When the payload has
+/// fewer elements than ranks, empty chunks are announced with a payload-free
+/// notification so the step counts on both sides stay aligned and no
+/// zero-byte put is ever issued.
+pub fn ring_allreduce<T: Transport>(
+    t: &mut T,
+    n: usize,
+    scratch_base: usize,
+    scratch_stride: usize,
+    op: ReduceOp,
+) -> Result<(), CommError> {
+    let p = t.num_ranks();
+    if p <= 1 {
+        return Ok(());
+    }
+    let rank = t.rank();
+    let next = ring_next(rank, p);
+    let chunks = chunk_ranges(n, p);
+
+    // Stage 1: scatter-reduce.  After step k we have reduced the chunk
+    // arriving from our predecessor into our local copy.
+    for step in 0..p - 1 {
+        let (s_start, s_len) = chunks[scatter_send_chunk(rank, step, p)];
+        t.put_notify(next, scratch_base + step * scratch_stride, s_start..s_start + s_len, scatter_notify(step))?;
+        t.wait_notify(scatter_notify(step))?;
+        let (r_start, r_len) = chunks[scatter_recv_chunk(rank, step, p)];
+        if r_len > 0 {
+            t.local_reduce(scratch_base + step * scratch_stride, r_start..r_start + r_len, op)?;
+        }
+    }
+
+    // Stage 2: allgather.  The fully reduced chunks circulate once around
+    // the ring, landing directly at their final offsets.
+    for step in 0..p - 1 {
+        let (s_start, s_len) = chunks[allgather_send_chunk(rank, step, p)];
+        t.put_notify(next, s_start, s_start..s_start + s_len, allgather_notify(p, step))?;
+        t.wait_notify(allgather_notify(p, step))?;
+        let (r_start, r_len) = chunks[allgather_recv_chunk(rank, step, p)];
+        if r_len > 0 {
+            t.local_copy(r_start, r_start..r_start + r_len)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Single-source body of the hypercube allreduce underlying the SSP
+//! collective (`allreduce_ssp`, Algorithm 1 and Figure 2 of the paper).
+
+use ec_comm::{CommError, ReduceOp, SlotUse, Transport};
+use ec_ssp::{Clock, SspPolicy};
+
+use crate::topology::hypercube_partner;
+
+/// Run one `d = log2(P)`-step hypercube allreduce over `n` payload elements
+/// on transport `t`; returns one [`SlotUse`] per step.
+///
+/// In step `k` the rank sends its current partial reduction — stamped with
+/// the minimum clock of everything folded into it so far — into the step-`k`
+/// slot of its hypercube partner (`slot_stride` elements per slot: one stamp
+/// element plus `n` data elements), then consults its *own* slot `k` under
+/// the SSP discipline: a remembered contribution at most `policy.slack()`
+/// iterations old is used immediately, otherwise the rank blocks for a fresh
+/// one.  With zero slack this is a fully synchronous hypercube allreduce,
+/// which is exactly what recording transports render.
+///
+/// The caller derives the result clock by merging the returned slot clocks
+/// and classifies each step as fresh/stale/waited for its statistics.
+pub fn ssp_hypercube_allreduce<T: Transport>(
+    t: &mut T,
+    n: usize,
+    slot_stride: usize,
+    dims: u32,
+    op: ReduceOp,
+    clock: Clock,
+    policy: SspPolicy,
+) -> Result<Vec<SlotUse>, CommError> {
+    let rank = t.rank();
+    let mut part_clock = clock;
+    let mut uses = Vec::with_capacity(dims as usize);
+    for k in 0..dims {
+        let partner = hypercube_partner(rank, k);
+        let slot_off = k as usize * slot_stride;
+        t.put_stamped(partner, slot_off, 0..n, part_clock, k)?;
+        let slot_use = t.slot_reduce(slot_off, n, k, clock, policy, op, 0..n)?;
+        part_clock = part_clock.merge(slot_use.clock);
+        uses.push(slot_use);
+    }
+    Ok(uses)
+}

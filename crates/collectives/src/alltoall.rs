@@ -7,9 +7,15 @@
 //! each.  A per-call "buffer free" notification from the receiver to every
 //! writer implements the Figure 1 producer/consumer handshake, which makes
 //! the handle safe to reuse back-to-back.
+//!
+//! The algorithm body is single-sourced in [`crate::algo::alltoall`]; this
+//! module provides the threaded handle that runs it on a byte-granular
+//! `ec_comm::ThreadedTransport`.
 
+use ec_comm::ThreadedTransport;
 use ec_gaspi::{Context, SegmentId};
 
+use crate::algo;
 use crate::error::{CollectiveError, Result};
 
 /// Direct one-sided AlltoAll handle.
@@ -45,21 +51,15 @@ impl<'a> AllToAll<'a> {
         self.capacity_block
     }
 
-    fn data_notify(src: usize) -> u32 {
-        src as u32
-    }
-
-    fn ready_notify(&self, src: usize) -> u32 {
-        (self.ctx.num_ranks() + src) as u32
-    }
-
     /// Exchange `block` bytes with every rank: `send[j*block..(j+1)*block]`
     /// ends up in `recv[i*block..(i+1)*block]` on rank `j`, where `i` is the
     /// calling rank.
+    ///
+    /// The algorithm body lives in [`crate::algo::alltoall_direct`] and is
+    /// shared with the schedule generator; this wrapper validates the buffers
+    /// and enables the per-call handshake that makes the handle reusable.
     pub fn run(&self, send: &[u8], recv: &mut [u8], block: usize) -> Result<()> {
-        let ctx = self.ctx;
-        let p = ctx.num_ranks();
-        let rank = ctx.rank();
+        let p = self.ctx.num_ranks();
         if block == 0 {
             return Err(CollectiveError::EmptyPayload);
         }
@@ -73,50 +73,8 @@ impl<'a> AllToAll<'a> {
             return Err(CollectiveError::LengthMismatch { expected: p * block, actual: recv.len() });
         }
 
-        // Our own block never touches the network.
-        recv[rank * block..(rank + 1) * block].copy_from_slice(&send[rank * block..(rank + 1) * block]);
-        if p == 1 {
-            return Ok(());
-        }
-
-        // 1. Announce to every peer that our landing slots are free.
-        for peer in 0..p {
-            if peer != rank {
-                ctx.notify(peer, self.segment, self.ready_notify(rank), 1, 0)?;
-            }
-        }
-
-        // 2. Write our block to every peer once the peer's slot is free.
-        for peer in 0..p {
-            if peer == rank {
-                continue;
-            }
-            ctx.notify_waitsome(self.segment, self.ready_notify(peer), 1, None)?;
-            ctx.notify_reset(self.segment, self.ready_notify(peer))?;
-            ctx.write_notify(
-                peer,
-                self.segment,
-                rank * self.capacity_block,
-                &send[peer * block..(peer + 1) * block],
-                Self::data_notify(rank),
-                1,
-                0,
-            )?;
-        }
-
-        // 3. Wait for the P-1 blocks addressed to us, resetting each
-        //    notification as it is consumed (gaspi_notify_reset).
-        let mut pending = p - 1;
-        let mut buf = vec![0u8; block];
-        while pending > 0 {
-            let id = ctx.notify_waitsome(self.segment, 0, p as u32, None)?;
-            ctx.notify_reset(self.segment, id)?;
-            let src = id as usize;
-            debug_assert_ne!(src, rank);
-            ctx.segment_read(self.segment, src * self.capacity_block, &mut buf)?;
-            recv[src * block..(src + 1) * block].copy_from_slice(&buf);
-            pending -= 1;
-        }
+        let mut t = ThreadedTransport::bytes(self.ctx, self.segment, send, recv);
+        algo::alltoall_direct(&mut t, block, self.capacity_block, true)?;
         Ok(())
     }
 
@@ -124,7 +82,10 @@ impl<'a> AllToAll<'a> {
     pub fn run_f64s(&self, send: &[f64], recv: &mut [f64], block_elems: usize) -> Result<()> {
         let p = self.ctx.num_ranks();
         if send.len() != p * block_elems || recv.len() != p * block_elems {
-            return Err(CollectiveError::LengthMismatch { expected: p * block_elems, actual: send.len().min(recv.len()) });
+            return Err(CollectiveError::LengthMismatch {
+                expected: p * block_elems,
+                actual: send.len().min(recv.len()),
+            });
         }
         let send_bytes: Vec<u8> = send.iter().flat_map(|v| v.to_le_bytes()).collect();
         let mut recv_bytes = vec![0u8; recv.len() * 8];
@@ -154,9 +115,7 @@ mod tests {
     }
 
     fn run_alltoall(p: usize, block: usize) -> (Vec<Vec<u8>>, Vec<Vec<u8>>) {
-        let inputs: Vec<Vec<u8>> = (0..p)
-            .map(|r| (0..p * block).map(|i| (r * 31 + i) as u8).collect())
-            .collect();
+        let inputs: Vec<Vec<u8>> = (0..p).map(|r| (0..p * block).map(|i| (r * 31 + i) as u8).collect()).collect();
         let expected = reference(&inputs, block);
         let inputs_clone = inputs.clone();
         let out = Job::new(GaspiConfig::new(p))

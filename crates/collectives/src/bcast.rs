@@ -6,26 +6,19 @@
 //! one-sidedly into its receive segment and announced by a notification.
 //! Interior ranks forward to their children as soon as their own data
 //! arrived, so the stages of the binomial tree overlap down the tree.
+//!
+//! The algorithm body is single-sourced in [`crate::algo::bcast`]; this
+//! module provides the threaded handle that runs it on an
+//! `ec_comm::ThreadedTransport`.
 
+use ec_comm::ThreadedTransport;
 use ec_gaspi::{Context, Rank, SegmentId};
 
+use crate::algo;
 use crate::error::{CollectiveError, Result};
 use crate::threshold::Threshold;
-use crate::topology::BinomialTree;
 
-/// How completion is acknowledged back up the tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum AckMode {
-    /// Only leaf ranks acknowledge to their parent, and parents wait only for
-    /// their leaf children — the paper's relaxed completion rule ("the
-    /// collective is considered complete when the outer nodes receive data").
-    Leaves,
-    /// Every child acknowledges after it has forwarded the data, and parents
-    /// wait for all children.  Slightly more synchronous, but makes the
-    /// handle safe to reuse back-to-back at arbitrary rates.
-    #[default]
-    AllChildren,
-}
+pub use crate::algo::bcast::AckMode;
 
 /// Outcome of one broadcast call on this rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,11 +42,6 @@ pub struct BroadcastBst<'a> {
     capacity: usize,
     ack_mode: AckMode,
 }
-
-/// Notification slot announcing the payload from the parent.
-const NOTIFY_DATA: u32 = 0;
-/// First notification slot for child acknowledgements (one per child index).
-const NOTIFY_ACK_BASE: u32 = 1;
 
 impl<'a> BroadcastBst<'a> {
     /// Default segment id used by [`BroadcastBst::new`].
@@ -93,9 +81,11 @@ impl<'a> BroadcastBst<'a> {
     /// of `data` are overwritten with the root's values; the tail keeps its
     /// previous (stale) contents — that is the eventually consistent
     /// semantics the paper proposes.
+    ///
+    /// The algorithm body lives in [`crate::algo::bcast_bst`] and is shared
+    /// with the schedule generator; this wrapper only validates the payload.
     pub fn run(&self, data: &mut [f64], root: Rank, threshold: Threshold) -> Result<BcastReport> {
-        let ctx = self.ctx;
-        let p = ctx.num_ranks();
+        let p = self.ctx.num_ranks();
         if root >= p {
             return Err(CollectiveError::InvalidRoot { root, ranks: p });
         }
@@ -106,64 +96,9 @@ impl<'a> BroadcastBst<'a> {
             return Err(CollectiveError::CapacityExceeded { requested: data.len(), capacity: self.capacity });
         }
         let ship = threshold.count_of(data.len());
-        let tree = BinomialTree::new(p, root);
-        let rank = ctx.rank();
-
-        if p == 1 {
-            return Ok(BcastReport { elements_shipped: ship, bytes_forwarded: 0, children: 0 });
-        }
-
-        // 1. Receive from the parent (unless we are the root).
-        if rank != root {
-            ctx.notify_waitsome(self.segment, NOTIFY_DATA, 1, None)?;
-            ctx.notify_reset(self.segment, NOTIFY_DATA)?;
-            let received = ctx.segment_read_f64s(self.segment, 0, ship)?;
-            data[..ship].copy_from_slice(&received);
-        }
-
-        // 2. Forward to our children as soon as our data is in place.
-        let children = tree.children(rank);
-        let mut bytes_forwarded = 0u64;
-        for &child in &children {
-            ctx.write_notify_f64s(child, self.segment, 0, &data[..ship], NOTIFY_DATA, 1, 0)?;
-            bytes_forwarded += (ship * 8) as u64;
-        }
-
-        // 3. Acknowledge / collect acknowledgements.
-        self.handle_acks(&tree, rank, &children)?;
-
-        Ok(BcastReport { elements_shipped: ship, bytes_forwarded, children: children.len() })
-    }
-
-    fn handle_acks(&self, tree: &BinomialTree, rank: Rank, children: &[Rank]) -> Result<()> {
-        let ctx = self.ctx;
-        let should_ack_parent = match self.ack_mode {
-            AckMode::Leaves => children.is_empty(),
-            AckMode::AllChildren => true,
-        };
-        if should_ack_parent {
-            if let Some(parent) = tree.parent(rank) {
-                let my_index = tree
-                    .children(parent)
-                    .iter()
-                    .position(|&c| c == rank)
-                    .expect("a rank is always among its parent's children");
-                ctx.notify(parent, self.segment, NOTIFY_ACK_BASE + my_index as u32, 1, 0)?;
-            }
-        }
-        // Wait for the acknowledgements we are owed.
-        for (idx, &child) in children.iter().enumerate() {
-            let expected = match self.ack_mode {
-                AckMode::Leaves => tree.is_leaf(child),
-                AckMode::AllChildren => true,
-            };
-            if expected {
-                let slot = NOTIFY_ACK_BASE + idx as u32;
-                ctx.notify_waitsome(self.segment, slot, 1, None)?;
-                ctx.notify_reset(self.segment, slot)?;
-            }
-        }
-        Ok(())
+        let mut t = ThreadedTransport::elems(self.ctx, self.segment, data);
+        let children = algo::bcast_bst(&mut t, ship, root, self.ack_mode)?;
+        Ok(BcastReport { elements_shipped: ship, bytes_forwarded: (children * ship * 8) as u64, children })
     }
 }
 
@@ -176,11 +111,8 @@ mod tests {
         Job::new(GaspiConfig::new(p))
             .run(move |ctx| {
                 let bcast = BroadcastBst::new(ctx, n).unwrap().with_ack_mode(ack);
-                let mut data = if ctx.rank() == 0 {
-                    (0..n).map(|i| i as f64 + 1.0).collect::<Vec<_>>()
-                } else {
-                    vec![-1.0; n]
-                };
+                let mut data =
+                    if ctx.rank() == 0 { (0..n).map(|i| i as f64 + 1.0).collect::<Vec<_>>() } else { vec![-1.0; n] };
                 bcast.run(&mut data, 0, threshold).unwrap();
                 data
             })

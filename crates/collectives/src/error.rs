@@ -1,5 +1,6 @@
 //! Error type for collective operations.
 
+use ec_comm::CommError;
 use ec_gaspi::GaspiError;
 
 /// Errors returned by collective operations.
@@ -35,11 +36,26 @@ pub enum CollectiveError {
         /// Actual element count.
         actual: usize,
     },
+    /// The transport backend cannot express the requested operation with its
+    /// payload model (e.g. a floating-point reduction over raw bytes).
+    UnsupportedTransportOp {
+        /// Name of the offending transport operation.
+        op: &'static str,
+    },
 }
 
 impl From<GaspiError> for CollectiveError {
     fn from(e: GaspiError) -> Self {
         CollectiveError::Runtime(e)
+    }
+}
+
+impl From<CommError> for CollectiveError {
+    fn from(e: CommError) -> Self {
+        match e {
+            CommError::Runtime(g) => CollectiveError::Runtime(g),
+            CommError::UnsupportedOp { op } => CollectiveError::UnsupportedTransportOp { op },
+        }
     }
 }
 
@@ -59,6 +75,9 @@ impl std::fmt::Display for CollectiveError {
             }
             CollectiveError::LengthMismatch { expected, actual } => {
                 write!(f, "buffer length mismatch: expected {expected}, got {actual}")
+            }
+            CollectiveError::UnsupportedTransportOp { op } => {
+                write!(f, "transport operation `{op}` is unsupported by this payload model")
             }
         }
     }

@@ -24,9 +24,12 @@
 //!   every other rank with a unique notification, then waits for the P-1
 //!   notifications addressed to it.
 //!
-//! Every collective also has a **schedule generator** in [`schedule`] that
-//! emits an `ec-netsim` program, which is how the paper's cluster-scale
-//! figures are regenerated without a cluster.
+//! Every collective's algorithm body is written **once**, generically over
+//! the `ec_comm::Transport` trait (see [`algo`]).  The handles above run the
+//! bodies on the threaded GASPI runtime; the **schedule generators** in
+//! [`schedule`] replay the same bodies on a recording transport to emit
+//! `ec-netsim` programs, which is how the paper's cluster-scale figures are
+//! regenerated without a cluster — with no second copy of any algorithm.
 //!
 //! ## Quick example
 //!
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod algo;
 pub mod alltoall;
 pub mod bcast;
 pub mod error;

@@ -11,8 +11,15 @@
 //! * [`ReduceMode::ProcessThreshold`] — the full payload is shipped but only
 //!   a fraction of the processes participate; the leaves joining in the last
 //!   tree stages are pruned first (Figure 10).
+//!
+//! The algorithm body is single-sourced in [`crate::algo::reduce`]; this
+//! module provides the threaded handle that runs it on an
+//! `ec_comm::ThreadedTransport`.
 
+use ec_comm::ThreadedTransport;
 use ec_gaspi::{Context, Rank, SegmentId};
+
+use crate::algo;
 
 use crate::error::{CollectiveError, Result};
 use crate::op::ReduceOp;
@@ -55,13 +62,7 @@ pub struct ReduceBst<'a> {
     ctx: &'a Context,
     segment: SegmentId,
     capacity: usize,
-    max_children: usize,
 }
-
-/// Notification slot: the parent tells this rank its slot may be written.
-const NOTIFY_READY: u32 = 0;
-/// First notification slot for data arriving from children (one per child index).
-const NOTIFY_DATA_BASE: u32 = 1;
 
 impl<'a> ReduceBst<'a> {
     /// Default segment id used by [`ReduceBst::new`].
@@ -83,16 +84,12 @@ impl<'a> ReduceBst<'a> {
         let max_children = if p <= 1 { 0 } else { (usize::BITS - (p - 1).leading_zeros()) as usize };
         let slots = max_children.max(1);
         ctx.segment_create(segment, slots * capacity_elems * 8)?;
-        Ok(Self { ctx, segment, capacity: capacity_elems, max_children })
+        Ok(Self { ctx, segment, capacity: capacity_elems })
     }
 
     /// Capacity in elements.
     pub fn capacity(&self) -> usize {
         self.capacity
-    }
-
-    fn slot_offset(&self, child_index: usize) -> usize {
-        child_index * self.capacity * 8
     }
 
     /// Reduce `contribution` towards `root` with operator `op` under the
@@ -101,10 +98,14 @@ impl<'a> ReduceBst<'a> {
     /// Only the root receives the result (`ReduceReport::result`).  With a
     /// data threshold, elements beyond the shipped prefix contain only the
     /// root's own contribution.
+    ///
+    /// The algorithm body lives in [`crate::algo::reduce_bst`] and is shared
+    /// with the schedule generators; this wrapper validates the payload,
+    /// resolves the [`ReduceMode`] into a shipped prefix plus an engagement
+    /// mask, and binds the per-child slot layout.
     pub fn run(&self, contribution: &[f64], root: Rank, op: ReduceOp, mode: ReduceMode) -> Result<ReduceReport> {
-        let ctx = self.ctx;
-        let p = ctx.num_ranks();
-        let rank = ctx.rank();
+        let p = self.ctx.num_ranks();
+        let rank = self.ctx.rank();
         if root >= p {
             return Err(CollectiveError::InvalidRoot { root, ranks: p });
         }
@@ -128,56 +129,12 @@ impl<'a> ReduceBst<'a> {
             return Ok(ReduceReport { result: None, elements_shipped: ship, engaged_ranks, participated: false });
         }
 
-        let children: Vec<Rank> = tree.children(rank).into_iter().filter(|&c| engaged[c]).collect();
-        debug_assert!(children.len() <= self.max_children.max(1));
         let mut acc = contribution.to_vec();
+        let mut t = ThreadedTransport::elems(self.ctx, self.segment, &mut acc);
+        algo::reduce_bst(&mut t, ship, root, op, &engaged, self.capacity)?;
 
-        // 1. Tell every engaged child that its slot in our segment is free.
-        for &child in &children {
-            ctx.notify(child, self.segment, NOTIFY_READY, 1, 0)?;
-        }
-
-        // 2. Collect the children's partial reductions as they arrive.
-        let mut pending = children.len();
-        let mut received = vec![false; children.len()];
-        while pending > 0 {
-            let first = NOTIFY_DATA_BASE;
-            let id = ctx.notify_waitsome(self.segment, first, children.len() as u32, None)?;
-            ctx.notify_reset(self.segment, id)?;
-            let idx = (id - NOTIFY_DATA_BASE) as usize;
-            debug_assert!(!received[idx], "duplicate contribution from child index {idx}");
-            received[idx] = true;
-            pending -= 1;
-            let child_data = ctx.segment_read_f64s(self.segment, self.slot_offset(idx), ship)?;
-            op.accumulate(&mut acc[..ship], &child_data);
-        }
-
-        // 3. Forward our partial reduction to the parent (unless we are root).
-        if rank != root {
-            if let Some(parent) = tree.parent(rank) {
-                let parent_children: Vec<Rank> =
-                    tree.children(parent).into_iter().filter(|&c| engaged[c]).collect();
-                let my_index = parent_children
-                    .iter()
-                    .position(|&c| c == rank)
-                    .expect("an engaged rank is among its parent's engaged children");
-                // Wait for the parent's "slot free" announcement, then write.
-                ctx.notify_waitsome(self.segment, NOTIFY_READY, 1, None)?;
-                ctx.notify_reset(self.segment, NOTIFY_READY)?;
-                ctx.write_notify_f64s(
-                    parent,
-                    self.segment,
-                    my_index * self.capacity * 8,
-                    &acc[..ship],
-                    NOTIFY_DATA_BASE + my_index as u32,
-                    1,
-                    0,
-                )?;
-            }
-            return Ok(ReduceReport { result: None, elements_shipped: ship, engaged_ranks, participated: true });
-        }
-
-        Ok(ReduceReport { result: Some(acc), elements_shipped: ship, engaged_ranks, participated: true })
+        let result = if rank == root { Some(acc) } else { None };
+        Ok(ReduceReport { result, elements_shipped: ship, engaged_ranks, participated: true })
     }
 }
 

@@ -12,14 +12,17 @@
 //! Synchronization uses only notifications — there is no barrier between the
 //! two stages, which is exactly the advantage over the MPI ring variants the
 //! paper points out.
+//!
+//! The algorithm body is single-sourced in [`crate::algo::ring`]; this module
+//! provides the threaded handle that runs it on an `ec_comm::ThreadedTransport`.
 
+use ec_comm::ThreadedTransport;
 use ec_gaspi::{Context, SegmentId};
 
+use crate::algo;
 use crate::error::{CollectiveError, Result};
 use crate::op::ReduceOp;
-use crate::topology::{
-    allgather_recv_chunk, allgather_send_chunk, chunk_ranges, ring_next, scatter_recv_chunk, scatter_send_chunk,
-};
+use crate::topology::chunk_ranges;
 
 /// Segmented pipelined ring allreduce handle.
 #[derive(Debug)]
@@ -60,98 +63,22 @@ impl<'a> RingAllreduce<'a> {
         self.capacity
     }
 
-    fn scratch_offset(&self, step: usize) -> usize {
-        (self.capacity + step * self.max_chunk) * 8
-    }
-
-    /// Notification id for scatter-reduce step `step`.
-    fn scatter_notify(step: usize) -> u32 {
-        step as u32
-    }
-
-    /// Notification id for allgather step `step`.
-    fn allgather_notify(&self, step: usize) -> u32 {
-        (self.ctx.num_ranks() - 1 + step) as u32
-    }
-
     /// Allreduce `data` in place with operator `op`; on return every rank
     /// holds the element-wise reduction over all ranks' inputs.
+    ///
+    /// The algorithm body lives in [`crate::algo::ring_allreduce`] and is
+    /// shared with the schedule generator; this wrapper only validates the
+    /// payload and binds the segment layout.
     pub fn run(&self, data: &mut [f64], op: ReduceOp) -> Result<()> {
-        let ctx = self.ctx;
-        let p = ctx.num_ranks();
-        let rank = ctx.rank();
         if data.is_empty() {
             return Err(CollectiveError::EmptyPayload);
         }
         if data.len() > self.capacity {
             return Err(CollectiveError::CapacityExceeded { requested: data.len(), capacity: self.capacity });
         }
-        if p == 1 {
-            return Ok(());
-        }
         let n = data.len();
-        let chunks = chunk_ranges(n, p);
-        let next = ring_next(rank, p);
-
-        // Stage 1: scatter-reduce.  After step k we have reduced the chunk
-        // arriving from our predecessor into our local copy.
-        for step in 0..p - 1 {
-            let send_chunk = scatter_send_chunk(rank, step, p);
-            let (s_start, s_len) = chunks[send_chunk];
-            if s_len > 0 {
-                ctx.write_notify_f64s(
-                    next,
-                    self.segment,
-                    self.scratch_offset(step),
-                    &data[s_start..s_start + s_len],
-                    Self::scatter_notify(step),
-                    1,
-                    0,
-                )?;
-            } else {
-                // Zero-length chunk: still notify so the receiver's step count stays aligned.
-                ctx.notify(next, self.segment, Self::scatter_notify(step), 1, 0)?;
-            }
-
-            ctx.notify_waitsome(self.segment, Self::scatter_notify(step), 1, None)?;
-            ctx.notify_reset(self.segment, Self::scatter_notify(step))?;
-            let recv_chunk = scatter_recv_chunk(rank, step, p);
-            let (r_start, r_len) = chunks[recv_chunk];
-            if r_len > 0 {
-                let incoming = ctx.segment_read_f64s(self.segment, self.scratch_offset(step), r_len)?;
-                op.accumulate(&mut data[r_start..r_start + r_len], &incoming);
-            }
-        }
-
-        // Stage 2: allgather.  The fully reduced chunks circulate once around
-        // the ring, landing directly at their final offsets.
-        for step in 0..p - 1 {
-            let send_chunk = allgather_send_chunk(rank, step, p);
-            let (s_start, s_len) = chunks[send_chunk];
-            if s_len > 0 {
-                ctx.write_notify_f64s(
-                    next,
-                    self.segment,
-                    s_start * 8,
-                    &data[s_start..s_start + s_len],
-                    self.allgather_notify(step),
-                    1,
-                    0,
-                )?;
-            } else {
-                ctx.notify(next, self.segment, self.allgather_notify(step), 1, 0)?;
-            }
-
-            ctx.notify_waitsome(self.segment, self.allgather_notify(step), 1, None)?;
-            ctx.notify_reset(self.segment, self.allgather_notify(step))?;
-            let recv_chunk = allgather_recv_chunk(rank, step, p);
-            let (r_start, r_len) = chunks[recv_chunk];
-            if r_len > 0 {
-                let incoming = ctx.segment_read_f64s(self.segment, r_start * 8, r_len)?;
-                data[r_start..r_start + r_len].copy_from_slice(&incoming);
-            }
-        }
-
+        let mut t = ThreadedTransport::elems(self.ctx, self.segment, data);
+        algo::ring_allreduce(&mut t, n, self.capacity, self.max_chunk, op)?;
         Ok(())
     }
 }

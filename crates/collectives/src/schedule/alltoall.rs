@@ -1,26 +1,28 @@
-//! Schedule generator for the direct one-sided AlltoAll.
+//! Schedule shim for the direct one-sided AlltoAll: the single-sourced body
+//! in [`crate::algo::alltoall`] replayed on an
+//! [`ec_comm::RecordingTransport`].
 
-use ec_netsim::{Program, ProgramBuilder};
+use ec_comm::RecordingTransport;
+use ec_netsim::Program;
+
+use crate::algo;
 
 /// Build the `gaspi_alltoall` schedule: every rank writes its `block_bytes`
 /// block to every other rank with a unique notification, then waits for the
 /// `P - 1` notifications addressed to it (Section IV-B, Figure 13).
+///
+/// The schedule is recorded from the same algorithm body the threaded
+/// implementation executes, without the per-call reuse handshake: it models a
+/// single collective over initially-free landing slots, which is what the
+/// paper's figures time.
 pub fn alltoall_direct_schedule(ranks: usize, block_bytes: u64) -> Program {
-    let mut b = ProgramBuilder::new(ranks);
-    if ranks <= 1 {
-        return b.build();
-    }
+    let mut rec = RecordingTransport::new(ranks, 1);
     for rank in 0..ranks {
-        // Issue all writes first: they are one-sided and overlap freely.
-        for offset in 1..ranks {
-            let peer = (rank + offset) % ranks;
-            b.put_notify(rank, peer, block_bytes, rank as u32);
-        }
-        // Then wait for everything addressed to us.
-        let expected: Vec<u32> = (0..ranks).filter(|&r| r != rank).map(|r| r as u32).collect();
-        b.wait_notify(rank, &expected);
+        rec.set_rank(rank);
+        algo::alltoall_direct(&mut rec, block_bytes as usize, block_bytes as usize, false)
+            .expect("recording is infallible");
     }
-    b.build()
+    rec.finish()
 }
 
 #[cfg(test)]
@@ -44,12 +46,9 @@ mod tests {
         let p = nodes * ppn;
         let prog = alltoall_direct_schedule(p, 8192);
         validate(&prog, p).unwrap();
-        let shared = Engine::new(ClusterSpec::homogeneous(nodes, ppn), CostModel::galileo_opa())
-            .makespan(&prog)
-            .unwrap();
-        let spread = Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::galileo_opa())
-            .makespan(&prog)
-            .unwrap();
+        let shared =
+            Engine::new(ClusterSpec::homogeneous(nodes, ppn), CostModel::galileo_opa()).makespan(&prog).unwrap();
+        let spread = Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::galileo_opa()).makespan(&prog).unwrap();
         assert!(shared > spread, "sharing a NIC among {ppn} ranks must cost time");
     }
 
@@ -60,9 +59,8 @@ mod tests {
         let t4 = Engine::new(ClusterSpec::homogeneous(4, 1), cost.clone())
             .makespan(&alltoall_direct_schedule(4, block))
             .unwrap();
-        let t16 = Engine::new(ClusterSpec::homogeneous(16, 1), cost)
-            .makespan(&alltoall_direct_schedule(16, block))
-            .unwrap();
+        let t16 =
+            Engine::new(ClusterSpec::homogeneous(16, 1), cost).makespan(&alltoall_direct_schedule(16, block)).unwrap();
         let ratio = t16 / t4;
         assert!(ratio > 3.0 && ratio < 7.0, "alltoall scales ~linearly in P, got ratio {ratio}");
     }

@@ -1,54 +1,30 @@
-//! Schedule generator for the binomial-spanning-tree broadcast.
+//! Schedule shim for the binomial-spanning-tree broadcast: the single-sourced
+//! body in [`crate::algo::bcast`] replayed on an
+//! [`ec_comm::RecordingTransport`].
 
-use ec_netsim::{Program, ProgramBuilder};
+use ec_comm::RecordingTransport;
+use ec_netsim::Program;
 
-use crate::topology::BinomialTree;
-
-/// Notification id announcing payload from the parent.
-const NOTIFY_DATA: u32 = 0;
-/// First notification id for leaf acknowledgements.
-const NOTIFY_ACK_BASE: u32 = 1;
+use crate::algo::{self, AckMode};
 
 /// Build the `gaspi_bcast` schedule for `ranks` ranks broadcasting
 /// `total_bytes` from rank 0, shipping only `threshold` (a fraction in
 /// `(0, 1]`) of the payload — the eventually consistent variant of Figure 8.
 ///
-/// The schedule mirrors the threaded implementation with the paper's relaxed
-/// completion rule: leaves acknowledge their parent with a payload-free
-/// notification; interior ranks forward as soon as their data arrived.
+/// The schedule is recorded from the same algorithm body the threaded
+/// implementation executes, instantiated with the paper's relaxed completion
+/// rule ([`AckMode::Leaves`]): leaves acknowledge their parent with a
+/// payload-free notification; interior ranks forward as soon as their data
+/// arrived.
 pub fn bcast_bst_schedule(ranks: usize, total_bytes: u64, threshold: f64) -> Program {
     assert!(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0, 1]");
     let ship = ((total_bytes as f64 * threshold).round() as u64).clamp(1, total_bytes.max(1));
-    let tree = BinomialTree::new(ranks, 0);
-    let mut b = ProgramBuilder::new(ranks);
-
+    let mut rec = RecordingTransport::new(ranks, 1);
     for rank in 0..ranks {
-        if rank != 0 {
-            b.wait_notify(rank, &[NOTIFY_DATA]);
-        }
-        let children = tree.children(rank);
-        for &child in &children {
-            b.put_notify(rank, child, ship, NOTIFY_DATA);
-        }
-        // Relaxed acknowledgements: only leaves report back to their parent.
-        if children.is_empty() {
-            if let Some(parent) = tree.parent(rank) {
-                let idx = tree.children(parent).iter().position(|&c| c == rank).expect("child index") as u32;
-                b.notify(rank, parent, NOTIFY_ACK_BASE + idx);
-            }
-        } else {
-            let leaf_acks: Vec<u32> = children
-                .iter()
-                .enumerate()
-                .filter(|(_, &c)| tree.is_leaf(c))
-                .map(|(i, _)| NOTIFY_ACK_BASE + i as u32)
-                .collect();
-            if !leaf_acks.is_empty() {
-                b.wait_notify(rank, &leaf_acks);
-            }
-        }
+        rec.set_rank(rank);
+        algo::bcast_bst(&mut rec, ship as usize, 0, AckMode::Leaves).expect("recording is infallible");
     }
-    b.build()
+    rec.finish()
 }
 
 #[cfg(test)]
@@ -89,9 +65,8 @@ mod tests {
         let t4 = Engine::new(ClusterSpec::homogeneous(4, 1), cost.clone())
             .makespan(&bcast_bst_schedule(4, 1000, 1.0))
             .unwrap();
-        let t32 = Engine::new(ClusterSpec::homogeneous(32, 1), cost)
-            .makespan(&bcast_bst_schedule(32, 1000, 1.0))
-            .unwrap();
+        let t32 =
+            Engine::new(ClusterSpec::homogeneous(32, 1), cost).makespan(&bcast_bst_schedule(32, 1000, 1.0)).unwrap();
         // log2(32)/log2(4) = 2.5; allow slack for serialization at the root.
         assert!(t32 / t4 < 4.5, "broadcast must scale logarithmically, got ratio {}", t32 / t4);
     }

@@ -7,9 +7,11 @@
 //! [`ec_netsim::Engine`] with one of the cluster presets regenerates the
 //! paper's evaluation figures at 2–32 nodes without a cluster.
 //!
-//! The generators mirror the threaded implementations in this crate
-//! one-to-one (same trees, same chunk schedules, same notification
-//! structure); only the payload movement is abstracted into byte counts.
+//! The generators are thin shims: they replay the **same single-sourced
+//! algorithm bodies** from [`crate::algo`] that the threaded handles execute,
+//! on an [`ec_comm::RecordingTransport`] that abstracts payloads into byte
+//! counts.  Agreement with the threaded implementations is structural, not a
+//! documentation promise — the two cannot drift apart.
 
 pub mod alltoall;
 pub mod bcast;

@@ -1,13 +1,12 @@
-//! Schedule generators for the binomial-tree reduce variants.
+//! Schedule shims for the binomial-tree reduce variants: the single-sourced
+//! body in [`crate::algo::reduce`] replayed on an
+//! [`ec_comm::RecordingTransport`].
 
-use ec_netsim::{Program, ProgramBuilder};
+use ec_comm::{RecordingTransport, ReduceOp};
+use ec_netsim::Program;
 
+use crate::algo;
 use crate::topology::BinomialTree;
-
-/// Notification id: the parent announces a child's slot is writable.
-const NOTIFY_READY: u32 = 0;
-/// First notification id for data arriving from children.
-const NOTIFY_DATA_BASE: u32 = 1;
 
 /// Build the `gaspi_reduce` schedule with a **data threshold**: every rank
 /// participates but only `threshold` of the payload is shipped and reduced
@@ -15,7 +14,7 @@ const NOTIFY_DATA_BASE: u32 = 1;
 pub fn reduce_bst_schedule(ranks: usize, total_bytes: u64, threshold: f64) -> Program {
     assert!(threshold > 0.0 && threshold <= 1.0);
     let ship = ((total_bytes as f64 * threshold).round() as u64).clamp(1, total_bytes.max(1));
-    build(ranks, ship, &vec![true; ranks])
+    record(ranks, ship, &vec![true; ranks])
 }
 
 /// Build the `gaspi_reduce` schedule with a **process threshold**: the full
@@ -25,41 +24,18 @@ pub fn reduce_process_threshold_schedule(ranks: usize, total_bytes: u64, thresho
     assert!(threshold > 0.0 && threshold <= 1.0);
     let tree = BinomialTree::new(ranks, 0);
     let engaged = tree.engaged_under_process_threshold(threshold);
-    build(ranks, total_bytes.max(1), &engaged)
+    record(ranks, total_bytes.max(1), &engaged)
 }
 
-fn build(ranks: usize, ship_bytes: u64, engaged: &[bool]) -> Program {
-    let tree = BinomialTree::new(ranks, 0);
-    let mut b = ProgramBuilder::new(ranks);
+fn record(ranks: usize, ship_bytes: u64, engaged: &[bool]) -> Program {
+    let mut rec = RecordingTransport::new(ranks, 1);
     for rank in 0..ranks {
-        if !engaged[rank] {
-            continue;
-        }
-        let children: Vec<usize> = tree.children(rank).into_iter().filter(|&c| engaged[c]).collect();
-        // 1. Announce slot availability to every engaged child.
-        for &child in &children {
-            b.notify(rank, child, NOTIFY_READY);
-        }
-        // 2. Collect and reduce the children's partial results.  Children
-        //    with smaller subtrees finish earlier, so waiting for them first
-        //    (reverse index order) lets their reductions overlap with the
-        //    wait for the deep subtrees — this mirrors the threaded
-        //    implementation, which consumes notifications in arrival order.
-        for (idx, _) in children.iter().enumerate().rev() {
-            b.wait_notify(rank, &[NOTIFY_DATA_BASE + idx as u32]);
-            b.reduce(rank, ship_bytes);
-        }
-        // 3. Forward our partial reduction to the parent.
-        if rank != 0 {
-            if let Some(parent) = tree.parent(rank) {
-                let siblings: Vec<usize> = tree.children(parent).into_iter().filter(|&c| engaged[c]).collect();
-                let my_index = siblings.iter().position(|&c| c == rank).expect("engaged child index") as u32;
-                b.wait_notify(rank, &[NOTIFY_READY]);
-                b.put_notify(rank, parent, ship_bytes, NOTIFY_DATA_BASE + my_index);
-            }
-        }
+        rec.set_rank(rank);
+        // The slot stride is segment layout, which the recorder ignores.
+        algo::reduce_bst(&mut rec, ship_bytes as usize, 0, ReduceOp::Sum, engaged, ship_bytes as usize)
+            .expect("recording is infallible");
     }
-    b.build()
+    rec.finish()
 }
 
 #[cfg(test)]
@@ -118,5 +94,22 @@ mod tests {
             assert!(prog.ranks[r].is_empty(), "rank {r} should be pruned");
         }
         assert!(!prog.ranks[0].is_empty());
+    }
+
+    #[test]
+    fn children_are_awaited_in_reverse_index_order() {
+        // The recorder linearizes waitsome arrival last-to-first: shallow
+        // subtrees land first, overlapping the wait for the deep ones.
+        let prog = reduce_bst_schedule(8, 1000, 1.0);
+        let waited: Vec<u32> = prog.ranks[0]
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::WaitNotify { ids } => Some(ids[0]),
+                _ => None,
+            })
+            .collect();
+        // Rank 0 has three children (ranks 1, 2, 4 => slots 1, 2, 3).
+        assert_eq!(waited, vec![3, 2, 1]);
     }
 }

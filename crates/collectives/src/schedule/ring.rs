@@ -1,68 +1,54 @@
-//! Schedule generators for the segmented pipelined ring allreduce and the
-//! plain hypercube allreduce.
+//! Schedule shims for the segmented pipelined ring allreduce and the plain
+//! hypercube allreduce: the single-sourced bodies in [`crate::algo`] replayed
+//! on an [`ec_comm::RecordingTransport`].
 
-use ec_netsim::{Program, ProgramBuilder};
+use ec_comm::{RecordingTransport, ReduceOp};
+use ec_netsim::Program;
+use ec_ssp::{Clock, SspPolicy};
 
-use crate::topology::{
-    allgather_send_chunk, chunk_ranges, hypercube_dims, hypercube_partner, ring_next, scatter_recv_chunk,
-    scatter_send_chunk,
-};
+use crate::algo;
+use crate::topology::{chunk_ranges, hypercube_dims};
 
 /// Build the `gaspi_allreduce_ring` schedule: scatter-reduce followed by
 /// allgather, each of `P - 1` steps, synchronized only by notifications
 /// (Figures 4–5, 11–12).
+///
+/// Chunks smaller than one byte (possible when `total_bytes < ranks`) are
+/// announced with payload-free notifications instead of zero-byte puts.
 pub fn ring_allreduce_schedule(ranks: usize, total_bytes: u64) -> Program {
-    let mut b = ProgramBuilder::new(ranks);
-    if ranks <= 1 {
-        return b.build();
-    }
-    let chunks = chunk_ranges(total_bytes as usize, ranks);
-    let chunk_bytes = |c: usize| chunks[c].1 as u64;
-
-    for rank in 0..ranks {
-        let next = ring_next(rank, ranks);
-        // Stage 1: scatter-reduce.
-        for step in 0..ranks - 1 {
-            let send = chunk_bytes(scatter_send_chunk(rank, step, ranks));
-            b.put_notify(rank, next, send, step as u32);
-            b.wait_notify(rank, &[step as u32]);
-            let recv = chunk_bytes(scatter_recv_chunk(rank, step, ranks));
-            b.reduce(rank, recv);
-        }
-        // Stage 2: allgather (no reduction, chunks land at their final spot).
-        for step in 0..ranks - 1 {
-            let send = chunk_bytes(allgather_send_chunk(rank, step, ranks));
-            let id = (ranks - 1 + step) as u32;
-            b.put_notify(rank, next, send, id);
-            b.wait_notify(rank, &[id]);
+    let mut rec = RecordingTransport::new(ranks, 1);
+    if ranks > 1 {
+        let n = total_bytes as usize;
+        let scratch_stride = chunk_ranges(n, ranks)[0].1.max(1);
+        for rank in 0..ranks {
+            rec.set_rank(rank);
+            algo::ring_allreduce(&mut rec, n, n, scratch_stride, ReduceOp::Sum).expect("recording is infallible");
         }
     }
-    b.build()
+    rec.finish()
 }
 
 /// Build a fully synchronous hypercube allreduce schedule: `log2(P)` steps,
 /// each exchanging the *entire* vector with the step partner and reducing it.
 ///
 /// This is the communication structure underlying `allreduce_ssp`
-/// (Algorithm 1) when no staleness is exploited; the paper uses it to explain
+/// (Algorithm 1) when no staleness is exploited; recording the SSP body with
+/// zero slack renders exactly this structure, which the paper uses to explain
 /// why the SSP collective cannot compete with the ring for large vectors
 /// (Figure 7, left).
 pub fn hypercube_allreduce_schedule(ranks: usize, total_bytes: u64) -> Program {
-    let mut b = ProgramBuilder::new(ranks);
-    let Some(dims) = hypercube_dims(ranks) else {
-        // Non-power-of-two rank counts are not supported by the hypercube;
-        // emit an empty program (callers check `hypercube_dims` themselves).
-        return b.build();
-    };
-    for rank in 0..ranks {
-        for k in 0..dims {
-            let partner = hypercube_partner(rank, k);
-            b.put_notify(rank, partner, total_bytes, k);
-            b.wait_notify(rank, &[k]);
-            b.reduce(rank, total_bytes);
+    let mut rec = RecordingTransport::new(ranks, 1);
+    if let Some(dims) = hypercube_dims(ranks) {
+        let n = total_bytes as usize;
+        for rank in 0..ranks {
+            rec.set_rank(rank);
+            algo::ssp_hypercube_allreduce(&mut rec, n, n + 1, dims, ReduceOp::Sum, Clock::from(1), SspPolicy::new(0))
+                .expect("recording is infallible");
         }
     }
-    b.build()
+    // Non-power-of-two rank counts are not supported by the hypercube; the
+    // program stays empty (callers check `hypercube_dims` themselves).
+    rec.finish()
 }
 
 #[cfg(test)]
@@ -108,6 +94,27 @@ mod tests {
     #[test]
     fn non_power_of_two_hypercube_is_empty() {
         assert_eq!(hypercube_allreduce_schedule(6, 100).total_ops(), 0);
+    }
+
+    #[test]
+    fn tiny_payload_emits_no_zero_byte_puts() {
+        // 3 bytes over 8 ranks: most chunks are empty and must travel as
+        // payload-free notifications, which still validates and simulates.
+        let p = 8;
+        let prog = ring_allreduce_schedule(p, 3);
+        validate(&prog, p).unwrap();
+        let zero_byte_puts = prog
+            .ranks
+            .iter()
+            .flat_map(|r| &r.ops)
+            .filter(|op| matches!(op, ec_netsim::Op::PutNotify { bytes: 0, .. }))
+            .count();
+        assert_eq!(zero_byte_puts, 0, "empty chunks must travel as notifications");
+        let e = Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::test_model());
+        assert!(e.makespan(&prog).unwrap() > 0.0);
+        // Every rank circulates the three 1-byte chunks through both stages
+        // except the chunk it never sends: 2 * (8 * 3 - 3) bytes in total.
+        assert_eq!(prog.total_wire_bytes(), 42);
     }
 
     #[test]

@@ -17,15 +17,19 @@
 //! the clock attached to the final result lower-bounds the age of everything
 //! folded into it.  With `slack = 0` the collective degenerates to a fully
 //! synchronous hypercube allreduce.
+//!
+//! The hypercube structure is single-sourced in [`crate::algo::ssp`]; this
+//! module provides the stateful threaded handle (logical clock, receive
+//! slots, wait statistics) that runs it on an `ec_comm::ThreadedTransport`.
 
-use std::time::Instant;
-
+use ec_comm::ThreadedTransport;
 use ec_gaspi::{Context, SegmentId};
 use ec_ssp::{Clock, SspPolicy, WaitStats};
 
+use crate::algo;
 use crate::error::{CollectiveError, Result};
 use crate::op::ReduceOp;
-use crate::topology::{hypercube_dims, hypercube_partner};
+use crate::topology::hypercube_dims;
 
 /// Result of one `allreduce_ssp` call.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,17 +128,17 @@ impl<'a> SspAllreduce<'a> {
         &self.stats
     }
 
-    fn slot_offset(&self, step: u32) -> usize {
-        step as usize * (self.capacity + 1) * 8
-    }
-
     /// Perform one SSP allreduce of `contribution` with operator `op`.
     ///
     /// Advances the worker's logical clock by one.  The returned report
     /// carries the reduction result together with the clock of its oldest
     /// contribution; with `slack = 0` the result equals a classic allreduce.
+    ///
+    /// The hypercube structure lives in
+    /// [`crate::algo::ssp_hypercube_allreduce`] and is shared with the
+    /// schedule generator; this wrapper owns the logical clock and folds the
+    /// per-step slot outcomes into the wait statistics.
     pub fn run(&mut self, contribution: &[f64], op: ReduceOp) -> Result<SspAllreduceReport> {
-        let ctx = self.ctx;
         if contribution.is_empty() {
             return Err(CollectiveError::EmptyPayload);
         }
@@ -142,7 +146,6 @@ impl<'a> SspAllreduce<'a> {
             return Err(CollectiveError::CapacityExceeded { requested: contribution.len(), capacity: self.capacity });
         }
         let n = contribution.len();
-        let rank = ctx.rank();
 
         // Line 1 of Algorithm 1: advance the logical clock.
         self.clock = self.clock.tick();
@@ -150,48 +153,25 @@ impl<'a> SspAllreduce<'a> {
         let iteration_index = (clock.value().max(1) - 1) as usize;
 
         let mut part_red = contribution.to_vec();
+        let mut t = ThreadedTransport::elems(self.ctx, self.segment, &mut part_red);
+        let uses = algo::ssp_hypercube_allreduce(&mut t, n, self.capacity + 1, self.dims, op, clock, self.policy)?;
+
         let mut part_clock = clock;
         let mut stale_steps = 0usize;
         let mut waited_steps = 0usize;
-
-        for k in 0..self.dims {
-            let partner = hypercube_partner(rank, k);
-
-            // Send our partial reduction, stamped with its clock, into the
-            // partner's dedicated slot for this step.
-            let mut message = Vec::with_capacity(n + 1);
-            message.push(part_clock.value() as f64);
-            message.extend_from_slice(&part_red);
-            ctx.write_notify_f64s(partner, self.segment, self.slot_offset(k), &message, k, 1, 0)?;
-
-            // Use the last contribution remembered for this step, waiting
-            // only if it is staler than the allowed slack.
-            let mut waited_here = false;
-            let (rcv_clock, rcv_data) = loop {
-                let slot = ctx.segment_read_f64s(self.segment, self.slot_offset(k), n + 1)?;
-                let rcv_clock = Clock::from(slot[0] as i64);
-                if self.policy.is_acceptable(clock, rcv_clock) {
-                    break (rcv_clock, slot[1..].to_vec());
-                }
-                // Too stale: block until the partner's next update lands.
-                let t0 = Instant::now();
-                ctx.notify_waitsome(self.segment, k, 1, None)?;
-                ctx.notify_reset(self.segment, k)?;
-                self.stats.record_wait(iteration_index, t0.elapsed());
-                waited_here = true;
-            };
-            if waited_here {
+        for slot_use in &uses {
+            if !slot_use.waits.is_empty() {
                 waited_steps += 1;
-            } else if rcv_clock < clock {
+                for &wait in &slot_use.waits {
+                    self.stats.record_wait(iteration_index, wait);
+                }
+            } else if slot_use.clock < clock {
                 stale_steps += 1;
                 self.stats.record_stale_use();
             } else {
                 self.stats.record_fresh_use();
             }
-
-            // Line 12: reduce the received contribution into the partial one.
-            op.accumulate(&mut part_red, &rcv_data);
-            part_clock = part_clock.merge(rcv_clock);
+            part_clock = part_clock.merge(slot_use.clock);
         }
 
         Ok(SspAllreduceReport {
@@ -212,9 +192,7 @@ mod tests {
 
     #[test]
     fn power_of_two_is_required() {
-        let out = Job::new(GaspiConfig::new(3))
-            .run(|ctx| SspAllreduce::new(ctx, 4, 0).err())
-            .unwrap();
+        let out = Job::new(GaspiConfig::new(3)).run(|ctx| SspAllreduce::new(ctx, 4, 0).err()).unwrap();
         assert!(matches!(out[0], Some(CollectiveError::NotPowerOfTwo { ranks: 3 })));
     }
 

@@ -1,0 +1,56 @@
+//! Error type shared by all transport backends.
+
+use ec_gaspi::GaspiError;
+
+/// Errors surfaced by a [`crate::Transport`] backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The underlying GASPI runtime reported an error (threaded backend).
+    Runtime(GaspiError),
+    /// The backend's payload model cannot express the requested operation
+    /// (e.g. a floating-point reduction over a raw byte payload).
+    UnsupportedOp {
+        /// Name of the offending operation.
+        op: &'static str,
+    },
+}
+
+impl From<GaspiError> for CommError {
+    fn from(e: GaspiError) -> Self {
+        CommError::Runtime(e)
+    }
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Runtime(e) => write!(f, "transport runtime error: {e}"),
+            CommError::UnsupportedOp { op } => {
+                write!(f, "operation `{op}` is not supported by this transport's payload model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Result alias for transport operations.
+pub type Result<T> = std::result::Result<T, CommError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaspi_errors_convert() {
+        let e: CommError = GaspiError::Timeout.into();
+        assert_eq!(e, CommError::Runtime(GaspiError::Timeout));
+        assert!(e.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn unsupported_op_names_the_operation() {
+        let e = CommError::UnsupportedOp { op: "local_reduce" };
+        assert!(e.to_string().contains("local_reduce"));
+    }
+}

@@ -1,0 +1,264 @@
+//! [`RecordingTransport`]: the schedule-recorder backend emitting an
+//! `ec_netsim::Program`.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use ec_netsim::{Program, ProgramBuilder};
+use ec_ssp::{Clock, SspPolicy};
+
+use crate::error::Result;
+use crate::op::ReduceOp;
+use crate::transport::{NotifyId, Rank, SlotUse, Transport};
+
+/// [`Transport`] backend that executes a collective algorithm with payloads
+/// abstracted to byte counts and records every operation into an
+/// [`ec_netsim::Program`].
+///
+/// The recorder impersonates one rank at a time: drive it with
+/// [`RecordingTransport::set_rank`] through `0..ranks`, running the algorithm
+/// body once per rank, then take the accumulated program with
+/// [`RecordingTransport::finish`].  Element offsets are ignored (the cost
+/// model has no notion of segment layout); element counts are multiplied by
+/// the configured element width to obtain wire bytes.
+///
+/// Two operations record nothing by design, mirroring the paper's cost
+/// model: [`Transport::local_copy`] and [`Transport::buffer_copy`] (unpacking
+/// a landing zone is free; only reductions cost γ per byte).
+#[derive(Debug, Clone)]
+pub struct RecordingTransport {
+    builder: ProgramBuilder,
+    rank: Rank,
+    elem_bytes: u64,
+    /// Per [`Transport::wait_any`] id-set: how many arrivals were already
+    /// linearized (see `wait_any` for the ordering contract).
+    any_progress: HashMap<Vec<NotifyId>, usize>,
+}
+
+impl RecordingTransport {
+    /// Start recording a program for `ranks` ranks whose payload elements are
+    /// `elem_bytes` wide (8 for `f64` collectives, 1 for byte-granular ones).
+    pub fn new(ranks: usize, elem_bytes: u64) -> Self {
+        assert!(elem_bytes > 0, "elements must have a non-zero width");
+        Self { builder: ProgramBuilder::new(ranks), rank: 0, elem_bytes, any_progress: HashMap::new() }
+    }
+
+    /// Switch the recorder to impersonate `rank` for the next algorithm run.
+    pub fn set_rank(&mut self, rank: Rank) {
+        assert!(rank < self.builder.num_ranks(), "rank {rank} out of range");
+        self.rank = rank;
+        self.any_progress.clear();
+    }
+
+    /// Finish recording and return the program.
+    pub fn finish(self) -> Program {
+        self.builder.build()
+    }
+
+    fn bytes_of(&self, elems: usize) -> u64 {
+        elems as u64 * self.elem_bytes
+    }
+}
+
+impl Transport for RecordingTransport {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.builder.num_ranks()
+    }
+
+    fn put_notify(&mut self, dst: Rank, _dst_off: usize, src: Range<usize>, id: NotifyId) -> Result<()> {
+        if src.is_empty() {
+            self.builder.notify(self.rank, dst, id);
+        } else {
+            self.builder.put_notify(self.rank, dst, self.bytes_of(src.len()), id);
+        }
+        Ok(())
+    }
+
+    fn put_stamped(
+        &mut self,
+        dst: Rank,
+        _dst_off: usize,
+        src: Range<usize>,
+        _stamp: Clock,
+        id: NotifyId,
+    ) -> Result<()> {
+        // The clock stamp travels as part of the message header; the cost
+        // model charges only for the payload, so a stamp-only message is a
+        // payload-free notification.
+        if src.is_empty() {
+            self.builder.notify(self.rank, dst, id);
+        } else {
+            self.builder.put_notify(self.rank, dst, self.bytes_of(src.len()), id);
+        }
+        Ok(())
+    }
+
+    fn notify(&mut self, dst: Rank, id: NotifyId) -> Result<()> {
+        self.builder.notify(self.rank, dst, id);
+        Ok(())
+    }
+
+    fn wait_notify(&mut self, id: NotifyId) -> Result<()> {
+        self.builder.wait_notify(self.rank, &[id]);
+        Ok(())
+    }
+
+    fn wait_all(&mut self, ids: &[NotifyId]) -> Result<()> {
+        if !ids.is_empty() {
+            self.builder.wait_notify(self.rank, ids);
+        }
+        Ok(())
+    }
+
+    fn wait_any(&mut self, ids: &[NotifyId]) -> Result<NotifyId> {
+        // Deterministic arrival order: complete the listed ids last-to-first
+        // across consecutive calls.  In the binomial trees the later children
+        // root the deeper subtrees, so this lets the simulated rank overlap
+        // the early (shallow) contributions with the wait for the deep ones —
+        // the same heuristic the hand-written seed schedules used.
+        let served = self.any_progress.entry(ids.to_vec()).or_insert(0);
+        let id = ids[ids.len() - 1 - *served];
+        *served += 1;
+        // A completed round clears its progress so a later collective in the
+        // same recording can reuse the id set from scratch.
+        if *served == ids.len() {
+            self.any_progress.remove(ids);
+        }
+        self.builder.wait_notify(self.rank, &[id]);
+        Ok(id)
+    }
+
+    fn local_reduce(&mut self, _src_off: usize, dst: Range<usize>, _op: ReduceOp) -> Result<()> {
+        self.builder.reduce(self.rank, self.bytes_of(dst.len()));
+        Ok(())
+    }
+
+    fn local_copy(&mut self, _src_off: usize, _dst: Range<usize>) -> Result<()> {
+        Ok(())
+    }
+
+    fn buffer_copy(&mut self, _src: Range<usize>, _dst: Range<usize>) -> Result<()> {
+        Ok(())
+    }
+
+    fn slot_reduce(
+        &mut self,
+        _slot_off: usize,
+        len: usize,
+        id: NotifyId,
+        now: Clock,
+        _policy: SspPolicy,
+        _op: ReduceOp,
+        _dst: Range<usize>,
+    ) -> Result<SlotUse> {
+        // Recorded schedules render the fully synchronous hypercube: every
+        // step blocks for a fresh contribution and reduces it.
+        self.builder.wait_notify(self.rank, &[id]);
+        self.builder.reduce(self.rank, self.bytes_of(len));
+        Ok(SlotUse { clock: now, waits: Vec::new() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_netsim::Op;
+
+    #[test]
+    fn records_puts_with_scaled_byte_counts() {
+        let mut rec = RecordingTransport::new(2, 8);
+        rec.set_rank(0);
+        rec.put_notify(1, 0, 0..100, 4).unwrap();
+        let prog = rec.finish();
+        assert_eq!(prog.ranks[0].ops, vec![Op::PutNotify { dst: 1, bytes: 800, notify: 4 }]);
+    }
+
+    #[test]
+    fn empty_put_records_a_bare_notification() {
+        let mut rec = RecordingTransport::new(2, 8);
+        rec.put_notify(1, 0, 5..5, 2).unwrap();
+        let prog = rec.finish();
+        assert_eq!(prog.ranks[0].ops, vec![Op::Notify { dst: 1, notify: 2 }]);
+        assert_eq!(prog.total_wire_bytes(), 0);
+    }
+
+    #[test]
+    fn copies_are_free_reductions_are_not() {
+        let mut rec = RecordingTransport::new(1, 8);
+        rec.local_copy(0, 0..64).unwrap();
+        rec.buffer_copy(0..64, 64..128).unwrap();
+        rec.local_reduce(0, 0..64, ReduceOp::Sum).unwrap();
+        let prog = rec.finish();
+        assert_eq!(prog.ranks[0].ops, vec![Op::Reduce { bytes: 512 }]);
+    }
+
+    #[test]
+    fn wait_any_linearizes_last_to_first() {
+        let mut rec = RecordingTransport::new(1, 1);
+        let ids = [1u32, 2, 3];
+        assert_eq!(rec.wait_any(&ids).unwrap(), 3);
+        assert_eq!(rec.wait_any(&ids).unwrap(), 2);
+        assert_eq!(rec.wait_any(&ids).unwrap(), 1);
+        let prog = rec.finish();
+        let waited: Vec<_> = prog.ranks[0]
+            .ops
+            .iter()
+            .map(|op| match op {
+                Op::WaitNotify { ids } => ids[0],
+                other => panic!("unexpected op {other:?}"),
+            })
+            .collect();
+        assert_eq!(waited, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn wait_any_progress_resets_after_a_completed_round() {
+        // Two collectives recorded back-to-back for the same rank may reuse
+        // the same id set; each full round restarts the linearization.
+        let mut rec = RecordingTransport::new(1, 1);
+        let ids = [1u32, 2];
+        assert_eq!(rec.wait_any(&ids).unwrap(), 2);
+        assert_eq!(rec.wait_any(&ids).unwrap(), 1);
+        assert_eq!(rec.wait_any(&ids).unwrap(), 2);
+        assert_eq!(rec.wait_any(&ids).unwrap(), 1);
+    }
+
+    #[test]
+    fn set_rank_resets_wait_any_progress() {
+        let mut rec = RecordingTransport::new(2, 1);
+        let ids = [0u32, 1];
+        assert_eq!(rec.wait_any(&ids).unwrap(), 1);
+        rec.set_rank(1);
+        assert_eq!(rec.wait_any(&ids).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_stamped_put_records_a_bare_notification() {
+        let mut rec = RecordingTransport::new(2, 8);
+        rec.put_stamped(1, 0, 3..3, Clock::from(1), 4).unwrap();
+        let prog = rec.finish();
+        assert_eq!(prog.ranks[0].ops, vec![Op::Notify { dst: 1, notify: 4 }]);
+        assert_eq!(prog.total_wire_bytes(), 0);
+    }
+
+    #[test]
+    fn slot_reduce_records_the_synchronous_step() {
+        let mut rec = RecordingTransport::new(2, 8);
+        let u = rec.slot_reduce(0, 16, 7, Clock::from(3), SspPolicy::new(2), ReduceOp::Sum, 0..16).unwrap();
+        assert_eq!(u.clock, Clock::from(3));
+        assert!(u.waits.is_empty());
+        let prog = rec.finish();
+        assert_eq!(prog.ranks[0].ops, vec![Op::WaitNotify { ids: vec![7] }, Op::Reduce { bytes: 128 }]);
+    }
+
+    #[test]
+    fn wait_all_with_no_ids_records_nothing() {
+        let mut rec = RecordingTransport::new(1, 1);
+        rec.wait_all(&[]).unwrap();
+        assert_eq!(rec.finish().total_ops(), 0);
+    }
+}

@@ -1,0 +1,310 @@
+//! [`ThreadedTransport`]: the real-data backend over `ec_gaspi::Context`.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use ec_gaspi::{Context, SegmentId};
+use ec_ssp::{Clock, SspPolicy};
+
+use crate::error::{CommError, Result};
+use crate::op::ReduceOp;
+use crate::transport::{NotifyId, Rank, SlotUse, Transport};
+
+/// The payload a threaded transport operates on.
+///
+/// Value-carrying collectives (allreduce, broadcast, reduce) work in place on
+/// a single `f64` buffer; byte-granular collectives (AlltoAll) use a distinct
+/// send/receive pair addressed in bytes.
+#[derive(Debug)]
+enum Payload<'d> {
+    /// In-place `f64` working buffer; element = one double (8 bytes).
+    Elems(&'d mut [f64]),
+    /// Byte-granular send/receive pair; element = one byte.
+    Bytes {
+        /// Read-only source of outgoing [`Transport::put_notify`] ranges.
+        send: &'d [u8],
+        /// Destination of [`Transport::local_copy`] / [`Transport::buffer_copy`].
+        recv: &'d mut [u8],
+    },
+}
+
+/// [`Transport`] backend that executes the algorithm on the threaded GASPI
+/// runtime, moving real data between rank threads.
+///
+/// One instance is created per rank per collective call and borrows the
+/// caller's payload for the duration of the call.
+#[derive(Debug)]
+pub struct ThreadedTransport<'a> {
+    ctx: &'a Context,
+    segment: SegmentId,
+    payload: Payload<'a>,
+}
+
+impl<'a> ThreadedTransport<'a> {
+    /// Transport over an in-place `f64` payload (element = one double).
+    pub fn elems(ctx: &'a Context, segment: SegmentId, data: &'a mut [f64]) -> Self {
+        Self { ctx, segment, payload: Payload::Elems(data) }
+    }
+
+    /// Transport over a byte-granular send/receive pair (element = one byte).
+    pub fn bytes(ctx: &'a Context, segment: SegmentId, send: &'a [u8], recv: &'a mut [u8]) -> Self {
+        Self { ctx, segment, payload: Payload::Bytes { send, recv } }
+    }
+
+    /// Bytes per payload element of this transport.
+    fn elem_bytes(&self) -> usize {
+        match self.payload {
+            Payload::Elems(_) => 8,
+            Payload::Bytes { .. } => 1,
+        }
+    }
+}
+
+impl Transport for ThreadedTransport<'_> {
+    fn rank(&self) -> Rank {
+        self.ctx.rank()
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.ctx.num_ranks()
+    }
+
+    fn put_notify(&mut self, dst: Rank, dst_off: usize, src: Range<usize>, id: NotifyId) -> Result<()> {
+        if src.is_empty() {
+            return self.notify(dst, id);
+        }
+        let byte_off = dst_off * self.elem_bytes();
+        match &self.payload {
+            Payload::Elems(buf) => {
+                self.ctx.write_notify_f64s(dst, self.segment, byte_off, &buf[src], id, 1, 0)?;
+            }
+            Payload::Bytes { send, .. } => {
+                self.ctx.write_notify(dst, self.segment, byte_off, &send[src], id, 1, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn put_stamped(&mut self, dst: Rank, dst_off: usize, src: Range<usize>, stamp: Clock, id: NotifyId) -> Result<()> {
+        let Payload::Elems(buf) = &self.payload else {
+            return Err(CommError::UnsupportedOp { op: "put_stamped" });
+        };
+        let mut message = Vec::with_capacity(src.len() + 1);
+        message.push(stamp.value() as f64);
+        message.extend_from_slice(&buf[src]);
+        self.ctx.write_notify_f64s(dst, self.segment, dst_off * 8, &message, id, 1, 0)?;
+        Ok(())
+    }
+
+    fn notify(&mut self, dst: Rank, id: NotifyId) -> Result<()> {
+        self.ctx.notify(dst, self.segment, id, 1, 0)?;
+        Ok(())
+    }
+
+    fn wait_notify(&mut self, id: NotifyId) -> Result<()> {
+        self.ctx.notify_waitsome(self.segment, id, 1, None)?;
+        self.ctx.notify_reset(self.segment, id)?;
+        Ok(())
+    }
+
+    fn wait_all(&mut self, ids: &[NotifyId]) -> Result<()> {
+        for &id in ids {
+            self.wait_notify(id)?;
+        }
+        Ok(())
+    }
+
+    fn wait_any(&mut self, ids: &[NotifyId]) -> Result<NotifyId> {
+        let first = *ids.iter().min().expect("wait_any needs at least one id");
+        let last = *ids.iter().max().expect("wait_any needs at least one id");
+        // A hard assert, not a debug one: with a gap in the range, waitsome
+        // could consume (and lose) a notification the caller never listed.
+        assert_eq!((last - first) as usize + 1, ids.len(), "wait_any ids must be a contiguous slot range");
+        let id = self.ctx.notify_waitsome(self.segment, first, last - first + 1, None)?;
+        self.ctx.notify_reset(self.segment, id)?;
+        Ok(id)
+    }
+
+    fn local_reduce(&mut self, src_off: usize, dst: Range<usize>, op: ReduceOp) -> Result<()> {
+        let Payload::Elems(buf) = &mut self.payload else {
+            return Err(CommError::UnsupportedOp { op: "local_reduce" });
+        };
+        let incoming = self.ctx.segment_read_f64s(self.segment, src_off * 8, dst.len())?;
+        op.accumulate(&mut buf[dst], &incoming);
+        Ok(())
+    }
+
+    fn local_copy(&mut self, src_off: usize, dst: Range<usize>) -> Result<()> {
+        let byte_off = src_off * self.elem_bytes();
+        match &mut self.payload {
+            Payload::Elems(buf) => {
+                let incoming = self.ctx.segment_read_f64s(self.segment, byte_off, dst.len())?;
+                buf[dst].copy_from_slice(&incoming);
+            }
+            Payload::Bytes { recv, .. } => {
+                self.ctx.segment_read(self.segment, byte_off, &mut recv[dst])?;
+            }
+        }
+        Ok(())
+    }
+
+    fn buffer_copy(&mut self, src: Range<usize>, dst: Range<usize>) -> Result<()> {
+        match &mut self.payload {
+            Payload::Elems(buf) => {
+                if src != dst {
+                    buf.copy_within(src, dst.start);
+                }
+            }
+            Payload::Bytes { send, recv } => {
+                recv[dst].copy_from_slice(&send[src]);
+            }
+        }
+        Ok(())
+    }
+
+    fn slot_reduce(
+        &mut self,
+        slot_off: usize,
+        len: usize,
+        id: NotifyId,
+        now: Clock,
+        policy: SspPolicy,
+        op: ReduceOp,
+        dst: Range<usize>,
+    ) -> Result<SlotUse> {
+        let Payload::Elems(_) = &self.payload else {
+            return Err(CommError::UnsupportedOp { op: "slot_reduce" });
+        };
+        let mut waits = Vec::new();
+        loop {
+            // One locked read keeps the stamp and its data consistent.
+            let slot = self.ctx.segment_read_f64s(self.segment, slot_off * 8, len + 1)?;
+            let slot_clock = Clock::from(slot[0] as i64);
+            if policy.is_acceptable(now, slot_clock) {
+                let Payload::Elems(buf) = &mut self.payload else { unreachable!() };
+                op.accumulate(&mut buf[dst], &slot[1..]);
+                return Ok(SlotUse { clock: slot_clock, waits });
+            }
+            // Too stale: block until the partner's next update lands.
+            let t0 = Instant::now();
+            self.ctx.notify_waitsome(self.segment, id, 1, None)?;
+            self.ctx.notify_reset(self.segment, id)?;
+            waits.push(t0.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_gaspi::{GaspiConfig, Job};
+
+    const SEG: SegmentId = 1;
+
+    #[test]
+    fn put_notify_moves_real_doubles() {
+        let out = Job::new(GaspiConfig::new(2))
+            .run(|ctx| {
+                ctx.segment_create(SEG, 64).unwrap();
+                ctx.barrier();
+                let mut data = if ctx.rank() == 0 { vec![1.0, 2.0, 3.0] } else { vec![0.0; 3] };
+                let mut t = ThreadedTransport::elems(ctx, SEG, &mut data);
+                if t.rank() == 0 {
+                    t.put_notify(1, 0, 0..3, 5).unwrap();
+                } else {
+                    t.wait_notify(5).unwrap();
+                    t.local_copy(0, 0..3).unwrap();
+                }
+                data
+            })
+            .unwrap();
+        assert_eq!(out[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_put_degrades_to_bare_notification() {
+        let out = Job::new(GaspiConfig::new(2))
+            .run(|ctx| {
+                ctx.segment_create(SEG, 64).unwrap();
+                ctx.barrier();
+                let mut data = vec![7.0; 4];
+                let mut t = ThreadedTransport::elems(ctx, SEG, &mut data);
+                let peer = 1 - t.rank();
+                t.put_notify(peer, 0, 2..2, 0).unwrap();
+                t.wait_notify(0).unwrap();
+                data
+            })
+            .unwrap();
+        // No data moved, but both ranks saw the notification and completed.
+        assert!(out.iter().all(|d| d == &vec![7.0; 4]));
+    }
+
+    #[test]
+    fn local_reduce_folds_landed_contribution() {
+        let out = Job::new(GaspiConfig::new(2))
+            .run(|ctx| {
+                ctx.segment_create(SEG, 64).unwrap();
+                ctx.barrier();
+                let mut data = vec![10.0, 20.0];
+                let mut t = ThreadedTransport::elems(ctx, SEG, &mut data);
+                let peer = 1 - t.rank();
+                t.put_notify(peer, 0, 0..2, 3).unwrap();
+                t.wait_notify(3).unwrap();
+                t.local_reduce(0, 0..2, ReduceOp::Sum).unwrap();
+                data
+            })
+            .unwrap();
+        assert_eq!(out[0], vec![20.0, 40.0]);
+        assert_eq!(out[1], vec![20.0, 40.0]);
+    }
+
+    #[test]
+    fn byte_payload_rejects_float_reduction() {
+        let out = Job::new(GaspiConfig::new(1))
+            .run(|ctx| {
+                ctx.segment_create(SEG, 16).unwrap();
+                let send = vec![1u8; 8];
+                let mut recv = vec![0u8; 8];
+                let mut t = ThreadedTransport::bytes(ctx, SEG, &send, &mut recv);
+                t.local_reduce(0, 0..8, ReduceOp::Sum)
+            })
+            .unwrap();
+        assert_eq!(out[0], Err(CommError::UnsupportedOp { op: "local_reduce" }));
+    }
+
+    #[test]
+    fn buffer_copy_moves_between_send_and_recv() {
+        let out = Job::new(GaspiConfig::new(1))
+            .run(|ctx| {
+                ctx.segment_create(SEG, 16).unwrap();
+                let send = vec![9u8, 8, 7, 6];
+                let mut recv = vec![0u8; 4];
+                let mut t = ThreadedTransport::bytes(ctx, SEG, &send, &mut recv);
+                t.buffer_copy(1..3, 0..2).unwrap();
+                recv
+            })
+            .unwrap();
+        assert_eq!(out[0], vec![8, 7, 0, 0]);
+    }
+
+    #[test]
+    fn stamped_slot_reduce_accepts_fresh_contribution() {
+        let out = Job::new(GaspiConfig::new(2))
+            .run(|ctx| {
+                ctx.segment_create(SEG, 64).unwrap();
+                ctx.barrier();
+                let mut data = vec![1.0, 1.0];
+                let mut t = ThreadedTransport::elems(ctx, SEG, &mut data);
+                let peer = 1 - t.rank();
+                let clock = Clock::from(1);
+                t.put_stamped(peer, 0, 0..2, clock, 0).unwrap();
+                let u = t.slot_reduce(0, 2, 0, clock, SspPolicy::new(0), ReduceOp::Sum, 0..2).unwrap();
+                (data, u.clock)
+            })
+            .unwrap();
+        for (data, clock) in out {
+            assert_eq!(data, vec![2.0, 2.0]);
+            assert_eq!(clock, Clock::from(1));
+        }
+    }
+}

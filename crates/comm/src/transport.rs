@@ -1,0 +1,131 @@
+//! The [`Transport`] trait: the paper's communication vocabulary as an
+//! abstract interface.
+
+use std::ops::Range;
+use std::time::Duration;
+
+use ec_ssp::{Clock, SspPolicy};
+
+use crate::error::Result;
+use crate::op::ReduceOp;
+
+/// Rank identifier (0-based, dense) — mirrors `ec_gaspi::Rank`.
+pub type Rank = usize;
+
+/// Notification slot identifier — mirrors `ec_netsim::NotifyId` and
+/// `ec_gaspi::NotificationId`.
+pub type NotifyId = u32;
+
+/// Outcome of one SSP stamped-slot receive (see [`Transport::slot_reduce`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotUse {
+    /// Logical clock stamped on the contribution that was folded in.
+    pub clock: Clock,
+    /// Wall-clock duration of every blocking wait performed before the slot
+    /// became acceptable (empty when a remembered contribution was used).
+    pub waits: Vec<Duration>,
+}
+
+/// The communication surface a collective algorithm is written against.
+///
+/// A transport represents **one rank's view** of one collective invocation:
+/// `rank()` identifies the rank the algorithm body is currently executing
+/// (threaded backend) or being recorded for (recording backend).  All offsets
+/// and ranges are in payload *elements*; the backend fixes the element width
+/// (8-byte `f64`s for the value-carrying collectives, single bytes for
+/// byte-granular ones).
+///
+/// The methods map 1:1 onto the paper's GASPI vocabulary:
+///
+/// | method                         | GASPI equivalent                              |
+/// |--------------------------------|-----------------------------------------------|
+/// | [`put_notify`]                 | `gaspi_write_notify`                           |
+/// | [`notify`]                     | `gaspi_notify` (payload-free)                  |
+/// | [`wait_notify`] / [`wait_all`] | `gaspi_notify_waitsome` + `gaspi_notify_reset` |
+/// | [`wait_any`]                   | `gaspi_notify_waitsome` over a slot range      |
+/// | [`local_reduce`]               | local reduction of a landed contribution       |
+///
+/// [`put_notify`]: Transport::put_notify
+/// [`notify`]: Transport::notify
+/// [`wait_notify`]: Transport::wait_notify
+/// [`wait_all`]: Transport::wait_all
+/// [`wait_any`]: Transport::wait_any
+/// [`local_reduce`]: Transport::local_reduce
+pub trait Transport {
+    /// The rank this transport currently speaks for.
+    fn rank(&self) -> Rank;
+
+    /// Number of ranks participating in the collective.
+    fn num_ranks(&self) -> usize;
+
+    /// One-sided write of the local payload range `src` into `dst`'s segment
+    /// at element offset `dst_off`, followed by notification `id`
+    /// (`gaspi_write_notify`: the notification becomes visible only after the
+    /// data).  An empty `src` range degrades to a payload-free [`Transport::notify`] in
+    /// every backend — zero-byte puts never reach the wire or the simulator.
+    fn put_notify(&mut self, dst: Rank, dst_off: usize, src: Range<usize>, id: NotifyId) -> Result<()>;
+
+    /// Like [`Transport::put_notify`] but prefixes the payload with a logical-clock
+    /// stamp occupying one element at `dst_off` (the SSP message layout).
+    /// Recording backends count only the payload bytes, matching the cost
+    /// model's view that the stamp is part of the header — an empty payload
+    /// is therefore recorded as a payload-free notification (the threaded
+    /// backend still writes the stamp element so the clock lands).
+    fn put_stamped(&mut self, dst: Rank, dst_off: usize, src: Range<usize>, stamp: Clock, id: NotifyId) -> Result<()>;
+
+    /// Payload-free notification (`gaspi_notify`).
+    fn notify(&mut self, dst: Rank, id: NotifyId) -> Result<()>;
+
+    /// Block until notification `id` arrives, then consume (reset) it.
+    fn wait_notify(&mut self, id: NotifyId) -> Result<()>;
+
+    /// Block until **all** notifications in `ids` have arrived, consuming
+    /// each.  Backends may realize this as one composite wait (the simulator
+    /// does, paying a single notification overhead) or as a sequence of
+    /// single waits (the threaded runtime does).
+    fn wait_all(&mut self, ids: &[NotifyId]) -> Result<()>;
+
+    /// Block until **one** notification of `ids` arrives; consume and return
+    /// it.  The threaded backend returns them in true arrival order; the
+    /// recording backend linearizes arrival deterministically by completing
+    /// the listed ids last-to-first across consecutive calls, which mirrors
+    /// the overlap heuristic of the simulated schedules (contributions of
+    /// shallow subtrees land first).  `ids` must be a contiguous slot range.
+    fn wait_any(&mut self, ids: &[NotifyId]) -> Result<NotifyId>;
+
+    /// Fold `dst.len()` elements landed at segment offset `src_off` into the
+    /// local payload range `dst` with `op`.
+    fn local_reduce(&mut self, src_off: usize, dst: Range<usize>, op: ReduceOp) -> Result<()>;
+
+    /// Copy `dst.len()` elements landed at segment offset `src_off` into the
+    /// local payload range `dst`.  Recording backends treat this as free:
+    /// unpacking a landing zone into the user buffer is not part of the
+    /// paper's cost model (only reductions cost γ per byte).
+    fn local_copy(&mut self, src_off: usize, dst: Range<usize>) -> Result<()>;
+
+    /// Copy between local payload ranges without touching the network (e.g.
+    /// a rank's own AlltoAll block moving from its send to its receive
+    /// buffer).  Free for recording backends.
+    fn buffer_copy(&mut self, src: Range<usize>, dst: Range<usize>) -> Result<()>;
+
+    /// The SSP stamped-slot receive of Algorithm 1: consult the dedicated
+    /// receive slot at `slot_off` (one stamp element followed by `len` data
+    /// elements), **block on notification `id` only while** the remembered
+    /// contribution is staler than `policy` allows for a worker at `now`,
+    /// then fold the accepted contribution into the payload range `dst`.
+    ///
+    /// Recording backends render the fully synchronous structure (always one
+    /// wait, then the reduction) — exactly the hypercube schedule the paper
+    /// uses to explain the collective's cost.
+    #[allow(clippy::too_many_arguments)]
+    fn slot_reduce(
+        &mut self,
+        slot_off: usize,
+        len: usize,
+        id: NotifyId,
+        now: Clock,
+        policy: SspPolicy,
+        op: ReduceOp,
+        dst: Range<usize>,
+    ) -> Result<SlotUse>;
+}

@@ -113,9 +113,7 @@ mod tests {
     use ec_gaspi::{GaspiConfig, Job};
 
     fn input_matrix(rows: usize, cols: usize) -> Vec<Complex> {
-        (0..rows * cols)
-            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
-            .collect()
+        (0..rows * cols).map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect()
     }
 
     fn close(a: &[Complex], b: &[Complex]) -> bool {
@@ -136,8 +134,7 @@ mod tests {
                     let plan = DistributedFft2d::new(rows, cols);
                     let a2a = AllToAll::new(ctx, plan.block_bytes(ctx.num_ranks())).unwrap();
                     let lr = plan.local_rows(ctx.num_ranks());
-                    let mut local =
-                        full_clone[ctx.rank() * lr * cols..(ctx.rank() + 1) * lr * cols].to_vec();
+                    let mut local = full_clone[ctx.rank() * lr * cols..(ctx.rank() + 1) * lr * cols].to_vec();
                     plan.run(ctx, &a2a, &mut local, true).unwrap();
                     local
                 })

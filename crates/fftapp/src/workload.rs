@@ -44,7 +44,9 @@ impl QeWorkload {
         for lr in 0..local_rows {
             let r = rank * local_rows + lr;
             for c in 0..self.cols {
-                let phase = 2.0 * std::f64::consts::PI * (3.0 * r as f64 / self.rows as f64 + 5.0 * c as f64 / self.cols as f64);
+                let phase = 2.0
+                    * std::f64::consts::PI
+                    * (3.0 * r as f64 / self.rows as f64 + 5.0 * c as f64 / self.cols as f64);
                 out.push(Complex::new(phase.cos(), phase.sin()));
             }
         }

@@ -29,10 +29,7 @@ pub struct Context {
 
 impl std::fmt::Debug for Context {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Context")
-            .field("rank", &self.rank)
-            .field("num_ranks", &self.state.num_ranks())
-            .finish()
+        f.debug_struct("Context").field("rank", &self.rank).field("num_ranks", &self.state.num_ranks()).finish()
     }
 }
 
@@ -126,12 +123,17 @@ impl Context {
     }
 
     fn local_segment(&self, segment: SegmentId) -> Result<Arc<SegmentStorage>> {
-        self.state
-            .find_segment(self.rank, segment)
-            .ok_or(GaspiError::SegmentNotFound { rank: self.rank, segment })
+        self.state.find_segment(self.rank, segment).ok_or(GaspiError::SegmentNotFound { rank: self.rank, segment })
     }
 
-    fn out_of_bounds(&self, rank: Rank, segment: SegmentId, offset: usize, len: usize, segment_size: usize) -> GaspiError {
+    fn out_of_bounds(
+        &self,
+        rank: Rank,
+        segment: SegmentId,
+        offset: usize,
+        len: usize,
+        segment_size: usize,
+    ) -> GaspiError {
         GaspiError::OutOfBounds { rank, segment, offset, len, segment_size }
     }
 
@@ -298,7 +300,12 @@ impl Context {
     }
 
     /// Non-blocking check for a set notification in `[first, first + num)`.
-    pub fn notify_test_some(&self, segment: SegmentId, first: NotificationId, num: u32) -> Result<Option<NotificationId>> {
+    pub fn notify_test_some(
+        &self,
+        segment: SegmentId,
+        first: NotificationId,
+        num: u32,
+    ) -> Result<Option<NotificationId>> {
         Ok(self.local_segment(segment)?.notifications().test_some(first, num))
     }
 
@@ -306,19 +313,17 @@ impl Context {
     /// Returns the previous value (zero if it was not set).
     pub fn notify_reset(&self, segment: SegmentId, id: NotificationId) -> Result<NotificationValue> {
         let seg = self.local_segment(segment)?;
-        seg.notifications().reset(id).ok_or(GaspiError::InvalidNotification {
-            id,
-            slots: self.state.config.notification_slots,
-        })
+        seg.notifications()
+            .reset(id)
+            .ok_or(GaspiError::InvalidNotification { id, slots: self.state.config.notification_slots })
     }
 
     /// Read a local notification value without resetting it.
     pub fn notify_peek(&self, segment: SegmentId, id: NotificationId) -> Result<NotificationValue> {
         let seg = self.local_segment(segment)?;
-        seg.notifications().peek(id).ok_or(GaspiError::InvalidNotification {
-            id,
-            slots: self.state.config.notification_slots,
-        })
+        seg.notifications()
+            .peek(id)
+            .ok_or(GaspiError::InvalidNotification { id, slots: self.state.config.notification_slots })
     }
 
     // -- queues and synchronization ---------------------------------------------

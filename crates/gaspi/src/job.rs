@@ -44,11 +44,7 @@ impl Job {
         F: Fn(&Context) -> T + Send + Sync,
     {
         let state = Arc::new(SharedState::new(self.config.clone()));
-        let delivery = if self.config.network.is_instant() {
-            None
-        } else {
-            Some(Arc::new(DeliveryEngine::start()))
-        };
+        let delivery = if self.config.network.is_instant() { None } else { Some(Arc::new(DeliveryEngine::start())) };
         let n = self.config.num_ranks;
         let f = &f;
         let results: Vec<T> = std::thread::scope(|scope| {

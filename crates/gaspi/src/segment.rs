@@ -94,10 +94,7 @@ pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
 /// Panics if `bytes.len()` is not a multiple of 8.
 pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
     assert!(bytes.len().is_multiple_of(8), "byte length must be a multiple of 8");
-    bytes
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8 bytes")))
-        .collect()
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8 bytes"))).collect()
 }
 
 #[cfg(test)]

@@ -136,9 +136,7 @@ impl SharedState {
     pub fn new(config: GaspiConfig) -> Self {
         let n = config.num_ranks;
         let q = config.queues as usize;
-        let queues = (0..n)
-            .map(|_| (0..q).map(|_| Arc::new(QueueSlot::default())).collect())
-            .collect();
+        let queues = (0..n).map(|_| (0..q).map(|_| Arc::new(QueueSlot::default())).collect()).collect();
         let counters = (0..n).map(|_| RankCounters::default()).collect();
         Self {
             barrier: Barrier::new(n),
@@ -185,7 +183,12 @@ impl SharedState {
     /// Remote ranks may race ahead of the owner's `segment_create`; waiting a
     /// bounded amount of time here removes the need for an explicit barrier
     /// right after segment creation.
-    pub fn wait_segment(&self, rank: Rank, segment: SegmentId, timeout: Option<Duration>) -> Result<Arc<SegmentStorage>> {
+    pub fn wait_segment(
+        &self,
+        rank: Rank,
+        segment: SegmentId,
+        timeout: Option<Duration>,
+    ) -> Result<Arc<SegmentStorage>> {
         let deadline = timeout.map(|t| Instant::now() + t);
         let mut segs = self.segments.lock();
         loop {
@@ -278,10 +281,7 @@ mod tests {
         st.register_segment(1, 0, Arc::clone(&seg)).unwrap();
         assert!(st.find_segment(1, 0).is_some());
         assert!(st.find_segment(0, 0).is_none());
-        assert!(matches!(
-            st.register_segment(1, 0, seg),
-            Err(GaspiError::SegmentAlreadyExists { segment: 0 })
-        ));
+        assert!(matches!(st.register_segment(1, 0, seg), Err(GaspiError::SegmentAlreadyExists { segment: 0 })));
         st.remove_segment(1, 0).unwrap();
         assert!(st.find_segment(1, 0).is_none());
     }

@@ -6,7 +6,6 @@
 //! nodes exist and how ranks are mapped onto them — while the timing side
 //! lives in [`crate::cost::CostModel`].
 
-
 /// Identifier of a rank (process) participating in a collective.
 pub type RankId = usize;
 

@@ -17,7 +17,6 @@
 //! curves — who wins, at which message sizes the crossovers fall — is
 //! reproduced even though absolute microseconds are synthetic.
 
-
 /// Point-to-point protocol selected for a two-sided transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
@@ -247,12 +246,9 @@ mod tests {
 
     #[test]
     fn presets_are_valid() {
-        for m in [
-            CostModel::skylake_fdr(),
-            CostModel::marenostrum4_opa(),
-            CostModel::galileo_opa(),
-            CostModel::test_model(),
-        ] {
+        for m in
+            [CostModel::skylake_fdr(), CostModel::marenostrum4_opa(), CostModel::galileo_opa(), CostModel::test_model()]
+        {
             m.validate().unwrap();
         }
     }

@@ -131,9 +131,7 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then_with(|| self.seq.cmp(&other.seq))
+        self.time.total_cmp(&other.time).then_with(|| self.seq.cmp(&other.seq))
     }
 }
 
@@ -243,7 +241,9 @@ impl<'a> Sim<'a> {
             self.now = self.now.max(ev.time);
             match ev.kind {
                 EventKind::Resume => self.step_rank(ev.rank, ev.time),
-                EventKind::Delivered { src, tag, bytes, msg } => self.on_delivered(ev.rank, src, tag, bytes, msg, ev.time),
+                EventKind::Delivered { src, tag, bytes, msg } => {
+                    self.on_delivered(ev.rank, src, tag, bytes, msg, ev.time)
+                }
                 EventKind::NotifyVisible { notify, bytes } => self.on_notify(ev.rank, notify, bytes, ev.time),
                 EventKind::TxDone { msg } => self.on_tx_done(ev.rank, msg, ev.time),
             }
@@ -377,7 +377,13 @@ impl<'a> Sim<'a> {
         self.ranks[src].stats.messages_sent += 1;
         self.push_event(tx_done, src, EventKind::TxDone { msg });
         self.push_event(visible, dst, EventKind::NotifyVisible { notify, bytes });
-        self.trace_event(earliest, src, TraceKind::MsgInjected, None, format!("put dst={dst} bytes={bytes} notify={notify}"));
+        self.trace_event(
+            earliest,
+            src,
+            TraceKind::MsgInjected,
+            None,
+            format!("put dst={dst} bytes={bytes} notify={notify}"),
+        );
     }
 
     /// Schedule a two-sided transfer from `src` to `dst`.
@@ -389,12 +395,26 @@ impl<'a> Sim<'a> {
         self.ranks[src].stats.messages_sent += 1;
         self.push_event(tx_done, src, EventKind::TxDone { msg });
         self.push_event(delivered, dst, EventKind::Delivered { src, tag, bytes, msg });
-        self.trace_event(earliest, src, TraceKind::MsgInjected, None, format!("send dst={dst} bytes={bytes} tag={tag}"));
+        self.trace_event(
+            earliest,
+            src,
+            TraceKind::MsgInjected,
+            None,
+            format!("send dst={dst} bytes={bytes} tag={tag}"),
+        );
     }
 
     /// Common wire timing: returns (time the sender's NIC is released,
     /// time the last byte lands in the receiver's memory).
-    fn schedule_wire(&mut self, src: RankId, dst: RankId, bytes: u64, beta: f64, same_node: bool, earliest: f64) -> (f64, f64) {
+    fn schedule_wire(
+        &mut self,
+        src: RankId,
+        dst: RankId,
+        bytes: u64,
+        beta: f64,
+        same_node: bool,
+        earliest: f64,
+    ) -> (f64, f64) {
         let ser = self.cost.serialization(bytes, beta);
         let alpha = self.cost.alpha(same_node);
         let src_node = self.cluster.node_of(src);
@@ -451,11 +471,11 @@ impl<'a> Sim<'a> {
                     let earliest = send_time.max(recv_post + self.cost.o_recv) + self.cost.rendezvous_latency;
                     self.schedule_two_sided(rank, dst, bytes, tag, earliest, msg);
                 } else {
-                    self.ranks[dst]
-                        .pending_rndv
-                        .entry((rank, tag))
-                        .or_default()
-                        .push_back(PendingRendezvous { msg, bytes, send_time });
+                    self.ranks[dst].pending_rndv.entry((rank, tag)).or_default().push_back(PendingRendezvous {
+                        msg,
+                        bytes,
+                        send_time,
+                    });
                 }
                 self.ranks[rank].outstanding_sends += 1;
                 if blocking {
@@ -527,11 +547,8 @@ impl<'a> Sim<'a> {
     /// arrival from each available id and return true.
     fn consume_notifications(&mut self, rank: RankId, ids: &[NotifyId], count: usize) -> bool {
         let r = &mut self.ranks[rank];
-        let available: Vec<NotifyId> = ids
-            .iter()
-            .copied()
-            .filter(|id| r.notify_counts.get(id).copied().unwrap_or(0) > 0)
-            .collect();
+        let available: Vec<NotifyId> =
+            ids.iter().copied().filter(|id| r.notify_counts.get(id).copied().unwrap_or(0) > 0).collect();
         if available.len() < count.min(ids.len()) {
             return false;
         }

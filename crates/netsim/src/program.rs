@@ -6,7 +6,6 @@
 //! overlap of an individual rank's outstanding one-sided puts with its later
 //! operations) is what the simulator models.
 
-
 use crate::cluster::RankId;
 
 /// Identifier of a GASPI-style notification slot on the *target* rank.
@@ -168,11 +167,7 @@ impl Program {
 
     /// Total bytes injected into the network by all ranks.
     pub fn total_wire_bytes(&self) -> u64 {
-        self.ranks
-            .iter()
-            .flat_map(|r| r.ops.iter())
-            .map(Op::wire_bytes)
-            .sum()
+        self.ranks.iter().flat_map(|r| r.ops.iter()).map(Op::wire_bytes).sum()
     }
 }
 

@@ -1,6 +1,5 @@
 //! Simulation results: per-rank statistics and whole-run reports.
 
-
 use crate::cluster::RankId;
 
 /// Per-rank accounting gathered during a simulation run.
@@ -82,10 +81,7 @@ mod tests {
 
     fn report_with_finish_times(times: &[f64]) -> RunReport {
         RunReport {
-            ranks: times
-                .iter()
-                .map(|&t| RankStats { finish_time: t, ..RankStats::default() })
-                .collect(),
+            ranks: times.iter().map(|&t| RankStats { finish_time: t, ..RankStats::default() }).collect(),
             trace: Vec::new(),
         }
     }

@@ -1,6 +1,5 @@
 //! Optional event tracing for debugging schedules and producing timelines.
 
-
 use crate::cluster::RankId;
 
 /// Category of a traced event.

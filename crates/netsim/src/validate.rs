@@ -42,6 +42,15 @@ pub enum ValidationError {
         /// Index of the offending operation.
         op_index: usize,
     },
+    /// A `PutNotify` carries no payload.  Payload-free synchronization must
+    /// use `Notify`; a zero-byte put is almost always a schedule-generator
+    /// bug (e.g. an empty chunk of a payload smaller than the rank count).
+    ZeroBytePut {
+        /// Rank issuing the operation.
+        rank: RankId,
+        /// Index of the offending operation.
+        op_index: usize,
+    },
     /// A compute duration is negative or not finite.
     BadComputeDuration {
         /// Rank issuing the operation.
@@ -79,6 +88,9 @@ impl std::fmt::Display for ValidationError {
             ValidationError::BadNotifyCount { rank, op_index } => {
                 write!(f, "rank {rank} op {op_index} waits for more notifications than it lists")
             }
+            ValidationError::ZeroBytePut { rank, op_index } => {
+                write!(f, "rank {rank} op {op_index} issues a zero-byte put; use a payload-free notify instead")
+            }
             ValidationError::BadComputeDuration { rank, op_index } => {
                 write!(f, "rank {rank} op {op_index} has a negative or non-finite compute duration")
             }
@@ -114,7 +126,13 @@ pub fn validate(program: &Program, cluster_ranks: usize) -> Result<(), Validatio
                 }
             };
             match op {
-                Op::PutNotify { dst, .. } | Op::Notify { dst, .. } => check_target(*dst)?,
+                Op::PutNotify { dst, bytes, .. } => {
+                    check_target(*dst)?;
+                    if *bytes == 0 {
+                        return Err(ValidationError::ZeroBytePut { rank, op_index });
+                    }
+                }
+                Op::Notify { dst, .. } => check_target(*dst)?,
                 Op::Send { dst, tag, .. } | Op::Isend { dst, tag, .. } => {
                     check_target(*dst)?;
                     *sends.entry((rank, *dst, *tag)).or_default() += 1;
@@ -196,6 +214,19 @@ mod tests {
         let mut b = ProgramBuilder::new(2);
         b.wait_notify_any(0, &[1, 2], 3);
         assert!(matches!(validate(&b.build(), 2), Err(ValidationError::BadNotifyCount { .. })));
+    }
+
+    #[test]
+    fn zero_byte_put_detected() {
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 1, 0, 3);
+        b.wait_notify(1, &[3]);
+        assert!(matches!(validate(&b.build(), 2), Err(ValidationError::ZeroBytePut { rank: 0, op_index: 0 })));
+        // The payload-free form of the same synchronization is fine.
+        let mut ok = ProgramBuilder::new(2);
+        ok.notify(0, 1, 3);
+        ok.wait_notify(1, &[3]);
+        assert!(validate(&ok.build(), 2).is_ok());
     }
 
     #[test]

@@ -92,10 +92,7 @@ mod tests {
             assert_eq!(worker.minus_slack(slack), Clock(worker.value() - 3));
         }
         // Advancing one iteration moves the window lower bound by exactly one.
-        assert_eq!(
-            worker.tick().minus_slack(slack).value(),
-            worker.minus_slack(slack).value() + 1
-        );
+        assert_eq!(worker.tick().minus_slack(slack).value(), worker.minus_slack(slack).value() + 1);
     }
 
     #[test]

@@ -92,8 +92,7 @@ mod tests {
         let slack = 3u64;
         let p = SspPolicy::new(slack);
         let current = Clock(20);
-        let accepted: Vec<i64> =
-            (0..=20).filter(|&d| p.is_acceptable(current, Clock(d))).collect();
+        let accepted: Vec<i64> = (0..=20).filter(|&d| p.is_acceptable(current, Clock(d))).collect();
         // Clocks 17..=20 are acceptable: slack + 1 consecutive values.
         assert_eq!(accepted, vec![17, 18, 19, 20]);
         assert_eq!(accepted.len() as u64, slack + 1);

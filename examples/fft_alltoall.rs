@@ -45,11 +45,7 @@ fn main() {
     }
     let mut reference: Vec<_> = (0..ranks).flat_map(|r| workload.local_input(r)).collect();
     fft2d_serial(&mut reference, workload.rows, workload.cols);
-    let max_err = full
-        .iter()
-        .zip(&reference)
-        .map(|(a, b)| (*a - *b).abs())
-        .fold(0.0, f64::max);
+    let max_err = full.iter().zip(&reference).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
     println!("max |distributed - serial| = {max_err:.3e} (should be ~1e-9 or below)");
     println!("transposes per transform: {}", outputs[0].1.transposes);
 

@@ -31,7 +31,9 @@ fn main() {
             let report = bcast.run(&mut payload, 0, Threshold::percent(25.0)).expect("broadcast");
             lines.push(format!(
                 "threshold bcast:  received prefix [{}..] = {}, tail untouched = {}",
-                report.elements_shipped, payload[0], payload[elems - 1]
+                report.elements_shipped,
+                payload[0],
+                payload[elems - 1]
             ));
 
             // 3. Eventually consistent reduce: engage only half of the processes.
@@ -41,7 +43,10 @@ fn main() {
                 .run(&contribution, 0, ReduceOp::Sum, ReduceMode::ProcessThreshold(Threshold::percent(50.0)))
                 .expect("reduce");
             if let Some(result) = rep.result {
-                lines.push(format!("process-pruned reduce: root sees sum = {} from {} ranks", result[0], rep.engaged_ranks));
+                lines.push(format!(
+                    "process-pruned reduce: root sees sum = {} from {} ranks",
+                    result[0], rep.engaged_ranks
+                ));
             }
 
             // 4. Stale Synchronous Parallel allreduce with slack 2.
@@ -61,7 +66,10 @@ fn main() {
             let send = vec![rank as u8; ranks * block];
             let mut recv = vec![0u8; ranks * block];
             a2a.run(&send, &mut recv, block).expect("alltoall");
-            lines.push(format!("alltoall:         first byte from every peer = {:?}", (0..ranks).map(|r| recv[r * block]).collect::<Vec<_>>()));
+            lines.push(format!(
+                "alltoall:         first byte from every peer = {:?}",
+                (0..ranks).map(|r| recv[r * block]).collect::<Vec<_>>()
+            ));
 
             (rank, lines)
         })

@@ -47,12 +47,20 @@ fn main() {
     let iterations = 60;
     let dataset = RatingsDataset::generate(&DatasetConfig::small(3));
 
-    println!("Training {} ratings ({} users x {} items) on {ranks} workers, one straggler\n", dataset.len(), dataset.num_users, dataset.num_items);
+    println!(
+        "Training {} ratings ({} users x {} items) on {ranks} workers, one straggler\n",
+        dataset.len(),
+        dataset.num_users,
+        dataset.num_items
+    );
 
     let sync = train(&dataset, ranks, 0, iterations);
     let stale = train(&dataset, ranks, 8, iterations);
 
-    println!("{:>10} {:>16} {:>12} {:>16} {:>12}", "iteration", "sync time [s]", "sync RMSE", "slack8 time [s]", "slack8 RMSE");
+    println!(
+        "{:>10} {:>16} {:>12} {:>16} {:>12}",
+        "iteration", "sync time [s]", "sync RMSE", "slack8 time [s]", "slack8 RMSE"
+    );
     for it in (0..iterations).step_by(5) {
         println!(
             "{:>10} {:>16.3} {:>12.5} {:>16.3} {:>12.5}",

@@ -55,10 +55,8 @@ fn main() {
     for &pct in &thresholds {
         let frac = pct / 100.0;
         let bcast = engine.makespan(&bcast_bst_schedule(32, bytes, frac)).expect("bcast schedule") * 1e3;
-        let reduce = engine
-            .makespan(&reduce_process_threshold_schedule(32, bytes, frac))
-            .expect("reduce schedule")
-            * 1e3;
+        let reduce =
+            engine.makespan(&reduce_process_threshold_schedule(32, bytes, frac)).expect("reduce schedule") * 1e3;
         println!("{:>11}% {:>26.3} {:>30.3}", pct, bcast, reduce);
     }
     println!("\nShipping a quarter of the data (or pruning the outer tree stages) trades accuracy for time,");

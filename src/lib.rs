@@ -8,9 +8,13 @@
 //!   notifications, `write_notify`).
 //! * [`ssp`] — Stale Synchronous Parallel clocks, slack policies and wait
 //!   statistics.
+//! * [`comm`] — the `Transport` trait capturing the paper's communication
+//!   vocabulary, with a threaded backend (real data movement) and a
+//!   recording backend (schedule generation for the simulator).
 //! * [`collectives`] — the paper's collectives: SSP hypercube allreduce,
 //!   threshold broadcast/reduce, segmented pipelined ring allreduce and the
-//!   direct AlltoAll, plus their `ec-netsim` schedule generators.
+//!   direct AlltoAll — each algorithm body written once over
+//!   `comm::Transport` and replayed as an `ec-netsim` schedule generator.
 //! * [`baseline`] — MPI-like baseline collectives and the twelve
 //!   `MPI_Allreduce` algorithm variants the paper compares against.
 //! * [`netsim`] — the discrete-event cluster simulator used to regenerate
@@ -25,6 +29,7 @@
 
 pub use ec_baseline as baseline;
 pub use ec_collectives as collectives;
+pub use ec_comm as comm;
 pub use ec_fftapp as fftapp;
 pub use ec_gaspi as gaspi;
 pub use ec_mlapp as mlapp;

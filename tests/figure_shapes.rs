@@ -143,7 +143,10 @@ fn figure13_gaspi_alltoall_gains_grow_with_node_count() {
     // Paper: 2.85x, 5.14x, 5.07x — the gain must be >1.5x everywhere and
     // larger on 8/16 nodes than on 4 nodes.
     assert!(gains.iter().all(|&g| g > 1.5), "gains {gains:?}");
-    assert!(gains[1] > gains[0] * 0.9 && gains[2] > gains[0] * 0.9, "gains must not collapse with node count: {gains:?}");
+    assert!(
+        gains[1] > gains[0] * 0.9 && gains[2] > gains[0] * 0.9,
+        "gains must not collapse with node count: {gains:?}"
+    );
 }
 
 #[test]

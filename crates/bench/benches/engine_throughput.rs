@@ -1,0 +1,93 @@
+//! Criterion benchmark of the discrete-event engine's raw throughput:
+//! simulated operations per wall-clock second on a large (p = 1024)
+//! ring-allreduce program.
+//!
+//! Besides the Criterion timing, the benchmark hand-times a few runs and
+//! writes a machine-readable baseline to `BENCH_engine.json` (override the
+//! path with the `BENCH_ENGINE_JSON` environment variable) so the perf
+//! trajectory of the engine is recorded across PRs.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ec_collectives::schedule::ring_allreduce_schedule;
+use ec_netsim::{ClusterSpec, CostModel, Engine, Program};
+
+/// Payload of the benchmark allreduce (8 MB, the paper's large-message size).
+const BYTES: u64 = 8_000_000;
+
+/// Rank count of the benchmark program (1024 simulated workers).
+const RANKS: usize = 1024;
+
+/// Throughput of the pre-optimization engine on this exact program,
+/// measured on the reference build machine immediately before the hot-loop
+/// rewrite (per-step `Op` clones, `HashMap` notification counters, eager
+/// trace formatting).  Kept as the fixed origin of the perf trajectory.
+const PRE_REWRITE_OPS_PER_SEC: f64 = 1.484e6;
+
+fn bench_program(ranks: usize) -> (Engine, Program) {
+    let engine = Engine::new(ClusterSpec::homogeneous(ranks, 1), CostModel::skylake_fdr());
+    let prog = ring_allreduce_schedule(ranks, BYTES);
+    (engine, prog)
+}
+
+/// Hand-timed measurement used for the JSON baseline: mean wall time of
+/// `runs` simulations after one warm-up, plus the derived ops/sec figure.
+fn measure_ops_per_sec(engine: &Engine, prog: &Program, runs: usize) -> (f64, f64) {
+    let _ = engine.makespan(prog).expect("benchmark program must simulate");
+    let start = Instant::now();
+    for _ in 0..runs {
+        let _ = engine.makespan(prog).expect("benchmark program must simulate");
+    }
+    let secs_per_run = start.elapsed().as_secs_f64() / runs as f64;
+    (secs_per_run, prog.total_ops() as f64 / secs_per_run)
+}
+
+fn write_baseline(prog: &Program, secs_per_run: f64, ops_per_sec: f64) {
+    // Default to the workspace root (cargo runs benches with the package
+    // directory as cwd) so the baseline lands next to the README.
+    let path = std::env::var("BENCH_ENGINE_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")));
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"program\": \"ring_allreduce\",\n  \
+         \"ranks\": {RANKS},\n  \"payload_bytes\": {BYTES},\n  \"total_ops\": {},\n  \
+         \"seconds_per_run\": {secs_per_run:.6},\n  \"simulated_ops_per_sec\": {ops_per_sec:.0},\n  \
+         \"pre_rewrite_ops_per_sec\": {PRE_REWRITE_OPS_PER_SEC:.0},\n  \
+         \"speedup_vs_pre_rewrite\": {:.2}\n}}\n",
+        prog.total_ops(),
+        ops_per_sec / PRE_REWRITE_OPS_PER_SEC
+    );
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    // `cargo test --benches` runs bench binaries with `--test`: use a small
+    // program and skip the JSON emission so the test suite stays fast.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let ranks = if test_mode { 64 } else { RANKS };
+    let (engine, prog) = bench_program(ranks);
+
+    if !test_mode {
+        let (secs_per_run, ops_per_sec) = measure_ops_per_sec(&engine, &prog, 5);
+        println!(
+            "engine_throughput: {} ops in {:.3} s -> {:.3} M simulated ops/sec",
+            prog.total_ops(),
+            secs_per_run,
+            ops_per_sec / 1e6
+        );
+        write_baseline(&prog, secs_per_run, ops_per_sec);
+    }
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(5);
+    group.bench_function(BenchmarkId::new("ring_allreduce", format!("p{ranks}")), |b| {
+        b.iter(|| engine.makespan(&prog).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ssp_scale;
+
 use std::fmt::Write as _;
 
 /// A labelled series of (x, y) measurements (one line of a paper figure).

@@ -42,6 +42,12 @@ pub enum CollectiveError {
         /// Name of the offending transport operation.
         op: &'static str,
     },
+    /// An algorithm passed `wait_any` an unusable notification-id set
+    /// (empty or not a contiguous slot range).
+    InvalidWaitSet {
+        /// Why the set was rejected.
+        reason: &'static str,
+    },
 }
 
 impl From<GaspiError> for CollectiveError {
@@ -55,6 +61,7 @@ impl From<CommError> for CollectiveError {
         match e {
             CommError::Runtime(g) => CollectiveError::Runtime(g),
             CommError::UnsupportedOp { op } => CollectiveError::UnsupportedTransportOp { op },
+            CommError::InvalidWaitSet { reason } => CollectiveError::InvalidWaitSet { reason },
         }
     }
 }
@@ -78,6 +85,9 @@ impl std::fmt::Display for CollectiveError {
             }
             CollectiveError::UnsupportedTransportOp { op } => {
                 write!(f, "transport operation `{op}` is unsupported by this payload model")
+            }
+            CollectiveError::InvalidWaitSet { reason } => {
+                write!(f, "invalid wait_any id set: {reason}")
             }
         }
     }

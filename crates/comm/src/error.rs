@@ -13,6 +13,14 @@ pub enum CommError {
         /// Name of the offending operation.
         op: &'static str,
     },
+    /// A `wait_any` id set is unusable: empty, or not a contiguous slot
+    /// range.  With a gap (or duplicate) in the range, a GASPI
+    /// `notify_waitsome` could consume — and lose — a notification the
+    /// caller never listed, so every backend rejects such sets up front.
+    InvalidWaitSet {
+        /// Why the set was rejected.
+        reason: &'static str,
+    },
 }
 
 impl From<GaspiError> for CommError {
@@ -27,6 +35,9 @@ impl std::fmt::Display for CommError {
             CommError::Runtime(e) => write!(f, "transport runtime error: {e}"),
             CommError::UnsupportedOp { op } => {
                 write!(f, "operation `{op}` is not supported by this transport's payload model")
+            }
+            CommError::InvalidWaitSet { reason } => {
+                write!(f, "invalid wait_any id set: {reason}")
             }
         }
     }
@@ -52,5 +63,11 @@ mod tests {
     fn unsupported_op_names_the_operation() {
         let e = CommError::UnsupportedOp { op: "local_reduce" };
         assert!(e.to_string().contains("local_reduce"));
+    }
+
+    #[test]
+    fn invalid_wait_set_states_the_reason() {
+        let e = CommError::InvalidWaitSet { reason: "ids are not a contiguous slot range" };
+        assert!(e.to_string().contains("contiguous"));
     }
 }

@@ -55,6 +55,14 @@ impl RecordingTransport {
         self.builder.build()
     }
 
+    /// Exclusive upper bound of the notification ids recorded so far (see
+    /// `ec_netsim::Program::notify_id_bound`).  Callers use this to reserve
+    /// GASPI notification slots and the simulator uses it to size its dense
+    /// per-rank notification counters.
+    pub fn notify_id_bound(&self) -> NotifyId {
+        self.builder.notify_id_bound()
+    }
+
     fn bytes_of(&self, elems: usize) -> u64 {
         elems as u64 * self.elem_bytes
     }
@@ -115,6 +123,9 @@ impl Transport for RecordingTransport {
     }
 
     fn wait_any(&mut self, ids: &[NotifyId]) -> Result<NotifyId> {
+        // Agree with the threaded backend on which sets are legal (empty or
+        // non-contiguous sets would lose notifications on real GASPI).
+        crate::transport::wait_set_bounds(ids)?;
         // Deterministic arrival order: complete the listed ids last-to-first
         // across consecutive calls.  In the binomial trees the later children
         // root the deeper subtrees, so this lets the simulated rank overlap
@@ -234,6 +245,27 @@ mod tests {
         assert_eq!(rec.wait_any(&ids).unwrap(), 1);
         rec.set_rank(1);
         assert_eq!(rec.wait_any(&ids).unwrap(), 1);
+    }
+
+    #[test]
+    fn wait_any_rejects_invalid_sets() {
+        use crate::CommError;
+        let mut rec = RecordingTransport::new(1, 1);
+        assert!(matches!(rec.wait_any(&[1, 4]), Err(CommError::InvalidWaitSet { .. })));
+        assert!(matches!(rec.wait_any(&[]), Err(CommError::InvalidWaitSet { .. })));
+        // Nothing was recorded for the rejected waits.
+        assert_eq!(rec.finish().total_ops(), 0);
+    }
+
+    #[test]
+    fn recorder_emits_the_notify_id_range() {
+        let mut rec = RecordingTransport::new(2, 8);
+        assert_eq!(rec.notify_id_bound(), 0);
+        rec.put_notify(1, 0, 0..4, 11).unwrap();
+        rec.set_rank(1);
+        rec.wait_notify(11).unwrap();
+        assert_eq!(rec.notify_id_bound(), 12);
+        assert_eq!(rec.finish().notify_id_bound(), 12);
     }
 
     #[test]

@@ -115,11 +115,9 @@ impl Transport for ThreadedTransport<'_> {
     }
 
     fn wait_any(&mut self, ids: &[NotifyId]) -> Result<NotifyId> {
-        let first = *ids.iter().min().expect("wait_any needs at least one id");
-        let last = *ids.iter().max().expect("wait_any needs at least one id");
-        // A hard assert, not a debug one: with a gap in the range, waitsome
-        // could consume (and lose) a notification the caller never listed.
-        assert_eq!((last - first) as usize + 1, ids.len(), "wait_any ids must be a contiguous slot range");
+        // With a gap in the range, waitsome could consume (and lose) a
+        // notification the caller never listed — reject such sets up front.
+        let (first, last) = crate::transport::wait_set_bounds(ids)?;
         let id = self.ctx.notify_waitsome(self.segment, first, last - first + 1, None)?;
         self.ctx.notify_reset(self.segment, id)?;
         Ok(id)
@@ -237,6 +235,50 @@ mod tests {
             .unwrap();
         // No data moved, but both ranks saw the notification and completed.
         assert!(out.iter().all(|d| d == &vec![7.0; 4]));
+    }
+
+    #[test]
+    fn wait_any_rejects_non_contiguous_sets_like_the_recorder() {
+        use crate::RecordingTransport;
+        // Both backends must agree: gapped, duplicated and empty id sets are
+        // rejected with `InvalidWaitSet` instead of panicking (threaded) or
+        // being silently accepted (recorder).
+        let bad_sets: [&[NotifyId]; 3] = [&[1, 3], &[1, 3, 3], &[]];
+        for ids in bad_sets {
+            let ids_owned = ids.to_vec();
+            let threaded = Job::new(GaspiConfig::new(1))
+                .run(move |ctx| {
+                    ctx.segment_create(SEG, 16).unwrap();
+                    let mut data = vec![0.0; 2];
+                    let mut t = ThreadedTransport::elems(ctx, SEG, &mut data);
+                    t.wait_any(&ids_owned)
+                })
+                .unwrap()[0]
+                .clone();
+            let mut rec = RecordingTransport::new(1, 8);
+            let recorded = rec.wait_any(ids);
+            assert!(matches!(threaded, Err(CommError::InvalidWaitSet { .. })), "threaded accepted {ids:?}");
+            assert_eq!(threaded, recorded, "backends disagree on {ids:?}");
+        }
+    }
+
+    #[test]
+    fn wait_any_accepts_contiguous_sets_in_any_order() {
+        let out = Job::new(GaspiConfig::new(2))
+            .run(|ctx| {
+                ctx.segment_create(SEG, 16).unwrap();
+                ctx.barrier();
+                let mut data = vec![0.0; 2];
+                let mut t = ThreadedTransport::elems(ctx, SEG, &mut data);
+                let peer = 1 - t.rank();
+                t.notify(peer, 3).unwrap();
+                // Unsorted but contiguous {2, 3, 4}: legal for both backends.
+                t.wait_any(&[4, 2, 3])
+            })
+            .unwrap();
+        for r in out {
+            assert_eq!(r, Ok(3));
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use ec_ssp::{Clock, SspPolicy};
 
-use crate::error::Result;
+use crate::error::{CommError, Result};
 use crate::op::ReduceOp;
 
 /// Rank identifier (0-based, dense) — mirrors `ec_gaspi::Rank`.
@@ -15,6 +15,34 @@ pub type Rank = usize;
 /// Notification slot identifier — mirrors `ec_netsim::NotifyId` and
 /// `ec_gaspi::NotificationId`.
 pub type NotifyId = u32;
+
+/// Check that a `wait_any` id set is a non-empty contiguous slot range (in
+/// any order, without duplicates) and return its `(first, last)` bounds.
+///
+/// Shared by every backend so they agree on which sets are legal: a GASPI
+/// `notify_waitsome` over `first..=last` would silently consume — and lose —
+/// notifications in a gap of the range, so gapped (or duplicated) sets are
+/// rejected up front with [`CommError::InvalidWaitSet`].
+pub(crate) fn wait_set_bounds(ids: &[NotifyId]) -> Result<(NotifyId, NotifyId)> {
+    let (Some(&first), Some(&last)) = (ids.iter().min(), ids.iter().max()) else {
+        return Err(CommError::InvalidWaitSet { reason: "id set is empty" });
+    };
+    let span = (last - first) as usize + 1;
+    if span != ids.len() {
+        return Err(CommError::InvalidWaitSet { reason: "ids are not a contiguous slot range" });
+    }
+    // Equal length and span still admits aliasing (e.g. [1, 3, 3]): verify
+    // every slot of the range occurs exactly once.
+    let mut seen = vec![false; span];
+    for &id in ids {
+        let slot = (id - first) as usize;
+        if seen[slot] {
+            return Err(CommError::InvalidWaitSet { reason: "ids are not a contiguous slot range" });
+        }
+        seen[slot] = true;
+    }
+    Ok((first, last))
+}
 
 /// Outcome of one SSP stamped-slot receive (see [`Transport::slot_reduce`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +118,9 @@ pub trait Transport {
     /// recording backend linearizes arrival deterministically by completing
     /// the listed ids last-to-first across consecutive calls, which mirrors
     /// the overlap heuristic of the simulated schedules (contributions of
-    /// shallow subtrees land first).  `ids` must be a contiguous slot range.
+    /// shallow subtrees land first).  `ids` must be a non-empty contiguous
+    /// slot range; every backend rejects other sets with
+    /// [`crate::CommError::InvalidWaitSet`].
     fn wait_any(&mut self, ids: &[NotifyId]) -> Result<NotifyId>;
 
     /// Fold `dst.len()` elements landed at segment offset `src_off` into the

@@ -12,6 +12,22 @@
 //! penalty, and — above the eager threshold — a rendezvous handshake that
 //! couples the sender to the time the matching receive is posted (the
 //! "late receiver" effect the paper's GASPI collectives avoid).
+//!
+//! ## Performance
+//!
+//! The hot loop is allocation-free in steady state: operations are executed
+//! by reference (never cloned), blocked waits borrow their notification-id
+//! lists straight from the program, notification counters are dense per-rank
+//! `Vec`s indexed by the program's notify-id range instead of hash maps, the
+//! event queue is pre-sized from the program, and trace details are only
+//! formatted when tracing is enabled.
+//!
+//! ## Heterogeneity
+//!
+//! An optional [`Scenario`] injects deterministic heterogeneity: per-node
+//! compute speed factors (including stragglers) scale every local operation,
+//! and per-link jitter scales latency and serialization time.  The applied
+//! per-rank compute scale is surfaced in [`RankStats::compute_scale`].
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -20,6 +36,7 @@ use crate::cluster::{ClusterSpec, RankId};
 use crate::cost::{CostModel, Protocol};
 use crate::program::{NotifyId, Op, Program, Tag};
 use crate::report::{RankStats, RunReport};
+use crate::scenario::{Scenario, ScenarioInstance};
 use crate::trace::{TraceEvent, TraceKind};
 use crate::validate::{validate, ValidationError};
 
@@ -28,6 +45,8 @@ use crate::validate::{validate, ValidationError};
 pub enum SimError {
     /// The program failed static validation before execution.
     Invalid(ValidationError),
+    /// The engine's scenario has nonsensical parameters.
+    BadScenario(String),
     /// Execution stalled: the event queue drained while ranks were still
     /// blocked (mismatched sends/receives or missing notifications).
     Deadlock {
@@ -41,6 +60,7 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Invalid(e) => write!(f, "invalid program: {e}"),
+            SimError::BadScenario(e) => write!(f, "invalid scenario: {e}"),
             SimError::Deadlock { blocked } => {
                 write!(f, "simulation deadlocked; blocked ranks: ")?;
                 for (r, pc, what) in blocked {
@@ -60,17 +80,26 @@ pub struct Engine {
     cluster: ClusterSpec,
     cost: CostModel,
     tracing: bool,
+    scenario: Option<Scenario>,
 }
 
 impl Engine {
     /// Create an engine for the given cluster and cost model.
     pub fn new(cluster: ClusterSpec, cost: CostModel) -> Self {
-        Self { cluster, cost, tracing: false }
+        Self { cluster, cost, tracing: false, scenario: None }
     }
 
     /// Enable or disable event tracing (traces are returned in the report).
     pub fn with_trace(mut self, tracing: bool) -> Self {
         self.tracing = tracing;
+        self
+    }
+
+    /// Attach a heterogeneity [`Scenario`] (speed factors, link jitter,
+    /// stragglers).  The scenario is materialized deterministically from its
+    /// seed on every run.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
         self
     }
 
@@ -84,10 +113,22 @@ impl Engine {
         &self.cost
     }
 
+    /// The heterogeneity scenario, if one is attached.
+    pub fn scenario(&self) -> Option<&Scenario> {
+        self.scenario.as_ref()
+    }
+
     /// Simulate `program` and return the run report.
     pub fn run(&self, program: &Program) -> Result<RunReport, SimError> {
         validate(program, self.cluster.total_ranks()).map_err(SimError::Invalid)?;
-        let sim = Sim::new(&self.cluster, &self.cost, program, self.tracing);
+        let instance = match &self.scenario {
+            Some(s) => {
+                s.validate().map_err(SimError::BadScenario)?;
+                Some(s.materialize(&self.cluster))
+            }
+            None => None,
+        };
+        let sim = Sim::new(&self.cluster, &self.cost, program, self.tracing, instance);
         sim.run()
     }
 
@@ -115,7 +156,7 @@ enum EventKind {
     TxDone { msg: MsgId },
 }
 
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct Event {
     time: f64,
     seq: u64,
@@ -135,16 +176,18 @@ impl Ord for Event {
     }
 }
 
-#[derive(Debug, Clone)]
-enum Blocked {
+/// What a rank is blocked on.  Notification waits borrow their id list
+/// straight from the program — blocking allocates nothing.
+#[derive(Debug, Clone, Copy)]
+enum Blocked<'a> {
     Recv { src: RankId, tag: Tag },
-    Notify { ids: Vec<NotifyId>, count: usize },
+    Notify { ids: &'a [NotifyId], count: usize },
     SendTxDone { msg: MsgId },
     WaitAllSends,
     Barrier,
 }
 
-impl Blocked {
+impl Blocked<'_> {
     fn describe(&self) -> String {
         match self {
             Blocked::Recv { src, tag } => format!("recv from {src} tag {tag}"),
@@ -163,14 +206,15 @@ struct PendingRendezvous {
     send_time: f64,
 }
 
-#[derive(Debug, Default)]
-struct RankSim {
+#[derive(Debug)]
+struct RankSim<'a> {
     pc: usize,
     done: bool,
-    blocked: Option<Blocked>,
+    blocked: Option<Blocked<'a>>,
     blocked_since: f64,
-    /// Notification counters (notify id -> number of unconsumed arrivals).
-    notify_counts: HashMap<NotifyId, u32>,
+    /// Dense notification counters (notify id -> unconsumed arrivals), sized
+    /// by the largest id this rank waits on or can receive.
+    notify_counts: Vec<u32>,
     /// Fully arrived two-sided messages without a matching posted receive.
     unexpected: HashMap<(RankId, Tag), VecDeque<(f64, u64)>>,
     /// Rendezvous senders waiting for this rank to post a matching receive.
@@ -179,7 +223,56 @@ struct RankSim {
     outstanding_sends: usize,
     /// Earliest time this rank's injection path is free again.
     tx_free: f64,
+    /// Duration multiplier for this rank's local operations (scenario).
+    compute_scale: f64,
     stats: RankStats,
+}
+
+impl RankSim<'_> {
+    fn new(notify_bound: usize, compute_scale: f64) -> Self {
+        Self {
+            pc: 0,
+            done: false,
+            blocked: None,
+            blocked_since: 0.0,
+            notify_counts: vec![0; notify_bound],
+            unexpected: HashMap::new(),
+            pending_rndv: HashMap::new(),
+            outstanding_sends: 0,
+            tx_free: 0.0,
+            compute_scale,
+            stats: RankStats { compute_scale, ..RankStats::default() },
+        }
+    }
+}
+
+/// Per-rank static program facts gathered in one prescan: the bound on the
+/// notification ids that can be waited on or arrive (waits bound the waiting
+/// rank, puts/notifies bound the *target* rank), and whether the rank ever
+/// executes [`Op::WaitAllSends`].  Ranks that never wait for send completion
+/// do not need per-put `TxDone` events, which removes a third of the event
+/// traffic of put-only programs.
+fn prescan(program: &Program) -> (Vec<usize>, Vec<bool>) {
+    let n = program.num_ranks();
+    let mut bounds = vec![0usize; n];
+    let mut waits_sends = vec![false; n];
+    for (rank, rp) in program.ranks.iter().enumerate() {
+        for op in &rp.ops {
+            match op {
+                Op::PutNotify { dst, notify, .. } | Op::Notify { dst, notify } => {
+                    bounds[*dst] = bounds[*dst].max(*notify as usize + 1);
+                }
+                Op::WaitNotify { ids } | Op::WaitNotifyAny { ids, .. } => {
+                    for &id in ids {
+                        bounds[rank] = bounds[rank].max(id as usize + 1);
+                    }
+                }
+                Op::WaitAllSends => waits_sends[rank] = true,
+                _ => {}
+            }
+        }
+    }
+    (bounds, waits_sends)
 }
 
 struct Sim<'a> {
@@ -187,11 +280,15 @@ struct Sim<'a> {
     cost: &'a CostModel,
     program: &'a Program,
     tracing: bool,
+    scenario: Option<ScenarioInstance>,
     now: f64,
     seq: u64,
     next_msg: MsgId,
     events: BinaryHeap<Reverse<Event>>,
-    ranks: Vec<RankSim>,
+    ranks: Vec<RankSim<'a>>,
+    /// Ranks that execute `WaitAllSends` and therefore need `TxDone` events
+    /// for their one-sided puts.
+    tracks_put_tx: Vec<bool>,
     node_tx_free: Vec<f64>,
     node_rx_free: Vec<f64>,
     barrier_arrived: Vec<Option<f64>>,
@@ -199,20 +296,36 @@ struct Sim<'a> {
 }
 
 impl<'a> Sim<'a> {
-    fn new(cluster: &'a ClusterSpec, cost: &'a CostModel, program: &'a Program, tracing: bool) -> Self {
+    fn new(
+        cluster: &'a ClusterSpec,
+        cost: &'a CostModel,
+        program: &'a Program,
+        tracing: bool,
+        scenario: Option<ScenarioInstance>,
+    ) -> Self {
         let n = program.num_ranks();
-        let mut ranks = Vec::with_capacity(n);
-        ranks.resize_with(n, RankSim::default);
+        let (bounds, tracks_put_tx) = prescan(program);
+        let ranks = (0..n)
+            .map(|r| {
+                let scale = scenario.as_ref().map_or(1.0, |s| s.compute_scale(cluster.node_of(r)));
+                RankSim::new(bounds[r], scale)
+            })
+            .collect();
         Self {
             cluster,
             cost,
             program,
             tracing,
+            scenario,
             now: 0.0,
             seq: 0,
             next_msg: 0,
-            events: BinaryHeap::new(),
+            // Pooled event storage: pre-size the queue so the steady state
+            // never reallocates (peak occupancy is bounded by the number of
+            // ranks plus in-flight transfers).
+            events: BinaryHeap::with_capacity(4 * n + 64),
             ranks,
+            tracks_put_tx,
             node_tx_free: vec![0.0; cluster.nodes],
             node_rx_free: vec![0.0; cluster.nodes],
             barrier_arrived: vec![None; n],
@@ -276,12 +389,14 @@ impl<'a> Sim<'a> {
         self.push_event(at, rank, EventKind::Resume);
     }
 
-    fn block(&mut self, rank: RankId, at: f64, why: Blocked) {
-        let detail = why.describe();
+    fn block(&mut self, rank: RankId, at: f64, why: Blocked<'a>) {
+        if self.tracing {
+            let detail = why.describe();
+            self.trace.push(TraceEvent::new(at, rank, TraceKind::BlockStart, Some(self.ranks[rank].pc), detail));
+        }
         let r = &mut self.ranks[rank];
         r.blocked = Some(why);
         r.blocked_since = at;
-        self.trace_event(at, rank, TraceKind::BlockStart, Some(self.ranks[rank].pc), detail);
     }
 
     /// Execute the next operation of `rank` starting at time `t`.
@@ -290,46 +405,51 @@ impl<'a> Sim<'a> {
             return;
         }
         let pc = self.ranks[rank].pc;
-        let ops = &self.program.ranks[rank].ops;
+        // Copy the program reference out of `self` so the borrowed operation
+        // has the full `'a` lifetime — the hot loop never clones an `Op`.
+        let program = self.program;
+        let ops = &program.ranks[rank].ops;
         if pc >= ops.len() {
             let r = &mut self.ranks[rank];
             r.done = true;
             r.stats.finish_time = r.stats.finish_time.max(t);
             return;
         }
-        let op = ops[pc].clone();
-        self.trace_event(t, rank, TraceKind::OpStart, Some(pc), format!("{op:?}"));
+        let op = &ops[pc];
+        if self.tracing {
+            let detail = format!("{op:?}");
+            self.trace.push(TraceEvent::new(t, rank, TraceKind::OpStart, Some(pc), detail));
+        }
         self.ranks[rank].stats.finish_time = self.ranks[rank].stats.finish_time.max(t);
         match op {
             Op::Compute { seconds } => self.finish_local(rank, t, seconds.max(0.0)),
             Op::Reduce { bytes } => {
-                let d = self.cost.reduce_time(bytes);
+                let d = self.cost.reduce_time(*bytes);
                 self.finish_local(rank, t, d)
             }
             Op::Copy { bytes } => {
-                let d = self.cost.copy_time(bytes);
+                let d = self.cost.copy_time(*bytes);
                 self.finish_local(rank, t, d)
             }
             Op::PutNotify { dst, bytes, notify } => {
                 let launch = t + self.cost.o_send;
-                self.schedule_put(rank, dst, bytes, notify, launch);
+                self.schedule_put(rank, *dst, *bytes, *notify, launch);
                 self.advance(rank, launch);
             }
             Op::Notify { dst, notify } => {
                 let launch = t + self.cost.o_send;
-                self.schedule_put(rank, dst, 0, notify, launch);
+                self.schedule_put(rank, *dst, 0, *notify, launch);
                 self.advance(rank, launch);
             }
             Op::WaitNotify { ids } => {
-                let needed = ids.len();
-                self.try_wait_notify(rank, t, ids, needed);
+                self.try_wait_notify(rank, t, ids, ids.len());
             }
             Op::WaitNotifyAny { ids, count } => {
-                self.try_wait_notify(rank, t, ids, count);
+                self.try_wait_notify(rank, t, ids, *count);
             }
-            Op::Send { dst, bytes, tag } => self.exec_send(rank, dst, bytes, tag, t, true),
-            Op::Isend { dst, bytes, tag } => self.exec_send(rank, dst, bytes, tag, t, false),
-            Op::Recv { src, bytes, tag } => self.exec_recv(rank, src, bytes, tag, t),
+            Op::Send { dst, bytes, tag } => self.exec_send(rank, *dst, *bytes, *tag, t, true),
+            Op::Isend { dst, bytes, tag } => self.exec_send(rank, *dst, *bytes, *tag, t, false),
+            Op::Recv { src, bytes, tag } => self.exec_recv(rank, *src, *bytes, *tag, t),
             Op::WaitAllSends => {
                 if self.ranks[rank].outstanding_sends == 0 {
                     self.advance(rank, t);
@@ -341,8 +461,10 @@ impl<'a> Sim<'a> {
         }
     }
 
-    /// A purely local operation of duration `d` finishing at `t + d`.
+    /// A purely local operation of nominal duration `d`, scaled by the rank's
+    /// scenario compute factor, finishing at `t + d * scale`.
     fn finish_local(&mut self, rank: RankId, t: f64, d: f64) {
+        let d = d * self.ranks[rank].compute_scale;
         self.ranks[rank].stats.compute_time += d;
         self.advance(rank, t + d);
     }
@@ -367,23 +489,24 @@ impl<'a> Sim<'a> {
     /// Schedule a one-sided put (or a zero-byte notification) from `src` to
     /// `dst`, injected no earlier than `earliest`.
     fn schedule_put(&mut self, src: RankId, dst: RankId, bytes: u64, notify: NotifyId, earliest: f64) {
-        let msg = self.alloc_msg();
         let same = self.cluster.same_node(src, dst);
         let beta = self.cost.beta_one_sided(same);
         let (tx_done, delivered) = self.schedule_wire(src, dst, bytes, beta, same, earliest);
         let visible = delivered + self.cost.notify_overhead;
-        self.ranks[src].outstanding_sends += 1;
         self.ranks[src].stats.bytes_sent += bytes;
         self.ranks[src].stats.messages_sent += 1;
-        self.push_event(tx_done, src, EventKind::TxDone { msg });
+        // The TxDone event only feeds `WaitAllSends` accounting; ranks that
+        // never wait for send completion skip it (and the heap traffic).
+        if self.tracks_put_tx[src] {
+            let msg = self.alloc_msg();
+            self.ranks[src].outstanding_sends += 1;
+            self.push_event(tx_done, src, EventKind::TxDone { msg });
+        }
         self.push_event(visible, dst, EventKind::NotifyVisible { notify, bytes });
-        self.trace_event(
-            earliest,
-            src,
-            TraceKind::MsgInjected,
-            None,
-            format!("put dst={dst} bytes={bytes} notify={notify}"),
-        );
+        if self.tracing {
+            let detail = format!("put dst={dst} bytes={bytes} notify={notify}");
+            self.trace.push(TraceEvent::new(earliest, src, TraceKind::MsgInjected, None, detail));
+        }
     }
 
     /// Schedule a two-sided transfer from `src` to `dst`.
@@ -395,13 +518,10 @@ impl<'a> Sim<'a> {
         self.ranks[src].stats.messages_sent += 1;
         self.push_event(tx_done, src, EventKind::TxDone { msg });
         self.push_event(delivered, dst, EventKind::Delivered { src, tag, bytes, msg });
-        self.trace_event(
-            earliest,
-            src,
-            TraceKind::MsgInjected,
-            None,
-            format!("send dst={dst} bytes={bytes} tag={tag}"),
-        );
+        if self.tracing {
+            let detail = format!("send dst={dst} bytes={bytes} tag={tag}");
+            self.trace.push(TraceEvent::new(earliest, src, TraceKind::MsgInjected, None, detail));
+        }
     }
 
     /// Common wire timing: returns (time the sender's NIC is released,
@@ -415,10 +535,14 @@ impl<'a> Sim<'a> {
         same_node: bool,
         earliest: f64,
     ) -> (f64, f64) {
-        let ser = self.cost.serialization(bytes, beta);
-        let alpha = self.cost.alpha(same_node);
         let src_node = self.cluster.node_of(src);
         let dst_node = self.cluster.node_of(dst);
+        let mut ser = self.cost.serialization(bytes, beta);
+        let mut alpha = self.cost.alpha(same_node);
+        if let Some(inst) = &self.scenario {
+            alpha *= inst.link_alpha_scale(src_node, dst_node);
+            ser *= inst.link_beta_scale(src_node, dst_node);
+        }
         let mut tx_start = earliest.max(self.ranks[src].tx_free);
         if !same_node {
             tx_start = tx_start.max(self.node_tx_free[src_node]);
@@ -521,7 +645,10 @@ impl<'a> Sim<'a> {
     }
 
     fn on_delivered(&mut self, dst: RankId, src: RankId, tag: Tag, bytes: u64, _msg: MsgId, t: f64) {
-        self.trace_event(t, dst, TraceKind::MsgDelivered, None, format!("src={src} bytes={bytes} tag={tag}"));
+        if self.tracing {
+            let detail = format!("src={src} bytes={bytes} tag={tag}");
+            self.trace.push(TraceEvent::new(t, dst, TraceKind::MsgDelivered, None, detail));
+        }
         let matches_block = matches!(
             &self.ranks[dst].blocked,
             Some(Blocked::Recv { src: s, tag: rtag }) if *s == src && *rtag == tag
@@ -535,40 +662,56 @@ impl<'a> Sim<'a> {
 
     // -- notifications -------------------------------------------------------
 
-    fn try_wait_notify(&mut self, rank: RankId, t: f64, ids: Vec<NotifyId>, count: usize) {
-        if self.consume_notifications(rank, &ids, count) {
+    fn try_wait_notify(&mut self, rank: RankId, t: f64, ids: &'a [NotifyId], count: usize) {
+        if self.consume_notifications(rank, ids, count) {
             self.advance(rank, t + self.cost.notify_overhead);
         } else {
             self.block(rank, t, Blocked::Notify { ids, count });
         }
     }
 
-    /// If at least `count` of `ids` have unconsumed arrivals, consume one
-    /// arrival from each available id and return true.
+    /// If at least `count` of `ids` have unconsumed arrivals, consume exactly
+    /// `count` arrivals — one from each of the first `count` available ids in
+    /// listed order — and return true.  Arrivals beyond `count` are left for
+    /// later waits: a `WaitNotifyAny { count }` must never drain ids a
+    /// subsequent wait depends on.
     fn consume_notifications(&mut self, rank: RankId, ids: &[NotifyId], count: usize) -> bool {
+        let need = count.min(ids.len());
         let r = &mut self.ranks[rank];
-        let available: Vec<NotifyId> =
-            ids.iter().copied().filter(|id| r.notify_counts.get(id).copied().unwrap_or(0) > 0).collect();
-        if available.len() < count.min(ids.len()) {
+        let available = ids.iter().filter(|&&id| r.notify_counts.get(id as usize).is_some_and(|&c| c > 0)).count();
+        if available < need {
             return false;
         }
-        for id in available {
-            if let Some(c) = r.notify_counts.get_mut(&id) {
+        let mut taken = 0usize;
+        for &id in ids {
+            if taken == need {
+                break;
+            }
+            let c = &mut r.notify_counts[id as usize];
+            if *c > 0 {
                 *c -= 1;
+                taken += 1;
             }
         }
+        r.stats.notifications_consumed += taken as u64;
         true
     }
 
     fn on_notify(&mut self, rank: RankId, notify: NotifyId, bytes: u64, t: f64) {
-        self.trace_event(t, rank, TraceKind::NotifyVisible, None, format!("notify={notify} bytes={bytes}"));
-        *self.ranks[rank].notify_counts.entry(notify).or_insert(0) += 1;
-        let satisfied = if let Some(Blocked::Notify { ids, count }) = &self.ranks[rank].blocked {
-            let ids = ids.clone();
-            let count = *count;
-            self.consume_notifications(rank, &ids, count)
-        } else {
-            false
+        if self.tracing {
+            let detail = format!("notify={notify} bytes={bytes}");
+            self.trace.push(TraceEvent::new(t, rank, TraceKind::NotifyVisible, None, detail));
+        }
+        let r = &mut self.ranks[rank];
+        // An arrival no listed wait can reference may exceed this rank's
+        // dense range; it can never satisfy a wait, so only count it.
+        if let Some(c) = r.notify_counts.get_mut(notify as usize) {
+            *c += 1;
+        }
+        r.stats.notifications_received += 1;
+        let satisfied = match r.blocked {
+            Some(Blocked::Notify { ids, count }) => self.consume_notifications(rank, ids, count),
+            _ => false,
         };
         if satisfied {
             self.unblock(rank, t + self.cost.notify_overhead);
@@ -803,6 +946,62 @@ mod tests {
     }
 
     #[test]
+    fn wait_notify_any_consumes_exactly_count_arrivals() {
+        // Regression: `WaitNotifyAny { count: 1 }` used to drain *every*
+        // available id, destroying the arrival a later wait depends on and
+        // deadlocking the second wait.
+        let e = engine(3, 1);
+        let mut b = ProgramBuilder::new(3);
+        b.notify(0, 2, 0);
+        b.notify(1, 2, 1);
+        // Let both notifications land before the first wait runs.
+        b.compute(2, 1e-3);
+        b.wait_notify_any(2, &[0, 1], 1);
+        b.wait_notify(2, &[1]);
+        let r = e.run(&b.build()).unwrap();
+        assert!(r.finish_time(2) >= 1e-3);
+        assert_eq!(r.ranks[2].notifications_received, 2);
+        assert_eq!(r.ranks[2].notifications_consumed, 2);
+    }
+
+    #[test]
+    fn wait_notify_any_consumes_in_listed_id_order() {
+        // Both arrivals are present; `wait_notify_any([1, 0], 1)` must take
+        // id 1 (first in the listed order), leaving id 0 for the next wait.
+        let e = engine(3, 1);
+        let mut b = ProgramBuilder::new(3);
+        b.notify(0, 2, 0);
+        b.notify(1, 2, 1);
+        b.compute(2, 1e-3);
+        b.wait_notify_any(2, &[1, 0], 1);
+        b.wait_notify(2, &[0]);
+        e.run(&b.build()).unwrap();
+        // The mirror order consumes id 0 first, so waiting on id 1 works too.
+        let mut b2 = ProgramBuilder::new(3);
+        b2.notify(0, 2, 0);
+        b2.notify(1, 2, 1);
+        b2.compute(2, 1e-3);
+        b2.wait_notify_any(2, &[0, 1], 1);
+        b2.wait_notify(2, &[1]);
+        e.run(&b2.build()).unwrap();
+    }
+
+    #[test]
+    fn unconsumed_arrivals_survive_for_later_waits() {
+        // Two arrivals of the same id: each single wait consumes exactly one.
+        let e = engine(2, 1);
+        let mut b = ProgramBuilder::new(2);
+        b.notify(0, 1, 5);
+        b.notify(0, 1, 5);
+        b.compute(1, 1e-3);
+        b.wait_notify(1, &[5]);
+        b.wait_notify(1, &[5]);
+        let r = e.run(&b.build()).unwrap();
+        assert_eq!(r.ranks[1].notifications_received, 2);
+        assert_eq!(r.ranks[1].notifications_consumed, 2);
+    }
+
+    #[test]
     fn missing_notification_deadlocks() {
         let e = engine(2, 1);
         let mut b = ProgramBuilder::new(2);
@@ -882,5 +1081,63 @@ mod tests {
         let r2 = e.run(&p).unwrap();
         assert_eq!(r1.makespan(), r2.makespan());
         assert_eq!(r1.ranks, r2.ranks);
+    }
+
+    // -- scenario layer -----------------------------------------------------
+
+    fn two_rank_put_wait() -> Program {
+        let mut b = ProgramBuilder::new(2);
+        b.compute(0, 10e-6);
+        b.put_notify(0, 1, 1 << 20, 0);
+        b.wait_notify(1, &[0]);
+        b.build()
+    }
+
+    #[test]
+    fn neutral_scenario_reproduces_homogeneous_timings() {
+        let plain = engine(2, 1);
+        let with_neutral = engine(2, 1).with_scenario(Scenario::new(7));
+        let p = two_rank_put_wait();
+        assert_eq!(plain.makespan(&p).unwrap(), with_neutral.makespan(&p).unwrap());
+        let r = with_neutral.run(&p).unwrap();
+        assert_eq!(r.ranks[0].compute_scale, 1.0);
+    }
+
+    #[test]
+    fn straggler_scenario_slows_compute_and_reports_scale() {
+        let slowdown = 5.0;
+        // Every node a straggler: deterministic regardless of which are picked.
+        let e = engine(2, 1).with_scenario(Scenario::new(3).with_stragglers(1.0, slowdown));
+        let p = two_rank_put_wait();
+        let fast = engine(2, 1).run(&p).unwrap();
+        let slow = e.run(&p).unwrap();
+        assert!((slow.ranks[0].compute_time - slowdown * fast.ranks[0].compute_time).abs() < 1e-12);
+        assert_eq!(slow.ranks[0].compute_scale, slowdown);
+        assert!(slow.makespan() > fast.makespan());
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic_per_seed() {
+        let p = two_rank_put_wait();
+        let s = Scenario::new(11).with_compute_jitter(0.3).with_link_jitter(0.2, 0.2).with_stragglers(0.5, 3.0);
+        let r1 = engine(2, 1).with_scenario(s.clone()).run(&p).unwrap();
+        let r2 = engine(2, 1).with_scenario(s).run(&p).unwrap();
+        assert_eq!(r1.ranks, r2.ranks);
+    }
+
+    #[test]
+    fn link_jitter_changes_transfer_times() {
+        let p = two_rank_put_wait();
+        let base = engine(2, 1).makespan(&p).unwrap();
+        // Find a seed whose jitter actually moves this link (almost any does).
+        let jittered = engine(2, 1).with_scenario(Scenario::new(1).with_link_jitter(0.4, 0.4)).makespan(&p).unwrap();
+        assert!((jittered - base).abs() > 1e-12, "link jitter must perturb the makespan");
+    }
+
+    #[test]
+    fn invalid_scenario_is_rejected() {
+        let e = engine(2, 1).with_scenario(Scenario::new(0).with_stragglers(0.5, 0.1));
+        let err = e.run(&two_rank_put_wait()).unwrap_err();
+        assert!(matches!(err, SimError::BadScenario(_)));
     }
 }

@@ -48,6 +48,7 @@ pub mod cost;
 pub mod engine;
 pub mod program;
 pub mod report;
+pub mod scenario;
 pub mod trace;
 pub mod validate;
 
@@ -56,5 +57,6 @@ pub use cost::{CostModel, Protocol};
 pub use engine::{Engine, SimError};
 pub use program::{NotifyId, Op, Program, ProgramBuilder, RankProgram, Tag};
 pub use report::{RankStats, RunReport};
+pub use scenario::{Scenario, ScenarioInstance, SplitMix64};
 pub use trace::{TraceEvent, TraceKind};
 pub use validate::{validate, ValidationError};

@@ -3,7 +3,7 @@
 use crate::cluster::RankId;
 
 /// Per-rank accounting gathered during a simulation run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankStats {
     /// Virtual time at which the rank finished its last operation.
     pub finish_time: f64,
@@ -21,6 +21,32 @@ pub struct RankStats {
     pub messages_sent: u64,
     /// Number of messages delivered to this rank.
     pub messages_received: u64,
+    /// Notification arrivals that became visible at this rank.
+    pub notifications_received: u64,
+    /// Notification arrivals consumed by this rank's waits (never exceeds
+    /// [`RankStats::notifications_received`] at run end).
+    pub notifications_consumed: u64,
+    /// Duration multiplier the scenario applied to this rank's local
+    /// operations (1.0 on homogeneous clusters; > 1.0 is slower, e.g. an
+    /// injected straggler).
+    pub compute_scale: f64,
+}
+
+impl Default for RankStats {
+    fn default() -> Self {
+        Self {
+            finish_time: 0.0,
+            wait_time: 0.0,
+            compute_time: 0.0,
+            bytes_sent: 0,
+            bytes_received: 0,
+            messages_sent: 0,
+            messages_received: 0,
+            notifications_received: 0,
+            notifications_consumed: 0,
+            compute_scale: 1.0,
+        }
+    }
 }
 
 /// Result of simulating one [`crate::Program`].
@@ -73,6 +99,24 @@ impl RunReport {
     pub fn total_messages(&self) -> u64 {
         self.ranks.iter().map(|r| r.messages_sent).sum()
     }
+
+    /// Total notification arrivals delivered across all ranks.
+    pub fn total_notifications_received(&self) -> u64 {
+        self.ranks.iter().map(|r| r.notifications_received).sum()
+    }
+
+    /// Total notification arrivals consumed by waits across all ranks.
+    /// Conservation invariant: never exceeds
+    /// [`RunReport::total_notifications_received`].
+    pub fn total_notifications_consumed(&self) -> u64 {
+        self.ranks.iter().map(|r| r.notifications_consumed).sum()
+    }
+
+    /// Largest per-rank compute scale in the run (identifies the worst
+    /// straggler; 1.0 on homogeneous clusters).
+    pub fn max_compute_scale(&self) -> f64 {
+        self.ranks.iter().map(|r| r.compute_scale).fold(1.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -116,5 +160,25 @@ mod tests {
         r.ranks[1].messages_sent = 5;
         assert_eq!(r.total_bytes_sent(), 42);
         assert_eq!(r.total_messages(), 7);
+    }
+
+    #[test]
+    fn default_stats_are_nominal_speed() {
+        let s = RankStats::default();
+        assert_eq!(s.compute_scale, 1.0);
+        assert_eq!(s.notifications_received, 0);
+        assert_eq!(s.notifications_consumed, 0);
+    }
+
+    #[test]
+    fn notification_totals_and_scale_aggregate() {
+        let mut r = report_with_finish_times(&[1.0, 1.0, 1.0]);
+        r.ranks[0].notifications_received = 4;
+        r.ranks[1].notifications_received = 1;
+        r.ranks[0].notifications_consumed = 3;
+        r.ranks[2].compute_scale = 4.5;
+        assert_eq!(r.total_notifications_received(), 5);
+        assert_eq!(r.total_notifications_consumed(), 3);
+        assert_eq!(r.max_compute_scale(), 4.5);
     }
 }

@@ -1,0 +1,300 @@
+//! Deterministic heterogeneity scenarios: per-node compute speed factors,
+//! per-link latency/bandwidth jitter and straggler injection.
+//!
+//! The paper's SSP experiments (Figures 6–7) hinge on *heterogeneous* rank
+//! progress: stragglers and jitter are what bounded staleness buys slack
+//! against.  A [`Scenario`] describes that heterogeneity as a small set of
+//! seeded parameters; [`Scenario::materialize`] expands it against a concrete
+//! [`ClusterSpec`] into per-node and per-link factors.  All randomness comes
+//! from a [`SplitMix64`] stream threaded through explicitly — there is no
+//! global RNG, so the same seed always yields the same cluster, which keeps
+//! the figure-regeneration binaries reproducible.
+
+use crate::cluster::{ClusterSpec, NodeId};
+
+/// Minimal splitmix64 PRNG: deterministic, seedable, state is a single `u64`.
+///
+/// Used for scenario materialization and per-link jitter hashing; it is *not*
+/// a cryptographic generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        Self::mix(self.state)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[-1, 1)`.
+    pub fn next_symmetric_f64(&mut self) -> f64 {
+        2.0 * self.next_unit_f64() - 1.0
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Stateless finalizer: hash an arbitrary 64-bit value into 64 random
+    /// bits.  Used for per-link jitter so link factors need no O(nodes²)
+    /// table.
+    pub fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seeded description of cluster heterogeneity.
+///
+/// A scenario is applied to an [`crate::Engine`] via
+/// [`crate::Engine::with_scenario`]; the default scenario (all jitter zero,
+/// no stragglers) reproduces the homogeneous cluster exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Seed for all scenario randomness (node speeds, straggler choice,
+    /// link jitter).
+    pub seed: u64,
+    /// Relative half-width of the per-node compute speed distribution: each
+    /// node's local-operation durations are scaled by a factor drawn
+    /// uniformly from `[1 - j, 1 + j]`.
+    pub compute_jitter: f64,
+    /// Relative half-width of the per-link latency jitter: each directed
+    /// node pair's `alpha` is scaled by a factor in `[1 - j, 1 + j]`.
+    pub latency_jitter: f64,
+    /// Relative half-width of the per-link bandwidth jitter: each directed
+    /// node pair's `beta` (serialization time) is scaled by a factor in
+    /// `[1 - j, 1 + j]`.
+    pub bandwidth_jitter: f64,
+    /// Fraction of nodes (rounded to the nearest count) injected as
+    /// stragglers.
+    pub straggler_fraction: f64,
+    /// Extra compute-scale multiplier applied to straggler nodes (>= 1;
+    /// 4.0 means local operations take 4x as long).
+    pub straggler_slowdown: f64,
+}
+
+impl Scenario {
+    /// A neutral scenario (no jitter, no stragglers) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            compute_jitter: 0.0,
+            latency_jitter: 0.0,
+            bandwidth_jitter: 0.0,
+            straggler_fraction: 0.0,
+            straggler_slowdown: 1.0,
+        }
+    }
+
+    /// Set the per-node compute speed jitter (relative half-width in `[0, 1)`).
+    pub fn with_compute_jitter(mut self, jitter: f64) -> Self {
+        self.compute_jitter = jitter;
+        self
+    }
+
+    /// Set the per-link latency and bandwidth jitter (relative half-widths).
+    pub fn with_link_jitter(mut self, latency: f64, bandwidth: f64) -> Self {
+        self.latency_jitter = latency;
+        self.bandwidth_jitter = bandwidth;
+        self
+    }
+
+    /// Inject stragglers: `fraction` of the nodes run their local operations
+    /// `slowdown` times slower.
+    pub fn with_stragglers(mut self, fraction: f64, slowdown: f64) -> Self {
+        self.straggler_fraction = fraction;
+        self.straggler_slowdown = slowdown;
+        self
+    }
+
+    /// Check the parameters are physically meaningful.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v, hi) in [
+            ("compute_jitter", self.compute_jitter, 1.0),
+            ("latency_jitter", self.latency_jitter, 1.0),
+            ("bandwidth_jitter", self.bandwidth_jitter, 1.0),
+            ("straggler_fraction", self.straggler_fraction, 1.0 + 1e-12),
+        ] {
+            if !v.is_finite() || v < 0.0 || v >= hi {
+                return Err(format!("scenario parameter {name} must be finite and in [0, {hi})"));
+            }
+        }
+        if !self.straggler_slowdown.is_finite() || self.straggler_slowdown < 1.0 {
+            return Err("straggler_slowdown must be finite and >= 1.0".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Expand the scenario against a concrete cluster into per-node compute
+    /// scales and per-link jitter factors.
+    pub fn materialize(&self, cluster: &ClusterSpec) -> ScenarioInstance {
+        let nodes = cluster.nodes;
+        let mut rng = SplitMix64::new(self.seed);
+        // Per-node speed: uniform in [1 - j, 1 + j].  The scale multiplies
+        // durations, so a factor > 1 is a *slower* node.
+        let mut node_compute_scale: Vec<f64> =
+            (0..nodes).map(|_| 1.0 + self.compute_jitter * rng.next_symmetric_f64()).collect();
+        // Straggler choice: partial Fisher-Yates over the node ids so exactly
+        // `k` distinct nodes are picked, deterministically in the seed.
+        let k = ((self.straggler_fraction * nodes as f64).round() as usize).min(nodes);
+        let mut ids: Vec<NodeId> = (0..nodes).collect();
+        let mut straggler = vec![false; nodes];
+        for i in 0..k {
+            let j = i + rng.next_below(nodes - i);
+            ids.swap(i, j);
+            straggler[ids[i]] = true;
+            node_compute_scale[ids[i]] *= self.straggler_slowdown;
+        }
+        ScenarioInstance {
+            node_compute_scale,
+            straggler,
+            link_seed: SplitMix64::mix(self.seed ^ 0xA076_1D64_78BD_642F),
+            latency_jitter: self.latency_jitter,
+            bandwidth_jitter: self.bandwidth_jitter,
+        }
+    }
+}
+
+/// A [`Scenario`] expanded against a concrete cluster.
+///
+/// Node factors are materialized as a table; link factors are computed on
+/// demand by hashing the directed node pair, so a 1024-node cluster needs no
+/// O(nodes²) storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioInstance {
+    node_compute_scale: Vec<f64>,
+    straggler: Vec<bool>,
+    link_seed: u64,
+    latency_jitter: f64,
+    bandwidth_jitter: f64,
+}
+
+impl ScenarioInstance {
+    /// Duration multiplier for local operations executed on `node` (> 1 is
+    /// slower than nominal).
+    pub fn compute_scale(&self, node: NodeId) -> f64 {
+        self.node_compute_scale[node]
+    }
+
+    /// Whether `node` was selected as a straggler.
+    pub fn is_straggler(&self, node: NodeId) -> bool {
+        self.straggler[node]
+    }
+
+    /// Number of injected straggler nodes.
+    pub fn straggler_count(&self) -> usize {
+        self.straggler.iter().filter(|&&s| s).count()
+    }
+
+    fn link_factor(&self, src: NodeId, dst: NodeId, salt: u64, jitter: f64) -> f64 {
+        if jitter == 0.0 {
+            return 1.0;
+        }
+        let h = SplitMix64::mix(self.link_seed ^ salt ^ ((src as u64) << 32 | dst as u64));
+        let sym = 2.0 * ((h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) - 1.0;
+        1.0 + jitter * sym
+    }
+
+    /// Latency (`alpha`) multiplier of the directed link `src -> dst`.
+    pub fn link_alpha_scale(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.link_factor(src, dst, 0x9E37_79B9, self.latency_jitter)
+    }
+
+    /// Serialization (`beta`) multiplier of the directed link `src -> dst`.
+    pub fn link_beta_scale(&self, src: NodeId, dst: NodeId) -> f64 {
+        self.link_factor(src, dst, 0x85EB_CA6B, self.bandwidth_jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_range() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let u = r.next_unit_f64();
+            assert!((0.0..1.0).contains(&u));
+            let s = r.next_symmetric_f64();
+            assert!((-1.0..1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn neutral_scenario_is_homogeneous() {
+        let inst = Scenario::new(1).materialize(&ClusterSpec::homogeneous(16, 1));
+        for n in 0..16 {
+            assert_eq!(inst.compute_scale(n), 1.0);
+            assert!(!inst.is_straggler(n));
+            assert_eq!(inst.link_alpha_scale(n, (n + 1) % 16), 1.0);
+            assert_eq!(inst.link_beta_scale(n, (n + 1) % 16), 1.0);
+        }
+        assert_eq!(inst.straggler_count(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_instance() {
+        let cluster = ClusterSpec::homogeneous(64, 2);
+        let s = Scenario::new(99).with_compute_jitter(0.3).with_link_jitter(0.2, 0.1).with_stragglers(0.1, 4.0);
+        assert_eq!(s.materialize(&cluster), s.materialize(&cluster));
+        let other = Scenario { seed: 100, ..s.clone() };
+        assert_ne!(s.materialize(&cluster), other.materialize(&cluster));
+    }
+
+    #[test]
+    fn straggler_count_matches_fraction() {
+        let cluster = ClusterSpec::homogeneous(100, 1);
+        let inst = Scenario::new(5).with_stragglers(0.07, 8.0).materialize(&cluster);
+        assert_eq!(inst.straggler_count(), 7);
+        for n in 0..100 {
+            if inst.is_straggler(n) {
+                assert!(inst.compute_scale(n) >= 8.0 * (1.0 - 1e-12));
+            } else {
+                assert_eq!(inst.compute_scale(n), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_bounds_are_respected() {
+        let cluster = ClusterSpec::homogeneous(256, 1);
+        let inst = Scenario::new(3).with_compute_jitter(0.25).with_link_jitter(0.2, 0.15).materialize(&cluster);
+        for n in 0..256 {
+            let c = inst.compute_scale(n);
+            assert!((0.75..=1.25).contains(&c), "compute scale {c} out of range");
+            let a = inst.link_alpha_scale(n, (n + 7) % 256);
+            assert!((0.8..=1.2).contains(&a), "alpha scale {a} out of range");
+            let b = inst.link_beta_scale(n, (n + 7) % 256);
+            assert!((0.85..=1.15).contains(&b), "beta scale {b} out of range");
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Scenario::new(0).validate().is_ok());
+        assert!(Scenario::new(0).with_compute_jitter(1.5).validate().is_err());
+        assert!(Scenario::new(0).with_stragglers(0.5, 0.5).validate().is_err());
+        assert!(Scenario::new(0).with_link_jitter(-0.1, 0.0).validate().is_err());
+    }
+}

@@ -42,6 +42,18 @@ pub enum ValidationError {
         /// Index of the offending operation.
         op_index: usize,
     },
+    /// A `WaitNotify`/`WaitNotifyAny` lists the same notification id twice.
+    /// A duplicated id would make the engine count one arrival as two and
+    /// decrement a zero counter on consumption — always a schedule-generator
+    /// bug.
+    DuplicateWaitId {
+        /// Rank issuing the operation.
+        rank: RankId,
+        /// Index of the offending operation.
+        op_index: usize,
+        /// The duplicated notification id.
+        id: u32,
+    },
     /// A `PutNotify` carries no payload.  Payload-free synchronization must
     /// use `Notify`; a zero-byte put is almost always a schedule-generator
     /// bug (e.g. an empty chunk of a payload smaller than the rank count).
@@ -88,6 +100,9 @@ impl std::fmt::Display for ValidationError {
             ValidationError::BadNotifyCount { rank, op_index } => {
                 write!(f, "rank {rank} op {op_index} waits for more notifications than it lists")
             }
+            ValidationError::DuplicateWaitId { rank, op_index, id } => {
+                write!(f, "rank {rank} op {op_index} lists notification id {id} more than once in a wait")
+            }
             ValidationError::ZeroBytePut { rank, op_index } => {
                 write!(f, "rank {rank} op {op_index} issues a zero-byte put; use a payload-free notify instead")
             }
@@ -102,6 +117,30 @@ impl std::fmt::Display for ValidationError {
 }
 
 impl std::error::Error for ValidationError {}
+
+/// Reject wait lists containing the same notification id twice.
+///
+/// Wait lists are almost always tiny (one or two ids per op, at most the
+/// fan-in of a tree), and validation runs on every `Engine::run` — so small
+/// lists use an allocation-free quadratic scan and only genuinely large
+/// lists fall back to a hash set.
+fn check_distinct_wait_ids(ids: &[u32], rank: RankId, op_index: usize) -> Result<(), ValidationError> {
+    if ids.len() <= 16 {
+        for (i, &id) in ids.iter().enumerate() {
+            if ids[..i].contains(&id) {
+                return Err(ValidationError::DuplicateWaitId { rank, op_index, id });
+            }
+        }
+        return Ok(());
+    }
+    let mut seen = std::collections::HashSet::with_capacity(ids.len());
+    for &id in ids {
+        if !seen.insert(id) {
+            return Err(ValidationError::DuplicateWaitId { rank, op_index, id });
+        }
+    }
+    Ok(())
+}
 
 /// Validate `program` against a cluster with `cluster_ranks` ranks.
 pub fn validate(program: &Program, cluster_ranks: usize) -> Result<(), ValidationError> {
@@ -141,9 +180,13 @@ pub fn validate(program: &Program, cluster_ranks: usize) -> Result<(), Validatio
                     check_target(*src)?;
                     *recvs.entry((*src, rank, *tag)).or_default() += 1;
                 }
-                Op::WaitNotifyAny { ids, count } if *count == 0 || *count > ids.len() => {
-                    return Err(ValidationError::BadNotifyCount { rank, op_index });
+                Op::WaitNotifyAny { ids, count } => {
+                    if *count == 0 || *count > ids.len() {
+                        return Err(ValidationError::BadNotifyCount { rank, op_index });
+                    }
+                    check_distinct_wait_ids(ids, rank, op_index)?;
                 }
+                Op::WaitNotify { ids } => check_distinct_wait_ids(ids, rank, op_index)?,
                 Op::Compute { seconds } if !seconds.is_finite() || *seconds < 0.0 => {
                     return Err(ValidationError::BadComputeDuration { rank, op_index });
                 }
@@ -214,6 +257,28 @@ mod tests {
         let mut b = ProgramBuilder::new(2);
         b.wait_notify_any(0, &[1, 2], 3);
         assert!(matches!(validate(&b.build(), 2), Err(ValidationError::BadNotifyCount { .. })));
+    }
+
+    #[test]
+    fn duplicate_wait_ids_detected() {
+        // `WaitNotify` with a repeated id: one arrival would be counted twice
+        // and the second consumption would underflow a zero counter.
+        let mut b = ProgramBuilder::new(2);
+        b.wait_notify(0, &[4, 4]);
+        assert!(matches!(
+            validate(&b.build(), 2),
+            Err(ValidationError::DuplicateWaitId { rank: 0, op_index: 0, id: 4 })
+        ));
+        // Same for `WaitNotifyAny`.
+        let mut b = ProgramBuilder::new(2);
+        b.wait_notify_any(1, &[7, 2, 7], 1);
+        assert!(matches!(validate(&b.build(), 2), Err(ValidationError::DuplicateWaitId { rank: 1, id: 7, .. })));
+        // Distinct ids stay valid.
+        let mut ok = ProgramBuilder::new(2);
+        ok.notify(0, 1, 2);
+        ok.notify(0, 1, 7);
+        ok.wait_notify_any(1, &[7, 2], 2);
+        assert!(validate(&ok.build(), 2).is_ok());
     }
 
     #[test]

@@ -193,6 +193,57 @@ proptest! {
         }
     }
 
+    /// Notification-counter conservation over random put/wait programs: a
+    /// wait consumes exactly as many arrivals as it asked for, so the total
+    /// consumed can never exceed the total delivered — and programs whose
+    /// waits are covered by matching puts never deadlock.  (This property
+    /// fails on an engine whose `WaitNotifyAny` over-consumes: an any-wait
+    /// draining every available id starves a later wait.)
+    #[test]
+    fn notification_arrivals_are_conserved(
+        p in 2usize..6,
+        puts in 1usize..24,
+        ids in 1u32..5,
+        seed in 0u64..10_000,
+    ) {
+        use ec_collectives_suite::netsim::{ProgramBuilder, SplitMix64};
+        let mut rng = SplitMix64::new(seed);
+        let mut b = ProgramBuilder::new(p);
+        // Random notifies; remember which ids each receiver saw.
+        let mut seen: Vec<Vec<u32>> = vec![Vec::new(); p];
+        let mut arrivals = vec![0usize; p];
+        for _ in 0..puts {
+            let src = rng.next_below(p);
+            let dst = (src + 1 + rng.next_below(p - 1)) % p;
+            let id = (rng.next_u64() % ids as u64) as u32;
+            b.notify(src, dst, id);
+            if !seen[dst].contains(&id) {
+                seen[dst].push(id);
+            }
+            arrivals[dst] += 1;
+        }
+        // Each receiver issues at most `arrivals` single-count any-waits over
+        // every id it can receive: satisfiable regardless of arrival order
+        // *iff* earlier waits consume exactly one arrival each.
+        let mut expected_consumed = 0u64;
+        for dst in 0..p {
+            if seen[dst].is_empty() {
+                continue;
+            }
+            let waits = 1 + rng.next_below(arrivals[dst]);
+            for _ in 0..waits {
+                b.wait_notify_any(dst, &seen[dst], 1);
+            }
+            expected_consumed += waits as u64;
+        }
+        let prog = b.build();
+        prop_assert!(validate(&prog, p).is_ok());
+        let report = engine(p).run(&prog).unwrap();
+        prop_assert_eq!(report.total_notifications_received(), puts as u64);
+        prop_assert_eq!(report.total_notifications_consumed(), expected_consumed);
+        prop_assert!(report.total_notifications_consumed() <= report.total_notifications_received());
+    }
+
     /// The broadcast threshold changes time but never the number of tree
     /// edges: every non-root rank still receives exactly one message.
     #[test]

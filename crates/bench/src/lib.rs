@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod congestion;
 pub mod ssp_scale;
 
 use std::fmt::Write as _;

@@ -1,0 +1,76 @@
+//! Acceptance tests for the fig15 congestion experiment: the direct
+//! AlltoAll must measurably degrade on an oversubscribed fat-tree while the
+//! pipelined ring stays topology-oblivious, and the whole sweep must be
+//! deterministic (same seed, identical points).
+
+use ec_bench::congestion::{run_point, Collective, CongestionConfig};
+
+fn cfg(ranks: usize) -> CongestionConfig {
+    let mut cfg = CongestionConfig::new(ranks);
+    // CI-sized payloads: the contrast is about topology, not byte counts.
+    cfg.alltoall_block = 16 * 1024;
+    cfg.ring_bytes = 2_000_000;
+    cfg
+}
+
+#[test]
+fn alltoall_degrades_under_oversubscription_but_ring_does_not() {
+    let cfg = cfg(64);
+    let a2a_flat = run_point(&cfg, Collective::Alltoall, 1.0);
+    let a2a_over = run_point(&cfg, Collective::Alltoall, 4.0);
+    assert!(
+        a2a_over.makespan > 1.5 * a2a_flat.makespan,
+        "4:1 oversubscription must measurably slow the alltoall: {} vs {}",
+        a2a_over.makespan,
+        a2a_flat.makespan
+    );
+    assert!(a2a_over.core_congestion_time > a2a_flat.core_congestion_time);
+    assert!(a2a_over.congested_links >= 1);
+
+    let ring_flat = run_point(&cfg, Collective::Ring, 1.0);
+    let ring_over = run_point(&cfg, Collective::Ring, 4.0);
+    let drift = (ring_over.makespan - ring_flat.makespan).abs() / ring_flat.makespan;
+    assert!(
+        drift < 0.02,
+        "the ring crosses the core one flow at a time and must not see the taper: {} vs {}",
+        ring_over.makespan,
+        ring_flat.makespan
+    );
+    assert!((ring_over.core_congestion_time - 0.0).abs() < 1e-12, "ring traffic never saturates an uplink");
+}
+
+#[test]
+fn fig15_points_are_deterministic_per_seed() {
+    let cfg = cfg(64);
+    for collective in [Collective::Alltoall, Collective::Ring] {
+        for k in [1.0, 2.0, 4.0] {
+            let a = run_point(&cfg, collective, k);
+            let b = run_point(&cfg, collective, k);
+            assert_eq!(
+                a.makespan.to_bits(),
+                b.makespan.to_bits(),
+                "{} k={k}: same seed must give a bit-identical makespan",
+                collective.label()
+            );
+            assert_eq!(a.max_link_utilization.to_bits(), b.max_link_utilization.to_bits());
+            assert_eq!(a.core_congestion_time.to_bits(), b.core_congestion_time.to_bits());
+        }
+    }
+    // A different seed genuinely perturbs the jittered fabric.
+    let mut other = cfg.clone();
+    other.seed = 43;
+    let a = run_point(&cfg, Collective::Alltoall, 2.0);
+    let b = run_point(&other, Collective::Alltoall, 2.0);
+    assert_ne!(a.makespan.to_bits(), b.makespan.to_bits());
+}
+
+#[test]
+fn congestion_grows_with_the_taper() {
+    let cfg = cfg(64);
+    let mut previous = 0.0;
+    for k in [1.0, 2.0, 4.0] {
+        let p = run_point(&cfg, Collective::Alltoall, k);
+        assert!(p.core_congestion_time >= previous, "core saturation time must not shrink as the taper grows: k={k}");
+        previous = p.core_congestion_time;
+    }
+}

@@ -34,11 +34,31 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::cluster::{ClusterSpec, RankId};
 use crate::cost::{CostModel, Protocol};
+use crate::fabric::{Fabric, FlowId};
 use crate::program::{NotifyId, Op, Program, Tag};
-use crate::report::{RankStats, RunReport};
+use crate::report::{LinkStats, RankStats, RunReport};
 use crate::scenario::{Scenario, ScenarioInstance};
+use crate::topology::Topology;
 use crate::trace::{TraceEvent, TraceKind};
 use crate::validate::{validate, ValidationError};
+
+/// How inter-node transfers are priced.
+///
+/// The seed simulator prices every transfer with a contention-free
+/// alpha–beta link (plus per-node NIC serialization).  The fabric model
+/// instead routes each transfer as a flow over a capacitated [`Topology`]
+/// and shares link bandwidth max-min fairly among concurrent flows — the
+/// regime where oversubscription and incast become visible.
+#[derive(Debug, Clone)]
+pub enum NetworkModel {
+    /// Contention-free alpha–beta links with per-node NIC serialization
+    /// (the seed model; the default).
+    AlphaBeta,
+    /// Flow-level max-min fair sharing over a capacitated topology.  The
+    /// degenerate [`Topology::contention_free`] preset falls back to the
+    /// exact alpha–beta path, reproducing its makespans bit-for-bit.
+    Fabric(Topology),
+}
 
 /// Errors produced while simulating a program.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +67,9 @@ pub enum SimError {
     Invalid(ValidationError),
     /// The engine's scenario has nonsensical parameters.
     BadScenario(String),
+    /// The engine's fabric topology does not fit the cluster (node-count
+    /// mismatch, invalid or disconnected link graph).
+    BadTopology(String),
     /// Execution stalled: the event queue drained while ranks were still
     /// blocked (mismatched sends/receives or missing notifications).
     Deadlock {
@@ -61,6 +84,7 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Invalid(e) => write!(f, "invalid program: {e}"),
             SimError::BadScenario(e) => write!(f, "invalid scenario: {e}"),
+            SimError::BadTopology(e) => write!(f, "invalid topology: {e}"),
             SimError::Deadlock { blocked } => {
                 write!(f, "simulation deadlocked; blocked ranks: ")?;
                 for (r, pc, what) in blocked {
@@ -81,12 +105,13 @@ pub struct Engine {
     cost: CostModel,
     tracing: bool,
     scenario: Option<Scenario>,
+    network: NetworkModel,
 }
 
 impl Engine {
     /// Create an engine for the given cluster and cost model.
     pub fn new(cluster: ClusterSpec, cost: CostModel) -> Self {
-        Self { cluster, cost, tracing: false, scenario: None }
+        Self { cluster, cost, tracing: false, scenario: None, network: NetworkModel::AlphaBeta }
     }
 
     /// Enable or disable event tracing (traces are returned in the report).
@@ -118,6 +143,23 @@ impl Engine {
         self.scenario.as_ref()
     }
 
+    /// Select the [`NetworkModel`] pricing inter-node transfers.
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Convenience: price inter-node transfers with the flow-level fabric
+    /// over `topology` (see [`NetworkModel::Fabric`]).
+    pub fn with_topology(self, topology: Topology) -> Self {
+        self.with_network(NetworkModel::Fabric(topology))
+    }
+
+    /// The network model this engine prices transfers with.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
     /// Simulate `program` and return the run report.
     pub fn run(&self, program: &Program) -> Result<RunReport, SimError> {
         validate(program, self.cluster.total_ranks()).map_err(SimError::Invalid)?;
@@ -128,7 +170,34 @@ impl Engine {
             }
             None => None,
         };
-        let sim = Sim::new(&self.cluster, &self.cost, program, self.tracing, instance);
+        let fabric = match &self.network {
+            NetworkModel::AlphaBeta => None,
+            // The degenerate contention-free fabric has no shared links: the
+            // alpha-beta path prices it exactly.
+            NetworkModel::Fabric(t) if t.is_contention_free() => {
+                if t.nodes() != self.cluster.nodes {
+                    return Err(SimError::BadTopology(format!(
+                        "topology {} has {} nodes but the cluster has {}",
+                        t.name(),
+                        t.nodes(),
+                        self.cluster.nodes
+                    )));
+                }
+                None
+            }
+            NetworkModel::Fabric(t) => {
+                if t.nodes() != self.cluster.nodes {
+                    return Err(SimError::BadTopology(format!(
+                        "topology {} has {} nodes but the cluster has {}",
+                        t.name(),
+                        t.nodes(),
+                        self.cluster.nodes
+                    )));
+                }
+                Some(Fabric::new(t.clone()).map_err(SimError::BadTopology)?)
+            }
+        };
+        let sim = Sim::new(&self.cluster, &self.cost, program, self.tracing, instance, fabric);
         sim.run()
     }
 
@@ -154,6 +223,12 @@ enum EventKind {
     NotifyVisible { notify: NotifyId, bytes: u64 },
     /// A transfer injected by the rank finished leaving its NIC.
     TxDone { msg: MsgId },
+    /// The head of the rank's fabric injection queue is ready to launch.
+    FlowLaunch,
+    /// Re-estimate fabric flows: the earliest completion (as of `epoch`) is
+    /// due.  Ticks from older epochs are stale and ignored — rates changed
+    /// since, and a fresher tick is already in the heap.
+    FabricTick { epoch: u64 },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -204,6 +279,56 @@ struct PendingRendezvous {
     msg: MsgId,
     bytes: u64,
     send_time: f64,
+}
+
+/// What the engine must do when a fabric flow completes.
+#[derive(Debug, Clone, Copy)]
+enum FlowKind {
+    /// One-sided put: raise `notify` at the destination; `msg` feeds
+    /// `WaitAllSends` accounting when the sender tracks completions.
+    Put { notify: NotifyId, msg: Option<MsgId> },
+    /// Two-sided transfer: deliver `(src, tag)` and release the sender.
+    TwoSided { tag: Tag, msg: MsgId },
+}
+
+/// Engine-side metadata of an in-flight fabric flow (indexed by [`FlowId`];
+/// slots are recycled together with the fabric's flow slab).
+#[derive(Debug, Clone, Copy)]
+struct FlowMeta {
+    src: RankId,
+    dst: RankId,
+    /// Logical payload bytes (the wire bytes may be scaled by jitter and the
+    /// two-sided penalty).
+    bytes: u64,
+    /// Propagation latency added between flow completion and delivery.
+    alpha: f64,
+    kind: FlowKind,
+}
+
+/// An inter-node transfer waiting in a rank's fabric injection queue.  Each
+/// rank injects one DMA at a time (mirroring the seed model's per-rank NIC
+/// serialization), so active flow counts stay bounded by the rank count.
+#[derive(Debug, Clone, Copy)]
+struct QueuedTransfer {
+    dst: RankId,
+    bytes: u64,
+    /// Bytes to push through the fabric (payload scaled by bandwidth jitter
+    /// and, for two-sided transfers, the progress-engine penalty).
+    wire_bytes: f64,
+    alpha: f64,
+    /// The flow must not launch before this time (injection overhead,
+    /// rendezvous clear-to-send).
+    earliest: f64,
+    kind: FlowKind,
+}
+
+/// Per-rank fabric injection pipeline state.
+#[derive(Debug, Default)]
+struct InjectQueue {
+    fifo: VecDeque<QueuedTransfer>,
+    /// True while a queued transfer is launching or a flow is in flight;
+    /// guards against double-launching a rank's pipeline.
+    busy: bool,
 }
 
 #[derive(Debug)]
@@ -292,6 +417,17 @@ struct Sim<'a> {
     node_tx_free: Vec<f64>,
     node_rx_free: Vec<f64>,
     barrier_arrived: Vec<Option<f64>>,
+    /// Flow-level contention model (None: the alpha-beta path prices all
+    /// inter-node transfers).
+    fabric: Option<Fabric>,
+    /// Engine-side metadata per fabric flow, indexed by [`FlowId`].
+    flow_meta: Vec<Option<FlowMeta>>,
+    /// Per-rank fabric injection pipelines.
+    inject: Vec<InjectQueue>,
+    /// Scratch buffers for completed-flow ids and their detached metadata
+    /// (recycled across ticks).
+    completed_buf: Vec<FlowId>,
+    meta_buf: Vec<FlowMeta>,
     trace: Vec<TraceEvent>,
 }
 
@@ -302,6 +438,7 @@ impl<'a> Sim<'a> {
         program: &'a Program,
         tracing: bool,
         scenario: Option<ScenarioInstance>,
+        fabric: Option<Fabric>,
     ) -> Self {
         let n = program.num_ranks();
         let (bounds, tracks_put_tx) = prescan(program);
@@ -329,6 +466,11 @@ impl<'a> Sim<'a> {
             node_tx_free: vec![0.0; cluster.nodes],
             node_rx_free: vec![0.0; cluster.nodes],
             barrier_arrived: vec![None; n],
+            inject: if fabric.is_some() { (0..n).map(|_| InjectQueue::default()).collect() } else { Vec::new() },
+            fabric,
+            flow_meta: Vec::new(),
+            completed_buf: Vec::new(),
+            meta_buf: Vec::new(),
             trace: Vec::new(),
         }
     }
@@ -359,6 +501,8 @@ impl<'a> Sim<'a> {
                 }
                 EventKind::NotifyVisible { notify, bytes } => self.on_notify(ev.rank, notify, bytes, ev.time),
                 EventKind::TxDone { msg } => self.on_tx_done(ev.rank, msg, ev.time),
+                EventKind::FlowLaunch => self.on_flow_launch(ev.rank, ev.time),
+                EventKind::FabricTick { epoch } => self.on_fabric_tick(epoch, ev.time),
             }
         }
         let blocked: Vec<_> = self
@@ -374,8 +518,23 @@ impl<'a> Sim<'a> {
         if !blocked.is_empty() {
             return Err(SimError::Deadlock { blocked });
         }
+        let links = match &self.fabric {
+            Some(f) => f
+                .usage()
+                .iter()
+                .zip(f.topology().links())
+                .map(|(u, l)| LinkStats {
+                    label: l.label.clone(),
+                    capacity: l.capacity,
+                    bytes: u.bytes,
+                    busy_time: u.busy_time,
+                    saturated_time: u.saturated_time,
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         let ranks = self.ranks.into_iter().map(|r| r.stats).collect();
-        Ok(RunReport { ranks, trace: self.trace })
+        Ok(RunReport { ranks, links, trace: self.trace })
     }
 
     /// Resume a rank that was blocked, accounting the wait time.
@@ -490,6 +649,21 @@ impl<'a> Sim<'a> {
     /// `dst`, injected no earlier than `earliest`.
     fn schedule_put(&mut self, src: RankId, dst: RankId, bytes: u64, notify: NotifyId, earliest: f64) {
         let same = self.cluster.same_node(src, dst);
+        if self.fabric.is_some() && !same {
+            let msg = if bytes > 0 && self.tracks_put_tx[src] {
+                let msg = self.alloc_msg();
+                self.ranks[src].outstanding_sends += 1;
+                Some(msg)
+            } else {
+                None
+            };
+            self.fabric_transfer(src, dst, bytes, 1.0, earliest, FlowKind::Put { notify, msg });
+            if self.tracing {
+                let detail = format!("put dst={dst} bytes={bytes} notify={notify}");
+                self.trace.push(TraceEvent::new(earliest, src, TraceKind::MsgInjected, None, detail));
+            }
+            return;
+        }
         let beta = self.cost.beta_one_sided(same);
         let (tx_done, delivered) = self.schedule_wire(src, dst, bytes, beta, same, earliest);
         let visible = delivered + self.cost.notify_overhead;
@@ -512,6 +686,15 @@ impl<'a> Sim<'a> {
     /// Schedule a two-sided transfer from `src` to `dst`.
     fn schedule_two_sided(&mut self, src: RankId, dst: RankId, bytes: u64, tag: Tag, earliest: f64, msg: MsgId) {
         let same = self.cluster.same_node(src, dst);
+        if self.fabric.is_some() && !same {
+            let penalty = self.cost.two_sided_bw_penalty.max(1.0);
+            self.fabric_transfer(src, dst, bytes, penalty, earliest, FlowKind::TwoSided { tag, msg });
+            if self.tracing {
+                let detail = format!("send dst={dst} bytes={bytes} tag={tag}");
+                self.trace.push(TraceEvent::new(earliest, src, TraceKind::MsgInjected, None, detail));
+            }
+            return;
+        }
         let beta = self.cost.beta_two_sided(same);
         let (tx_done, delivered) = self.schedule_wire(src, dst, bytes, beta, same, earliest);
         self.ranks[src].stats.bytes_sent += bytes;
@@ -566,6 +749,153 @@ impl<'a> Sim<'a> {
         self.ranks[dst].stats.bytes_received += bytes;
         self.ranks[dst].stats.messages_received += 1;
         (tx_done, delivered)
+    }
+
+    // -- fabric (flow-level contention) path --------------------------------
+
+    /// Price an inter-node transfer through the flow-level fabric: enqueue it
+    /// on the sender's injection pipeline (one DMA in flight per rank, like
+    /// the alpha-beta model's per-rank NIC serialization).  Scenario jitter
+    /// composes on top: bandwidth jitter scales the wire bytes, latency
+    /// jitter the propagation delay added at delivery.
+    fn fabric_transfer(&mut self, src: RankId, dst: RankId, bytes: u64, penalty: f64, earliest: f64, kind: FlowKind) {
+        let src_node = self.cluster.node_of(src);
+        let dst_node = self.cluster.node_of(dst);
+        let mut alpha = self.cost.alpha_inter;
+        let mut wire_bytes = bytes as f64 * penalty;
+        if let Some(inst) = &self.scenario {
+            alpha *= inst.link_alpha_scale(src_node, dst_node);
+            wire_bytes *= inst.link_beta_scale(src_node, dst_node);
+        }
+        self.ranks[src].stats.bytes_sent += bytes;
+        self.ranks[src].stats.messages_sent += 1;
+        if bytes == 0 {
+            // Payload-free synchronization never contends for bandwidth.
+            self.ranks[dst].stats.messages_received += 1;
+            match kind {
+                FlowKind::Put { notify, msg } => {
+                    debug_assert!(msg.is_none(), "zero-byte puts are never tracked");
+                    let visible = earliest + alpha + self.cost.notify_overhead;
+                    self.push_event(visible, dst, EventKind::NotifyVisible { notify, bytes: 0 });
+                }
+                FlowKind::TwoSided { tag, msg } => {
+                    self.push_event(earliest, src, EventKind::TxDone { msg });
+                    self.push_event(earliest + alpha, dst, EventKind::Delivered { src, tag, bytes: 0, msg });
+                }
+            }
+            return;
+        }
+        self.inject[src].fifo.push_back(QueuedTransfer { dst, bytes, wire_bytes, alpha, earliest, kind });
+        if !self.inject[src].busy {
+            self.inject[src].busy = true;
+            self.push_event(earliest, src, EventKind::FlowLaunch);
+        }
+    }
+
+    /// The head of `rank`'s injection queue is due: hand it to the fabric and
+    /// re-solve the rate allocation.  When the very next event is another
+    /// launch at the same virtual time (a synchronized wave, e.g. every rank
+    /// starting an alltoall at once), the solve is deferred to the wave's
+    /// last launch — one solve for the whole batch instead of one per flow.
+    fn on_flow_launch(&mut self, rank: RankId, t: f64) {
+        debug_assert!(self.inject[rank].busy);
+        let launched = self.launch_queued(rank, t);
+        debug_assert!(launched, "a FlowLaunch event always finds a due transfer at the queue head");
+        let next_is_same_time_launch = matches!(
+            self.events.peek(),
+            Some(Reverse(ev)) if ev.time == t && ev.kind == EventKind::FlowLaunch
+        );
+        if !next_is_same_time_launch {
+            self.resolve_fabric(t);
+        }
+    }
+
+    /// Launch the transfer at the head of `rank`'s queue if one is due.
+    /// Returns whether a flow entered the fabric (the caller then re-solves).
+    fn launch_queued(&mut self, rank: RankId, t: f64) -> bool {
+        match self.inject[rank].fifo.front().copied() {
+            None => {
+                self.inject[rank].busy = false;
+                false
+            }
+            Some(qt) if qt.earliest > t => {
+                // Head-of-line transfer not ready yet (rendezvous handshake):
+                // the pipeline stays reserved until its launch time.
+                self.push_event(qt.earliest, rank, EventKind::FlowLaunch);
+                false
+            }
+            Some(qt) => {
+                self.inject[rank].fifo.pop_front();
+                let fabric = self.fabric.as_mut().expect("fabric transfers require a fabric");
+                let src_node = self.cluster.node_of(rank);
+                let dst_node = self.cluster.node_of(qt.dst);
+                let id = fabric.add_flow(t, src_node, dst_node, qt.wire_bytes);
+                let meta = FlowMeta { src: rank, dst: qt.dst, bytes: qt.bytes, alpha: qt.alpha, kind: qt.kind };
+                if id >= self.flow_meta.len() {
+                    self.flow_meta.resize(id + 1, None);
+                }
+                self.flow_meta[id] = Some(meta);
+                true
+            }
+        }
+    }
+
+    /// Re-solve the fabric rates at `t` and schedule the next completion
+    /// tick under the fresh epoch.
+    fn resolve_fabric(&mut self, t: f64) {
+        let fabric = self.fabric.as_mut().expect("resolve_fabric requires a fabric");
+        if let Some(next) = fabric.resolve(t) {
+            let epoch = fabric.epoch();
+            self.push_event(next, 0, EventKind::FabricTick { epoch });
+        }
+    }
+
+    /// A fabric completion estimate came due.  Stale epochs are ignored; a
+    /// current tick completes every flow that has drained, delivers their
+    /// payloads, admits the senders' next queued transfers and re-solves.
+    fn on_fabric_tick(&mut self, epoch: u64, t: f64) {
+        let Some(fabric) = self.fabric.as_mut() else { return };
+        if fabric.epoch() != epoch {
+            return;
+        }
+        let mut done = std::mem::take(&mut self.completed_buf);
+        fabric.take_completed(t, &mut done);
+        // Detach every completed flow's metadata *before* admitting queued
+        // transfers: an admission may recycle a freed flow id that is still
+        // pending in `done`, and must not clobber (or be clobbered by) the
+        // completion being processed.
+        self.meta_buf.clear();
+        for &id in &done {
+            let meta = self.flow_meta[id].take().expect("completed flow has metadata");
+            self.meta_buf.push(meta);
+        }
+        for i in 0..self.meta_buf.len() {
+            let meta = self.meta_buf[i];
+            self.ranks[meta.dst].stats.bytes_received += meta.bytes;
+            self.ranks[meta.dst].stats.messages_received += 1;
+            match meta.kind {
+                FlowKind::Put { notify, msg } => {
+                    if let Some(msg) = msg {
+                        self.push_event(t, meta.src, EventKind::TxDone { msg });
+                    }
+                    let visible = t + meta.alpha + self.cost.notify_overhead;
+                    self.push_event(visible, meta.dst, EventKind::NotifyVisible { notify, bytes: meta.bytes });
+                }
+                FlowKind::TwoSided { tag, msg } => {
+                    self.push_event(t, meta.src, EventKind::TxDone { msg });
+                    let delivered = t + meta.alpha;
+                    self.push_event(
+                        delivered,
+                        meta.dst,
+                        EventKind::Delivered { src: meta.src, tag, bytes: meta.bytes, msg },
+                    );
+                }
+            }
+            self.launch_queued(meta.src, t);
+        }
+        done.clear();
+        self.completed_buf = done;
+        self.resolve_fabric(t);
     }
 
     // -- two-sided send / receive -------------------------------------------
@@ -1139,5 +1469,173 @@ mod tests {
         let e = engine(2, 1).with_scenario(Scenario::new(0).with_stragglers(0.5, 0.1));
         let err = e.run(&two_rank_put_wait()).unwrap_err();
         assert!(matches!(err, SimError::BadScenario(_)));
+    }
+
+    // -- network fabric -----------------------------------------------------
+
+    fn fabric_engine(nodes: usize, ppn: usize, topology: Topology) -> Engine {
+        Engine::new(ClusterSpec::homogeneous(nodes, ppn), CostModel::test_model()).with_topology(topology)
+    }
+
+    /// Every rank puts `bytes` to `dst` and `dst` waits for all of them.
+    fn incast_program(ranks: usize, dst: RankId, bytes: u64) -> Program {
+        let mut b = ProgramBuilder::new(ranks);
+        let mut ids = Vec::new();
+        for r in 0..ranks {
+            if r != dst {
+                b.put_notify(r, dst, bytes, r as u32);
+                ids.push(r as u32);
+            }
+        }
+        b.wait_notify(dst, &ids);
+        b.build()
+    }
+
+    #[test]
+    fn contention_free_topology_reproduces_alpha_beta_exactly() {
+        let p = incast_program(4, 3, 1 << 20);
+        let plain = engine(4, 1).run(&p).unwrap();
+        let degenerate = engine(4, 1).with_topology(Topology::contention_free(4)).run(&p).unwrap();
+        assert_eq!(plain.ranks, degenerate.ranks, "the degenerate fabric is the alpha-beta model");
+        assert!(degenerate.links.is_empty(), "no shared links, no link stats");
+    }
+
+    #[test]
+    fn incast_contends_on_the_receiver_downlink() {
+        // 7 senders into one receiver: on the fabric they share the
+        // receiver's access link, so the last delivery lands no earlier than
+        // the serialized sum; a disjoint put pattern runs in parallel.
+        let bytes = 1u64 << 20;
+        let cost = CostModel::test_model();
+        let nic = 1.0 / cost.beta_inter;
+        let incast = fabric_engine(8, 1, Topology::single_switch(8, nic));
+        let r = incast.run(&incast_program(8, 7, bytes)).unwrap();
+        let serialized = 7.0 * bytes as f64 * cost.beta_inter;
+        assert!(
+            r.makespan() >= serialized,
+            "7 x 1 MiB through one downlink needs >= {serialized}, got {}",
+            r.makespan()
+        );
+        // The receiver's downlink saturates; the report says so.
+        assert!(r.max_link_utilization() > 0.5);
+        assert!(r.total_congestion_time() > 0.0);
+        assert!(r.congested_links() >= 1);
+
+        // Pairwise shifted puts (rank r -> r+4) never share a link.
+        let mut b = ProgramBuilder::new(8);
+        for r in 0..4usize {
+            b.put_notify(r, r + 4, bytes, 0);
+            b.wait_notify(r + 4, &[0]);
+        }
+        let parallel = incast.run(&b.build()).unwrap();
+        assert!(
+            parallel.makespan() < r.makespan() / 3.0,
+            "disjoint flows must run concurrently: {} vs incast {}",
+            parallel.makespan(),
+            r.makespan()
+        );
+    }
+
+    #[test]
+    fn oversubscribed_uplinks_slow_cross_leaf_traffic_only() {
+        let bytes = 1u64 << 20;
+        let cost = CostModel::test_model();
+        let nic = 1.0 / cost.beta_inter;
+        // 8 nodes in two leaves of 4; every node of leaf 0 puts to its
+        // counterpart in leaf 1 (all flows cross the core).
+        let mut b = ProgramBuilder::new(8);
+        for r in 0..4usize {
+            b.put_notify(r, r + 4, bytes, 0);
+            b.wait_notify(r + 4, &[0]);
+        }
+        let cross = b.build();
+        let t_full = fabric_engine(8, 1, Topology::fat_tree(8, 4, 1.0, nic)).makespan(&cross).unwrap();
+        let t_over = fabric_engine(8, 1, Topology::fat_tree(8, 4, 4.0, nic)).makespan(&cross).unwrap();
+        assert!(
+            t_over > 3.0 * t_full,
+            "a 4:1 taper must throttle four concurrent cross-leaf flows: 1:1 {t_full} vs 4:1 {t_over}"
+        );
+        // Intra-leaf neighbor traffic never touches the core: oblivious.
+        let mut b = ProgramBuilder::new(8);
+        for leaf in [0usize, 4] {
+            for i in 0..3 {
+                b.put_notify(leaf + i, leaf + i + 1, bytes, 0);
+                b.wait_notify(leaf + i + 1, &[0]);
+            }
+        }
+        let near = b.build();
+        let n_full = fabric_engine(8, 1, Topology::fat_tree(8, 4, 1.0, nic)).makespan(&near).unwrap();
+        let n_over = fabric_engine(8, 1, Topology::fat_tree(8, 4, 4.0, nic)).makespan(&near).unwrap();
+        assert!((n_full - n_over).abs() < 1e-12, "intra-leaf traffic must not see the taper");
+    }
+
+    #[test]
+    fn fabric_puts_pipeline_through_the_injection_queue() {
+        // One sender, two destinations: the sender's DMAs go out one at a
+        // time, so the second delivery is one transfer later — and
+        // WaitAllSends still accounts both.
+        let cost = CostModel::test_model();
+        let nic = 1.0 / cost.beta_inter;
+        let e = fabric_engine(3, 1, Topology::single_switch(3, nic));
+        let bytes = 1u64 << 20;
+        let mut b = ProgramBuilder::new(3);
+        b.put_notify(0, 1, bytes, 0);
+        b.put_notify(0, 2, bytes, 0);
+        b.wait_all_sends(0);
+        b.wait_notify(1, &[0]);
+        b.wait_notify(2, &[0]);
+        let r = e.run(&b.build()).unwrap();
+        let ser = bytes as f64 * cost.beta_inter;
+        assert!((r.finish_time(2) - r.finish_time(1)) >= 0.9 * ser, "second DMA launches after the first");
+        assert!(r.finish_time(0) >= 2.0 * ser, "WaitAllSends covers both transfers");
+        assert_eq!(r.ranks[0].messages_sent, 2);
+    }
+
+    #[test]
+    fn fabric_handles_two_sided_and_barrier_programs() {
+        let cost = CostModel::test_model();
+        let nic = 1.0 / cost.beta_inter;
+        let e = fabric_engine(4, 1, Topology::single_switch(4, nic));
+        let mut b = ProgramBuilder::new(4);
+        b.send(0, 1, 4 << 20, 1); // rendezvous (above the 1 KiB test threshold)
+        b.recv(1, 0, 4 << 20, 1);
+        b.send(2, 3, 256, 2); // eager
+        b.recv(3, 2, 256, 2);
+        b.barrier_all();
+        let r = e.run(&b.build()).unwrap();
+        assert!(r.makespan() > 0.0);
+        assert_eq!(r.ranks[1].bytes_received, 4 << 20);
+        assert_eq!(r.ranks[3].bytes_received, 256);
+        // The rendezvous transfer still waits for the late receiver.
+        let mut late = ProgramBuilder::new(4);
+        late.send(0, 1, 4 << 20, 1);
+        late.compute(1, 50e-6);
+        late.recv(1, 0, 4 << 20, 1);
+        late.barrier_all();
+        let lr = e.run(&late.build()).unwrap();
+        assert!(lr.finish_time(0) > 50e-6, "rendezvous sender is coupled to the receive post");
+    }
+
+    #[test]
+    fn fabric_runs_are_deterministic() {
+        let cost = CostModel::test_model();
+        let nic = 1.0 / cost.beta_inter;
+        let p = incast_program(8, 0, 1 << 18);
+        let s = Scenario::new(11).with_link_jitter(0.2, 0.2);
+        let mk = || fabric_engine(8, 1, Topology::fat_tree(8, 4, 2.0, nic)).with_scenario(s.clone()).run(&p).unwrap();
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b, "same seed and topology must reproduce the identical report");
+        assert!(!a.links.is_empty());
+    }
+
+    #[test]
+    fn mismatched_topology_is_rejected() {
+        let e = engine(4, 1).with_topology(Topology::single_switch(8, 1e9));
+        let err = e.run(&incast_program(4, 0, 1024)).unwrap_err();
+        assert!(matches!(err, SimError::BadTopology(_)));
+        let e = engine(4, 1).with_topology(Topology::contention_free(8));
+        let err = e.run(&incast_program(4, 0, 1024)).unwrap_err();
+        assert!(matches!(err, SimError::BadTopology(_)));
     }
 }

@@ -15,6 +15,16 @@
 //!   ranks per node),
 //! * a per-byte reduction cost for local reduction work inside collectives.
 //!
+//! Beyond the alpha–beta links, the engine can price inter-node transfers
+//! through a **flow-level network fabric** ([`NetworkModel::Fabric`]): a
+//! [`Topology`] of capacitated links (single switch, or a two-level
+//! fat-tree with configurable oversubscription), static shortest-path
+//! routing, and max-min fair bandwidth sharing among concurrent flows
+//! ([`fabric::Fabric`]) — which makes incast and oversubscription effects
+//! visible and fills [`RunReport::links`] with per-link utilization and
+//! congestion statistics.  The degenerate [`Topology::contention_free`]
+//! preset reproduces the alpha–beta model exactly.
+//!
 //! Collective algorithms (both the paper's GASPI collectives and the MPI-like
 //! baselines) are expressed as [`Program`]s: one ordered list of [`Op`]s per
 //! rank.  The [`Engine`] executes a program in virtual time and returns a
@@ -46,17 +56,25 @@
 pub mod cluster;
 pub mod cost;
 pub mod engine;
+pub mod fabric;
+pub mod presets;
 pub mod program;
 pub mod report;
+pub mod routing;
 pub mod scenario;
+pub mod topology;
 pub mod trace;
 pub mod validate;
 
 pub use cluster::{ClusterSpec, NodeId, RankId};
 pub use cost::{CostModel, Protocol};
-pub use engine::{Engine, SimError};
+pub use engine::{Engine, NetworkModel, SimError};
+pub use fabric::{Fabric, FlowId, LinkUsage};
+pub use presets::ClusterPreset;
 pub use program::{NotifyId, Op, Program, ProgramBuilder, RankProgram, Tag};
-pub use report::{RankStats, RunReport};
+pub use report::{LinkStats, RankStats, RunReport};
+pub use routing::RoutingTable;
 pub use scenario::{Scenario, ScenarioInstance, SplitMix64};
+pub use topology::{EndpointId, Link, LinkId, Topology, TopologyKind};
 pub use trace::{TraceEvent, TraceKind};
 pub use validate::{validate, ValidationError};

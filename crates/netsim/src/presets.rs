@@ -1,0 +1,184 @@
+//! Named presets for the paper's three evaluation clusters.
+//!
+//! Each preset bundles the placement ([`ClusterSpec`]), the timing
+//! ([`CostModel`]) and the link graph ([`Topology`]) of one machine, wired
+//! consistently: the cluster and cost model share the preset name, the
+//! topology spans exactly the cluster's nodes, and the fabric access links
+//! run at the cost model's inter-node bandwidth (`1 / beta_inter`), so flow
+//! completion times line up with the alpha–beta serialization times when a
+//! flow has a link to itself.
+//!
+//! The default topologies are full-bisection (1:1) two-level fat-trees —
+//! the paper's fabrics are non-blocking at the sizes it measures — with
+//! [`ClusterPreset::with_oversubscription`] available to taper the uplinks
+//! for contention studies.
+
+use crate::cluster::ClusterSpec;
+use crate::cost::CostModel;
+use crate::engine::Engine;
+use crate::topology::Topology;
+
+/// Nodes per leaf switch used by the preset fat-trees.
+const PRESET_LEAF_SIZE: usize = 8;
+
+/// A named cluster: placement, cost model and network topology, wired
+/// consistently for one of the paper's evaluation machines.
+#[derive(Debug, Clone)]
+pub struct ClusterPreset {
+    /// Node count and rank placement.
+    pub cluster: ClusterSpec,
+    /// Link timing and software overheads.
+    pub cost: CostModel,
+    /// Fabric link graph (access bandwidth = `1 / cost.beta_inter`).
+    pub topology: Topology,
+    /// Uplink taper the topology was built with (preserved when the preset
+    /// is resized).
+    oversubscription: f64,
+}
+
+impl ClusterPreset {
+    fn build(name: &str, cost: CostModel, nodes: usize, ranks_per_node: usize) -> Self {
+        let cluster = ClusterSpec::named(name, nodes, ranks_per_node);
+        let topology = Topology::fat_tree(nodes, PRESET_LEAF_SIZE, 1.0, 1.0 / cost.beta_inter);
+        Self { cluster, cost, topology, oversubscription: 1.0 }
+    }
+
+    /// Rebuild the fat-tree after a geometry or taper change.
+    fn rebuild_topology(&mut self) {
+        self.topology =
+            Topology::fat_tree(self.cluster.nodes, PRESET_LEAF_SIZE, self.oversubscription, 1.0 / self.cost.beta_inter);
+    }
+
+    /// SkyLake partition at Fraunhofer ITWM: 32 nodes, one rank per node,
+    /// 54 Gbit/s FDR InfiniBand (Figures 8–12).
+    pub fn skylake_fdr() -> Self {
+        Self::build("skylake-fdr", CostModel::skylake_fdr(), 32, 1)
+    }
+
+    /// MareNostrum4 at BSC: 32 nodes, one rank per node, 100 Gbit/s Intel
+    /// OmniPath (Figures 6–7, the SSP matrix-factorization experiment).
+    pub fn marenostrum4_opa() -> Self {
+        Self::build("marenostrum4-opa", CostModel::marenostrum4_opa(), 32, 1)
+    }
+
+    /// Galileo at CINECA: 16 nodes with four ranks each, 100 Gbit/s Intel
+    /// OmniPath (Figure 13, the AlltoAll experiment).
+    pub fn galileo_opa() -> Self {
+        Self::build("galileo-opa", CostModel::galileo_opa(), 16, 4)
+    }
+
+    /// All three paper presets, in figure order.
+    pub fn all() -> Vec<Self> {
+        vec![Self::skylake_fdr(), Self::marenostrum4_opa(), Self::galileo_opa()]
+    }
+
+    /// The preset name (shared by the cluster and the cost model).
+    pub fn name(&self) -> &str {
+        &self.cluster.name
+    }
+
+    /// Same machine with a different node count (rank placement and uplink
+    /// taper unchanged).
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.cluster = ClusterSpec::named(self.cluster.name.clone(), nodes, self.cluster.ranks_per_node);
+        self.rebuild_topology();
+        self
+    }
+
+    /// Same machine with a different rank placement (node count and uplink
+    /// taper unchanged; the fabric sees only nodes, so the topology keeps
+    /// its geometry).
+    pub fn with_ranks_per_node(mut self, ranks_per_node: usize) -> Self {
+        self.cluster = ClusterSpec::named(self.cluster.name.clone(), self.cluster.nodes, ranks_per_node);
+        self
+    }
+
+    /// Same machine with `k:1` oversubscribed leaf→core uplinks.
+    pub fn with_oversubscription(mut self, k: f64) -> Self {
+        self.oversubscription = k;
+        self.rebuild_topology();
+        self
+    }
+
+    /// An engine over this preset's cluster and cost model pricing transfers
+    /// through its fabric topology.
+    pub fn engine(&self) -> Engine {
+        Engine::new(self.cluster.clone(), self.cost.clone()).with_topology(self.topology.clone())
+    }
+
+    /// An engine over this preset's cluster and cost model with the plain
+    /// contention-free alpha–beta network.
+    pub fn engine_alpha_beta(&self) -> Engine {
+        Engine::new(self.cluster.clone(), self.cost.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_wire_names_ranks_and_links_consistently() {
+        for p in ClusterPreset::all() {
+            assert_eq!(p.cluster.name, p.cost.name, "cluster and cost model must share the preset name");
+            assert_eq!(p.topology.nodes(), p.cluster.nodes, "topology spans exactly the cluster nodes");
+            assert!(p.topology.validate().is_ok());
+            let access = p.topology.access_capacity(0).unwrap();
+            let nic = 1.0 / p.cost.beta_inter;
+            assert!(
+                (access - nic).abs() < 1e-6 * nic,
+                "{}: access link {access} must match the cost model NIC bandwidth {nic}",
+                p.name()
+            );
+            assert!(p.cost.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn paper_geometries_match_the_figures() {
+        assert_eq!(ClusterPreset::skylake_fdr().cluster.total_ranks(), 32);
+        assert_eq!(ClusterPreset::marenostrum4_opa().cluster.total_ranks(), 32);
+        let galileo = ClusterPreset::galileo_opa();
+        assert_eq!(galileo.cluster.nodes, 16);
+        assert_eq!(galileo.cluster.ranks_per_node, 4, "Figure 13 runs four ranks per node");
+        assert_eq!(galileo.cluster.total_ranks(), 64);
+    }
+
+    #[test]
+    fn oversubscription_and_resize_rebuild_the_topology() {
+        let p = ClusterPreset::skylake_fdr().with_nodes(64).with_oversubscription(4.0);
+        assert_eq!(p.topology.nodes(), 64);
+        assert_eq!(p.cluster.nodes, 64);
+        let access = p.topology.access_capacity(0).unwrap();
+        let uplink = p.topology.links().iter().find(|l| l.label == "leaf0->core").unwrap();
+        assert!((uplink.capacity - 8.0 * access / 4.0).abs() < 1.0, "8-node leaves tapered 4:1");
+    }
+
+    #[test]
+    fn resizing_preserves_a_previously_set_taper() {
+        // Regression: `with_nodes` used to rebuild the topology at 1:1,
+        // silently discarding an oversubscription configured before it.
+        let p = ClusterPreset::galileo_opa().with_oversubscription(4.0).with_nodes(64).with_ranks_per_node(2);
+        assert_eq!(p.cluster.nodes, 64);
+        assert_eq!(p.cluster.ranks_per_node, 2);
+        let access = p.topology.access_capacity(0).unwrap();
+        let uplink = p.topology.links().iter().find(|l| l.label == "leaf0->core").unwrap();
+        assert!((uplink.capacity - 8.0 * access / 4.0).abs() < 1.0, "the 4:1 taper must survive with_nodes");
+    }
+
+    #[test]
+    fn preset_engines_simulate_a_put() {
+        use crate::program::ProgramBuilder;
+        let p = ClusterPreset::skylake_fdr();
+        let mut b = ProgramBuilder::new(32);
+        b.put_notify(0, 31, 1 << 20, 0);
+        b.wait_notify(31, &[0]);
+        let prog = b.build();
+        let fabric_t = p.engine().makespan(&prog).unwrap();
+        let ab_t = p.engine_alpha_beta().makespan(&prog).unwrap();
+        assert!(fabric_t > 0.0 && ab_t > 0.0);
+        // A lone flow runs at NIC speed under both models; only per-hop
+        // bookkeeping differs, so the times are close.
+        assert!((fabric_t - ab_t).abs() / ab_t < 0.05, "fabric {fabric_t} vs alpha-beta {ab_t}");
+    }
+}

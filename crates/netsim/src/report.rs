@@ -49,11 +49,43 @@ impl Default for RankStats {
     }
 }
 
+/// Per-link accounting gathered by the flow-level fabric model (see
+/// [`crate::fabric::Fabric`]).  Empty for alpha–beta runs and contention-free
+/// topologies, which have no shared links to account.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkStats {
+    /// Human-readable link label (e.g. `"leaf0->core"`).
+    pub label: String,
+    /// Link capacity in bytes per second.
+    pub capacity: f64,
+    /// Bytes the link carried during the run.
+    pub bytes: f64,
+    /// Time during which at least one flow used the link.
+    pub busy_time: f64,
+    /// Time during which the link was fully allocated — flows crossing it
+    /// were rate-limited by this link (the congestion measure).
+    pub saturated_time: f64,
+}
+
+impl LinkStats {
+    /// Mean utilization of the link over `duration` seconds (carried bytes
+    /// over the bytes the link could have carried).
+    pub fn utilization(&self, duration: f64) -> f64 {
+        if duration <= 0.0 || self.capacity <= 0.0 {
+            return 0.0;
+        }
+        self.bytes / (self.capacity * duration)
+    }
+}
+
 /// Result of simulating one [`crate::Program`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Per-rank statistics, indexed by rank id.
     pub ranks: Vec<RankStats>,
+    /// Per-link statistics, indexed like the fabric topology's link list
+    /// (empty unless the engine ran with a contended network fabric).
+    pub links: Vec<LinkStats>,
     /// Trace of simulation events (empty unless tracing was enabled).
     pub trace: Vec<crate::trace::TraceEvent>,
 }
@@ -117,6 +149,31 @@ impl RunReport {
     pub fn max_compute_scale(&self) -> f64 {
         self.ranks.iter().map(|r| r.compute_scale).fold(1.0, f64::max)
     }
+
+    // -- fabric link aggregates ---------------------------------------------
+
+    /// Peak mean link utilization across the fabric over the makespan
+    /// (0.0 when no fabric link stats were collected).
+    pub fn max_link_utilization(&self) -> f64 {
+        let d = self.makespan();
+        self.links.iter().map(|l| l.utilization(d)).fold(0.0, f64::max)
+    }
+
+    /// Total time links spent fully allocated, summed over links — the
+    /// run's aggregate congestion (rate-limited time).
+    pub fn total_congestion_time(&self) -> f64 {
+        self.links.iter().map(|l| l.saturated_time).sum()
+    }
+
+    /// Longest single-link saturation time (the worst hot spot).
+    pub fn max_link_congestion_time(&self) -> f64 {
+        self.links.iter().map(|l| l.saturated_time).fold(0.0, f64::max)
+    }
+
+    /// Number of links that were saturated at any point of the run.
+    pub fn congested_links(&self) -> usize {
+        self.links.iter().filter(|l| l.saturated_time > 0.0).count()
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +183,7 @@ mod tests {
     fn report_with_finish_times(times: &[f64]) -> RunReport {
         RunReport {
             ranks: times.iter().map(|&t| RankStats { finish_time: t, ..RankStats::default() }).collect(),
+            links: Vec::new(),
             trace: Vec::new(),
         }
     }
@@ -168,6 +226,22 @@ mod tests {
         assert_eq!(s.compute_scale, 1.0);
         assert_eq!(s.notifications_received, 0);
         assert_eq!(s.notifications_consumed, 0);
+    }
+
+    #[test]
+    fn link_aggregates_summarize_fabric_usage() {
+        let mut r = report_with_finish_times(&[2.0]);
+        assert_eq!(r.max_link_utilization(), 0.0, "no fabric, no link stats");
+        assert_eq!(r.congested_links(), 0);
+        r.links = vec![
+            LinkStats { label: "n0->sw".into(), capacity: 1e9, bytes: 1e9, busy_time: 1.5, saturated_time: 0.5 },
+            LinkStats { label: "sw->n1".into(), capacity: 1e9, bytes: 4e8, busy_time: 0.4, saturated_time: 0.0 },
+        ];
+        assert!((r.max_link_utilization() - 0.5).abs() < 1e-12, "1e9 bytes over 2 s at 1 GB/s");
+        assert!((r.total_congestion_time() - 0.5).abs() < 1e-12);
+        assert!((r.max_link_congestion_time() - 0.5).abs() < 1e-12);
+        assert_eq!(r.congested_links(), 1);
+        assert_eq!(r.links[1].utilization(0.0), 0.0, "degenerate duration is guarded");
     }
 
     #[test]

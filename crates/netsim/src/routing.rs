@@ -1,0 +1,181 @@
+//! Static shortest-path routing over a [`Topology`] link graph.
+//!
+//! Routes are computed once per fabric instantiation by a breadth-first
+//! search from every destination node over the reversed link graph, yielding
+//! a next-hop table: for every endpoint and destination node, the link to
+//! take.  Ties between equal-length paths are broken deterministically by
+//! the lowest link id, so the same topology always yields the same routes
+//! (a requirement for reproducible simulations).
+//!
+//! The table costs `O(endpoints * nodes)` memory — a 1024-node two-level
+//! fat-tree needs ~4 MB — and a path lookup just walks next-hops, so no
+//! per-pair path storage is required.
+
+use crate::cluster::NodeId;
+use crate::topology::{EndpointId, LinkId, Topology};
+
+/// Sentinel for "no route" entries in the next-hop table.
+const NO_ROUTE: u32 = u32::MAX;
+
+/// Precomputed shortest-path next-hop table for a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    nodes: usize,
+    endpoints: usize,
+    /// `next_hop[endpoint * nodes + dst]` = link id to take from `endpoint`
+    /// toward node `dst` (or [`NO_ROUTE`]).
+    next_hop: Vec<u32>,
+    /// Upper bound on the number of links of any routed path.
+    max_path_len: usize,
+}
+
+impl RoutingTable {
+    /// Compute shortest-path routes for every (endpoint, destination node)
+    /// pair of `topology`.
+    ///
+    /// Returns an error if the topology is invalid or some node pair is
+    /// unreachable (every compute node must be able to reach every other).
+    pub fn new(topology: &Topology) -> Result<Self, String> {
+        topology.validate()?;
+        let nodes = topology.nodes();
+        let endpoints = topology.endpoints();
+        // Reverse adjacency: for each endpoint, the links arriving at it,
+        // in link-id order (BFS visits them in order, making ties
+        // deterministic: the lowest link id wins).
+        let mut incoming: Vec<Vec<LinkId>> = vec![Vec::new(); endpoints];
+        for (id, link) in topology.links().iter().enumerate() {
+            incoming[link.to].push(id);
+        }
+        let mut next_hop = vec![NO_ROUTE; endpoints * nodes];
+        let mut dist = vec![u32::MAX; endpoints];
+        let mut queue = std::collections::VecDeque::with_capacity(endpoints);
+        let mut max_path_len = 0usize;
+        for dst in 0..nodes {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[dst] = 0;
+            queue.clear();
+            queue.push_back(dst);
+            while let Some(ep) = queue.pop_front() {
+                for &l in &incoming[ep] {
+                    let from = topology.links()[l].from;
+                    if dist[from] == u32::MAX {
+                        dist[from] = dist[ep] + 1;
+                        next_hop[from * nodes + dst] = l as u32;
+                        queue.push_back(from);
+                    }
+                }
+            }
+            for (src, &d) in dist.iter().enumerate().take(nodes) {
+                if src != dst && d == u32::MAX {
+                    return Err(format!("topology {}: node {src} cannot reach node {dst}", topology.name()));
+                }
+                if d != u32::MAX {
+                    max_path_len = max_path_len.max(d as usize);
+                }
+            }
+        }
+        Ok(Self { nodes, endpoints, next_hop, max_path_len })
+    }
+
+    /// Number of compute nodes routes are computed for.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Upper bound on the link count of any routed path.
+    pub fn max_path_len(&self) -> usize {
+        self.max_path_len
+    }
+
+    /// The link leaving `from` toward node `dst`, if any.
+    pub fn next_hop(&self, from: EndpointId, dst: NodeId) -> Option<LinkId> {
+        debug_assert!(from < self.endpoints && dst < self.nodes);
+        match self.next_hop[from * self.nodes + dst] {
+            NO_ROUTE => None,
+            l => Some(l as usize),
+        }
+    }
+
+    /// Append the links of the path from node `src` to node `dst` to `out`.
+    ///
+    /// `topology` must be the one this table was built from.  The path is
+    /// empty when `src == dst`.
+    pub fn path_into(&self, topology: &Topology, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
+        let mut at: EndpointId = src;
+        while at != dst {
+            let l = self.next_hop(at, dst).expect("routing table covers all node pairs");
+            out.push(l);
+            at = topology.links()[l].to;
+        }
+    }
+
+    /// The links of the path from node `src` to node `dst` as a fresh vector.
+    pub fn path(&self, topology: &Topology, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut out = Vec::with_capacity(self.max_path_len);
+        self.path_into(topology, src, dst, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_routes_are_two_hops() {
+        let t = Topology::single_switch(4, 1e9);
+        let r = RoutingTable::new(&t).unwrap();
+        assert_eq!(r.max_path_len(), 2);
+        let p = r.path(&t, 0, 3);
+        assert_eq!(p.len(), 2);
+        assert_eq!(t.links()[p[0]].from, 0);
+        assert_eq!(t.links()[p[1]].to, 3);
+        assert!(r.path(&t, 2, 2).is_empty());
+    }
+
+    #[test]
+    fn fat_tree_same_leaf_skips_the_core() {
+        let t = Topology::fat_tree(8, 4, 2.0, 1e9);
+        let r = RoutingTable::new(&t).unwrap();
+        // Nodes 0 and 3 share leaf 0: two hops, never touching the core.
+        let near = r.path(&t, 0, 3);
+        assert_eq!(near.len(), 2);
+        assert!(near.iter().all(|&l| !t.links()[l].label.contains("core")));
+        // Nodes 0 and 7 are in different leaves: four hops through the core.
+        let far = r.path(&t, 0, 7);
+        assert_eq!(far.len(), 4);
+        let labels: Vec<_> = far.iter().map(|&l| t.links()[l].label.as_str()).collect();
+        assert_eq!(labels, vec!["n0->leaf0", "leaf0->core", "core->leaf1", "leaf1->n7"]);
+        assert_eq!(r.max_path_len(), 4);
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        let t = Topology::fat_tree(32, 8, 4.0, 1e9);
+        let a = RoutingTable::new(&t).unwrap();
+        let b = RoutingTable::new(&t).unwrap();
+        assert_eq!(a, b);
+        for src in 0..32 {
+            for dst in 0..32 {
+                assert_eq!(a.path(&t, src, dst), b.path(&t, src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_topology_is_rejected() {
+        use crate::topology::Link;
+        // Two nodes, a link only one way: 1 cannot reach 0.
+        let t = Topology::custom("one-way", 2, 0, vec![Link { from: 0, to: 1, capacity: 1.0, label: "a".into() }]);
+        assert!(RoutingTable::new(&t).err().unwrap().contains("cannot reach"));
+    }
+
+    #[test]
+    fn contention_free_topology_has_no_routes_to_walk() {
+        // A routing table over the degenerate fabric is never consulted by
+        // the engine, but building one must fail loudly rather than produce
+        // empty paths (there are no links at all).
+        let t = Topology::contention_free(2);
+        assert!(RoutingTable::new(&t).is_err());
+    }
+}

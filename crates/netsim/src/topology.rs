@@ -1,0 +1,285 @@
+//! Network topologies: nodes, switches and capacitated links.
+//!
+//! The paper's evaluation runs on real fat-tree fabrics (SkyLake/FDR
+//! InfiniBand, MareNostrum4 and Galileo OmniPath) where concurrent flows
+//! *share* link bandwidth.  A [`Topology`] describes the link graph of such a
+//! fabric: compute nodes (the endpoints ranks live on, matching
+//! [`crate::ClusterSpec`] node ids) and switches, connected by directed
+//! capacitated links.  The flow-level contention model that prices transfers
+//! over this graph lives in [`crate::fabric`]; the static shortest-path
+//! routes are computed by [`crate::routing`].
+//!
+//! Three preset shapes cover the evaluation regimes:
+//!
+//! * [`Topology::contention_free`] — the degenerate fabric with no shared
+//!   links.  An [`crate::Engine`] given this topology prices transfers with
+//!   the exact alpha–beta + NIC-serialization model of the seed simulator,
+//!   so existing makespans are reproduced bit-for-bit.
+//! * [`Topology::single_switch`] — every node hangs off one big switch; the
+//!   only contention points are the per-node access links (incast).
+//! * [`Topology::fat_tree`] — a 2-level fat-tree: nodes attach to leaf
+//!   switches, leaves attach to a single core, and the leaf→core uplinks are
+//!   provisioned at `leaf_size / oversubscription` times the access
+//!   bandwidth.  `oversubscription = 1.0` is a full-bisection tree; `4.0`
+//!   models the 4:1 taper common in production clusters.
+
+use crate::cluster::NodeId;
+
+/// Identifier of a directed link in a [`Topology`].
+pub type LinkId = usize;
+
+/// Identifier of an endpoint in the link graph: compute nodes occupy
+/// `0..nodes`, switches occupy `nodes..nodes + switches`.
+pub type EndpointId = usize;
+
+/// A directed, capacitated link between two endpoints of the fabric graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    /// Endpoint the link leaves from.
+    pub from: EndpointId,
+    /// Endpoint the link arrives at.
+    pub to: EndpointId,
+    /// Capacity in bytes per second (shared by all flows crossing the link).
+    pub capacity: f64,
+    /// Human-readable label used in reports (e.g. `"n3->leaf0"`).
+    pub label: String,
+}
+
+/// Structural family of a topology (used for reporting; routing never
+/// special-cases the kind — it works on the link graph alone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// No shared links: the alpha–beta model prices every transfer.
+    ContentionFree,
+    /// One switch, per-node access links up and down.
+    SingleSwitch,
+    /// Two-level fat-tree: leaf switches under a single core switch.
+    FatTree,
+    /// Built link-by-link through [`Topology::custom`].
+    Custom,
+}
+
+/// A network fabric graph: compute nodes, switches and directed links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    name: String,
+    kind: TopologyKind,
+    nodes: usize,
+    switches: usize,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// The degenerate contention-free fabric over `nodes` nodes.
+    ///
+    /// There are no shared links to model, so the engine falls back to the
+    /// exact alpha–beta + per-node NIC serialization path of the seed
+    /// simulator: makespans are identical to runs without any topology.
+    pub fn contention_free(nodes: usize) -> Self {
+        assert!(nodes > 0, "topology must have at least one node");
+        Self {
+            name: format!("contention-free-{nodes}"),
+            kind: TopologyKind::ContentionFree,
+            nodes,
+            switches: 0,
+            links: Vec::new(),
+        }
+    }
+
+    /// One big switch: every node has an uplink and a downlink of
+    /// `access_bandwidth` bytes/s to the single switch.
+    ///
+    /// The switch itself is non-blocking, so the only contention points are
+    /// the access links — several senders targeting one node (incast) share
+    /// that node's downlink fairly.
+    pub fn single_switch(nodes: usize, access_bandwidth: f64) -> Self {
+        assert!(nodes > 0, "topology must have at least one node");
+        assert!(access_bandwidth > 0.0, "access bandwidth must be positive");
+        let switch = nodes; // endpoint id of the big switch
+        let mut links = Vec::with_capacity(2 * nodes);
+        for n in 0..nodes {
+            links.push(Link { from: n, to: switch, capacity: access_bandwidth, label: format!("n{n}->sw") });
+            links.push(Link { from: switch, to: n, capacity: access_bandwidth, label: format!("sw->n{n}") });
+        }
+        Self { name: format!("single-switch-{nodes}"), kind: TopologyKind::SingleSwitch, nodes, switches: 1, links }
+    }
+
+    /// Two-level fat-tree: `nodes` nodes in leaves of `leaf_size` nodes each
+    /// (the last leaf may be smaller), every leaf connected to one core
+    /// switch.
+    ///
+    /// Access links run at `access_bandwidth` bytes/s; each leaf↔core uplink
+    /// is provisioned at `leaf_size * access_bandwidth / oversubscription`,
+    /// so `oversubscription = 1.0` gives full bisection bandwidth and
+    /// `k > 1.0` a `k:1` taper where cross-leaf traffic from a fully loaded
+    /// leaf gets only `1/k` of the injected bandwidth.
+    pub fn fat_tree(nodes: usize, leaf_size: usize, oversubscription: f64, access_bandwidth: f64) -> Self {
+        assert!(nodes > 0, "topology must have at least one node");
+        assert!(leaf_size > 0, "leaves must host at least one node");
+        assert!(oversubscription >= 1.0, "oversubscription ratio must be >= 1:1");
+        assert!(access_bandwidth > 0.0, "access bandwidth must be positive");
+        let num_leaves = nodes.div_ceil(leaf_size);
+        // Endpoints: nodes, then leaf switches, then the core switch.
+        let leaf_of = |n: usize| nodes + n / leaf_size;
+        let core = nodes + num_leaves;
+        let uplink_capacity = leaf_size as f64 * access_bandwidth / oversubscription;
+        let mut links = Vec::with_capacity(2 * nodes + 2 * num_leaves);
+        for n in 0..nodes {
+            let leaf = leaf_of(n);
+            let l = leaf - nodes;
+            links.push(Link { from: n, to: leaf, capacity: access_bandwidth, label: format!("n{n}->leaf{l}") });
+            links.push(Link { from: leaf, to: n, capacity: access_bandwidth, label: format!("leaf{l}->n{n}") });
+        }
+        for l in 0..num_leaves {
+            let leaf = nodes + l;
+            links.push(Link { from: leaf, to: core, capacity: uplink_capacity, label: format!("leaf{l}->core") });
+            links.push(Link { from: core, to: leaf, capacity: uplink_capacity, label: format!("core->leaf{l}") });
+        }
+        Self {
+            name: format!("fat-tree-{nodes}x{leaf_size}-{oversubscription}:1"),
+            kind: TopologyKind::FatTree,
+            nodes,
+            switches: num_leaves + 1,
+            links,
+        }
+    }
+
+    /// Build an arbitrary topology from an explicit link list.
+    ///
+    /// `switches` is the number of non-node endpoints; link endpoints must
+    /// lie in `0..nodes + switches`.
+    pub fn custom(name: impl Into<String>, nodes: usize, switches: usize, links: Vec<Link>) -> Self {
+        assert!(nodes > 0, "topology must have at least one node");
+        Self { name: name.into(), kind: TopologyKind::Custom, nodes, switches, links }
+    }
+
+    /// Preset name used in reports.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Structural family of this topology.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of compute nodes (endpoints `0..nodes`).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of switches (endpoints `nodes..nodes + switches`).
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Total number of endpoints in the link graph.
+    pub fn endpoints(&self) -> usize {
+        self.nodes + self.switches
+    }
+
+    /// The directed links of the fabric.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Whether this is the degenerate fabric without shared links, priced by
+    /// the exact alpha–beta model.
+    pub fn is_contention_free(&self) -> bool {
+        self.kind == TopologyKind::ContentionFree
+    }
+
+    /// Capacity of the access link of `node` (its first outgoing link); the
+    /// natural rate cap of any flow this node injects.
+    pub fn access_capacity(&self, node: NodeId) -> Option<f64> {
+        self.links.iter().find(|l| l.from == node).map(|l| l.capacity)
+    }
+
+    /// Check the graph is well-formed: endpoints in range, positive finite
+    /// capacities, no self-loop links.
+    pub fn validate(&self) -> Result<(), String> {
+        let ep = self.endpoints();
+        for (i, link) in self.links.iter().enumerate() {
+            if link.from >= ep || link.to >= ep {
+                return Err(format!("link {i} ({}) references endpoint out of range 0..{ep}", link.label));
+            }
+            if link.from == link.to {
+                return Err(format!("link {i} ({}) is a self-loop", link.label));
+            }
+            if !link.capacity.is_finite() || link.capacity <= 0.0 {
+                return Err(format!("link {i} ({}) must have positive finite capacity", link.label));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_free_has_no_links() {
+        let t = Topology::contention_free(16);
+        assert!(t.is_contention_free());
+        assert_eq!(t.nodes(), 16);
+        assert_eq!(t.switches(), 0);
+        assert!(t.links().is_empty());
+        assert!(t.validate().is_ok());
+        assert_eq!(t.access_capacity(0), None);
+    }
+
+    #[test]
+    fn single_switch_wires_every_node_both_ways() {
+        let t = Topology::single_switch(4, 1e9);
+        assert_eq!(t.kind(), TopologyKind::SingleSwitch);
+        assert_eq!(t.links().len(), 8);
+        assert_eq!(t.endpoints(), 5);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.access_capacity(2), Some(1e9));
+        // Every node has exactly one uplink and one downlink.
+        for n in 0..4 {
+            assert_eq!(t.links().iter().filter(|l| l.from == n).count(), 1);
+            assert_eq!(t.links().iter().filter(|l| l.to == n).count(), 1);
+        }
+    }
+
+    #[test]
+    fn fat_tree_oversubscription_tapers_uplinks() {
+        let t = Topology::fat_tree(8, 4, 4.0, 1e9);
+        assert_eq!(t.kind(), TopologyKind::FatTree);
+        assert_eq!(t.switches(), 3, "two leaves and one core");
+        assert!(t.validate().is_ok());
+        // Access links at 1e9, uplinks at 4 * 1e9 / 4 = 1e9.
+        let uplinks: Vec<_> = t.links().iter().filter(|l| l.label.contains("core")).collect();
+        assert_eq!(uplinks.len(), 4);
+        for l in &uplinks {
+            assert!((l.capacity - 1e9).abs() < 1e-6);
+        }
+        // A 1:1 tree provisions the same uplinks at 4x the bandwidth.
+        let full = Topology::fat_tree(8, 4, 1.0, 1e9);
+        let full_up = full.links().iter().find(|l| l.label == "leaf0->core").unwrap();
+        assert!((full_up.capacity - 4e9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fat_tree_handles_ragged_last_leaf() {
+        let t = Topology::fat_tree(10, 4, 2.0, 1e9);
+        assert_eq!(t.switches(), 4, "three leaves (4+4+2) and one core");
+        assert!(t.validate().is_ok());
+        // Node 9 attaches to the third leaf.
+        let access = t.links().iter().find(|l| l.from == 9).unwrap();
+        assert_eq!(access.label, "n9->leaf2");
+    }
+
+    #[test]
+    fn custom_topology_validation_catches_bad_links() {
+        let bad = Topology::custom("bad", 2, 0, vec![Link { from: 0, to: 5, capacity: 1.0, label: "oops".into() }]);
+        assert!(bad.validate().is_err());
+        let loopy = Topology::custom("loopy", 2, 0, vec![Link { from: 1, to: 1, capacity: 1.0, label: "self".into() }]);
+        assert!(loopy.validate().is_err());
+        let sluggish =
+            Topology::custom("sluggish", 2, 0, vec![Link { from: 0, to: 1, capacity: 0.0, label: "flat".into() }]);
+        assert!(sluggish.validate().is_err());
+    }
+}

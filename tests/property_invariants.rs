@@ -244,6 +244,82 @@ proptest! {
         prop_assert!(report.total_notifications_consumed() <= report.total_notifications_received());
     }
 
+    /// Max-min fair allocation invariants on random topologies and flow
+    /// sets: **feasibility** (on every link the flow rates sum to at most
+    /// the capacity) and **work conservation** (every flow crosses at least
+    /// one saturated link — nobody could be sped up without slowing a flow
+    /// that is no faster).
+    #[test]
+    fn max_min_allocation_is_feasible_and_work_conserving(
+        nodes in 2usize..24,
+        flows in 1usize..40,
+        leaf_size in 1usize..8,
+        oversub in 1u32..5,
+        shape in 0u32..2,
+        seed in 0u64..10_000,
+    ) {
+        use ec_collectives_suite::netsim::{Fabric, SplitMix64, Topology};
+        let topology = if shape == 0 {
+            Topology::single_switch(nodes, 1e9)
+        } else {
+            Topology::fat_tree(nodes, leaf_size, oversub as f64, 1e9)
+        };
+        let mut fabric = Fabric::new(topology).unwrap();
+        let mut rng = SplitMix64::new(seed);
+        let ids: Vec<_> = (0..flows)
+            .map(|_| {
+                let src = rng.next_below(nodes);
+                let dst = (src + 1 + rng.next_below(nodes - 1)) % nodes;
+                fabric.add_flow(0.0, src, dst, 1.0 + rng.next_unit_f64() * 1e6)
+            })
+            .collect();
+        fabric.resolve(0.0);
+        // Feasibility: no link is allocated beyond its capacity.
+        for (l, link) in fabric.topology().links().iter().enumerate() {
+            prop_assert!(
+                fabric.link_allocated(l) <= link.capacity * (1.0 + 1e-9),
+                "link {} over-allocated: {} > {}",
+                link.label,
+                fabric.link_allocated(l),
+                link.capacity
+            );
+        }
+        // Work conservation: every flow is bottlenecked at a saturated link.
+        for &id in &ids {
+            prop_assert!(fabric.rate(id) > 0.0, "max-min never starves a flow");
+            prop_assert!(
+                fabric.path_of(id).iter().any(|&l| fabric.link_saturated(l)),
+                "flow {id} at rate {} crosses no saturated link",
+                fabric.rate(id)
+            );
+        }
+    }
+
+    /// Fabric runs are deterministic: the same seed and scenario produce an
+    /// identical report, makespan included, on a contended topology.
+    #[test]
+    fn fabric_simulation_is_deterministic_per_seed(
+        p in 2usize..12,
+        kb in 1u64..256,
+        seed in 0u64..1000,
+    ) {
+        use ec_collectives_suite::netsim::{Scenario, Topology};
+        let bytes = kb * 1024;
+        let prog = alltoall_direct_schedule(p, bytes.min(64 * 1024));
+        let run = || {
+            Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::galileo_opa())
+                .with_topology(Topology::fat_tree(p, 4, 4.0, 1e9))
+                .with_scenario(Scenario::new(seed).with_link_jitter(0.2, 0.2))
+                .run(&prog)
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.ranks, &b.ranks);
+        prop_assert_eq!(&a.links, &b.links);
+        prop_assert!(a.makespan() > 0.0 && a.makespan().is_finite());
+    }
+
     /// The broadcast threshold changes time but never the number of tree
     /// edges: every non-root rank still receives exactly one message.
     #[test]

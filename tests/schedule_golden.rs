@@ -15,7 +15,7 @@ use ec_collectives_suite::collectives::schedule::{
     alltoall_direct_schedule, bcast_bst_schedule, hypercube_allreduce_schedule, reduce_bst_schedule,
     reduce_process_threshold_schedule, ring_allreduce_schedule,
 };
-use ec_collectives_suite::netsim::{validate, ClusterSpec, CostModel, Engine, Program};
+use ec_collectives_suite::netsim::{validate, ClusterSpec, CostModel, Engine, Program, Topology};
 
 const BYTES: u64 = 8_000_000;
 const BLOCK: u64 = 32 * 1024;
@@ -105,6 +105,37 @@ fn recorded_schedules_reproduce_seed_makespans() {
         ];
         for (what, prog, value) in &cases {
             assert_golden(prog, p, &e, *value, what);
+        }
+    }
+}
+
+/// Regression guard for the network-fabric integration: an engine routed
+/// through the `NetworkModel::Fabric` path with the degenerate
+/// contention-free topology must reproduce every golden alpha–beta makespan
+/// within 1e-9 relative — the fabric is strictly additive, never a
+/// behavioral change for uncontended pricing.
+#[test]
+fn contention_free_fabric_reproduces_all_golden_makespans() {
+    for &(p, golden) in GOLDEN {
+        let e = Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::skylake_fdr())
+            .with_topology(Topology::contention_free(p));
+        let cases: [(&str, Program, f64); 8] = [
+            ("bcast full", bcast_bst_schedule(p, BYTES, 1.0), golden[0]),
+            ("bcast quarter", bcast_bst_schedule(p, BYTES, 0.25), golden[1]),
+            ("reduce full", reduce_bst_schedule(p, BYTES, 1.0), golden[2]),
+            ("reduce half", reduce_bst_schedule(p, BYTES, 0.5), golden[3]),
+            ("reduce proc half", reduce_process_threshold_schedule(p, BYTES, 0.5), golden[4]),
+            ("ring", ring_allreduce_schedule(p, BYTES), golden[5]),
+            ("hypercube", hypercube_allreduce_schedule(p, BYTES), golden[6]),
+            ("alltoall", alltoall_direct_schedule(p, BLOCK), golden[7]),
+        ];
+        for (what, prog, value) in &cases {
+            let got = if prog.total_ops() == 0 { 0.0 } else { e.makespan(prog).unwrap() };
+            let tol = value.abs() * 1e-9;
+            assert!(
+                (got - value).abs() <= tol,
+                "{what} p={p}: contention-free fabric makespan {got:e} drifted from golden {value:e}"
+            );
         }
     }
 }

@@ -79,17 +79,41 @@ pub fn reduce_binomial(comm: &mut MpiComm, contribution: &[f64], root: usize) ->
 }
 
 /// Recursive-doubling allreduce (sum), the classic small-message algorithm
-/// (`mpi1` in Figures 11–12).  Requires a power-of-two rank count.
+/// (`mpi1` in Figures 11–12).
+///
+/// Non-power-of-two rank counts are handled with the standard fold phases:
+/// the surplus ranks beyond the largest power of two `P2` hand their
+/// contribution to `rank - P2` before the doubling loop (fold-in) and
+/// receive the finished result afterwards (fold-out), so the collective is
+/// total at any `P`.
 pub fn allreduce_recursive_doubling(comm: &mut MpiComm, data: &mut [f64]) -> Result<()> {
     let p = comm.size();
     let rank = comm.rank();
-    assert!(p.is_power_of_two(), "recursive doubling requires a power-of-two rank count");
+    if p == 1 {
+        return Ok(());
+    }
+    let p2 = crate::variants::prev_power_of_two(p);
+    let extras = p - p2;
+    if rank >= p2 {
+        // Fold-in, then sit out the doubling and collect the result.
+        comm.send(rank - p2, 2, data)?;
+        let result = comm.recv(rank - p2, 2)?;
+        data.copy_from_slice(&result);
+        return Ok(());
+    }
+    if rank < extras {
+        let folded = comm.recv(rank + p2, 2)?;
+        sum_into(data, &folded);
+    }
     let mut step = 1usize;
-    while step < p {
+    while step < p2 {
         let partner = rank ^ step;
         let received = comm.sendrecv(partner, 2, data, partner, 2)?;
         sum_into(data, &received);
         step <<= 1;
+    }
+    if rank < extras {
+        comm.send(rank + p2, 2, data)?;
     }
     Ok(())
 }
@@ -179,6 +203,25 @@ mod tests {
             let total = (p * (p + 1) / 2) as f64;
             assert_eq!(out[0].as_ref().unwrap(), &vec![total; 5]);
             assert!(out[1..].iter().all(Option::is_none));
+        }
+    }
+
+    #[test]
+    fn recursive_doubling_allreduce_handles_non_power_of_two_worlds() {
+        // Regression: this used to assert on non-power-of-two rank counts;
+        // p = 12 exercises fold-in/fold-out around the p2 = 8 core.
+        for (p, n) in [(3usize, 5usize), (6, 9), (12, 17)] {
+            let out = MpiWorld::new(p).run(move |comm| {
+                let mut data: Vec<f64> = (0..n).map(|i| (comm.rank() + 1) as f64 * (i + 1) as f64).collect();
+                allreduce_recursive_doubling(comm, &mut data).unwrap();
+                data
+            });
+            for data in &out {
+                for (i, &v) in data.iter().enumerate() {
+                    let want: f64 = (0..p).map(|r| (r + 1) as f64 * (i + 1) as f64).sum();
+                    assert!((v - want).abs() < 1e-9, "p={p} elem {i}: {v} != {want}");
+                }
+            }
         }
     }
 

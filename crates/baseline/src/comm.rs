@@ -33,6 +33,14 @@ pub enum MpiError {
     Timeout,
     /// The world is shutting down.
     Disconnected,
+    /// A received payload's length does not match the posted buffer range —
+    /// a protocol/layout bug in a collective body, not a transport failure.
+    LengthMismatch {
+        /// Elements the receiver expected.
+        expected: usize,
+        /// Elements the sender shipped.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for MpiError {
@@ -41,6 +49,9 @@ impl std::fmt::Display for MpiError {
             MpiError::InvalidRank { rank, size } => write!(f, "rank {rank} out of range ({size} ranks)"),
             MpiError::Timeout => write!(f, "receive timed out"),
             MpiError::Disconnected => write!(f, "communication world is shutting down"),
+            MpiError::LengthMismatch { expected, got } => {
+                write!(f, "received {got} elements where the posted buffer range holds {expected}")
+            }
         }
     }
 }

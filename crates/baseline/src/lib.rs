@@ -14,7 +14,14 @@
 //!   algorithm as an `ec-netsim` program with two-sided semantics
 //!   (eager/rendezvous protocol, progress-engine bandwidth penalty,
 //!   per-message matching overhead), which is what the figure-regeneration
-//!   benches simulate.
+//!   benches simulate;
+//! * a **single-source variant library** ([`twosided`] + [`variants`]):
+//!   the classic vendor algorithm variants (Rabenseifner allreduce, ring
+//!   reduce-scatter+allgather, Bruck and pairwise AlltoAll, van de Geijn and
+//!   pipelined-binomial Bcast, reduce-scatter+gather Reduce) written once
+//!   against the [`twosided::TwoSided`] trait and executed both on the
+//!   threaded runtime and as recorded simulator schedules — the candidate
+//!   pool the `ec_bench` tuner auto-selects from.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -22,6 +29,8 @@
 pub mod collectives;
 pub mod comm;
 pub mod schedule;
+pub mod twosided;
+pub mod variants;
 
 pub use collectives::{
     allreduce_recursive_doubling, allreduce_ring, alltoall_pairwise, bcast_binomial, reduce_binomial,
@@ -31,3 +40,8 @@ pub use schedule::allreduce::MpiAllreduceVariant;
 pub use schedule::alltoall::mpi_alltoall_pairwise_schedule;
 pub use schedule::bcast::{mpi_bcast_binomial_schedule, mpi_bcast_default_schedule};
 pub use schedule::reduce::{mpi_reduce_binomial_schedule, mpi_reduce_default_schedule};
+pub use twosided::{RecordingTwoSided, ThreadedTwoSided, TwoSided};
+pub use variants::{
+    allreduce_rabenseifner, allreduce_reduce_scatter_allgather, alltoall_bruck, bcast_pipelined_binomial,
+    bcast_scatter_allgather, reduce_rsg,
+};

@@ -65,12 +65,13 @@ fn run_slack(dataset: &RatingsDataset, ranks: usize, iterations: usize, slack: u
 }
 
 fn main() {
-    let ranks = env_usize("FIG06_RANKS", 8);
-    let iterations = env_usize("FIG06_ITERS", 200);
+    let smoke = ec_bench::smoke_flag();
+    let ranks = env_usize("FIG06_RANKS", ec_bench::smoke_default(smoke, 8, 4));
+    let iterations = env_usize("FIG06_ITERS", ec_bench::smoke_default(smoke, 200, 20));
     let dataset_cfg = DatasetConfig {
-        num_users: env_usize("FIG06_USERS", 2_000),
-        num_items: env_usize("FIG06_ITEMS", 800),
-        num_ratings: env_usize("FIG06_RATINGS", 60_000),
+        num_users: env_usize("FIG06_USERS", ec_bench::smoke_default(smoke, 2_000, 400)),
+        num_items: env_usize("FIG06_ITEMS", ec_bench::smoke_default(smoke, 800, 160)),
+        num_ratings: env_usize("FIG06_RATINGS", ec_bench::smoke_default(smoke, 60_000, 8_000)),
         true_rank: 8,
         noise: 0.1,
         seed: 42,

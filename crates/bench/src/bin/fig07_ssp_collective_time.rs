@@ -34,9 +34,10 @@ fn compute_phase(rank: usize, iteration: usize, straggler_ms: u64, rng: &mut Std
 }
 
 fn main() {
-    let ranks = env_usize("FIG07_RANKS", 8);
-    let elems = env_usize("FIG07_ELEMS", 100_000);
-    let iters = env_usize("FIG07_ITERS", 20);
+    let smoke = ec_bench::smoke_flag();
+    let ranks = env_usize("FIG07_RANKS", ec_bench::smoke_default(smoke, 8, 4));
+    let elems = env_usize("FIG07_ELEMS", ec_bench::smoke_default(smoke, 100_000, 20_000));
+    let iters = env_usize("FIG07_ITERS", ec_bench::smoke_default(smoke, 20, 5));
     let straggler_ms = env_usize("FIG07_STRAGGLER_MS", 4) as u64;
     let slacks = [0u64, 2, 8, 32, 64];
 

@@ -34,8 +34,9 @@ fn run_panel(elems: usize) -> Vec<Series> {
 }
 
 fn main() {
-    let small = env_usize("FIG09_SMALL_ELEMS", 10_000);
-    let large = env_usize("FIG09_LARGE_ELEMS", 1_000_000);
+    let smoke = ec_bench::smoke_flag();
+    let small = env_usize("FIG09_SMALL_ELEMS", ec_bench::smoke_default(smoke, 10_000, 1_000));
+    let large = env_usize("FIG09_LARGE_ELEMS", ec_bench::smoke_default(smoke, 1_000_000, 100_000));
 
     for (name, elems) in [("left: 10,000 doubles", small), ("right: 1,000,000 doubles", large)] {
         let series = run_panel(elems);

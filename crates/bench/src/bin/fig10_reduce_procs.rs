@@ -13,7 +13,8 @@ use ec_collectives::schedule::reduce_process_threshold_schedule;
 use ec_netsim::{ClusterSpec, CostModel, Engine};
 
 fn main() {
-    let elems = env_usize("FIG10_ELEMS", 1_000_000);
+    let smoke = ec_bench::smoke_flag();
+    let elems = env_usize("FIG10_ELEMS", ec_bench::smoke_default(smoke, 1_000_000, 100_000));
     let bytes = (elems * 8) as u64;
     let thresholds = [0.25, 0.5, 0.75, 1.0];
     let mut series: Vec<Series> =

@@ -14,9 +14,10 @@ use ec_collectives::schedule::ring_allreduce_schedule;
 use ec_netsim::{ClusterSpec, CostModel, Engine};
 
 fn main() {
-    let nodes = env_usize("FIG12_NODES", 32);
+    let smoke = ec_bench::smoke_flag();
+    let nodes = env_usize("FIG12_NODES", ec_bench::smoke_default(smoke, 32, 16));
     let min_elems = env_usize("FIG12_MIN_ELEMS", 1024);
-    let max_elems = env_usize("FIG12_MAX_ELEMS", 8_388_608);
+    let max_elems = env_usize("FIG12_MAX_ELEMS", ec_bench::smoke_default(smoke, 8_388_608, 65_536));
 
     let engine = Engine::new(ClusterSpec::homogeneous(nodes, 1), CostModel::skylake_fdr());
     let mut series = vec![Series::new("gaspi")];

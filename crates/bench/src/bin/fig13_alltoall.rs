@@ -15,8 +15,9 @@ use ec_collectives::schedule::alltoall_direct_schedule;
 use ec_netsim::{ClusterSpec, CostModel, Engine};
 
 fn main() {
+    let smoke = ec_bench::smoke_flag();
     let ppn = env_usize("FIG13_PPN", 4);
-    let max_block = env_usize("FIG13_MAX_BLOCK", 32 * 1024) as u64;
+    let max_block = env_usize("FIG13_MAX_BLOCK", ec_bench::smoke_default(smoke, 32 * 1024, 4 * 1024)) as u64;
     let node_counts = [4usize, 8, 16];
 
     let mut series = Vec::new();

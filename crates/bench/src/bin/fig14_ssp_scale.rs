@@ -34,7 +34,7 @@ fn run_one(workers: usize, slack: usize, iters: usize, bytes: u64, compute: f64,
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = ec_bench::smoke_flag();
     let seed = env_usize("FIG14_SEED", 42) as u64;
     let iters = env_usize("FIG14_ITERS", if smoke { 6 } else { 24 });
     let bytes = env_usize("FIG14_BYTES", 32 * 1024) as u64;

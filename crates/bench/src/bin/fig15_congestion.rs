@@ -56,7 +56,7 @@ fn sweep(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = ec_bench::smoke_flag();
     let seed = env_usize("FIG15_SEED", 42) as u64;
     let block = env_usize("FIG15_BLOCK", 32 * 1024) as u64;
     let ring_bytes = env_usize("FIG15_RING_BYTES", 8_000_000) as u64;

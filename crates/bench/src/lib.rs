@@ -17,6 +17,7 @@
 
 pub mod congestion;
 pub mod ssp_scale;
+pub mod tuner;
 
 use std::fmt::Write as _;
 
@@ -93,6 +94,25 @@ pub fn speedup(base: f64, other: f64) -> f64 {
 /// figure workloads up to paper size or down for quick runs).
 pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Whether the binary was invoked with `--smoke` (CI-sized workloads).
+///
+/// Every `fig*` binary honours the flag by shrinking its *default* workload
+/// parameters; explicit environment overrides still win, so a smoke run can
+/// be scaled back up selectively.
+pub fn smoke_flag() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// `full` normally, `small` under [`smoke_flag`] — the default-shrinking
+/// helper the figure binaries use.
+pub fn smoke_default(smoke: bool, full: usize, small: usize) -> usize {
+    if smoke {
+        small
+    } else {
+        full
+    }
 }
 
 /// Read an environment variable as `f64` with a default.

@@ -1,0 +1,93 @@
+//! Acceptance tests for the fig16 variant-selection experiment: the tuner's
+//! predictions must be deterministic, rank candidates sensibly across the
+//! latency/bandwidth spectrum, and contain at least one cell where the
+//! oversubscribed fabric flips the vendor winner chosen by the
+//! topology-blind alpha–beta model.
+
+use ec_bench::tuner::{
+    fig16_preset, select_allreduce, select_alltoall, winner_table, CollectiveKind, Pricing, SweepConfig,
+};
+
+#[test]
+fn selections_are_deterministic_per_configuration() {
+    let preset = fig16_preset(64, 4, 4.0);
+    for pricing in [Pricing::AlphaBeta, Pricing::Fabric] {
+        let a = select_allreduce(&preset, 32_768, pricing);
+        let b = select_allreduce(&preset, 32_768, pricing);
+        for (pa, pb) in a.predictions.iter().zip(b.predictions.iter()) {
+            assert_eq!(pa.seconds.to_bits(), pb.seconds.to_bits(), "{} under {pricing:?}", pa.label);
+        }
+        assert_eq!(a.winner().label, b.winner().label);
+    }
+}
+
+#[test]
+fn the_4_to_1_fabric_flips_an_alpha_beta_vendor_winner() {
+    // The smoke grid already contains the acceptance cell: at p = 16 and
+    // 32 KiB the alpha-beta model picks Rabenseifner, while the fabric
+    // prefers the neighbor-traffic Shumilin ring.
+    let cfg = SweepConfig::smoke();
+    let rows = winner_table(&cfg);
+    let max_taper = *cfg.tapers.last().unwrap();
+    let flips: Vec<_> = rows.iter().filter(|r| r.vendor_flip_at(max_taper)).collect();
+    assert!(
+        !flips.is_empty(),
+        "the smoke grid must contain at least one cell where the {max_taper}:1 fabric flips the vendor winner"
+    );
+    for row in &flips {
+        let fabric_winner = &row.fabric.last().unwrap().1;
+        assert_ne!(
+            row.alpha_beta.best_vendor().label,
+            fabric_winner.best_vendor().label,
+            "flip accounting must match the selections"
+        );
+    }
+}
+
+#[test]
+fn winners_track_the_latency_bandwidth_tradeoff() {
+    let preset = fig16_preset(64, 4, 1.0);
+    // Tiny alltoall blocks: Bruck's log rounds win; large blocks: pairwise.
+    let tiny = select_alltoall(&preset, 8, Pricing::Fabric);
+    assert_eq!(tiny.best_vendor().label, "ss-bruck");
+    let large = select_alltoall(&preset, 32 * 1024, Pricing::Fabric);
+    assert!(large.best_vendor().label.contains("pairwise"), "32 KiB winner was {}", large.best_vendor().label);
+    // The one-sided GASPI alltoall beats the whole vendor frontier at the
+    // paper's peak block size (Figure 13's headline result).
+    assert_eq!(large.winner().label, "gaspi-direct");
+    // Large allreduce payloads: a ring variant wins; the GASPI ring beats
+    // the vendor frontier (Figures 11-12's headline result).
+    let red = select_allreduce(&preset, 4_194_304, Pricing::Fabric);
+    assert_eq!(red.winner().label, "gaspi-ring");
+    assert!(
+        red.best_vendor().label.contains("ring") || red.best_vendor().label.contains("rsag"),
+        "4 MiB vendor winner was {}",
+        red.best_vendor().label
+    );
+}
+
+#[test]
+fn every_candidate_prediction_is_positive_and_finite() {
+    let preset = fig16_preset(16, 4, 2.0);
+    for pricing in [Pricing::AlphaBeta, Pricing::Fabric] {
+        let allreduce = select_allreduce(&preset, 4096, pricing);
+        assert_eq!(allreduce.predictions.len(), 15);
+        let alltoall = select_alltoall(&preset, 4096, pricing);
+        assert_eq!(alltoall.predictions.len(), 4);
+        for p in allreduce.predictions.iter().chain(alltoall.predictions.iter()) {
+            assert!(p.seconds.is_finite() && p.seconds > 0.0, "{} under {pricing:?}: {}", p.label, p.seconds);
+        }
+    }
+}
+
+#[test]
+fn smoke_rows_cover_both_collectives_and_all_tapers() {
+    let cfg = SweepConfig::smoke();
+    let rows = winner_table(&cfg);
+    let expected = cfg.rank_counts.len() * (cfg.allreduce_bytes.len() + cfg.alltoall_bytes.len());
+    assert_eq!(rows.len(), expected);
+    for row in &rows {
+        assert_eq!(row.fabric.len(), cfg.tapers.len());
+        assert!(matches!(row.collective, CollectiveKind::Allreduce | CollectiveKind::Alltoall));
+    }
+}

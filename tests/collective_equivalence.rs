@@ -3,8 +3,9 @@
 //! references) on the values they compute.
 
 use ec_collectives_suite::baseline::{
-    allreduce_recursive_doubling, allreduce_ring as mpi_allreduce_ring, alltoall_pairwise, bcast_binomial,
-    reduce_binomial, MpiWorld,
+    allreduce_rabenseifner, allreduce_recursive_doubling, allreduce_reduce_scatter_allgather,
+    allreduce_ring as mpi_allreduce_ring, alltoall_bruck, alltoall_pairwise, bcast_binomial, bcast_pipelined_binomial,
+    bcast_scatter_allgather, reduce_binomial, reduce_rsg, MpiWorld,
 };
 use ec_collectives_suite::collectives::{
     AllToAll, BroadcastBst, ReduceBst, ReduceMode, ReduceOp, RingAllreduce, SspAllreduce, Threshold,
@@ -44,6 +45,90 @@ fn ring_allreduce_agrees_with_mpi_baselines() {
             assert!((gaspi[rank][i] - mpi_rd[rank][i]).abs() < 1e-9);
         }
     }
+}
+
+#[test]
+fn single_source_allreduce_variants_agree_with_the_gaspi_ring() {
+    // Both the power-of-two world and an awkward one: the Rabenseifner
+    // variant folds p = 7 around a p2 = 4 core.
+    for p in [7usize, 8] {
+        let n = 137;
+        let gaspi = Job::new(GaspiConfig::new(p))
+            .run(|ctx| {
+                let ring = RingAllreduce::new(ctx, n).unwrap();
+                let mut data = input(ctx.rank(), n);
+                ring.run(&mut data, ReduceOp::Sum).unwrap();
+                data
+            })
+            .unwrap();
+        let rab = MpiWorld::new(p).run(|comm| {
+            let mut data = input(comm.rank(), n);
+            allreduce_rabenseifner(comm, &mut data).unwrap();
+            data
+        });
+        let rsag = MpiWorld::new(p).run(|comm| {
+            let mut data = input(comm.rank(), n);
+            allreduce_reduce_scatter_allgather(comm, &mut data).unwrap();
+            data
+        });
+        for rank in 0..p {
+            for i in 0..n {
+                assert!((gaspi[rank][i] - rab[rank][i]).abs() < 1e-9, "rabenseifner p={p} rank={rank} elem {i}");
+                assert!((gaspi[rank][i] - rsag[rank][i]).abs() < 1e-9, "rsag p={p} rank={rank} elem {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn new_bcast_variants_agree_with_the_binomial_reference() {
+    let p = 6;
+    let n = 90;
+    let reference = MpiWorld::new(p).run(|comm| {
+        let mut data = if comm.rank() == 0 { input(0, n) } else { vec![0.0; n] };
+        bcast_binomial(comm, &mut data, 0).unwrap();
+        data
+    });
+    for variant in ["scatter-allgather", "pipelined"] {
+        let out = MpiWorld::new(p).run(move |comm| {
+            let mut data = if comm.rank() == 0 { input(0, n) } else { vec![0.0; n] };
+            match variant {
+                "scatter-allgather" => bcast_scatter_allgather(comm, &mut data, 0).unwrap(),
+                _ => bcast_pipelined_binomial(comm, &mut data, 0, 16).unwrap(),
+            }
+            data
+        });
+        assert_eq!(out, reference, "{variant} must replicate the root data bit-for-bit");
+    }
+}
+
+#[test]
+fn rsg_reduce_agrees_with_mpi_reduce() {
+    let p = 7;
+    let n = 55;
+    let reference = MpiWorld::new(p).run(|comm| reduce_binomial(comm, &input(comm.rank(), n), 0).unwrap());
+    let rsg = MpiWorld::new(p).run(|comm| reduce_rsg(comm, &input(comm.rank(), n), 0).unwrap());
+    let want = reference[0].as_ref().unwrap();
+    let got = rsg[0].as_ref().unwrap();
+    for i in 0..n {
+        assert!((got[i] - want[i]).abs() < 1e-9, "elem {i}: {} vs {}", got[i], want[i]);
+    }
+    assert!(rsg[1..].iter().all(Option::is_none));
+}
+
+#[test]
+fn bruck_alltoall_agrees_with_the_pairwise_exchange() {
+    let p = 5;
+    let block = 16;
+    let pairwise = MpiWorld::new(p).run(move |comm| {
+        let send: Vec<f64> = (0..p * block).map(|i| (comm.rank() * 1000 + i) as f64).collect();
+        alltoall_pairwise(comm, &send, block).unwrap()
+    });
+    let bruck = MpiWorld::new(p).run(move |comm| {
+        let send: Vec<f64> = (0..p * block).map(|i| (comm.rank() * 1000 + i) as f64).collect();
+        alltoall_bruck(comm, &send, block).unwrap()
+    });
+    assert_eq!(bruck, pairwise, "Bruck's rotations must be invisible in the result");
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! mathematically correct results for arbitrary inputs, and the cost model
 //! must respond monotonically to workload parameters.
 
-use ec_collectives_suite::baseline::MpiAllreduceVariant;
+use ec_collectives_suite::baseline::{MpiAllreduceVariant, MpiWorld};
 use ec_collectives_suite::collectives::schedule::{
     alltoall_direct_schedule, bcast_bst_schedule, reduce_bst_schedule, ring_allreduce_schedule,
 };
@@ -335,6 +335,113 @@ proptest! {
             })
             .collect::<std::collections::HashSet<_>>();
         prop_assert_eq!(receivers.len(), p - 1);
+    }
+}
+
+/// Strategy over the awkward rank counts the single-source variant library
+/// must survive: all three are non-powers-of-two, so the Rabenseifner-style
+/// variants exercise their fold-in/fold-out phases and the chunked variants
+/// their ragged chunk arithmetic.
+fn variant_library_procs() -> impl Strategy<Value = usize> {
+    (0usize..3).prop_map(|i| [6, 12, 24][i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every variant of the single-source library holds its two-backend
+    /// contract at p ∈ {6, 12, 24}: the recorded schedule passes
+    /// `ec_netsim::validate`, and the threaded backend's numeric result
+    /// matches the straightforward reference within 1e-9.
+    #[test]
+    fn variant_library_schedules_validate_and_threaded_results_match(
+        p in variant_library_procs(),
+        n in 1usize..96,
+        seed in 0u64..1000,
+    ) {
+        use ec_collectives_suite::baseline::variants;
+
+        let inputs: Vec<Vec<f64>> = (0..p)
+            .map(|r| (0..n).map(|i| (((seed as usize + r * 29 + i * 11) % 21) as f64) - 10.0).collect())
+            .collect();
+        let expected_sum: Vec<f64> = (0..n).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
+
+        // Allreduce variants: exact element-wise sums everywhere.
+        for variant in 0..2 {
+            let inputs = inputs.clone();
+            let out = MpiWorld::new(p).run(move |comm| {
+                let mut data = inputs[comm.rank()].clone();
+                match variant {
+                    0 => variants::allreduce_rabenseifner(comm, &mut data).unwrap(),
+                    _ => variants::allreduce_reduce_scatter_allgather(comm, &mut data).unwrap(),
+                }
+                data
+            });
+            for data in &out {
+                for (a, b) in data.iter().zip(expected_sum.iter()) {
+                    prop_assert!((a - b).abs() < 1e-9, "allreduce variant {} at p={}", variant, p);
+                }
+            }
+        }
+
+        // Reduce: the sum lands on the root only.
+        let root = p - 1;
+        let reduce_inputs = inputs.clone();
+        let out = MpiWorld::new(p).run(move |comm| {
+            variants::reduce_rsg(comm, &reduce_inputs[comm.rank()], root).unwrap()
+        });
+        for (a, b) in out[root].as_ref().unwrap().iter().zip(expected_sum.iter()) {
+            prop_assert!((a - b).abs() < 1e-9, "rsg reduce at p={}", p);
+        }
+
+        // Bcasts: the root payload replicates everywhere, bit for bit.
+        for variant in 0..2 {
+            let payload = inputs[0].clone();
+            let check = payload.clone();
+            let out = MpiWorld::new(p).run(move |comm| {
+                let mut data = if comm.rank() == 0 { payload.clone() } else { vec![0.0; n] };
+                match variant {
+                    0 => variants::bcast_scatter_allgather(comm, &mut data, 0).unwrap(),
+                    _ => variants::bcast_pipelined_binomial(comm, &mut data, 0, 7).unwrap(),
+                }
+                data
+            });
+            for data in &out {
+                prop_assert_eq!(data, &check, "bcast variant {} at p={}", variant, p);
+            }
+        }
+
+        // AlltoAll: Bruck against the transpose definition.
+        let block = 1 + (n % 4);
+        let out = MpiWorld::new(p).run(move |comm| {
+            let send: Vec<f64> = (0..p * block).map(|i| (comm.rank() * 1000 + i) as f64).collect();
+            variants::alltoall_bruck(comm, &send, block).unwrap()
+        });
+        for (dst, recv) in out.iter().enumerate() {
+            for src in 0..p {
+                for k in 0..block {
+                    prop_assert_eq!(recv[src * block + k], (src * 1000 + dst * block + k) as f64);
+                }
+            }
+        }
+
+        // Every recorded schedule of the library validates at this p.
+        let bytes = (n * 8) as u64;
+        let block_bytes = (block * 8) as u64;
+        let schedules = [
+            variants::rabenseifner_allreduce_schedule(p, bytes),
+            variants::rsag_allreduce_schedule(p, bytes),
+            variants::bruck_alltoall_schedule(p, block_bytes),
+            variants::pairwise_alltoall_schedule(p, block_bytes),
+            variants::scatter_allgather_bcast_schedule(p, bytes),
+            variants::pipelined_binomial_bcast_schedule(p, bytes, 56),
+            variants::binomial_bcast_schedule(p, bytes),
+            variants::binomial_reduce_schedule(p, bytes),
+            variants::rsg_reduce_schedule(p, bytes),
+        ];
+        for prog in schedules {
+            prop_assert!(validate(&prog, p).is_ok(), "schedule failed validation at p={}", p);
+        }
     }
 }
 

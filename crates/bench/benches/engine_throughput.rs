@@ -12,7 +12,7 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use ec_collectives::schedule::ring_allreduce_schedule;
-use ec_netsim::{ClusterSpec, CostModel, Engine, Program};
+use ec_netsim::{ClusterSpec, CostModel, Engine, Program, SchedulerKind};
 
 /// Payload of the benchmark allreduce (8 MB, the paper's large-message size).
 const BYTES: u64 = 8_000_000;
@@ -44,19 +44,23 @@ fn measure_ops_per_sec(engine: &Engine, prog: &Program, runs: usize) -> (f64, f6
     (secs_per_run, prog.total_ops() as f64 / secs_per_run)
 }
 
-fn write_baseline(prog: &Program, secs_per_run: f64, ops_per_sec: f64) {
+fn write_baseline(prog: &Program, secs_per_run: f64, ops_per_sec: f64, per_shard: &[(usize, f64)], legacy: f64) {
     // Default to the workspace root (cargo runs benches with the package
     // directory as cwd) so the baseline lands next to the README.
     let path = std::env::var("BENCH_ENGINE_JSON")
         .unwrap_or_else(|_| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")));
+    let shard_rows: String =
+        per_shard.iter().map(|(s, ops)| format!("  \"simulated_ops_per_sec_shards_{s}\": {ops:.0},\n")).collect();
     let json = format!(
         "{{\n  \"bench\": \"engine_throughput\",\n  \"program\": \"ring_allreduce\",\n  \
          \"ranks\": {RANKS},\n  \"payload_bytes\": {BYTES},\n  \"total_ops\": {},\n  \
-         \"seconds_per_run\": {secs_per_run:.6},\n  \"simulated_ops_per_sec\": {ops_per_sec:.0},\n  \
+         \"seconds_per_run\": {secs_per_run:.6},\n  \"simulated_ops_per_sec\": {ops_per_sec:.0},\n\
+         {shard_rows}  \"legacy_heap_ops_per_sec\": {legacy:.0},\n  \
          \"pre_rewrite_ops_per_sec\": {PRE_REWRITE_OPS_PER_SEC:.0},\n  \
-         \"speedup_vs_pre_rewrite\": {:.2}\n}}\n",
+         \"speedup_vs_pre_rewrite\": {:.2},\n  \"speedup_vs_legacy_heap\": {:.2}\n}}\n",
         prog.total_ops(),
-        ops_per_sec / PRE_REWRITE_OPS_PER_SEC
+        ops_per_sec / PRE_REWRITE_OPS_PER_SEC,
+        ops_per_sec / legacy
     );
     if let Err(e) = std::fs::write(&path, json) {
         eprintln!("warning: could not write {path}: {e}");
@@ -78,7 +82,19 @@ fn bench_engine_throughput(c: &mut Criterion) {
             secs_per_run,
             ops_per_sec / 1e6
         );
-        write_baseline(&prog, secs_per_run, ops_per_sec);
+        // Per-shard-count rows (worker threads over contiguous rank blocks)
+        // and the legacy binary-heap event loop, for the perf trajectory.
+        let mut per_shard = Vec::new();
+        for shards in [2usize, 4, 8] {
+            let sharded = bench_program(ranks).0.with_shards(shards);
+            let (_, ops) = measure_ops_per_sec(&sharded, &prog, 3);
+            println!("engine_throughput[shards={shards}]: {:.3} M simulated ops/sec", ops / 1e6);
+            per_shard.push((shards, ops));
+        }
+        let legacy_engine = bench_program(ranks).0.with_scheduler(SchedulerKind::BinaryHeap);
+        let (_, legacy) = measure_ops_per_sec(&legacy_engine, &prog, 2);
+        println!("engine_throughput[legacy heap]: {:.3} M simulated ops/sec", legacy / 1e6);
+        write_baseline(&prog, secs_per_run, ops_per_sec, &per_shard, legacy);
     }
 
     let mut group = c.benchmark_group("engine");
@@ -86,6 +102,12 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("ring_allreduce", format!("p{ranks}")), |b| {
         b.iter(|| engine.makespan(&prog).unwrap())
     });
+    if !test_mode {
+        group.bench_function(BenchmarkId::new("ring_allreduce_shards4", format!("p{ranks}")), |b| {
+            let sharded = bench_program(ranks).0.with_shards(4);
+            b.iter(|| sharded.makespan(&prog).unwrap())
+        });
+    }
     group.finish();
 }
 

@@ -13,15 +13,25 @@
 //! tables.  Pass `--smoke` for a CI-sized run (128 workers, few iterations).
 //!
 //! Environment overrides: `FIG14_SEED` (default 42), `FIG14_ITERS` (24;
-//! smoke 6), `FIG14_BYTES` (32768), `FIG14_COMPUTE_US` (200).
+//! smoke 6), `FIG14_BYTES` (32768), `FIG14_COMPUTE_US` (200),
+//! `FIG14_WORKERS` (comma list, e.g. `65536`), `FIG14_MAX_SLACK` (8).
+//!
+//! `--shards N` runs the engine with N worker shards; the output is
+//! bit-identical for every shard count (the fingerprint proves it).
 
 use ec_bench::ssp_scale::{fig14_scenario, ssp_scale_program, SspScaleConfig};
-use ec_bench::{env_f64, env_usize, Series};
+use ec_bench::{env_f64, env_usize, env_usize_list, Series};
 use ec_netsim::{ClusterSpec, CostModel, Engine, RunReport};
 
-const SLACKS: std::ops::RangeInclusive<usize> = 0..=8;
-
-fn run_one(workers: usize, slack: usize, iters: usize, bytes: u64, compute: f64, seed: u64) -> RunReport {
+fn run_one(
+    workers: usize,
+    slack: usize,
+    iters: usize,
+    bytes: u64,
+    compute: f64,
+    seed: u64,
+    shards: usize,
+) -> RunReport {
     let mut cfg = SspScaleConfig::new(workers, slack);
     cfg.iterations = iters;
     cfg.bytes = bytes;
@@ -29,30 +39,34 @@ fn run_one(workers: usize, slack: usize, iters: usize, bytes: u64, compute: f64,
     cfg.seed = seed;
     let program = ssp_scale_program(&cfg);
     let engine = Engine::new(ClusterSpec::homogeneous(workers, 1), CostModel::marenostrum4_opa())
-        .with_scenario(fig14_scenario(seed));
+        .with_scenario(fig14_scenario(seed))
+        .with_shards(shards);
     engine.run(&program).expect("fig14 program must simulate")
 }
 
 fn main() {
     let smoke = ec_bench::smoke_flag();
+    let shards = ec_bench::shards_flag();
     let seed = env_usize("FIG14_SEED", 42) as u64;
     let iters = env_usize("FIG14_ITERS", if smoke { 6 } else { 24 });
     let bytes = env_usize("FIG14_BYTES", 32 * 1024) as u64;
     let compute = env_f64("FIG14_COMPUTE_US", 200.0) * 1e-6;
-    let worker_counts: &[usize] = if smoke { &[128] } else { &[128, 256, 512, 1024] };
+    let max_slack = env_usize("FIG14_MAX_SLACK", 8);
+    let slacks = 0..=max_slack;
+    let worker_counts = env_usize_list("FIG14_WORKERS", if smoke { &[128] } else { &[128, 256, 512, 1024] });
 
     println!("# Figure 14 — SSP slack sweep at scale (simulated, heterogeneous cluster)");
     println!(
-        "# seed {seed}, {iters} iterations, {} KiB per partner, {:.0} us nominal compute, slack {}..={}",
+        "# seed {seed}, {iters} iterations, {} KiB per partner, {:.0} us nominal compute, slack {}..={}, {shards} shard(s)",
         bytes / 1024,
         compute * 1e6,
-        SLACKS.start(),
-        SLACKS.end()
+        slacks.start(),
+        slacks.end()
     );
     println!("# scenario: 10% node speed spread, 2% slow nodes (1.5x), 10% link jitter, 5% hiccup iterations (6x)\n");
 
-    let mut makespans = Vec::new();
-    for &workers in worker_counts {
+    let mut digest = 0u64;
+    for &workers in &worker_counts {
         let mut series = Series::new(format!("p={workers}"));
         println!("## {workers} workers");
         println!(
@@ -63,8 +77,8 @@ fn main() {
         // The compute scales are slack-independent, so the slack-0 run
         // doubles as the straggler report.
         let mut worst_scale = f64::NAN;
-        for slack in SLACKS {
-            let r = run_one(workers, slack, iters, bytes, compute, seed);
+        for slack in slacks.clone() {
+            let r = run_one(workers, slack, iters, bytes, compute, seed, shards);
             let makespan = r.makespan();
             if slack == 0 {
                 baseline = makespan;
@@ -80,17 +94,20 @@ fn main() {
                 r.total_notifications_consumed(),
                 r.total_notifications_received()
             );
-            makespans.push(makespan);
+            // Fold the *full* report digest, not just the makespan: the CI
+            // smoke job asserts this value across shard counts, so every
+            // per-rank statistic must survive the sharded merge unchanged.
+            digest = ec_netsim::SplitMix64::mix(digest ^ r.fingerprint());
         }
+        let top = *slacks.end() as f64;
         println!(
-            "   worst straggler scale {worst_scale:.2}x; slack 8 recovers {:.1}% of the synchronous makespan\n",
-            (1.0 - series.y_at(8.0).unwrap_or(f64::NAN) / baseline) * 100.0
+            "   worst straggler scale {worst_scale:.2}x; slack {top} recovers {:.1}% of the synchronous makespan\n",
+            (1.0 - series.y_at(top).unwrap_or(f64::NAN) / baseline) * 100.0
         );
     }
 
     // A short fingerprint so determinism regressions are trivially visible in
-    // CI logs: same seed, same fingerprint.
-    let fingerprint = makespans.iter().fold(0u64, |acc, m| ec_netsim::SplitMix64::mix(acc ^ m.to_bits()));
-    println!("## determinism fingerprint: {fingerprint:016x}");
+    // CI logs: same seed, same fingerprint — for every shard count.
+    println!("## determinism fingerprint: {digest:016x}");
     println!("(the paper's Figures 6-7 stop at 32 threaded workers; these runs are simulated)");
 }

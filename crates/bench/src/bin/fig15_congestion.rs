@@ -16,11 +16,17 @@
 //! tables.  Pass `--smoke` for a CI-sized run (64 ranks only).
 //!
 //! Environment overrides: `FIG15_SEED` (default 42), `FIG15_BLOCK` (32768),
-//! `FIG15_RING_BYTES` (8000000), `FIG15_MAX_P` (1024).
+//! `FIG15_RING_BYTES` (8000000), `FIG15_MAX_P` (1024), `FIG15_RANKS`
+//! (enables the huge-scale alpha–beta section, e.g. 65536),
+//! `FIG15_WINDOW` (32).  `--shards N` runs the engine with N worker shards;
+//! the output is bit-identical for every shard count.
 
 use std::fmt::Write as _;
 
-use ec_bench::congestion::{run_point, Collective, CongestionConfig, CongestionPoint};
+use ec_bench::congestion::{
+    alltoall_window_schedule, ring_rounds_schedule, run_point, run_scale_point, Collective, CongestionConfig,
+    CongestionPoint,
+};
 use ec_bench::{env_usize, Series};
 
 const OVERSUBSCRIPTION: [f64; 3] = [1.0, 2.0, 4.0];
@@ -100,6 +106,36 @@ fn main() {
         println!("  {:>18}: {:.2}x", s.label, s.y_at(4.0).unwrap());
     }
     println!("(the alltoall pays nearly the taper factor; the ring is topology-oblivious)");
+
+    // Huge-scale section: windowed exchanges at p = FIG15_RANKS (e.g. 65536)
+    // on the alpha-beta model.  The full alltoall is O(p²) messages and the
+    // max-min solver re-resolves over every active flow, so neither survives
+    // p = 65536 — the windowed programs keep the communication styles while
+    // the event core (and its shards) does the heavy lifting.
+    let scale_ranks = env_usize("FIG15_RANKS", 0);
+    if scale_ranks >= 2 {
+        let shards = ec_bench::shards_flag();
+        let window = env_usize("FIG15_WINDOW", 32).min(scale_ranks - 1);
+        println!("\n## huge-scale section: p = {scale_ranks}, window {window}, {shards} shard(s), alpha-beta model");
+        let mut digest = 0u64;
+        for (label, program) in [
+            ("alltoall-window", alltoall_window_schedule(scale_ranks, block, window)),
+            ("ring-rounds", ring_rounds_schedule(scale_ranks, ring_bytes / scale_ranks as u64 + 1, window)),
+        ] {
+            let r = run_scale_point(scale_ranks, &program, seed, shards);
+            println!(
+                "{:>16}: makespan {:.6} s, {} puts, {} notifications consumed, report fingerprint {:016x}",
+                label,
+                r.makespan(),
+                r.total_messages(),
+                r.total_notifications_consumed(),
+                r.fingerprint()
+            );
+            digest = ec_netsim::SplitMix64::mix(digest ^ r.fingerprint());
+            makespans.push(r.makespan());
+        }
+        println!("## scale fingerprint: {digest:016x}");
+    }
 
     // Same seed, same fingerprint: determinism regressions are trivially
     // visible in CI logs.

@@ -105,6 +105,25 @@ pub fn smoke_flag() -> bool {
     std::env::args().any(|a| a == "--smoke")
 }
 
+/// Worker-shard count requested with `--shards N` (or `--shards=N`).
+///
+/// Defaults to 1 (serial execution).  The figure binaries forward the value
+/// to [`ec_netsim::Engine::with_shards`]; the engine clamps it and falls
+/// back to serial execution for programs its sharded path cannot run, so
+/// any positive value is safe — the output is bit-identical either way.
+pub fn shards_flag() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--shards" {
+            return args.next().and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+        }
+        if let Some(v) = a.strip_prefix("--shards=") {
+            return v.parse().ok().unwrap_or(1).max(1);
+        }
+    }
+    1
+}
+
 /// `full` normally, `small` under [`smoke_flag`] — the default-shrinking
 /// helper the figure binaries use.
 pub fn smoke_default(smoke: bool, full: usize, small: usize) -> usize {
@@ -118,6 +137,18 @@ pub fn smoke_default(smoke: bool, full: usize, small: usize) -> usize {
 /// Read an environment variable as `f64` with a default.
 pub fn env_f64(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Read an environment variable as a comma-separated `usize` list with a
+/// default (used for worker-count sweeps, e.g. `FIG14_WORKERS=128,65536`).
+pub fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    let parsed: Vec<usize> =
+        std::env::var(name).map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect()).unwrap_or_default();
+    if parsed.is_empty() {
+        default.to_vec()
+    } else {
+        parsed
+    }
 }
 
 /// Standard node-count sweep used by the "time vs nodes" figures (8, 9, 10, 11).
@@ -158,6 +189,13 @@ mod tests {
         assert!(speedup(1.0, 0.0).is_nan());
         assert_eq!(env_usize("EC_BENCH_NOT_SET_VARIABLE", 7), 7);
         assert_eq!(env_f64("EC_BENCH_NOT_SET_VARIABLE", 1.5), 1.5);
+        assert_eq!(env_usize_list("EC_BENCH_NOT_SET_VARIABLE", &[128, 1024]), vec![128, 1024]);
+    }
+
+    #[test]
+    fn shards_flag_defaults_to_serial() {
+        // The test binary was not invoked with --shards.
+        assert_eq!(shards_flag(), 1);
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! Sharded dataflow fast path for one-sided, single-writer programs.
+//!
+//! The strict event loop in [`crate::engine`] spends most of its time on
+//! queue maintenance: every operation of every rank round-trips through the
+//! global event queue (a `Resume` per op, plus a `NotifyVisible` per put).
+//! For the programs the paper's collectives actually generate that machinery
+//! is unnecessary, because their outcome is *order-independent*:
+//!
+//! * **one-sided only** — no two-sided matching, no rendezvous coupling, no
+//!   barriers: a rank's timeline depends only on its own ops and on the
+//!   notification arrivals it waits for;
+//! * **single writer** — every destination rank receives puts/notifies from
+//!   at most one source rank, so its arrival stream is FIFO in both issue
+//!   order and visible time (the writer's NIC serializes its own transfers);
+//! * **one rank per node** — the per-node NIC cursors (`tx_free`,
+//!   `rx_free`) are touched by exactly one rank (sender side) or exactly one
+//!   writer (receiver side), never shared.
+//!
+//! Under these conditions each rank's op chain can *burst-execute*: local
+//! ops advance the rank's clock inline, puts compute their full wire timing
+//! immediately (the same formulas as the strict engine's `schedule_wire`)
+//! and append the arrival to the destination's FIFO, and notification waits
+//! drain that FIFO by visible time.  No global event queue, no heap
+//! traffic — the scheduler cost per op drops to a few arithmetic ops.
+//!
+//! ## Parallel execution and determinism
+//!
+//! Ranks are partitioned into contiguous blocks, one per worker shard.
+//! Cross-shard arrivals travel through per-shard inbound queues; workers
+//! synchronize in rounds on a barrier and stop when every worklist and
+//! inbound queue is empty.  The merge is deterministic *by construction*,
+//! not by merge order: a destination's FIFO only ever receives from its
+//! single writer (so its content is the writer's program order regardless
+//! of when batches land), per-rank statistics are written only by the
+//! owning shard, and every wait resolves to virtual times computed from the
+//! FIFO content alone.  Consequently the `RunReport` is bit-identical for
+//! every shard count — there is no lookahead window to tune, causal FIFO
+//! order *is* the conservative synchronization.
+//!
+//! A wait executed at local time `t` treats arrivals with `visible <= t` as
+//! already processed (the strict engine would have handled those
+//! `NotifyVisible` events before the wait's `Resume`), and resolves against
+//! later arrivals one at a time exactly like the strict `on_notify` path.
+//! The one knowingly tolerated divergence from the strict engine is the
+//! measure-zero tie `visible == t`, where the strict result depends on
+//! event insertion order; the fast path deterministically counts the
+//! arrival as present.  Makespans agree either way (both continue at
+//! `t + notify_overhead`); only the wait-time attribution of the tied
+//! arrival can differ by one `notify_overhead`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::cluster::{ClusterSpec, RankId};
+use crate::cost::CostModel;
+use crate::engine::SimError;
+use crate::program::{CommProfile, NotifyId, Op, Program};
+use crate::report::{RankStats, RunReport};
+use crate::scenario::ScenarioInstance;
+
+/// A notification arrival in flight between shards.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    dst: RankId,
+    /// Time the notification becomes visible at `dst` (delivery plus the
+    /// notification overhead).
+    visible: f64,
+    notify: NotifyId,
+    bytes: u64,
+}
+
+/// Per-rank burst-execution state.
+#[derive(Debug)]
+struct DfRank {
+    pc: usize,
+    /// The rank's local virtual clock (monotone).
+    clock: f64,
+    done: bool,
+    /// Parked in a notification wait at `ops[pc]`.
+    blocked: bool,
+    blocked_since: f64,
+    /// Already on the shard's worklist.
+    queued: bool,
+    /// Unapplied arrivals, FIFO in visible time (single writer).
+    fifo: VecDeque<(f64, NotifyId)>,
+    /// Dense unconsumed-arrival counters, as in the strict engine.
+    notify_counts: Vec<u32>,
+    /// Earliest time this rank's injection path is free again.
+    tx_free: f64,
+    /// Completion time of the rank's latest transfer (for `WaitAllSends`).
+    max_tx_done: f64,
+    compute_scale: f64,
+    stats: RankStats,
+}
+
+impl DfRank {
+    fn new(notify_bound: usize, compute_scale: f64) -> Self {
+        Self {
+            pc: 0,
+            clock: 0.0,
+            done: false,
+            blocked: false,
+            blocked_since: 0.0,
+            queued: true,
+            fifo: VecDeque::new(),
+            notify_counts: vec![0; notify_bound],
+            tx_free: 0.0,
+            max_tx_done: 0.0,
+            compute_scale,
+            stats: RankStats { compute_scale, ..RankStats::default() },
+        }
+    }
+}
+
+/// Record an arrival against the rank's counters (the strict engine's
+/// `on_notify` bookkeeping: out-of-range ids are counted but can never
+/// satisfy a wait).
+#[inline]
+fn note_arrival(r: &mut DfRank, id: NotifyId) {
+    if let Some(c) = r.notify_counts.get_mut(id as usize) {
+        *c += 1;
+    }
+    r.stats.notifications_received += 1;
+}
+
+/// Exact mirror of the strict engine's `consume_notifications`: if at least
+/// `count` of `ids` have unconsumed arrivals, consume one from each of the
+/// first `count` available ids in listed order.
+fn consume(r: &mut DfRank, ids: &[NotifyId], count: usize) -> bool {
+    let need = count.min(ids.len());
+    let available = ids.iter().filter(|&&id| r.notify_counts.get(id as usize).is_some_and(|&c| c > 0)).count();
+    if available < need {
+        return false;
+    }
+    let mut taken = 0usize;
+    for &id in ids {
+        if taken == need {
+            break;
+        }
+        let c = &mut r.notify_counts[id as usize];
+        if *c > 0 {
+            *c -= 1;
+            taken += 1;
+        }
+    }
+    r.stats.notifications_consumed += taken as u64;
+    true
+}
+
+/// Complete a satisfied wait: unpark, advance the clock and pc, account.
+#[inline]
+fn finish_wait(r: &mut DfRank, at: f64, waited: f64) {
+    r.stats.wait_time += waited;
+    r.clock = at;
+    r.blocked = false;
+    r.pc += 1;
+    r.stats.finish_time = r.stats.finish_time.max(at);
+}
+
+/// Try to satisfy the notification wait the rank is parked in.  Arrivals at
+/// or before the wait's start time are batch-applied first (the strict
+/// engine processed those before the wait executed, so no per-arrival
+/// satisfaction check); later arrivals check satisfaction one at a time,
+/// unblocking at `visible + notify_overhead` like the strict `on_notify`.
+/// The split point is a *virtual* time, so the outcome is independent of
+/// when (in wall-clock terms) arrivals reached the FIFO.
+fn try_finish_wait(r: &mut DfRank, ids: &[NotifyId], count: usize, notify_overhead: f64) -> bool {
+    let bs = r.blocked_since;
+    while let Some(&(v, _)) = r.fifo.front() {
+        if v > bs {
+            break;
+        }
+        let (_, id) = r.fifo.pop_front().expect("front exists");
+        note_arrival(r, id);
+    }
+    if consume(r, ids, count) {
+        finish_wait(r, bs + notify_overhead, 0.0);
+        return true;
+    }
+    while let Some((v, id)) = r.fifo.pop_front() {
+        note_arrival(r, id);
+        if consume(r, ids, count) {
+            finish_wait(r, v + notify_overhead, v + notify_overhead - bs);
+            return true;
+        }
+    }
+    false
+}
+
+/// One worker's slice of the simulation: the ranks in `[lo, hi)`.
+struct Shard<'a> {
+    lo: usize,
+    hi: usize,
+    /// Rank-block size of the uniform partition (`shard of r` = `r / chunk`).
+    chunk: usize,
+    cluster: &'a ClusterSpec,
+    cost: &'a CostModel,
+    program: &'a Program,
+    scenario: Option<&'a ScenarioInstance>,
+    ranks: Vec<DfRank>,
+    /// Full-size per-node NIC cursors.  Only entries this shard's ranks send
+    /// from (tx) or write to (rx) are touched; the single-writer and
+    /// one-rank-per-node eligibility rules make those entry sets disjoint
+    /// across shards.
+    node_tx_free: Vec<f64>,
+    node_rx_free: Vec<f64>,
+    /// Local rank indices ready to execute.
+    worklist: VecDeque<usize>,
+    /// Outbound arrivals per destination shard, flushed once per round.
+    outbox: Vec<Vec<Arrival>>,
+}
+
+impl<'a> Shard<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        lo: usize,
+        hi: usize,
+        chunk: usize,
+        num_shards: usize,
+        cluster: &'a ClusterSpec,
+        cost: &'a CostModel,
+        program: &'a Program,
+        scenario: Option<&'a ScenarioInstance>,
+        profile: &'a CommProfile,
+    ) -> Self {
+        let ranks = (lo..hi)
+            .map(|r| {
+                let scale = scenario.map_or(1.0, |s| s.compute_scale(cluster.node_of(r)));
+                DfRank::new(profile.notify_bounds[r], scale)
+            })
+            .collect();
+        Self {
+            lo,
+            hi,
+            chunk,
+            cluster,
+            cost,
+            program,
+            scenario,
+            ranks,
+            node_tx_free: vec![0.0; cluster.nodes],
+            node_rx_free: vec![0.0; cluster.nodes],
+            worklist: (0..hi - lo).collect(),
+            outbox: vec![Vec::new(); num_shards],
+        }
+    }
+
+    /// Append an arrival to its destination's FIFO and wake the destination
+    /// if it is parked in a wait.
+    fn apply_arrival(&mut self, a: Arrival) {
+        let li = a.dst - self.lo;
+        let r = &mut self.ranks[li];
+        r.stats.bytes_received += a.bytes;
+        r.stats.messages_received += 1;
+        r.fifo.push_back((a.visible, a.notify));
+        if r.blocked && !r.queued {
+            r.queued = true;
+            self.worklist.push_back(li);
+        }
+    }
+
+    /// Route an arrival to its destination shard (or apply it locally).
+    fn deliver(&mut self, a: Arrival) {
+        if a.dst >= self.lo && a.dst < self.hi {
+            self.apply_arrival(a);
+        } else {
+            self.outbox[a.dst / self.chunk].push(a);
+        }
+    }
+
+    /// Run every runnable rank until the shard has no local work left.
+    fn run_to_quiescence(&mut self) {
+        while let Some(li) = self.worklist.pop_front() {
+            self.ranks[li].queued = false;
+            self.run_rank(li);
+        }
+    }
+
+    /// Burst-execute one rank until it parks in an unsatisfiable wait or
+    /// finishes its program.
+    fn run_rank(&mut self, li: usize) {
+        let program = self.program;
+        let rank = self.lo + li;
+        let ops: &[Op] = &program.ranks[rank].ops;
+        let notify_overhead = self.cost.notify_overhead;
+        loop {
+            if self.ranks[li].blocked {
+                let (ids, count) = match &ops[self.ranks[li].pc] {
+                    Op::WaitNotify { ids } => (ids, ids.len()),
+                    Op::WaitNotifyAny { ids, count } => (ids, *count),
+                    _ => unreachable!("only notification waits park a dataflow rank"),
+                };
+                if !try_finish_wait(&mut self.ranks[li], ids, count, notify_overhead) {
+                    return;
+                }
+            }
+            let r = &mut self.ranks[li];
+            if r.pc >= ops.len() {
+                r.done = true;
+                r.stats.finish_time = r.stats.finish_time.max(r.clock);
+                return;
+            }
+            match &ops[r.pc] {
+                Op::Compute { seconds } => local_op(r, seconds.max(0.0)),
+                Op::Reduce { bytes } => local_op(r, self.cost.reduce_time(*bytes)),
+                Op::Copy { bytes } => local_op(r, self.cost.copy_time(*bytes)),
+                Op::PutNotify { dst, bytes, notify } => self.exec_put(li, rank, *dst, *bytes, *notify),
+                Op::Notify { dst, notify } => self.exec_put(li, rank, *dst, 0, *notify),
+                Op::WaitNotify { ids } => {
+                    r.blocked = true;
+                    r.blocked_since = r.clock;
+                    if !try_finish_wait(r, ids, ids.len(), notify_overhead) {
+                        return;
+                    }
+                }
+                Op::WaitNotifyAny { ids, count } => {
+                    r.blocked = true;
+                    r.blocked_since = r.clock;
+                    if !try_finish_wait(r, ids, *count, notify_overhead) {
+                        return;
+                    }
+                }
+                Op::WaitAllSends => {
+                    // All transfer completion times are known at issue time;
+                    // the strict engine's outstanding-send counter reduces
+                    // to a max over them.
+                    if r.max_tx_done > r.clock {
+                        r.stats.wait_time += r.max_tx_done - r.clock;
+                        r.clock = r.max_tx_done;
+                    }
+                    r.pc += 1;
+                    r.stats.finish_time = r.stats.finish_time.max(r.clock);
+                }
+                Op::Send { .. } | Op::Isend { .. } | Op::Recv { .. } | Op::Barrier => {
+                    unreachable!("two-sided ops and barriers are gated out by eligibility")
+                }
+            }
+        }
+    }
+
+    /// One-sided put (or zero-byte notify): the exact wire-timing formulas
+    /// of the strict engine's `schedule_put`/`schedule_wire`, evaluated
+    /// inline.
+    fn exec_put(&mut self, li: usize, src: RankId, dst: RankId, bytes: u64, notify: NotifyId) {
+        let cost = self.cost;
+        let same = self.cluster.same_node(src, dst);
+        let src_node = self.cluster.node_of(src);
+        let dst_node = self.cluster.node_of(dst);
+        let mut ser = cost.serialization(bytes, cost.beta_one_sided(same));
+        let mut alpha = cost.alpha(same);
+        if let Some(inst) = self.scenario {
+            alpha *= inst.link_alpha_scale(src_node, dst_node);
+            ser *= inst.link_beta_scale(src_node, dst_node);
+        }
+        let r = &mut self.ranks[li];
+        let launch = r.clock + cost.o_send;
+        let mut tx_start = launch.max(r.tx_free);
+        if !same {
+            tx_start = tx_start.max(self.node_tx_free[src_node]);
+        }
+        let tx_done = tx_start + ser;
+        r.tx_free = tx_done;
+        if !same {
+            self.node_tx_free[src_node] = tx_done;
+        }
+        let mut rx_start = tx_start + alpha;
+        if !same {
+            rx_start = rx_start.max(self.node_rx_free[dst_node]);
+        }
+        let delivered = rx_start + ser;
+        if !same {
+            self.node_rx_free[dst_node] = delivered;
+        }
+        r.stats.bytes_sent += bytes;
+        r.stats.messages_sent += 1;
+        r.max_tx_done = r.max_tx_done.max(tx_done);
+        r.pc += 1;
+        r.clock = launch;
+        r.stats.finish_time = r.stats.finish_time.max(launch);
+        let visible = delivered + cost.notify_overhead;
+        self.deliver(Arrival { dst, visible, notify, bytes });
+    }
+}
+
+/// A purely local operation of nominal duration `d`, scaled by the rank's
+/// scenario compute factor.
+#[inline]
+fn local_op(r: &mut DfRank, d: f64) {
+    let d = d * r.compute_scale;
+    r.stats.compute_time += d;
+    r.clock += d;
+    r.pc += 1;
+    r.stats.finish_time = r.stats.finish_time.max(r.clock);
+}
+
+/// Execute an eligible program (see the module docs for the eligibility
+/// rules, which [`crate::engine::Engine::run`] enforces).
+pub(crate) fn run(
+    cluster: &ClusterSpec,
+    cost: &CostModel,
+    program: &Program,
+    scenario: Option<&ScenarioInstance>,
+    profile: &CommProfile,
+    shards: usize,
+) -> Result<RunReport, SimError> {
+    let n = program.num_ranks();
+    let shards = shards.clamp(1, n.max(1));
+    let chunk = n.div_ceil(shards).max(1);
+    let bounds: Vec<(usize, usize)> = (0..shards).map(|s| ((s * chunk).min(n), ((s + 1) * chunk).min(n))).collect();
+
+    if shards == 1 {
+        let mut shard = Shard::new(0, n, chunk, 1, cluster, cost, program, scenario, profile);
+        shard.run_to_quiescence();
+        return assemble(program, shard.ranks);
+    }
+
+    // Parallel execution: one worker per shard, synchronized in rounds.
+    // Every outbound arrival is flushed before the first barrier, so after
+    // it each shard sees its complete inbox for the round; activity flags
+    // are published before the second barrier, so after it every shard
+    // reads a consistent global quiescence verdict.  A shard's messages
+    // happen-before its barrier entry, which makes the empty-flags check a
+    // sound termination (or deadlock) detector.
+    let inboxes: Vec<Mutex<Vec<Arrival>>> = (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+    let active: Vec<AtomicBool> = (0..shards).map(|_| AtomicBool::new(false)).collect();
+    let barrier = Barrier::new(shards);
+    let mut results: Vec<(usize, Vec<DfRank>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (s, &(lo, hi)) in bounds.iter().enumerate() {
+            let (inboxes, active, barrier) = (&inboxes, &active, &barrier);
+            handles.push(scope.spawn(move || {
+                let mut shard = Shard::new(lo, hi, chunk, shards, cluster, cost, program, scenario, profile);
+                loop {
+                    shard.run_to_quiescence();
+                    for (t, out) in shard.outbox.iter_mut().enumerate() {
+                        if !out.is_empty() {
+                            inboxes[t].lock().expect("inbox poisoned").append(out);
+                        }
+                    }
+                    barrier.wait();
+                    let incoming = std::mem::take(&mut *inboxes[s].lock().expect("inbox poisoned"));
+                    for a in incoming {
+                        shard.apply_arrival(a);
+                    }
+                    // The barriers provide the happens-before edges; the
+                    // flags only need atomicity.
+                    active[s].store(!shard.worklist.is_empty(), Ordering::Relaxed);
+                    barrier.wait();
+                    if active.iter().all(|f| !f.load(Ordering::Relaxed)) {
+                        break;
+                    }
+                }
+                (lo, shard.ranks)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+    });
+    results.sort_by_key(|&(lo, _)| lo);
+    assemble(program, results.into_iter().flat_map(|(_, ranks)| ranks).collect())
+}
+
+/// Final bookkeeping: flush arrivals nobody waited for (the strict engine
+/// still counts their `NotifyVisible` events), detect deadlock, and build
+/// the report.
+fn assemble(program: &Program, mut ranks: Vec<DfRank>) -> Result<RunReport, SimError> {
+    let mut blocked = Vec::new();
+    for (rank, r) in ranks.iter_mut().enumerate() {
+        while let Some((_, id)) = r.fifo.pop_front() {
+            note_arrival(r, id);
+        }
+        if !r.done {
+            let what = match &program.ranks[rank].ops[r.pc] {
+                Op::WaitNotify { ids } => format!("waiting for {} of notifications {ids:?}", ids.len()),
+                Op::WaitNotifyAny { ids, count } => format!("waiting for {count} of notifications {ids:?}"),
+                other => format!("stuck at {other:?}"),
+            };
+            blocked.push((rank, r.pc, what));
+        }
+    }
+    if !blocked.is_empty() {
+        return Err(SimError::Deadlock { blocked });
+    }
+    Ok(RunReport { ranks: ranks.into_iter().map(|r| r.stats).collect(), links: Vec::new(), trace: Vec::new() })
+}

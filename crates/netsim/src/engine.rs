@@ -32,10 +32,12 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
+use crate::calendar::{CalendarQueue, Timed};
 use crate::cluster::{ClusterSpec, RankId};
 use crate::cost::{CostModel, Protocol};
+use crate::dataflow;
 use crate::fabric::{Fabric, FlowId};
-use crate::program::{NotifyId, Op, Program, Tag};
+use crate::program::{CommProfile, NotifyId, Op, Program, Tag};
 use crate::report::{LinkStats, RankStats, RunReport};
 use crate::scenario::{Scenario, ScenarioInstance};
 use crate::topology::Topology;
@@ -98,6 +100,34 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Event-queue implementation driving the strict discrete-event path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Bucketed calendar queue — O(1) amortized enqueue/dequeue with the
+    /// bucket width derived from the cost model's link latencies (the
+    /// default).  Engines with this scheduler also dispatch eligible
+    /// programs to the dataflow fast path (see the `dataflow` module docs).
+    #[default]
+    CalendarQueue,
+    /// The legacy global `BinaryHeap` scheduler.  Selecting it pins the
+    /// engine to the strict event loop (the dataflow fast path is disabled
+    /// too); retained for differential testing against the calendar queue.
+    BinaryHeap,
+}
+
+/// Maximum tolerated backwards time step at virtual time `now`.
+///
+/// Event times are f64 sums assembled along different arithmetic paths
+/// (fabric completion re-estimation in particular), so two expressions for
+/// the same instant can differ by a few ulps.  An ulp grows with magnitude:
+/// at a makespan of 1e5 s it is ~1.5e-11 — far above any absolute epsilon
+/// small enough to still catch real ordering bugs near t = 0.  The guard
+/// therefore scales with `now` (relative tolerance, floored at magnitude 1).
+#[inline]
+pub(crate) fn time_backstep_tolerance(now: f64) -> f64 {
+    1e-12 * now.abs().max(1.0)
+}
+
 /// Discrete-event simulator configured with a cluster and a cost model.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -106,12 +136,22 @@ pub struct Engine {
     tracing: bool,
     scenario: Option<Scenario>,
     network: NetworkModel,
+    scheduler: SchedulerKind,
+    shards: usize,
 }
 
 impl Engine {
     /// Create an engine for the given cluster and cost model.
     pub fn new(cluster: ClusterSpec, cost: CostModel) -> Self {
-        Self { cluster, cost, tracing: false, scenario: None, network: NetworkModel::AlphaBeta }
+        Self {
+            cluster,
+            cost,
+            tracing: false,
+            scenario: None,
+            network: NetworkModel::AlphaBeta,
+            scheduler: SchedulerKind::default(),
+            shards: 1,
+        }
     }
 
     /// Enable or disable event tracing (traces are returned in the report).
@@ -160,6 +200,37 @@ impl Engine {
         &self.network
     }
 
+    /// Select the event-queue implementation of the strict event loop (see
+    /// [`SchedulerKind`]; the calendar queue is the default).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The scheduler driving the strict event loop.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// Number of worker shards for the parallel dataflow fast path (clamped
+    /// to at least 1).  Ranks are partitioned into contiguous blocks, one
+    /// per shard; cross-shard notification arrivals travel through per-shard
+    /// inbound queues whose per-sender FIFO order makes the result
+    /// *identical for every shard count* (see the `dataflow` module docs).
+    /// Programs the fast path cannot execute (two-sided traffic, barriers,
+    /// fabric contention, tracing, multiple writers per destination, more
+    /// than one rank per node) conservatively fall back to the serial strict
+    /// event loop regardless of this setting.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// Simulate `program` and return the run report.
     pub fn run(&self, program: &Program) -> Result<RunReport, SimError> {
         validate(program, self.cluster.total_ranks()).map_err(SimError::Invalid)?;
@@ -197,7 +268,25 @@ impl Engine {
                 Some(Fabric::new(t.clone()).map_err(SimError::BadTopology)?)
             }
         };
-        let sim = Sim::new(&self.cluster, &self.cost, program, self.tracing, instance, fabric);
+        let profile = program.comm_profile();
+        // Dataflow fast path: one-sided single-writer programs on one-rank
+        // nodes have per-destination arrival streams that are FIFO in both
+        // issue order and visible time, so rank op chains can burst-execute
+        // without a global event queue — and shard across threads without
+        // changing a single output bit.  Anything else (fabric contention,
+        // two-sided matching, barriers, tracing, shared NICs, multiple
+        // writers) runs the strict event loop.
+        let eligible = self.scheduler == SchedulerKind::CalendarQueue
+            && fabric.is_none()
+            && !self.tracing
+            && self.cluster.ranks_per_node == 1
+            && profile.one_sided_only
+            && profile.single_writer;
+        if eligible {
+            return dataflow::run(&self.cluster, &self.cost, program, instance.as_ref(), &profile, self.shards);
+        }
+        let sim =
+            Sim::new(&self.cluster, &self.cost, program, self.tracing, instance, fabric, &profile, self.scheduler);
         sim.run()
     }
 
@@ -247,7 +336,63 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then_with(|| self.seq.cmp(&other.seq))
+        // Time ties break by `(rank, seq)`, not by `seq` alone: the global
+        // sequence number is an *insertion* order, which is scheduling
+        // dependent as soon as events can originate from concurrent shards.
+        // The rank id is stable under any partitioning, so equal-time events
+        // of different ranks order identically no matter where they were
+        // produced; `seq` only disambiguates same-rank same-time events,
+        // whose relative insertion order is defined by the rank's own
+        // (deterministic) execution.
+        self.time.total_cmp(&other.time).then_with(|| self.rank.cmp(&other.rank)).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl Timed for Event {
+    fn time(&self) -> f64 {
+        self.time
+    }
+}
+
+/// The strict event loop's pending-event store: the legacy global binary
+/// heap or the bucketed calendar queue (see [`SchedulerKind`]).  Both yield
+/// events in the identical `(time, rank, seq)` total order.
+#[derive(Debug)]
+enum EventQueue {
+    Heap(BinaryHeap<Reverse<Event>>),
+    Calendar(CalendarQueue<Event>),
+}
+
+impl EventQueue {
+    fn new(kind: SchedulerKind, bucket_width: f64, capacity: usize) -> Self {
+        match kind {
+            SchedulerKind::BinaryHeap => EventQueue::Heap(BinaryHeap::with_capacity(capacity)),
+            SchedulerKind::CalendarQueue => EventQueue::Calendar(CalendarQueue::new(bucket_width, capacity)),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        match self {
+            EventQueue::Heap(h) => h.push(Reverse(ev)),
+            EventQueue::Calendar(c) => c.push(ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Heap(h) => h.pop().map(|Reverse(ev)| ev),
+            EventQueue::Calendar(c) => c.pop(),
+        }
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<&Event> {
+        match self {
+            EventQueue::Heap(h) => h.peek().map(|Reverse(ev)| ev),
+            EventQueue::Calendar(c) => c.peek(),
+        }
     }
 }
 
@@ -371,35 +516,6 @@ impl RankSim<'_> {
     }
 }
 
-/// Per-rank static program facts gathered in one prescan: the bound on the
-/// notification ids that can be waited on or arrive (waits bound the waiting
-/// rank, puts/notifies bound the *target* rank), and whether the rank ever
-/// executes [`Op::WaitAllSends`].  Ranks that never wait for send completion
-/// do not need per-put `TxDone` events, which removes a third of the event
-/// traffic of put-only programs.
-fn prescan(program: &Program) -> (Vec<usize>, Vec<bool>) {
-    let n = program.num_ranks();
-    let mut bounds = vec![0usize; n];
-    let mut waits_sends = vec![false; n];
-    for (rank, rp) in program.ranks.iter().enumerate() {
-        for op in &rp.ops {
-            match op {
-                Op::PutNotify { dst, notify, .. } | Op::Notify { dst, notify } => {
-                    bounds[*dst] = bounds[*dst].max(*notify as usize + 1);
-                }
-                Op::WaitNotify { ids } | Op::WaitNotifyAny { ids, .. } => {
-                    for &id in ids {
-                        bounds[rank] = bounds[rank].max(id as usize + 1);
-                    }
-                }
-                Op::WaitAllSends => waits_sends[rank] = true,
-                _ => {}
-            }
-        }
-    }
-    (bounds, waits_sends)
-}
-
 struct Sim<'a> {
     cluster: &'a ClusterSpec,
     cost: &'a CostModel,
@@ -409,11 +525,11 @@ struct Sim<'a> {
     now: f64,
     seq: u64,
     next_msg: MsgId,
-    events: BinaryHeap<Reverse<Event>>,
+    events: EventQueue,
     ranks: Vec<RankSim<'a>>,
     /// Ranks that execute `WaitAllSends` and therefore need `TxDone` events
-    /// for their one-sided puts.
-    tracks_put_tx: Vec<bool>,
+    /// for their one-sided puts (borrowed from the caller's [`CommProfile`]).
+    tracks_put_tx: &'a [bool],
     node_tx_free: Vec<f64>,
     node_rx_free: Vec<f64>,
     barrier_arrived: Vec<Option<f64>>,
@@ -432,6 +548,7 @@ struct Sim<'a> {
 }
 
 impl<'a> Sim<'a> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         cluster: &'a ClusterSpec,
         cost: &'a CostModel,
@@ -439,13 +556,14 @@ impl<'a> Sim<'a> {
         tracing: bool,
         scenario: Option<ScenarioInstance>,
         fabric: Option<Fabric>,
+        profile: &'a CommProfile,
+        scheduler: SchedulerKind,
     ) -> Self {
         let n = program.num_ranks();
-        let (bounds, tracks_put_tx) = prescan(program);
         let ranks = (0..n)
             .map(|r| {
                 let scale = scenario.as_ref().map_or(1.0, |s| s.compute_scale(cluster.node_of(r)));
-                RankSim::new(bounds[r], scale)
+                RankSim::new(profile.notify_bounds[r], scale)
             })
             .collect();
         Self {
@@ -459,10 +577,13 @@ impl<'a> Sim<'a> {
             next_msg: 0,
             // Pooled event storage: pre-size the queue so the steady state
             // never reallocates (peak occupancy is bounded by the number of
-            // ranks plus in-flight transfers).
-            events: BinaryHeap::with_capacity(4 * n + 64),
+            // ranks plus in-flight transfers).  The calendar bucket width is
+            // the smallest link latency — the natural spacing between a
+            // transfer's injection and its delivery, so a bucket holds about
+            // one wave of events.
+            events: EventQueue::new(scheduler, cost.alpha_intra.min(cost.alpha_inter), 4 * n + 64),
             ranks,
-            tracks_put_tx,
+            tracks_put_tx: &profile.waits_sends,
             node_tx_free: vec![0.0; cluster.nodes],
             node_rx_free: vec![0.0; cluster.nodes],
             barrier_arrived: vec![None; n],
@@ -478,7 +599,7 @@ impl<'a> Sim<'a> {
     fn push_event(&mut self, time: f64, rank: RankId, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, rank, kind }));
+        self.events.push(Event { time, seq, rank, kind });
     }
 
     fn trace_event(&mut self, time: f64, rank: RankId, kind: TraceKind, op_index: Option<usize>, detail: String) {
@@ -491,8 +612,16 @@ impl<'a> Sim<'a> {
         for r in 0..self.program.num_ranks() {
             self.push_event(0.0, r, EventKind::Resume);
         }
-        while let Some(Reverse(ev)) = self.events.pop() {
-            debug_assert!(ev.time + 1e-15 >= self.now, "time must not run backwards");
+        while let Some(ev) = self.events.pop() {
+            // Relative tolerance: an absolute epsilon (1e-15 historically)
+            // is below one ulp once the makespan passes ~5 ms, so legitimate
+            // rounding ties tripped the guard on long runs.
+            debug_assert!(
+                ev.time + time_backstep_tolerance(self.now) >= self.now,
+                "time must not run backwards: event at {} behind clock {}",
+                ev.time,
+                self.now
+            );
             self.now = self.now.max(ev.time);
             match ev.kind {
                 EventKind::Resume => self.step_rank(ev.rank, ev.time),
@@ -543,8 +672,11 @@ impl<'a> Sim<'a> {
         debug_assert!(r.blocked.is_some());
         r.stats.wait_time += (at - r.blocked_since).max(0.0);
         r.blocked = None;
+        // Hoist the op index *before* mutating the pc: BlockEnd must pair
+        // with the BlockStart that `block()` emitted for the same op.
+        let op_index = r.pc;
         r.pc += 1;
-        self.trace_event(at, rank, TraceKind::BlockEnd, Some(self.ranks[rank].pc.saturating_sub(1)), String::new());
+        self.trace_event(at, rank, TraceKind::BlockEnd, Some(op_index), String::new());
         self.push_event(at, rank, EventKind::Resume);
     }
 
@@ -803,7 +935,7 @@ impl<'a> Sim<'a> {
         debug_assert!(launched, "a FlowLaunch event always finds a due transfer at the queue head");
         let next_is_same_time_launch = matches!(
             self.events.peek(),
-            Some(Reverse(ev)) if ev.time == t && ev.kind == EventKind::FlowLaunch
+            Some(ev) if ev.time == t && ev.kind == EventKind::FlowLaunch
         );
         if !next_is_same_time_launch {
             self.resolve_fabric(t);
@@ -1637,5 +1769,274 @@ mod tests {
         let e = engine(4, 1).with_topology(Topology::contention_free(8));
         let err = e.run(&incast_program(4, 0, 1024)).unwrap_err();
         assert!(matches!(err, SimError::BadTopology(_)));
+    }
+
+    // -- scheduler, dataflow fast path and sharded execution ----------------
+
+    /// Shifted ring: every round, rank `r` puts to `r + 1` and waits for the
+    /// round's notification from `r - 1`.  Each destination has exactly one
+    /// writer, so the program qualifies for the dataflow fast path.
+    fn ring_rounds_program(p: usize, rounds: usize, bytes: u64) -> Program {
+        let mut b = ProgramBuilder::new(p);
+        for k in 0..rounds {
+            for r in 0..p {
+                b.reduce(r, bytes);
+                b.put_notify(r, (r + 1) % p, bytes, k as u32);
+            }
+            for r in 0..p {
+                b.wait_notify(r, &[k as u32]);
+            }
+        }
+        b.build()
+    }
+
+    /// Shifted all-to-all: rank `r` puts to every other rank (notification id
+    /// = source rank), then waits for all `p - 1` incoming notifications.
+    /// Every destination has `p - 1` writers — multi-writer, so the engine
+    /// must fall back to the strict event loop even when shards are requested.
+    fn alltoall_program(p: usize, bytes: u64) -> Program {
+        let mut b = ProgramBuilder::new(p);
+        for r in 0..p {
+            for shift in 1..p {
+                b.put_notify(r, (r + shift) % p, bytes, r as u32);
+            }
+        }
+        for r in 0..p {
+            let ids: Vec<u32> = (0..p as u32).filter(|&i| i != r as u32).collect();
+            b.wait_notify(r, &ids);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn dataflow_fast_path_matches_the_strict_engine() {
+        let p = ring_rounds_program(16, 5, 4096);
+        let fast = engine(16, 1).run(&p).unwrap();
+        let strict = engine(16, 1).with_scheduler(SchedulerKind::BinaryHeap).run(&p).unwrap();
+        assert_eq!(fast.ranks, strict.ranks, "burst execution must reproduce the event loop's accounting");
+    }
+
+    #[test]
+    fn dataflow_fast_path_matches_strict_under_scenario_perturbations() {
+        let p = ring_rounds_program(8, 3, 1 << 16);
+        let s = Scenario::new(13).with_compute_jitter(0.3).with_link_jitter(0.2, 0.2).with_stragglers(0.25, 3.0);
+        let fast = engine(8, 1).with_scenario(s.clone()).run(&p).unwrap();
+        let strict = engine(8, 1).with_scenario(s).with_scheduler(SchedulerKind::BinaryHeap).run(&p).unwrap();
+        assert_eq!(fast.ranks, strict.ranks);
+        assert!(fast.max_compute_scale() > 1.0, "the straggler scenario must actually perturb the run");
+    }
+
+    #[test]
+    fn sharded_dataflow_is_bit_identical_across_shard_counts() {
+        let p = ring_rounds_program(64, 4, 2048);
+        let baseline = engine(64, 1).with_shards(1).run(&p).unwrap();
+        for shards in [2usize, 3, 8, 64] {
+            let r = engine(64, 1).with_shards(shards).run(&p).unwrap();
+            assert_eq!(
+                r.fingerprint(),
+                baseline.fingerprint(),
+                "shards={shards} must reproduce the serial fingerprint"
+            );
+            assert_eq!(r.ranks, baseline.ranks);
+        }
+    }
+
+    #[test]
+    fn strict_fallback_is_bit_identical_across_shard_counts_on_alltoall() {
+        // Satellite: p = 256 all-to-all is multi-writer, so every shard count
+        // takes the strict event loop; the tie-break key (time, rank, seq)
+        // makes the replay byte-identical regardless of the requested shards.
+        let p = alltoall_program(256, 256);
+        let baseline = engine(256, 1).with_shards(1).run(&p).unwrap();
+        for shards in [2usize, 8] {
+            let r = engine(256, 1).with_shards(shards).run(&p).unwrap();
+            assert_eq!(r.fingerprint(), baseline.fingerprint(), "shards={shards}");
+        }
+        assert_eq!(baseline.total_notifications_consumed(), 256 * 255);
+    }
+
+    #[test]
+    fn sharded_alltoall_matches_both_schedulers() {
+        let p = alltoall_program(32, 512);
+        let cal = engine(32, 1).run(&p).unwrap();
+        let heap = engine(32, 1).with_scheduler(SchedulerKind::BinaryHeap).run(&p).unwrap();
+        assert_eq!(cal, heap, "calendar queue and binary heap must order events identically");
+    }
+
+    #[test]
+    fn calendar_and_heap_agree_on_two_sided_barrier_fabric_programs() {
+        let cost = CostModel::test_model();
+        let nic = 1.0 / cost.beta_inter;
+        let mut b = ProgramBuilder::new(4);
+        b.send(0, 1, 4 << 20, 1); // rendezvous
+        b.recv(1, 0, 4 << 20, 1);
+        b.send(2, 3, 256, 2); // eager
+        b.recv(3, 2, 256, 2);
+        b.barrier_all();
+        b.put_notify(0, 3, 1 << 18, 9);
+        b.wait_notify(3, &[9]);
+        let p = b.build();
+        let mk =
+            |s: SchedulerKind| fabric_engine(4, 1, Topology::single_switch(4, nic)).with_scheduler(s).run(&p).unwrap();
+        let cal = mk(SchedulerKind::CalendarQueue);
+        let heap = mk(SchedulerKind::BinaryHeap);
+        assert_eq!(cal, heap);
+        assert!(!cal.links.is_empty());
+    }
+
+    #[test]
+    fn wait_any_partial_consumption_is_shard_invariant() {
+        // WaitNotifyAny with count < ids.len() is the consume-order-sensitive
+        // case: which ids survive for the later wait depends on how arrivals
+        // interleave with the wait.  The dataflow wait protocol partitions
+        // arrivals by *virtual* time, so every shard count — and the strict
+        // engine — must agree on the consumed-id multiset.
+        // Incremental case: rank 1 parks *before* any arrival, so each
+        // arrival is checked one at a time.  The any-wait must consume only
+        // id 0 (first available in listed order), leaving 1 and 2 for the
+        // later waits.
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 1, 4096, 0);
+        b.compute(0, 5e-6);
+        b.put_notify(0, 1, 4096, 1);
+        b.compute(0, 5e-6);
+        b.put_notify(0, 1, 2048, 2);
+        b.wait_notify_any(1, &[2, 0, 1], 1);
+        b.wait_notify(1, &[1]);
+        b.wait_notify(1, &[2]);
+        let incremental = b.build();
+        // Batched case: rank 1 blocks *after* every arrival has landed, so
+        // the whole backlog is applied before one consume check, which must
+        // take ids 2 and 0 (listed order) and leave 1.
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 1, 4096, 0);
+        b.compute(0, 5e-6);
+        b.put_notify(0, 1, 4096, 1);
+        b.compute(0, 5e-6);
+        b.put_notify(0, 1, 2048, 2);
+        b.compute(1, 500e-6);
+        b.wait_notify_any(1, &[2, 0, 1], 2);
+        b.wait_notify(1, &[1]);
+        let batched = b.build();
+        for p in [&incremental, &batched] {
+            let strict = engine(2, 1).with_scheduler(SchedulerKind::BinaryHeap).run(p).unwrap();
+            assert_eq!(strict.ranks[1].notifications_consumed, 3);
+            for shards in [1usize, 2] {
+                let r = engine(2, 1).with_shards(shards).run(p).unwrap();
+                assert_eq!(r.ranks, strict.ranks, "shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_dataflow_reports_deadlock() {
+        let mut b = ProgramBuilder::new(8);
+        b.put_notify(0, 1, 64, 0);
+        b.wait_notify(1, &[0]);
+        b.wait_notify(5, &[3]); // nobody ever notifies id 3
+        let err = engine(8, 1).with_shards(4).run(&b.build()).unwrap_err();
+        match err {
+            SimError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].0, 5);
+                assert!(blocked[0].2.contains("notifications [3]"), "got: {}", blocked[0].2);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_count_beyond_rank_count_is_clamped() {
+        let p = ring_rounds_program(4, 2, 1024);
+        let a = engine(4, 1).with_shards(1).run(&p).unwrap();
+        let b = engine(4, 1).with_shards(64).run(&p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tracing_disables_the_dataflow_path_but_keeps_timings() {
+        let p = ring_rounds_program(8, 2, 4096);
+        let fast = engine(8, 1).run(&p).unwrap();
+        let traced = engine(8, 1).with_trace(true).run(&p).unwrap();
+        assert!(!traced.trace.is_empty());
+        assert_eq!(fast.ranks, traced.ranks, "tracing must not change the timings");
+    }
+
+    #[test]
+    fn block_trace_events_pair_on_the_same_op_index() {
+        // Satellite: BlockEnd must carry the op index of the *blocking* op
+        // (the one BlockStart was emitted for), not whatever the program
+        // counter points at after the unblock bumped it.
+        let e = engine(2, 1).with_trace(true);
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 1, 128, 0);
+        b.send(0, 1, 4096, 1); // rendezvous: blocks until the recv below
+        b.compute(1, 25e-6);
+        b.wait_notify(1, &[0]);
+        b.recv(1, 0, 4096, 1);
+        b.barrier_all();
+        let r = e.run(&b.build()).unwrap();
+        let mut open: Vec<(RankId, usize)> = Vec::new();
+        let mut pairs = 0usize;
+        for ev in &r.trace {
+            match ev.kind {
+                TraceKind::BlockStart => {
+                    open.push((ev.rank, ev.op_index.expect("BlockStart carries an op index")));
+                }
+                TraceKind::BlockEnd => {
+                    let key = (ev.rank, ev.op_index.expect("BlockEnd carries an op index"));
+                    let pos = open
+                        .iter()
+                        .rposition(|k| *k == key)
+                        .unwrap_or_else(|| panic!("BlockEnd for {key:?} without a matching BlockStart"));
+                    open.remove(pos);
+                    pairs += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "unmatched BlockStart events: {open:?}");
+        assert!(pairs >= 3, "expected blocking waits on both ranks, saw {pairs} pairs");
+    }
+
+    // -- time-ordering tolerance (monotonicity guard) -----------------------
+
+    #[test]
+    fn backstep_tolerance_scales_with_the_clock() {
+        // One f64 ulp near `now` is about `now * EPSILON`.  At a makespan of
+        // 1e5 s that is ~1.5e-11 — far beyond the old absolute 1e-15 guard,
+        // which made the debug assertion a time bomb for long simulations.
+        for now in [1.0f64, 1e3, 1e5, 1e8] {
+            let ulp = now * f64::EPSILON;
+            assert!(ulp > 1e-15 || now <= 1.0, "the old absolute epsilon under-covers now={now}");
+            assert!(time_backstep_tolerance(now) > ulp, "relative tolerance must absorb one rounding ulp at now={now}");
+        }
+        // Near zero the tolerance bottoms out at 1e-12, never at 0.
+        assert!(time_backstep_tolerance(0.0) >= 1e-12);
+        assert!(time_backstep_tolerance(-5.0) > 0.0);
+    }
+
+    #[test]
+    fn large_makespan_fabric_program_completes() {
+        // Regression for the monotonicity guard: push the virtual clock to
+        // ~2.5e5 s with compute, then run a jittered incast through the
+        // fabric.  Flow-completion roundtrips at this magnitude produce
+        // rounding backsteps far above 1e-15; the relative tolerance must
+        // absorb them (the old absolute guard tripped in debug builds).
+        let cost = CostModel::test_model();
+        let nic = 1.0 / cost.beta_inter;
+        let e = fabric_engine(8, 1, Topology::fat_tree(8, 4, 2.0, nic))
+            .with_scenario(Scenario::new(3).with_link_jitter(0.2, 0.2));
+        let mut b = ProgramBuilder::new(8);
+        for r in 0..8 {
+            b.compute(r, 2.5e5);
+        }
+        for r in 1..8usize {
+            b.put_notify(r, 0, 1 << 18, r as u32);
+        }
+        b.wait_notify(0, &(1..8).collect::<Vec<u32>>());
+        let r = e.run(&b.build()).unwrap();
+        assert!(r.makespan() > 2.5e5);
+        assert_eq!(r.ranks[0].notifications_consumed, 7);
     }
 }

@@ -260,7 +260,15 @@ impl Fabric {
     /// `now`; time never runs backwards.
     pub fn advance_to(&mut self, now: f64) {
         let dt = now - self.now;
-        debug_assert!(dt > -1e-12, "fabric time must not run backwards");
+        // Relative tolerance: completion estimates are re-derived along
+        // different float paths between epochs, so at large makespans a
+        // legitimate tie can sit several ulps below `now` — far outside any
+        // absolute epsilon (an ulp of 1e6 s is ~1.2e-10).
+        debug_assert!(
+            dt >= -crate::engine::time_backstep_tolerance(self.now),
+            "fabric time must not run backwards: advance to {now} behind clock {}",
+            self.now
+        );
         if dt <= 0.0 {
             return;
         }
@@ -292,7 +300,13 @@ impl Fabric {
         while i < self.active.len() {
             let id = self.active[i];
             let f = &self.flows[id];
-            if f.remaining <= COMPLETE_EPS_BYTES.max(f.total * COMPLETE_EPS_RELATIVE) {
+            // Besides the absolute/relative byte epsilons, accept any residual
+            // whose drain time is below the clock's time resolution: at a
+            // large `now`, `now + remaining/rate` can round to exactly `now`,
+            // so `advance_to` (dt = 0) could never drain it and the tick loop
+            // would re-estimate the same completion forever.
+            let unresolvable = f.rate * crate::engine::time_backstep_tolerance(now);
+            if f.remaining <= COMPLETE_EPS_BYTES.max(f.total * COMPLETE_EPS_RELATIVE).max(unresolvable) {
                 self.remove_active(id);
                 out.push(id);
                 self.just_completed.push((id, false));
@@ -497,6 +511,20 @@ mod tests {
         assert_eq!(done, vec![id]);
         assert_eq!(f.active_flows(), 0);
         assert_eq!(f.resolve(next), None);
+    }
+
+    #[test]
+    fn advance_tolerates_rounding_backsteps_at_large_makespans() {
+        // Regression for the monotonicity guard: with the clock at 1e6 s,
+        // one f64 ulp is ~1.2e-10 — far larger than the old absolute 1e-12
+        // epsilon, so a flow-completion time that rounded down by a few ulps
+        // tripped the debug assertion.  The relative tolerance must absorb it.
+        let mut f = single_switch(4);
+        let id = f.add_flow(1e6, 0, 1, 1e6);
+        f.resolve(1e6);
+        let backstep = 4.0 * 1e6 * f64::EPSILON; // ~9e-10, rejected by the old guard
+        f.advance_to(1e6 - backstep);
+        assert!(f.rate(id) > 0.0);
     }
 
     #[test]

@@ -53,8 +53,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod calendar;
 pub mod cluster;
 pub mod cost;
+mod dataflow;
 pub mod engine;
 pub mod fabric;
 pub mod presets;
@@ -68,10 +70,10 @@ pub mod validate;
 
 pub use cluster::{ClusterSpec, NodeId, RankId};
 pub use cost::{CostModel, Protocol};
-pub use engine::{Engine, NetworkModel, SimError};
+pub use engine::{Engine, NetworkModel, SchedulerKind, SimError};
 pub use fabric::{Fabric, FlowId, LinkUsage};
 pub use presets::ClusterPreset;
-pub use program::{NotifyId, Op, Program, ProgramBuilder, RankProgram, Tag};
+pub use program::{CommProfile, NotifyId, Op, Program, ProgramBuilder, RankProgram, Tag};
 pub use report::{LinkStats, RankStats, RunReport};
 pub use routing::RoutingTable;
 pub use scenario::{Scenario, ScenarioInstance, SplitMix64};

@@ -196,6 +196,71 @@ impl Program {
         }
         bound
     }
+
+    /// One-pass static communication profile of the program (see
+    /// [`CommProfile`]).  The engine uses it to size its dense per-rank
+    /// notification counters, to skip `TxDone` bookkeeping for ranks that
+    /// never wait on send completion, and to decide whether the program is
+    /// eligible for the sharded dataflow fast path.
+    pub fn comm_profile(&self) -> CommProfile {
+        let n = self.num_ranks();
+        let mut profile = CommProfile {
+            notify_bounds: vec![0usize; n],
+            waits_sends: vec![false; n],
+            single_writer: true,
+            one_sided_only: true,
+        };
+        // First distinct put/notify source observed per destination rank.
+        let mut writer_of: Vec<Option<RankId>> = vec![None; n];
+        for (rank, rp) in self.ranks.iter().enumerate() {
+            for op in &rp.ops {
+                match op {
+                    Op::PutNotify { dst, notify, .. } | Op::Notify { dst, notify } => {
+                        profile.notify_bounds[*dst] = profile.notify_bounds[*dst].max(*notify as usize + 1);
+                        match writer_of[*dst] {
+                            None => writer_of[*dst] = Some(rank),
+                            Some(w) if w == rank => {}
+                            Some(_) => profile.single_writer = false,
+                        }
+                    }
+                    Op::WaitNotify { ids } | Op::WaitNotifyAny { ids, .. } => {
+                        for &id in ids {
+                            profile.notify_bounds[rank] = profile.notify_bounds[rank].max(id as usize + 1);
+                        }
+                    }
+                    Op::WaitAllSends => profile.waits_sends[rank] = true,
+                    Op::Send { .. } | Op::Isend { .. } | Op::Recv { .. } | Op::Barrier => {
+                        profile.one_sided_only = false;
+                    }
+                    Op::Compute { .. } | Op::Reduce { .. } | Op::Copy { .. } => {}
+                }
+            }
+        }
+        profile
+    }
+}
+
+/// Static per-program communication facts gathered by
+/// [`Program::comm_profile`] in one prescan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommProfile {
+    /// Per-rank exclusive bound on the notification ids that can be waited on
+    /// or arrive (waits bound the waiting rank; puts/notifies bound the
+    /// *target* rank).  Sizes the engine's dense notification counters.
+    pub notify_bounds: Vec<usize>,
+    /// Whether each rank ever executes [`Op::WaitAllSends`].  Ranks that
+    /// never wait for send completion do not need per-put `TxDone`
+    /// bookkeeping, which removes a third of the event traffic of put-only
+    /// programs.
+    pub waits_sends: Vec<bool>,
+    /// Every destination rank receives puts/notifies from at most one source
+    /// rank.  Single-writer programs have per-destination arrival streams
+    /// that are FIFO in both issue order and visible time, which is what the
+    /// dataflow fast path's determinism argument rests on.
+    pub single_writer: bool,
+    /// The program uses only one-sided operations and local work (no
+    /// two-sided sends/receives, no barriers).
+    pub one_sided_only: bool,
 }
 
 /// Convenience builder used by the collective schedule generators.

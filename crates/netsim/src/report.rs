@@ -174,6 +174,47 @@ impl RunReport {
     pub fn congested_links(&self) -> usize {
         self.links.iter().filter(|l| l.saturated_time > 0.0).count()
     }
+
+    /// Order-sensitive 64-bit digest of every per-rank and per-link
+    /// statistic (floats hashed by exact bit pattern).  Two reports have the
+    /// same fingerprint iff their accounting is byte-identical, which is the
+    /// property the determinism tests and the CI smoke jobs assert across
+    /// scheduler implementations and shard counts.  The trace is excluded:
+    /// it is empty unless tracing was explicitly enabled.
+    pub fn fingerprint(&self) -> u64 {
+        // SplitMix64 absorption: mix(acc ^ word) per field.
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut acc = mix(self.ranks.len() as u64 ^ ((self.links.len() as u64) << 32));
+        for r in &self.ranks {
+            for f in [r.finish_time, r.wait_time, r.compute_time, r.compute_scale] {
+                acc = mix(acc ^ f.to_bits());
+            }
+            for u in [
+                r.bytes_sent,
+                r.bytes_received,
+                r.messages_sent,
+                r.messages_received,
+                r.notifications_received,
+                r.notifications_consumed,
+            ] {
+                acc = mix(acc ^ u);
+            }
+        }
+        for l in &self.links {
+            for b in l.label.as_bytes() {
+                acc = mix(acc ^ u64::from(*b));
+            }
+            for f in [l.capacity, l.bytes, l.busy_time, l.saturated_time] {
+                acc = mix(acc ^ f.to_bits());
+            }
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +283,38 @@ mod tests {
         assert!((r.max_link_congestion_time() - 0.5).abs() < 1e-12);
         assert_eq!(r.congested_links(), 1);
         assert_eq!(r.links[1].utilization(0.0), 0.0, "degenerate duration is guarded");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let mut a = report_with_finish_times(&[1.0, 2.0]);
+        a.links =
+            vec![LinkStats { label: "n0->sw".into(), capacity: 1e9, bytes: 1e6, busy_time: 0.1, saturated_time: 0.0 }];
+        let b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal reports hash equal");
+
+        // Any single-field perturbation — float or counter, rank or link —
+        // must change the digest.
+        let mut c = a.clone();
+        c.ranks[1].finish_time += 1e-12;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = a.clone();
+        d.ranks[0].notifications_consumed = 1;
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let mut e = a.clone();
+        e.links[0].saturated_time = 0.5;
+        assert_ne!(a.fingerprint(), e.fingerprint());
+
+        // Swapping rank order changes the digest: it is order-sensitive,
+        // which is exactly what cross-shard determinism checks need.
+        let mut f = a.clone();
+        f.ranks.swap(0, 1);
+        assert_ne!(a.fingerprint(), f.fingerprint());
+
+        // The trace is excluded by design.
+        let mut g = a.clone();
+        g.trace.push(crate::trace::TraceEvent::new(0.0, 0, crate::trace::TraceKind::OpStart, Some(0), "x"));
+        assert_eq!(a.fingerprint(), g.fingerprint());
     }
 
     #[test]

@@ -245,6 +245,37 @@ mod tests {
     }
 
     #[test]
+    fn per_shard_engine_metrics_are_gated() {
+        // The engine baseline now records one throughput row per shard
+        // count; each row is an independent gated metric, so a regression in
+        // (say) the 4-shard path fails the gate even when the serial path
+        // improved — and dropping a shard row altogether is also a failure.
+        let base = r#"{
+  "simulated_ops_per_sec": 38000000,
+  "simulated_ops_per_sec_shards_2": 18000000,
+  "simulated_ops_per_sec_shards_4": 17000000,
+  "simulated_ops_per_sec_shards_8": 16000000,
+  "legacy_heap_ops_per_sec": 3300000
+}"#;
+        let regressed_shard =
+            base.replace("\"simulated_ops_per_sec_shards_4\": 17000000", "\"simulated_ops_per_sec_shards_4\": 9000000");
+        let (report, ok) = gate(base, &regressed_shard, 0.15);
+        assert!(!ok, "{report}");
+        assert!(report.contains("simulated_ops_per_sec_shards_4"));
+
+        let dropped_row = base.replace(
+            "\"simulated_ops_per_sec_shards_8\": 16000000",
+            "\"simulated_ops_per_sec_shards_8_renamed\": 16000000",
+        );
+        let (report, ok) = gate(base, &dropped_row, 0.15);
+        assert!(!ok, "{report}");
+        assert!(report.contains("missing"));
+
+        let (_, ok) = gate(base, base, 0.15);
+        assert!(ok, "identical per-shard rows pass");
+    }
+
+    #[test]
     fn empty_baseline_is_rejected() {
         let (report, ok) = gate(r#"{"bench": "x"}"#, r#"{"bench": "x"}"#, 0.15);
         assert!(!ok);

@@ -40,6 +40,7 @@ pub use schedule::allreduce::MpiAllreduceVariant;
 pub use schedule::alltoall::mpi_alltoall_pairwise_schedule;
 pub use schedule::bcast::{mpi_bcast_binomial_schedule, mpi_bcast_default_schedule};
 pub use schedule::reduce::{mpi_reduce_binomial_schedule, mpi_reduce_default_schedule};
+pub use schedule::source::{BinomialBcastSource, PairwiseAlltoallSource};
 pub use twosided::{RecordingTwoSided, ThreadedTwoSided, TwoSided};
 pub use variants::{
     allreduce_rabenseifner, allreduce_reduce_scatter_allgather, alltoall_bruck, bcast_pipelined_binomial,

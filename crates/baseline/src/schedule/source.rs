@@ -1,0 +1,128 @@
+//! Symbolic SPMD twins of the baseline MPI schedules.
+//!
+//! Like their GASPI counterparts in `ec_collectives::schedule::source`, these
+//! implement [`ec_netsim::ProgramSource`] so the per-rank op streams are
+//! produced lazily in closed form — `O(ops_per_rank)` instead of the
+//! `O(P * ops_per_rank)` the materialized generators pay — and the arena
+//! interning of `ec_netsim::CompiledProgram::from_source` collapses identical
+//! rank streams into shared storage.
+
+use ec_netsim::{Op, ProgramSource};
+
+use super::trees::binomial;
+
+/// Lazy per-rank generator of the binomial-tree `MPI_Bcast` — the symbolic
+/// twin of [`super::bcast::mpi_bcast_binomial_schedule`].
+#[derive(Debug, Clone, Copy)]
+pub struct BinomialBcastSource {
+    ranks: usize,
+    total_bytes: u64,
+}
+
+impl BinomialBcastSource {
+    /// A binomial broadcast of `total_bytes` from rank 0 across `ranks`.
+    pub fn new(ranks: usize, total_bytes: u64) -> Self {
+        Self { ranks, total_bytes }
+    }
+}
+
+impl ProgramSource for BinomialBcastSource {
+    fn num_ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn rank_ops(&self, rank: usize, out: &mut Vec<Op>) {
+        if self.ranks <= 1 {
+            return;
+        }
+        let (parent, children) = binomial(rank, self.ranks);
+        if let Some(parent) = parent {
+            out.push(Op::Recv { src: parent, bytes: self.total_bytes, tag: 0 });
+        }
+        for child in children {
+            out.push(Op::Send { dst: child, bytes: self.total_bytes, tag: 0 });
+        }
+    }
+}
+
+/// Lazy per-rank generator of the pairwise-exchange `MPI_Alltoall` — the
+/// symbolic twin of [`super::alltoall::mpi_alltoall_pairwise_schedule`].
+#[derive(Debug, Clone, Copy)]
+pub struct PairwiseAlltoallSource {
+    ranks: usize,
+    block_bytes: u64,
+}
+
+impl PairwiseAlltoallSource {
+    /// A pairwise alltoall of `block_bytes` per rank pair across `ranks`.
+    pub fn new(ranks: usize, block_bytes: u64) -> Self {
+        Self { ranks, block_bytes }
+    }
+}
+
+impl ProgramSource for PairwiseAlltoallSource {
+    fn num_ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn rank_ops(&self, rank: usize, out: &mut Vec<Op>) {
+        if self.ranks <= 1 {
+            return;
+        }
+        for step in 1..self.ranks {
+            let dst = (rank + step) % self.ranks;
+            let src = (rank + self.ranks - step) % self.ranks;
+            let tag = step as u32;
+            out.push(Op::Isend { dst, bytes: self.block_bytes, tag });
+            out.push(Op::Recv { src, bytes: self.block_bytes, tag });
+        }
+        out.push(Op::WaitAllSends);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::alltoall::mpi_alltoall_pairwise_schedule;
+    use crate::schedule::bcast::mpi_bcast_binomial_schedule;
+    use ec_netsim::CompiledProgram;
+
+    fn ops_of<S: ProgramSource>(source: &S, rank: usize) -> Vec<Op> {
+        let mut out = Vec::new();
+        source.rank_ops(rank, &mut out);
+        out
+    }
+
+    #[test]
+    fn bcast_source_matches_the_materialized_schedule_rank_for_rank() {
+        for (p, bytes) in [(1usize, 100u64), (2, 4096), (8, 80_000), (13, 999)] {
+            let program = mpi_bcast_binomial_schedule(p, bytes);
+            let source = BinomialBcastSource::new(p, bytes);
+            assert_eq!(source.num_ranks(), p);
+            for rank in 0..p {
+                assert_eq!(ops_of(&source, rank), program.ranks[rank].ops, "p={p} bytes={bytes} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_source_matches_the_materialized_schedule_rank_for_rank() {
+        for (p, block) in [(1usize, 100u64), (2, 4096), (16, 8192), (7, 1024)] {
+            let program = mpi_alltoall_pairwise_schedule(p, block);
+            let source = PairwiseAlltoallSource::new(p, block);
+            for rank in 0..p {
+                assert_eq!(ops_of(&source, rank), program.ranks[rank].ops, "p={p} block={block} rank={rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_source_compiles_with_full_interning() {
+        // Every rank of the pairwise exchange runs the same stream modulo
+        // rank rotation, which the delta coding normalizes away completely.
+        let p = 256;
+        let compiled = CompiledProgram::from_source(&PairwiseAlltoallSource::new(p, 4096)).unwrap();
+        let per_rank = (compiled.total_ops() / p as u64) as usize;
+        assert_eq!(compiled.memory_stats().stored_ops, per_rank, "all ranks must share one arena segment");
+    }
+}

@@ -18,6 +18,7 @@
 use std::time::Duration;
 
 use ec_bench::{env_f64, env_usize};
+use ec_collectives::schedule::hypercube_allreduce_schedule;
 use ec_gaspi::{GaspiConfig, Job, NetworkProfile};
 use ec_mlapp::{DatasetConfig, RatingsDataset, SgdConfig, Trainer, TrainerConfig};
 
@@ -84,6 +85,10 @@ fn main() {
         "# {ranks} workers, {iterations} iterations, {} users x {} items, {} ratings\n",
         dataset_cfg.num_users, dataset_cfg.num_items, dataset_cfg.num_ratings
     );
+    // The figure itself runs the threaded runtime; the footprint line uses
+    // the simulator twin of the trainer's model exchange.
+    let model_bytes = ((dataset_cfg.num_users + dataset_cfg.num_items) * dataset_cfg.true_rank * 8) as u64;
+    ec_bench::print_smoke_memory_stats(smoke, "ssp-hypercube", &hypercube_allreduce_schedule(ranks, model_bytes));
 
     let runs: Vec<SlackRun> = slacks.iter().map(|&s| run_slack(&dataset, ranks, iterations, s)).collect();
 

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use ec_baseline::{allreduce_ring as mpi_allreduce_ring, MpiWorld};
 use ec_bench::env_usize;
+use ec_collectives::schedule::hypercube_allreduce_schedule;
 use ec_collectives::{ReduceOp, RingAllreduce, SspAllreduce};
 use ec_gaspi::{GaspiConfig, Job, NetworkProfile};
 use rand::rngs::StdRng;
@@ -43,6 +44,13 @@ fn main() {
 
     println!("# Figure 7 — allreduce_ssp per-call time and wait-for-updates time");
     println!("# {ranks} ranks, {elems} doubles per contribution, {iters} iterations\n");
+    // The figure itself runs the threaded runtime; the footprint line uses
+    // the simulator twin of the SSP hypercube exchange.
+    ec_bench::print_smoke_memory_stats(
+        smoke,
+        "ssp-hypercube",
+        &hypercube_allreduce_schedule(ranks, (elems * 8) as u64),
+    );
     println!("{:>18} {:>20} {:>22} {:>20}", "variant", "mean call time [s]", "mean wait/iter [s]", "total wait [s]");
 
     let network = NetworkProfile::lan();

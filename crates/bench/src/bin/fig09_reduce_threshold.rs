@@ -38,6 +38,9 @@ fn main() {
     let small = env_usize("FIG09_SMALL_ELEMS", ec_bench::smoke_default(smoke, 10_000, 1_000));
     let large = env_usize("FIG09_LARGE_ELEMS", ec_bench::smoke_default(smoke, 1_000_000, 100_000));
 
+    let max_nodes = *node_sweep().last().expect("non-empty sweep");
+    ec_bench::print_smoke_memory_stats(smoke, "reduce-bst", &reduce_bst_schedule(max_nodes, (large * 8) as u64, 1.0));
+
     for (name, elems) in [("left: 10,000 doubles", small), ("right: 1,000,000 doubles", large)] {
         let series = run_panel(elems);
         println!(

@@ -16,6 +16,12 @@ fn main() {
     let smoke = ec_bench::smoke_flag();
     let elems = env_usize("FIG10_ELEMS", ec_bench::smoke_default(smoke, 1_000_000, 100_000));
     let bytes = (elems * 8) as u64;
+    let max_nodes = *node_sweep().last().expect("non-empty sweep");
+    ec_bench::print_smoke_memory_stats(
+        smoke,
+        "reduce-procs",
+        &reduce_process_threshold_schedule(max_nodes, bytes, 1.0),
+    );
     let thresholds = [0.25, 0.5, 0.75, 1.0];
     let mut series: Vec<Series> =
         thresholds.iter().map(|t| Series::new(format!("{}% gaspi", (t * 100.0) as u32))).collect();

@@ -35,6 +35,13 @@ fn main() {
     let small = env_usize("FIG11_SMALL_ELEMS", ec_bench::smoke_default(smoke, 10_000, 1_000));
     let large = env_usize("FIG11_LARGE_ELEMS", ec_bench::smoke_default(smoke, 1_000_000, 100_000));
 
+    let max_nodes = *node_sweep().last().expect("non-empty sweep");
+    ec_bench::print_smoke_memory_stats(
+        smoke,
+        "ring-allreduce",
+        &ring_allreduce_schedule(max_nodes, (large * 8) as u64),
+    );
+
     for (name, elems, is_large) in [("left: 10,000 doubles", small, false), ("right: 1,000,000 doubles", large, true)] {
         let series = run_panel(elems);
         println!(

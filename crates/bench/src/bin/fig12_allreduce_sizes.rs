@@ -19,6 +19,12 @@ fn main() {
     let min_elems = env_usize("FIG12_MIN_ELEMS", 1024);
     let max_elems = env_usize("FIG12_MAX_ELEMS", ec_bench::smoke_default(smoke, 8_388_608, 65_536));
 
+    ec_bench::print_smoke_memory_stats(
+        smoke,
+        "ring-allreduce",
+        &ring_allreduce_schedule(nodes, (max_elems * 8) as u64),
+    );
+
     let engine = Engine::new(ClusterSpec::homogeneous(nodes, 1), CostModel::skylake_fdr());
     let mut series = vec![Series::new("gaspi")];
     for v in MpiAllreduceVariant::all() {

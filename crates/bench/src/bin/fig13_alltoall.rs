@@ -20,6 +20,9 @@ fn main() {
     let max_block = env_usize("FIG13_MAX_BLOCK", ec_bench::smoke_default(smoke, 32 * 1024, 4 * 1024)) as u64;
     let node_counts = [4usize, 8, 16];
 
+    let max_ranks = node_counts[node_counts.len() - 1] * ppn;
+    ec_bench::print_smoke_memory_stats(smoke, "alltoall-direct", &alltoall_direct_schedule(max_ranks, max_block));
+
     let mut series = Vec::new();
     for &nodes in &node_counts {
         series.push(Series::new(format!("gaspi{nodes}")));

@@ -65,6 +65,14 @@ fn main() {
     );
     println!("# scenario: 10% node speed spread, 2% slow nodes (1.5x), 10% link jitter, 5% hiccup iterations (6x)\n");
 
+    let max_workers = *worker_counts.iter().max().expect("non-empty worker list");
+    let mut stats_cfg = SspScaleConfig::new(max_workers, max_slack);
+    stats_cfg.iterations = iters;
+    stats_cfg.bytes = bytes;
+    stats_cfg.compute = compute;
+    stats_cfg.seed = seed;
+    ec_bench::print_smoke_memory_stats(smoke, "ssp-scale", &ssp_scale_program(&stats_cfg));
+
     let mut digest = 0u64;
     for &workers in &worker_counts {
         let mut series = Series::new(format!("p={workers}"));

@@ -77,6 +77,16 @@ fn main() {
         ring_bytes as f64 / 1e6
     );
     println!("# scenario: 5% link latency/bandwidth jitter composed on top of the fabric\n");
+
+    let stats_ranks = *rank_counts.last().expect("non-empty rank list");
+    let stats_window = 8.min(stats_ranks - 1);
+    ec_bench::print_smoke_memory_stats(
+        smoke,
+        "alltoall-window",
+        &alltoall_window_schedule(stats_ranks, block, stats_window),
+    );
+    ec_bench::print_smoke_memory_stats(smoke, "ring-rounds", &ring_rounds_schedule(stats_ranks, ring_bytes, 4));
+
     println!(
         "{:>10} {:>6} {:>8} {:>14} {:>11} {:>12} {:>14} {:>10}",
         "collective", "p", "taper", "makespan [s]", "vs 1:1", "max util", "core sat [s]", "congested"

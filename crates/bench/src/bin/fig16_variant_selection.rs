@@ -20,6 +20,7 @@
 
 use ec_bench::env_usize;
 use ec_bench::tuner::{winner_table, CollectiveKind, Row, SweepConfig};
+use ec_collectives::schedule::ring_allreduce_schedule;
 use ec_netsim::SplitMix64;
 
 fn print_rows(kind: CollectiveKind, rows: &[Row], tapers: &[f64], makespans: &mut Vec<f64>) -> usize {
@@ -76,6 +77,10 @@ fn main() {
     println!("# winner columns show the best *vendor* (two-sided) variant; `*` marks cells where the");
     println!("# highest taper flips the vendor winner chosen by the topology-blind alpha-beta model;");
     println!("# the last column reports how far the one-sided gaspi challenger beats that frontier.\n");
+
+    let stats_p = *cfg.rank_counts.last().expect("non-empty rank list");
+    let stats_bytes = *cfg.allreduce_bytes.last().expect("non-empty payload list");
+    ec_bench::print_smoke_memory_stats(smoke, "ring-allreduce", &ring_allreduce_schedule(stats_p, stats_bytes));
 
     let rows = winner_table(&cfg);
     let mut makespans = Vec::new();

@@ -1,0 +1,145 @@
+//! Figure 17 (new experiment, beyond the paper): million-rank simulations on
+//! the compressed SPMD program representation.
+//!
+//! The earlier scale experiment (fig14) stops at 65536 simulated workers
+//! because a materialized `Program` costs `O(p * ops_per_rank)` memory.
+//! This binary drives the engine at `p = 2^20` through
+//! [`ec_netsim::ProgramSource`] generators whose compiled form interns the
+//! (identical) per-rank op streams into a handful of shared arena segments:
+//!
+//! * a **windowed ring allreduce** (single-writer, one-sided) that runs on
+//!   the sharded dataflow fast path — the throughput workload;
+//! * a **uniform SSP hypercube exchange** (multi-writer) that exercises the
+//!   strict event-loop engine at the same scale.
+//!
+//! Reports are folded online (`ReportDetail::Summary`), so neither the
+//! program nor the report ever materializes per-rank state.  The binary
+//! asserts a hard peak-RSS budget (default 8 GiB, `FIG17_RSS_BUDGET` bytes)
+//! and records throughput and peak RSS into `BENCH_engine.json` (merged —
+//! the Criterion benches own the other keys; `BENCH_ENGINE_JSON` overrides
+//! the path).
+//!
+//! The output is fully deterministic: same parameters, same fingerprint —
+//! for every shard count.  Pass `--smoke` for a CI-sized run (`p = 2^17`).
+//!
+//! Environment overrides: `FIG17_RANKS` (default 2^20; smoke 2^17),
+//! `FIG17_ROUNDS` (8), `FIG17_CHUNK_BYTES` (32768), `FIG17_SSP_ITERS` (2),
+//! `FIG17_SSP_SLACK` (1), `FIG17_RSS_BUDGET` (8 GiB).
+//!
+//! `--shards N` runs the dataflow-eligible workload with N worker shards.
+
+use std::time::Instant;
+
+use ec_bench::million::{peak_rss_bytes, UniformSspSource, WindowedRingSource};
+use ec_bench::ssp_scale::fig14_scenario;
+use ec_bench::{env_usize, merge_baseline_json};
+use ec_netsim::{ClusterSpec, CompiledProgram, CostModel, Engine, ProgramSource, ReportDetail, RunReport, SplitMix64};
+
+struct Measured {
+    total_ops: u64,
+    compile_secs: f64,
+    run_secs: f64,
+    report: RunReport,
+}
+
+fn measure<S: ProgramSource>(source: &S, ranks: usize, shards: usize, seed: u64) -> Measured {
+    let t = Instant::now();
+    let compiled = CompiledProgram::from_source(source).expect("fig17 program must validate");
+    let compile_secs = t.elapsed().as_secs_f64();
+    println!("   compiled in {compile_secs:.3} s: {}", compiled.memory_stats());
+    // The fig14 heterogeneity scenario lives in the engine, not the program,
+    // so it de-synchronizes the uniform SPMD streams (which keeps the event
+    // calendar balanced) without breaking the arena's rank interning.
+    let engine = Engine::new(ClusterSpec::homogeneous(ranks, 1), CostModel::marenostrum4_opa())
+        .with_scenario(fig14_scenario(seed))
+        .with_shards(shards)
+        .with_report_detail(ReportDetail::Summary);
+    let t = Instant::now();
+    let report = engine.run_compiled(&compiled).expect("fig17 program must simulate");
+    let run_secs = t.elapsed().as_secs_f64();
+    Measured { total_ops: compiled.total_ops(), compile_secs, run_secs, report }
+}
+
+fn print_row(label: &str, m: &Measured) {
+    println!(
+        "{label:>10} {:>12} {:>12.3} {:>12.3} {:>14.0} {:>14.6} {:>18x}",
+        m.total_ops,
+        m.compile_secs,
+        m.run_secs,
+        m.total_ops as f64 / m.run_secs,
+        m.report.makespan(),
+        m.report.fingerprint()
+    );
+}
+
+fn main() {
+    let smoke = ec_bench::smoke_flag();
+    let shards = ec_bench::shards_flag();
+    let ranks = env_usize("FIG17_RANKS", if smoke { 1 << 17 } else { 1 << 20 });
+    let rounds = env_usize("FIG17_ROUNDS", 8);
+    let chunk = env_usize("FIG17_CHUNK_BYTES", 32 * 1024) as u64;
+    let ssp_iters = env_usize("FIG17_SSP_ITERS", 2);
+    let ssp_slack = env_usize("FIG17_SSP_SLACK", 1);
+    let seed = env_usize("FIG17_SEED", 42) as u64;
+    let rss_budget = env_usize("FIG17_RSS_BUDGET", 8 << 30) as u64;
+
+    println!("# Figure 17 — million-rank simulations on the compressed program representation");
+    println!(
+        "# p = {ranks}, ring window {rounds} rounds x {} KiB, SSP {ssp_iters} iteration(s) slack {ssp_slack}, \
+         {shards} shard(s), RSS budget {:.1} GiB\n",
+        chunk / 1024,
+        rss_budget as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14} {:>14} {:>18}",
+        "program", "ops", "compile [s]", "run [s]", "ops/s", "makespan [s]", "fingerprint"
+    );
+
+    let ring = measure(&WindowedRingSource::new(ranks, rounds, chunk), ranks, shards, seed);
+    print_row("ring", &ring);
+
+    let ssp = measure(&UniformSspSource::new(ranks, ssp_slack, ssp_iters, chunk, 200e-6), ranks, shards, seed);
+    print_row("ssp-cube", &ssp);
+
+    let mut digest = SplitMix64::mix(ring.report.fingerprint());
+    digest = SplitMix64::mix(digest ^ ssp.report.fingerprint());
+
+    let peak = peak_rss_bytes();
+    match peak {
+        Some(rss) => {
+            println!("\npeak RSS: {:.2} GiB ({rss} bytes)", rss as f64 / (1u64 << 30) as f64);
+            assert!(
+                rss <= rss_budget,
+                "peak RSS {rss} exceeds the {rss_budget}-byte budget — the compressed representation leaked scale"
+            );
+        }
+        None => println!("\npeak RSS: unavailable (no procfs)"),
+    }
+
+    // Merge the scale metrics into the shared engine baseline so the CI
+    // bench gate tracks them; full-scale and smoke runs own distinct keys.
+    let path = std::env::var("BENCH_ENGINE_JSON")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")));
+    let ring_ops_per_sec = format!("{:.0}", ring.total_ops as f64 / ring.run_secs);
+    let updates: Vec<(&str, String)> = if smoke {
+        vec![
+            ("ops_per_sec_p_131072", ring_ops_per_sec),
+            ("peak_rss_bytes_smoke", peak.map_or_else(|| "0".into(), |r| r.to_string())),
+        ]
+    } else {
+        vec![
+            ("ops_per_sec_p_1m", ring_ops_per_sec),
+            ("peak_rss_bytes", peak.map_or_else(|| "0".into(), |r| r.to_string())),
+        ]
+    };
+    // Only record the baseline when the rank count was not overridden: the
+    // keys are defined as p = 2^20 (full) / p = 2^17 (smoke) numbers.
+    if std::env::var("FIG17_RANKS").is_err() {
+        if let Err(e) = merge_baseline_json(&path, &updates) {
+            eprintln!("warning: could not update {path}: {e}");
+        }
+    }
+
+    println!("## determinism fingerprint: {digest:016x}");
+    println!("(the paper's figures stop at 32 nodes; these runs are simulated at p = {ranks})");
+}

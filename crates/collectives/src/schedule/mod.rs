@@ -17,11 +17,13 @@ pub mod alltoall;
 pub mod bcast;
 pub mod reduce;
 pub mod ring;
+pub mod source;
 
 pub use alltoall::alltoall_direct_schedule;
 pub use bcast::bcast_bst_schedule;
 pub use reduce::{reduce_bst_schedule, reduce_process_threshold_schedule};
 pub use ring::{hypercube_allreduce_schedule, ring_allreduce_schedule};
+pub use source::{HypercubeAllreduceSource, RingAllreduceSource};
 
 #[cfg(test)]
 mod tests {

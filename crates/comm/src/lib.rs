@@ -72,6 +72,6 @@ pub mod transport;
 
 pub use error::{CommError, Result};
 pub use op::ReduceOp;
-pub use recording::RecordingTransport;
+pub use recording::{RankRecorder, RecordingTransport};
 pub use threaded::ThreadedTransport;
 pub use transport::{NotifyId, Rank, SlotUse, Transport};

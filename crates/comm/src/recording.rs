@@ -1,10 +1,11 @@
 //! [`RecordingTransport`]: the schedule-recorder backend emitting an
-//! `ec_netsim::Program`.
+//! `ec_netsim::Program`, and [`RankRecorder`]: its single-rank sibling
+//! emitting one rank's op stream for `ec_netsim::ProgramSource` generators.
 
 use std::collections::HashMap;
 use std::ops::Range;
 
-use ec_netsim::{Program, ProgramBuilder};
+use ec_netsim::{Op, Program, ProgramBuilder};
 use ec_ssp::{Clock, SspPolicy};
 
 use crate::error::Result;
@@ -174,6 +175,147 @@ impl Transport for RecordingTransport {
     }
 }
 
+/// [`Transport`] backend recording **one rank's** operations into a bare
+/// `Vec<ec_netsim::Op>`.
+///
+/// [`RecordingTransport`] owns a full `ProgramBuilder` — one op list per
+/// rank — so constructing it costs O(p) even when only a single rank's
+/// stream is wanted.  A `ProgramSource` generator that replays a real
+/// algorithm body once per `rank_ops` call would therefore pay O(p) per rank
+/// and O(p²) per compilation; at the million-rank scale that is the whole
+/// budget.  `RankRecorder` holds nothing but the recorded rank's op stream,
+/// making each `rank_ops` call O(ops of that rank).
+///
+/// The recorded semantics mirror [`RecordingTransport`] exactly (empty puts
+/// degrade to bare notifications, copies are free, `wait_any` linearizes
+/// last-to-first, `slot_reduce` renders the synchronous wait + reduce), so a
+/// generator built on it reproduces the recorded program byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct RankRecorder {
+    rank: Rank,
+    num_ranks: usize,
+    elem_bytes: u64,
+    ops: Vec<Op>,
+    /// Per [`Transport::wait_any`] id-set: arrivals already linearized (the
+    /// same deterministic order as [`RecordingTransport::wait_any`]).
+    any_progress: HashMap<Vec<NotifyId>, usize>,
+}
+
+impl RankRecorder {
+    /// Start recording rank `rank` of a `ranks`-rank collective whose payload
+    /// elements are `elem_bytes` wide.
+    pub fn new(rank: Rank, ranks: usize, elem_bytes: u64) -> Self {
+        assert!(elem_bytes > 0, "elements must have a non-zero width");
+        assert!(rank < ranks, "rank {rank} out of range for {ranks} ranks");
+        Self { rank, num_ranks: ranks, elem_bytes, ops: Vec::new(), any_progress: HashMap::new() }
+    }
+
+    /// Finish recording and return the rank's op stream in program order.
+    pub fn finish(self) -> Vec<Op> {
+        self.ops
+    }
+
+    fn bytes_of(&self, elems: usize) -> u64 {
+        elems as u64 * self.elem_bytes
+    }
+}
+
+impl Transport for RankRecorder {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    fn put_notify(&mut self, dst: Rank, _dst_off: usize, src: Range<usize>, id: NotifyId) -> Result<()> {
+        if src.is_empty() {
+            self.ops.push(Op::Notify { dst, notify: id });
+        } else {
+            self.ops.push(Op::PutNotify { dst, bytes: self.bytes_of(src.len()), notify: id });
+        }
+        Ok(())
+    }
+
+    fn put_stamped(
+        &mut self,
+        dst: Rank,
+        _dst_off: usize,
+        src: Range<usize>,
+        _stamp: Clock,
+        id: NotifyId,
+    ) -> Result<()> {
+        // As in `RecordingTransport`: the stamp is header, only the payload
+        // is charged.
+        if src.is_empty() {
+            self.ops.push(Op::Notify { dst, notify: id });
+        } else {
+            self.ops.push(Op::PutNotify { dst, bytes: self.bytes_of(src.len()), notify: id });
+        }
+        Ok(())
+    }
+
+    fn notify(&mut self, dst: Rank, id: NotifyId) -> Result<()> {
+        self.ops.push(Op::Notify { dst, notify: id });
+        Ok(())
+    }
+
+    fn wait_notify(&mut self, id: NotifyId) -> Result<()> {
+        self.ops.push(Op::WaitNotify { ids: vec![id] });
+        Ok(())
+    }
+
+    fn wait_all(&mut self, ids: &[NotifyId]) -> Result<()> {
+        if !ids.is_empty() {
+            self.ops.push(Op::WaitNotify { ids: ids.to_vec() });
+        }
+        Ok(())
+    }
+
+    fn wait_any(&mut self, ids: &[NotifyId]) -> Result<NotifyId> {
+        crate::transport::wait_set_bounds(ids)?;
+        // Same deterministic linearization as `RecordingTransport::wait_any`:
+        // listed ids complete last-to-first across consecutive calls.
+        let served = self.any_progress.entry(ids.to_vec()).or_insert(0);
+        let id = ids[ids.len() - 1 - *served];
+        *served += 1;
+        if *served == ids.len() {
+            self.any_progress.remove(ids);
+        }
+        self.ops.push(Op::WaitNotify { ids: vec![id] });
+        Ok(id)
+    }
+
+    fn local_reduce(&mut self, _src_off: usize, dst: Range<usize>, _op: ReduceOp) -> Result<()> {
+        self.ops.push(Op::Reduce { bytes: self.bytes_of(dst.len()) });
+        Ok(())
+    }
+
+    fn local_copy(&mut self, _src_off: usize, _dst: Range<usize>) -> Result<()> {
+        Ok(())
+    }
+
+    fn buffer_copy(&mut self, _src: Range<usize>, _dst: Range<usize>) -> Result<()> {
+        Ok(())
+    }
+
+    fn slot_reduce(
+        &mut self,
+        _slot_off: usize,
+        len: usize,
+        id: NotifyId,
+        now: Clock,
+        _policy: SspPolicy,
+        _op: ReduceOp,
+        _dst: Range<usize>,
+    ) -> Result<SlotUse> {
+        self.ops.push(Op::WaitNotify { ids: vec![id] });
+        self.ops.push(Op::Reduce { bytes: self.bytes_of(len) });
+        Ok(SlotUse { clock: now, waits: Vec::new() })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,5 +434,51 @@ mod tests {
         let mut rec = RecordingTransport::new(1, 1);
         rec.wait_all(&[]).unwrap();
         assert_eq!(rec.finish().total_ops(), 0);
+    }
+
+    /// Drive one transport through every recordable operation.
+    fn exercise<T: Transport>(t: &mut T) {
+        let r = t.rank();
+        let p = t.num_ranks();
+        let peer = (r + 1) % p;
+        t.put_notify(peer, 0, 0..64, 1).unwrap();
+        t.put_notify(peer, 0, 5..5, 2).unwrap();
+        t.put_stamped(peer, 0, 0..16, Clock::from(3), 3).unwrap();
+        t.put_stamped(peer, 0, 9..9, Clock::from(3), 4).unwrap();
+        t.notify(peer, 5).unwrap();
+        t.wait_notify(1).unwrap();
+        t.wait_all(&[2, 3]).unwrap();
+        t.wait_all(&[]).unwrap();
+        assert_eq!(t.wait_any(&[4, 5, 6]).unwrap(), 6);
+        assert_eq!(t.wait_any(&[4, 5, 6]).unwrap(), 5);
+        t.local_reduce(0, 0..32, ReduceOp::Sum).unwrap();
+        t.local_copy(0, 0..32).unwrap();
+        t.buffer_copy(0..8, 8..16).unwrap();
+        t.slot_reduce(0, 16, 7, Clock::from(2), SspPolicy::new(1), ReduceOp::Sum, 0..16).unwrap();
+    }
+
+    #[test]
+    fn rank_recorder_matches_the_program_recorder_rank_for_rank() {
+        let ranks = 3;
+        let mut full = RecordingTransport::new(ranks, 8);
+        for r in 0..ranks {
+            full.set_rank(r);
+            exercise(&mut full);
+        }
+        let program = full.finish();
+        for r in 0..ranks {
+            let mut one = RankRecorder::new(r, ranks, 8);
+            exercise(&mut one);
+            assert_eq!(one.finish(), program.ranks[r].ops, "rank {r} streams must agree");
+        }
+    }
+
+    #[test]
+    fn rank_recorder_rejects_invalid_wait_sets() {
+        use crate::CommError;
+        let mut rec = RankRecorder::new(0, 1, 1);
+        assert!(matches!(rec.wait_any(&[1, 4]), Err(CommError::InvalidWaitSet { .. })));
+        assert!(matches!(rec.wait_any(&[]), Err(CommError::InvalidWaitSet { .. })));
+        assert!(rec.finish().is_empty());
     }
 }

@@ -1,0 +1,1139 @@
+//! Compiled, arena-encoded programs: the compressed SPMD representation the
+//! engine executes.
+//!
+//! A recorded [`Program`] is a convenient builder API, but it materializes one
+//! `Vec<Op>` per rank with every wait carrying its own heap-allocated id list —
+//! at p = 2^20 that is millions of tiny allocations holding rank-rotated copies
+//! of the *same* algorithm.  [`CompiledProgram`] stores all ops once, in a flat
+//! struct-of-arrays arena:
+//!
+//! * one fixed-width record per op — a 1-byte kind plus three argument columns
+//!   (`u32`, `u32`, `u64`, ~17 B/op) — no per-op allocation;
+//! * wait-id lists live in one shared `u32` pool as `(offset, len)` slices,
+//!   interned by content, and the common single-id `WaitNotify` is inlined
+//!   into the record with no pool indirection at all (see [`CompileOptions`]);
+//! * targets are stored **rank-relative** — as a ring delta `(dst − rank) mod p`
+//!   or a hypercube mask `dst ⊕ rank` — so the op streams of an SPMD collective
+//!   become byte-identical across ranks and dedup to a single shared arena
+//!   segment.  A per-rank `RankEntry` is then just a range plus the decode
+//!   mode: a symmetric p = 2^20 ring compiles to two segments total.
+//!
+//! Compilation validates as it encodes (same checks, same order, same errors
+//! as [`mod@crate::validate`]), so a `CompiledProgram` is structurally valid by
+//! construction.  Programs arrive either from a materialized [`Program`] via
+//! [`Program::compile`] or — without ever materializing all ranks — from a
+//! symbolic [`ProgramSource`] via [`CompiledProgram::from_source`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cluster::RankId;
+use crate::program::{CommProfile, NotifyId, Op, Program};
+use crate::scenario::SplitMix64;
+use crate::source::ProgramSource;
+use crate::validate::{check_channels, check_rank_ops, ChannelCounts, ValidationError};
+
+/// Options controlling how a program is compiled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Inline single-id `WaitNotify` ops into the op record itself instead of
+    /// routing them through the shared id pool.  Single-id waits are by far
+    /// the common case (every ring/hypercube step emits one), and inlining
+    /// removes a dependent load from the engine's wait hot path.  Default
+    /// `true`; set `false` only to measure the pooled path.
+    pub inline_single_id_waits: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self { inline_single_id_waits: true }
+    }
+}
+
+/// Op discriminant stored in the arena's kind column (1 byte per op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum OpKind {
+    Compute,
+    Reduce,
+    Copy,
+    PutNotify,
+    Notify,
+    WaitOne,
+    WaitMany,
+    WaitAny,
+    Send,
+    Isend,
+    Recv,
+    WaitAllSends,
+    Barrier,
+}
+
+/// How a segment's stored target codes map back to absolute ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum TargetMode {
+    /// `code = (dst + p − rank) mod p`; decode `dst = (rank + code) mod p`.
+    /// Always applicable (ring rotations become rank-invariant).
+    Delta,
+    /// `code = dst ⊕ rank`; decode `dst = rank ⊕ code`.  Used when every
+    /// target differs from the rank by a power-of-two mask (hypercube
+    /// exchanges become rank-invariant).
+    Xor,
+}
+
+/// One rank's program: a range of arena records plus the target decode mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RankEntry {
+    start: u32,
+    len: u32,
+    mode: TargetMode,
+}
+
+/// A candidate shared segment in the dedup index.
+#[derive(Debug, Clone, Copy)]
+struct SegCand {
+    start: u32,
+    len: u32,
+    mode: TargetMode,
+}
+
+/// Borrowed notification-id list of a compiled wait op.
+///
+/// Single-id waits are stored inline in the op record ([`IdsRef::One`]);
+/// multi-id waits borrow a slice of the shared id pool ([`IdsRef::Many`]).
+/// Debug-formats exactly like the `Vec<NotifyId>` it replaces (`[3, 4]`), so
+/// traces and deadlock reports are byte-identical to the materialized path.
+#[derive(Clone, Copy)]
+pub enum IdsRef<'a> {
+    /// A single id inlined in the op record.
+    One(NotifyId),
+    /// A slice of ids in the shared pool.
+    Many(&'a [NotifyId]),
+}
+
+impl<'a> IdsRef<'a> {
+    /// Number of ids in the list.
+    pub fn len(&self) -> usize {
+        match self {
+            IdsRef::One(_) => 1,
+            IdsRef::Many(ids) => ids.len(),
+        }
+    }
+
+    /// True when the list holds no ids.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the ids by value, in listed order.
+    pub fn iter(&self) -> IdsIter<'a> {
+        IdsIter { ids: *self, next: 0 }
+    }
+
+    /// Materialize the list.
+    pub fn to_vec(&self) -> Vec<NotifyId> {
+        self.iter().collect()
+    }
+}
+
+impl PartialEq for IdsRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl fmt::Debug for IdsRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// By-value iterator over an [`IdsRef`].
+#[derive(Debug, Clone)]
+pub struct IdsIter<'a> {
+    ids: IdsRef<'a>,
+    next: usize,
+}
+
+impl Iterator for IdsIter<'_> {
+    type Item = NotifyId;
+
+    fn next(&mut self) -> Option<NotifyId> {
+        let i = self.next;
+        self.next += 1;
+        match self.ids {
+            IdsRef::One(id) if i == 0 => Some(id),
+            IdsRef::One(_) => None,
+            IdsRef::Many(ids) => ids.get(i).copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.ids.len().saturating_sub(self.next);
+        (rem, Some(rem))
+    }
+}
+
+impl<'a> IntoIterator for IdsRef<'a> {
+    type Item = NotifyId;
+    type IntoIter = IdsIter<'a>;
+
+    fn into_iter(self) -> IdsIter<'a> {
+        self.iter()
+    }
+}
+
+/// A decoded view of one compiled op.
+///
+/// Mirrors [`Op`] variant-for-variant and field-for-field (wait-id lists
+/// borrow the arena via [`IdsRef`] instead of owning a `Vec`), so the derived
+/// `Debug` output — which the engine embeds in traces and deadlock reports —
+/// is byte-identical to the materialized op's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpView<'a> {
+    /// Local compute for `seconds` of nominal time.
+    Compute {
+        /// Nominal duration in seconds.
+        seconds: f64,
+    },
+    /// Local reduction over `bytes` bytes.
+    Reduce {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Local copy of `bytes` bytes.
+    Copy {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// One-sided put of `bytes` to `dst`, raising `notify` on arrival.
+    PutNotify {
+        /// Destination rank.
+        dst: RankId,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Notification id raised at the destination.
+        notify: NotifyId,
+    },
+    /// Payload-free notification to `dst`.
+    Notify {
+        /// Destination rank.
+        dst: RankId,
+        /// Notification id raised at the destination.
+        notify: NotifyId,
+    },
+    /// Block until every listed notification has arrived.
+    WaitNotify {
+        /// Ids to consume (one arrival each).
+        ids: IdsRef<'a>,
+    },
+    /// Block until `count` of the listed notifications have arrived.
+    WaitNotifyAny {
+        /// Candidate ids.
+        ids: IdsRef<'a>,
+        /// Arrivals required before unblocking.
+        count: usize,
+    },
+    /// Blocking two-sided send.
+    Send {
+        /// Destination rank.
+        dst: RankId,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: u32,
+    },
+    /// Non-blocking two-sided send.
+    Isend {
+        /// Destination rank.
+        dst: RankId,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: u32,
+    },
+    /// Blocking two-sided receive.
+    Recv {
+        /// Source rank.
+        src: RankId,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Message tag.
+        tag: u32,
+    },
+    /// Block until every outstanding send has left the NIC.
+    WaitAllSends,
+    /// Global barrier.
+    Barrier,
+}
+
+impl OpView<'_> {
+    /// Materialize this view as an owned [`Op`] (tests and tooling; the
+    /// engine never needs it).
+    pub fn to_op(&self) -> Op {
+        match *self {
+            OpView::Compute { seconds } => Op::Compute { seconds },
+            OpView::Reduce { bytes } => Op::Reduce { bytes },
+            OpView::Copy { bytes } => Op::Copy { bytes },
+            OpView::PutNotify { dst, bytes, notify } => Op::PutNotify { dst, bytes, notify },
+            OpView::Notify { dst, notify } => Op::Notify { dst, notify },
+            OpView::WaitNotify { ids } => Op::WaitNotify { ids: ids.to_vec() },
+            OpView::WaitNotifyAny { ids, count } => Op::WaitNotifyAny { ids: ids.to_vec(), count },
+            OpView::Send { dst, bytes, tag } => Op::Send { dst, bytes, tag },
+            OpView::Isend { dst, bytes, tag } => Op::Isend { dst, bytes, tag },
+            OpView::Recv { src, bytes, tag } => Op::Recv { src, bytes, tag },
+            OpView::WaitAllSends => Op::WaitAllSends,
+            OpView::Barrier => Op::Barrier,
+        }
+    }
+}
+
+/// One rank's compiled op stream: a cheap, copyable cursor over the arena
+/// that decodes records on access.
+#[derive(Clone, Copy)]
+pub struct RankOps<'a> {
+    prog: &'a CompiledProgram,
+    rank: RankId,
+    start: usize,
+    len: usize,
+    mode: TargetMode,
+}
+
+impl<'a> RankOps<'a> {
+    /// Number of ops in this rank's program.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the rank has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Decode the `i`-th op (panics when out of range).
+    pub fn op(&self, i: usize) -> OpView<'a> {
+        assert!(i < self.len, "op index {i} out of range for rank {} ({} ops)", self.rank, self.len);
+        self.prog.decode(self.start + i, self.rank, self.mode)
+    }
+
+    /// Iterate the decoded ops in program order.
+    pub fn iter(self) -> impl Iterator<Item = OpView<'a>> {
+        (0..self.len).map(move |i| self.op(i))
+    }
+}
+
+/// Footprint report for a program representation (see
+/// [`Program::memory_stats`] and [`CompiledProgram::memory_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryStats {
+    /// Ranks in the program.
+    pub num_ranks: usize,
+    /// Logical op count summed over all ranks.
+    pub total_ops: u64,
+    /// Op records actually stored (after dedup; equals `total_ops` for a
+    /// materialized program).
+    pub stored_ops: usize,
+    /// Distinct shared segments (equals `num_ranks` for a materialized
+    /// program).
+    pub segments: usize,
+    /// Ids held in wait-id storage.
+    pub pool_ids: usize,
+    /// Approximate heap bytes of the op storage itself.
+    pub arena_bytes: usize,
+    /// `total_ops / stored_ops` — how many ranks share each stored op on
+    /// average.
+    pub dedup_ratio: f64,
+}
+
+impl fmt::Display for MemoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ranks, {} ops ({} stored in {} segment(s), dedup {:.1}x), {} pool id(s), {} arena bytes",
+            self.num_ranks,
+            self.total_ops,
+            self.stored_ops,
+            self.segments,
+            self.dedup_ratio,
+            self.pool_ids,
+            self.arena_bytes
+        )
+    }
+}
+
+/// A validated, arena-encoded program ready for execution.
+///
+/// See the [module docs](self) for the memory model.  Obtain one via
+/// [`Program::compile`] or [`CompiledProgram::from_source`], run it with
+/// [`crate::Engine::run_compiled`].
+#[derive(Clone)]
+pub struct CompiledProgram {
+    num_ranks: usize,
+    kinds: Vec<OpKind>,
+    arg_a: Vec<u32>,
+    arg_b: Vec<u32>,
+    arg_c: Vec<u64>,
+    pool: Vec<NotifyId>,
+    entries: Vec<RankEntry>,
+    segments: usize,
+    profile: CommProfile,
+    total_ops: u64,
+    total_wire_bytes: u64,
+    notify_id_bound: NotifyId,
+}
+
+impl fmt::Debug for CompiledProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledProgram")
+            .field("num_ranks", &self.num_ranks)
+            .field("total_ops", &self.total_ops)
+            .field("stored_ops", &self.kinds.len())
+            .field("segments", &self.segments)
+            .field("pool_ids", &self.pool.len())
+            .finish()
+    }
+}
+
+#[inline]
+fn decode_target(rank: RankId, code: u32, mode: TargetMode, n: usize) -> RankId {
+    match mode {
+        TargetMode::Delta => {
+            let s = rank + code as usize;
+            if s >= n {
+                s - n
+            } else {
+                s
+            }
+        }
+        TargetMode::Xor => rank ^ code as usize,
+    }
+}
+
+fn encode_target(rank: RankId, dst: RankId, mode: TargetMode, n: usize) -> u32 {
+    let code = match mode {
+        TargetMode::Delta => {
+            if dst >= rank {
+                dst - rank
+            } else {
+                dst + n - rank
+            }
+        }
+        TargetMode::Xor => dst ^ rank,
+    };
+    u32::try_from(code).expect("rank count exceeds the u32 target-code range")
+}
+
+/// True when every target in `ops` differs from `rank` by a power-of-two
+/// mask — the hypercube signature that makes xor encoding rank-invariant.
+fn xor_encodable(rank: RankId, ops: &[Op]) -> bool {
+    ops.iter().all(|op| match op {
+        Op::PutNotify { dst, .. } | Op::Notify { dst, .. } | Op::Send { dst, .. } | Op::Isend { dst, .. } => {
+            (dst ^ rank).is_power_of_two()
+        }
+        Op::Recv { src, .. } => (src ^ rank).is_power_of_two(),
+        _ => true,
+    })
+}
+
+/// Scratch encoding of one rank's segment (struct-of-arrays, reused across
+/// ranks).
+#[derive(Default)]
+struct Seg {
+    k: Vec<OpKind>,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    c: Vec<u64>,
+}
+
+impl Seg {
+    fn clear(&mut self) {
+        self.k.clear();
+        self.a.clear();
+        self.b.clear();
+        self.c.clear();
+    }
+
+    fn push(&mut self, k: OpKind, a: u32, b: u32, c: u64) {
+        self.k.push(k);
+        self.a.push(a);
+        self.b.push(b);
+        self.c.push(c);
+    }
+
+    fn content_hash(&self) -> u64 {
+        let mut h = SplitMix64::mix(self.k.len() as u64 ^ 0x9e37_79b9_7f4a_7c15);
+        for i in 0..self.k.len() {
+            h = SplitMix64::mix(h ^ self.k[i] as u64);
+            h = SplitMix64::mix(h ^ (((self.a[i] as u64) << 32) | self.b[i] as u64));
+            h = SplitMix64::mix(h ^ self.c[i]);
+        }
+        h
+    }
+}
+
+fn intern_ids(pool: &mut Vec<NotifyId>, map: &mut HashMap<Vec<NotifyId>, u32>, ids: &[NotifyId]) -> u32 {
+    if let Some(&off) = map.get(ids) {
+        return off;
+    }
+    let off = u32::try_from(pool.len()).expect("wait-id pool exceeds the u32 offset range");
+    pool.extend_from_slice(ids);
+    map.insert(ids.to_vec(), off);
+    off
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_rank(
+    rank: RankId,
+    n: usize,
+    ops: &[Op],
+    mode: TargetMode,
+    inline_single: bool,
+    pool: &mut Vec<NotifyId>,
+    pool_map: &mut HashMap<Vec<NotifyId>, u32>,
+    out: &mut Seg,
+) {
+    out.clear();
+    for op in ops {
+        match op {
+            Op::Compute { seconds } => out.push(OpKind::Compute, 0, 0, seconds.to_bits()),
+            Op::Reduce { bytes } => out.push(OpKind::Reduce, 0, 0, *bytes),
+            Op::Copy { bytes } => out.push(OpKind::Copy, 0, 0, *bytes),
+            Op::PutNotify { dst, bytes, notify } => {
+                out.push(OpKind::PutNotify, encode_target(rank, *dst, mode, n), *notify, *bytes)
+            }
+            Op::Notify { dst, notify } => out.push(OpKind::Notify, encode_target(rank, *dst, mode, n), *notify, 0),
+            Op::WaitNotify { ids } if inline_single && ids.len() == 1 => out.push(OpKind::WaitOne, ids[0], 0, 0),
+            Op::WaitNotify { ids } => {
+                let off = intern_ids(pool, pool_map, ids);
+                out.push(OpKind::WaitMany, off, ids.len() as u32, 0);
+            }
+            Op::WaitNotifyAny { ids, count } => {
+                let off = intern_ids(pool, pool_map, ids);
+                out.push(OpKind::WaitAny, off, ids.len() as u32, *count as u64);
+            }
+            Op::Send { dst, bytes, tag } => out.push(OpKind::Send, encode_target(rank, *dst, mode, n), *tag, *bytes),
+            Op::Isend { dst, bytes, tag } => out.push(OpKind::Isend, encode_target(rank, *dst, mode, n), *tag, *bytes),
+            Op::Recv { src, bytes, tag } => out.push(OpKind::Recv, encode_target(rank, *src, mode, n), *tag, *bytes),
+            Op::WaitAllSends => out.push(OpKind::WaitAllSends, 0, 0, 0),
+            Op::Barrier => out.push(OpKind::Barrier, 0, 0, 0),
+        }
+    }
+}
+
+/// Streaming compiler: ranks are pushed one at a time (validated, profiled,
+/// encoded, deduped), so compiling from a [`ProgramSource`] never holds more
+/// than one rank's materialized ops.
+struct Compiler {
+    n: usize,
+    opts: CompileOptions,
+    kinds: Vec<OpKind>,
+    arg_a: Vec<u32>,
+    arg_b: Vec<u32>,
+    arg_c: Vec<u64>,
+    pool: Vec<NotifyId>,
+    pool_map: HashMap<Vec<NotifyId>, u32>,
+    seg_map: HashMap<u64, Vec<SegCand>>,
+    entries: Vec<RankEntry>,
+    delta: Seg,
+    xor: Seg,
+    sends: ChannelCounts,
+    recvs: ChannelCounts,
+    notify_bounds: Vec<usize>,
+    waits_sends: Vec<bool>,
+    writer_of: Vec<Option<RankId>>,
+    single_writer: bool,
+    one_sided_only: bool,
+    total_ops: u64,
+    total_wire_bytes: u64,
+    notify_id_bound: NotifyId,
+}
+
+impl Compiler {
+    fn new(n: usize, opts: CompileOptions) -> Self {
+        assert!(n <= u32::MAX as usize, "rank count exceeds the u32 target-code range");
+        Self {
+            n,
+            opts,
+            kinds: Vec::new(),
+            arg_a: Vec::new(),
+            arg_b: Vec::new(),
+            arg_c: Vec::new(),
+            pool: Vec::new(),
+            pool_map: HashMap::new(),
+            seg_map: HashMap::new(),
+            entries: Vec::with_capacity(n),
+            delta: Seg::default(),
+            xor: Seg::default(),
+            sends: ChannelCounts::new(),
+            recvs: ChannelCounts::new(),
+            notify_bounds: vec![0; n],
+            waits_sends: vec![false; n],
+            writer_of: vec![None; n],
+            single_writer: true,
+            one_sided_only: true,
+            total_ops: 0,
+            total_wire_bytes: 0,
+            notify_id_bound: 0,
+        }
+    }
+
+    /// Mirror of `Program::comm_profile` and `Program::notify_id_bound`,
+    /// folded online as ranks stream through.
+    fn update_profile(&mut self, rank: RankId, ops: &[Op]) {
+        for op in ops {
+            match op {
+                Op::PutNotify { dst, notify, .. } | Op::Notify { dst, notify } => {
+                    let bound = *notify as usize + 1;
+                    if bound > self.notify_bounds[*dst] {
+                        self.notify_bounds[*dst] = bound;
+                    }
+                    self.notify_id_bound = self.notify_id_bound.max(notify.saturating_add(1));
+                    match self.writer_of[*dst] {
+                        None => self.writer_of[*dst] = Some(rank),
+                        Some(w) if w != rank => self.single_writer = false,
+                        Some(_) => {}
+                    }
+                }
+                Op::WaitNotify { ids } | Op::WaitNotifyAny { ids, .. } => {
+                    for id in ids {
+                        let bound = *id as usize + 1;
+                        if bound > self.notify_bounds[rank] {
+                            self.notify_bounds[rank] = bound;
+                        }
+                        self.notify_id_bound = self.notify_id_bound.max(id.saturating_add(1));
+                    }
+                }
+                Op::WaitAllSends => self.waits_sends[rank] = true,
+                Op::Send { .. } | Op::Isend { .. } | Op::Recv { .. } | Op::Barrier => self.one_sided_only = false,
+                Op::Compute { .. } | Op::Reduce { .. } | Op::Copy { .. } => {}
+            }
+            self.total_wire_bytes += op.wire_bytes();
+        }
+        self.total_ops += ops.len() as u64;
+    }
+
+    /// Look up a content-identical segment already in the arena (same bytes
+    /// *and* same decode mode — delta code 1 and xor code 1 are byte-equal
+    /// but decode to different ranks).
+    fn lookup(&self, hash: u64, mode: TargetMode, seg: &Seg) -> Option<(u32, u32)> {
+        let cands = self.seg_map.get(&hash)?;
+        for c in cands {
+            if c.mode != mode || c.len as usize != seg.k.len() {
+                continue;
+            }
+            let s = c.start as usize;
+            let e = s + c.len as usize;
+            if self.kinds[s..e] == seg.k[..]
+                && self.arg_a[s..e] == seg.a[..]
+                && self.arg_b[s..e] == seg.b[..]
+                && self.arg_c[s..e] == seg.c[..]
+            {
+                return Some((c.start, c.len));
+            }
+        }
+        None
+    }
+
+    fn push_rank(&mut self, rank: RankId, ops: &[Op]) -> Result<(), ValidationError> {
+        check_rank_ops(rank, ops, self.n, &mut self.sends, &mut self.recvs)?;
+        self.update_profile(rank, ops);
+
+        let inline = self.opts.inline_single_id_waits;
+        encode_rank(rank, self.n, ops, TargetMode::Delta, inline, &mut self.pool, &mut self.pool_map, &mut self.delta);
+        let delta_hash = self.delta.content_hash();
+        if let Some((start, len)) = self.lookup(delta_hash, TargetMode::Delta, &self.delta) {
+            self.entries.push(RankEntry { start, len, mode: TargetMode::Delta });
+            return Ok(());
+        }
+
+        // Delta lookup missed.  If the rank's targets carry the hypercube
+        // signature, try (and prefer) the xor encoding, which the other
+        // hypercube ranks will hit; otherwise insert the delta encoding.
+        if xor_encodable(rank, ops) {
+            encode_rank(rank, self.n, ops, TargetMode::Xor, inline, &mut self.pool, &mut self.pool_map, &mut self.xor);
+            let xor_hash = self.xor.content_hash();
+            if let Some((start, len)) = self.lookup(xor_hash, TargetMode::Xor, &self.xor) {
+                self.entries.push(RankEntry { start, len, mode: TargetMode::Xor });
+                return Ok(());
+            }
+            self.insert_segment(xor_hash, TargetMode::Xor);
+        } else {
+            self.insert_segment(delta_hash, TargetMode::Delta);
+        }
+        Ok(())
+    }
+
+    /// Append the scratch segment for `mode` to the arena and index it.
+    fn insert_segment(&mut self, hash: u64, mode: TargetMode) {
+        let seg = match mode {
+            TargetMode::Delta => &self.delta,
+            TargetMode::Xor => &self.xor,
+        };
+        let start = u32::try_from(self.kinds.len()).expect("compiled arena exceeds u32::MAX stored ops");
+        let len = seg.k.len() as u32;
+        self.kinds.extend_from_slice(&seg.k);
+        self.arg_a.extend_from_slice(&seg.a);
+        self.arg_b.extend_from_slice(&seg.b);
+        self.arg_c.extend_from_slice(&seg.c);
+        self.seg_map.entry(hash).or_default().push(SegCand { start, len, mode });
+        self.entries.push(RankEntry { start, len, mode });
+    }
+
+    fn finish(self) -> Result<CompiledProgram, ValidationError> {
+        check_channels(&self.sends, &self.recvs)?;
+        let segments = self.seg_map.values().map(Vec::len).sum();
+        Ok(CompiledProgram {
+            num_ranks: self.n,
+            kinds: self.kinds,
+            arg_a: self.arg_a,
+            arg_b: self.arg_b,
+            arg_c: self.arg_c,
+            pool: self.pool,
+            entries: self.entries,
+            segments,
+            profile: CommProfile {
+                notify_bounds: self.notify_bounds,
+                waits_sends: self.waits_sends,
+                single_writer: self.single_writer,
+                one_sided_only: self.one_sided_only,
+            },
+            total_ops: self.total_ops,
+            total_wire_bytes: self.total_wire_bytes,
+            notify_id_bound: self.notify_id_bound,
+        })
+    }
+}
+
+impl CompiledProgram {
+    /// Compile a symbolic source without ever materializing the whole
+    /// program: one reused scratch buffer holds a single rank's ops at a
+    /// time.  Equivalent to materializing the source into a [`Program`] and
+    /// calling [`Program::compile`] — same validation, same arena, same
+    /// simulation results — in O(ops) instead of O(p · ops) memory.
+    pub fn from_source<S: ProgramSource>(source: &S) -> Result<Self, ValidationError> {
+        Self::from_source_with(source, CompileOptions::default())
+    }
+
+    /// [`Self::from_source`] with explicit [`CompileOptions`].
+    pub fn from_source_with<S: ProgramSource>(source: &S, opts: CompileOptions) -> Result<Self, ValidationError> {
+        let n = source.num_ranks();
+        let mut compiler = Compiler::new(n, opts);
+        let mut scratch = Vec::new();
+        for rank in 0..n {
+            scratch.clear();
+            source.rank_ops(rank, &mut scratch);
+            compiler.push_rank(rank, &scratch)?;
+        }
+        compiler.finish()
+    }
+
+    /// Ranks in the program.
+    pub fn num_ranks(&self) -> usize {
+        self.num_ranks
+    }
+
+    /// Logical op count summed over all ranks (shared segments counted once
+    /// per rank that references them).
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Total bytes crossing the network, summed over all ranks.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.total_wire_bytes
+    }
+
+    /// One past the highest notification id used (0 when none are).
+    pub fn notify_id_bound(&self) -> NotifyId {
+        self.notify_id_bound
+    }
+
+    /// The communication profile folded during compilation (identical to
+    /// `Program::comm_profile` of the materialized equivalent).
+    pub fn profile(&self) -> &CommProfile {
+        &self.profile
+    }
+
+    /// Rank `rank`'s compiled op stream.
+    pub fn rank_ops(&self, rank: RankId) -> RankOps<'_> {
+        let e = self.entries[rank];
+        RankOps { prog: self, rank, start: e.start as usize, len: e.len as usize, mode: e.mode }
+    }
+
+    /// Decode one op of one rank (convenience for `rank_ops(rank).op(i)`).
+    pub fn op_view(&self, rank: RankId, i: usize) -> OpView<'_> {
+        self.rank_ops(rank).op(i)
+    }
+
+    /// Footprint of the compiled representation.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let stored_ops = self.kinds.len();
+        let arena_bytes = stored_ops * (std::mem::size_of::<OpKind>() + 4 + 4 + 8)
+            + self.pool.len() * std::mem::size_of::<NotifyId>()
+            + self.entries.len() * std::mem::size_of::<RankEntry>();
+        MemoryStats {
+            num_ranks: self.num_ranks,
+            total_ops: self.total_ops,
+            stored_ops,
+            segments: self.segments,
+            pool_ids: self.pool.len(),
+            arena_bytes,
+            dedup_ratio: self.total_ops as f64 / stored_ops.max(1) as f64,
+        }
+    }
+
+    #[inline]
+    fn decode(&self, idx: usize, rank: RankId, mode: TargetMode) -> OpView<'_> {
+        let a = self.arg_a[idx];
+        let b = self.arg_b[idx];
+        let c = self.arg_c[idx];
+        let n = self.num_ranks;
+        match self.kinds[idx] {
+            OpKind::Compute => OpView::Compute { seconds: f64::from_bits(c) },
+            OpKind::Reduce => OpView::Reduce { bytes: c },
+            OpKind::Copy => OpView::Copy { bytes: c },
+            OpKind::PutNotify => OpView::PutNotify { dst: decode_target(rank, a, mode, n), bytes: c, notify: b },
+            OpKind::Notify => OpView::Notify { dst: decode_target(rank, a, mode, n), notify: b },
+            OpKind::WaitOne => OpView::WaitNotify { ids: IdsRef::One(a) },
+            OpKind::WaitMany => OpView::WaitNotify { ids: IdsRef::Many(&self.pool[a as usize..(a + b) as usize]) },
+            OpKind::WaitAny => {
+                OpView::WaitNotifyAny { ids: IdsRef::Many(&self.pool[a as usize..(a + b) as usize]), count: c as usize }
+            }
+            OpKind::Send => OpView::Send { dst: decode_target(rank, a, mode, n), bytes: c, tag: b },
+            OpKind::Isend => OpView::Isend { dst: decode_target(rank, a, mode, n), bytes: c, tag: b },
+            OpKind::Recv => OpView::Recv { src: decode_target(rank, a, mode, n), bytes: c, tag: b },
+            OpKind::WaitAllSends => OpView::WaitAllSends,
+            OpKind::Barrier => OpView::Barrier,
+        }
+    }
+
+    /// Structural bounds check: every rank entry must lie inside the arena,
+    /// every pool slice inside the pool, and every stored target code must
+    /// decode to a valid peer for every rank sharing the segment.  Compiled
+    /// programs are valid by construction; this is the defense
+    /// `validate_compiled` applies before executing a program of unknown
+    /// provenance (e.g. a future deserialized one).
+    pub(crate) fn check_bounds(&self) -> Result<(), ValidationError> {
+        let corrupt = |detail: String| ValidationError::CorruptArena { detail };
+        let n = self.num_ranks;
+        let stored = self.kinds.len();
+        if self.arg_a.len() != stored || self.arg_b.len() != stored || self.arg_c.len() != stored {
+            return Err(corrupt(format!(
+                "column lengths differ: kinds {stored}, a {}, b {}, c {}",
+                self.arg_a.len(),
+                self.arg_b.len(),
+                self.arg_c.len()
+            )));
+        }
+        if self.entries.len() != n {
+            return Err(corrupt(format!("{} rank entries for {n} ranks", self.entries.len())));
+        }
+        let n_pow2 = n.is_power_of_two();
+        let mut seen: std::collections::HashSet<(u32, u32, TargetMode)> = std::collections::HashSet::new();
+        for (rank, e) in self.entries.iter().enumerate() {
+            let s = e.start as usize;
+            let len = e.len as usize;
+            let Some(end) = s.checked_add(len).filter(|&end| end <= stored) else {
+                return Err(corrupt(format!("rank {rank} ops [{s}, {s}+{len}) exceed arena length {stored}")));
+            };
+            if seen.insert((e.start, e.len, e.mode)) {
+                // Rank-independent checks, once per shared segment.
+                for i in s..end {
+                    match self.kinds[i] {
+                        OpKind::WaitMany | OpKind::WaitAny => {
+                            let off = self.arg_a[i] as usize;
+                            let cnt = self.arg_b[i] as usize;
+                            match off.checked_add(cnt) {
+                                Some(end) if end <= self.pool.len() => {}
+                                _ => {
+                                    return Err(corrupt(format!(
+                                        "op {i}: wait-id slice [{off}, {off}+{cnt}) exceeds pool length {}",
+                                        self.pool.len()
+                                    )));
+                                }
+                            }
+                            if self.kinds[i] == OpKind::WaitAny {
+                                let count = self.arg_c[i] as usize;
+                                if count == 0 || count > cnt {
+                                    return Err(corrupt(format!("op {i}: wait-any count {count} outside 1..={cnt}")));
+                                }
+                            }
+                        }
+                        OpKind::PutNotify | OpKind::Notify | OpKind::Send | OpKind::Isend | OpKind::Recv => {
+                            let code = self.arg_a[i] as usize;
+                            let bad = match e.mode {
+                                TargetMode::Delta => code == 0 || code >= n,
+                                // For power-of-two n, `rank ^ code < n` holds
+                                // for every rank iff `code < n`.
+                                TargetMode::Xor => code == 0 || (n_pow2 && code >= n),
+                            };
+                            if bad {
+                                return Err(corrupt(format!(
+                                    "op {i}: target code {code} invalid for {:?} mode at {n} ranks",
+                                    e.mode
+                                )));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if e.mode == TargetMode::Xor && !n_pow2 {
+                // Xor decoding is rank-dependent when n is not a power of
+                // two; walk this rank's targets explicitly.
+                for i in s..end {
+                    if matches!(
+                        self.kinds[i],
+                        OpKind::PutNotify | OpKind::Notify | OpKind::Send | OpKind::Isend | OpKind::Recv
+                    ) {
+                        let dst = rank ^ self.arg_a[i] as usize;
+                        if dst >= n {
+                            return Err(corrupt(format!(
+                                "op {i}: xor target {dst} out of range for rank {rank} at {n} ranks"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Program {
+    /// Compile this program into the arena-encoded form the engine executes
+    /// (see [`CompiledProgram`]).  Validates while encoding: returns exactly
+    /// the error [`mod@crate::validate`] would.
+    pub fn compile(&self) -> Result<CompiledProgram, ValidationError> {
+        self.compile_with(CompileOptions::default())
+    }
+
+    /// [`Self::compile`] with explicit [`CompileOptions`].
+    pub fn compile_with(&self, opts: CompileOptions) -> Result<CompiledProgram, ValidationError> {
+        let mut compiler = Compiler::new(self.num_ranks(), opts);
+        for (rank, rp) in self.ranks.iter().enumerate() {
+            compiler.push_rank(rank, &rp.ops)?;
+        }
+        compiler.finish()
+    }
+
+    /// Footprint of the materialized representation (heap estimate: op
+    /// records plus owned wait-id lists).
+    pub fn memory_stats(&self) -> MemoryStats {
+        let total_ops: u64 = self.ranks.iter().map(|rp| rp.ops.len() as u64).sum();
+        let pool_ids: usize = self
+            .ranks
+            .iter()
+            .flat_map(|rp| rp.ops.iter())
+            .map(|op| match op {
+                Op::WaitNotify { ids } | Op::WaitNotifyAny { ids, .. } => ids.len(),
+                _ => 0,
+            })
+            .sum();
+        let arena_bytes = total_ops as usize * std::mem::size_of::<Op>()
+            + pool_ids * std::mem::size_of::<NotifyId>()
+            + self.ranks.len() * std::mem::size_of::<Vec<Op>>();
+        MemoryStats {
+            num_ranks: self.num_ranks(),
+            total_ops,
+            stored_ops: total_ops as usize,
+            segments: self.num_ranks(),
+            pool_ids,
+            arena_bytes,
+            dedup_ratio: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    /// p-rank, `rounds`-round ring put/wait/reduce program (every rank's
+    /// stream is the same algorithm rotated by its rank id).
+    fn ring_program(p: usize, rounds: usize) -> Program {
+        let mut b = ProgramBuilder::new(p);
+        for round in 0..rounds {
+            let id = round as NotifyId;
+            for rank in 0..p {
+                b.put_notify(rank, (rank + 1) % p, 4096, id);
+            }
+            for rank in 0..p {
+                b.wait_notify(rank, &[id]);
+                b.reduce(rank, 4096);
+            }
+        }
+        b.build()
+    }
+
+    fn hypercube_program(p: usize) -> Program {
+        let dims = p.trailing_zeros();
+        let mut b = ProgramBuilder::new(p);
+        for d in 0..dims {
+            for rank in 0..p {
+                b.put_notify(rank, rank ^ (1 << d), 1024, d);
+            }
+            for rank in 0..p {
+                b.wait_notify(rank, &[d]);
+                b.reduce(rank, 1024);
+            }
+        }
+        b.build()
+    }
+
+    fn decoded(c: &CompiledProgram, rank: RankId) -> Vec<Op> {
+        c.rank_ops(rank).iter().map(|v| v.to_op()).collect()
+    }
+
+    #[test]
+    fn compile_roundtrips_every_rank() {
+        let p = ring_program(7, 3);
+        let c = p.compile().unwrap();
+        for rank in 0..7 {
+            assert_eq!(decoded(&c, rank), p.ranks[rank].ops, "rank {rank}");
+        }
+        assert_eq!(c.num_ranks(), 7);
+        assert_eq!(c.total_ops(), p.total_ops() as u64);
+        assert_eq!(c.total_wire_bytes(), p.total_wire_bytes());
+        assert_eq!(c.notify_id_bound(), p.notify_id_bound());
+        assert_eq!(*c.profile(), p.comm_profile());
+    }
+
+    #[test]
+    fn symmetric_ring_dedups_to_two_segments() {
+        // Rank 0's stream xor-encodes (0 ^ 1 = 1 is a power of two) and the
+        // rest share one delta segment — the arena stores 2 copies, not p.
+        let p = ring_program(64, 4);
+        let c = p.compile().unwrap();
+        let stats = c.memory_stats();
+        assert_eq!(stats.segments, 2, "{stats}");
+        assert!(stats.stored_ops <= 2 * p.ranks[0].ops.len());
+        assert!(stats.dedup_ratio > 30.0, "{stats}");
+    }
+
+    #[test]
+    fn hypercube_dedups_to_one_segment() {
+        let p = hypercube_program(32);
+        let c = p.compile().unwrap();
+        assert_eq!(c.memory_stats().segments, 1);
+        for rank in 0..32 {
+            assert_eq!(decoded(&c, rank), p.ranks[rank].ops, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_ranks_do_not_dedup() {
+        let mut b = ProgramBuilder::new(3);
+        b.put_notify(0, 1, 64, 0);
+        b.wait_notify(1, &[0]);
+        b.compute(2, 1e-3);
+        let p = b.build();
+        let c = p.compile().unwrap();
+        assert_eq!(c.memory_stats().segments, 3);
+        for rank in 0..3 {
+            assert_eq!(decoded(&c, rank), p.ranks[rank].ops, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn pooled_waits_option_roundtrips_identically() {
+        let p = ring_program(16, 2);
+        let inline = p.compile().unwrap();
+        let pooled = p.compile_with(CompileOptions { inline_single_id_waits: false }).unwrap();
+        for rank in 0..16 {
+            assert_eq!(decoded(&inline, rank), decoded(&pooled, rank), "rank {rank}");
+        }
+        // The pooled form stores the single-id lists in the pool; the inline
+        // form stores none of them there.
+        assert_eq!(inline.memory_stats().pool_ids, 0);
+        assert!(pooled.memory_stats().pool_ids > 0);
+    }
+
+    #[test]
+    fn wait_id_lists_intern_by_content() {
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 1, 64, 0);
+        b.notify(0, 1, 1);
+        b.notify(0, 1, 2);
+        // Two identical multi-id waits on rank 1 → one pool slice.
+        b.wait_notify_any(1, &[0, 1, 2], 1);
+        b.wait_notify_any(1, &[0, 1, 2], 2);
+        let p = b.build();
+        let c = p.compile().unwrap();
+        assert_eq!(c.memory_stats().pool_ids, 3);
+    }
+
+    #[test]
+    fn compile_reports_validation_errors() {
+        let mut b = ProgramBuilder::new(2);
+        b.wait_notify(0, &[4, 4]);
+        let err = b.build().compile().unwrap_err();
+        assert_eq!(err, ValidationError::DuplicateWaitId { rank: 0, op_index: 0, id: 4 });
+    }
+
+    #[test]
+    fn from_source_matches_compile() {
+        let p = ring_program(12, 3);
+        let a = p.compile().unwrap();
+        let b = CompiledProgram::from_source(&p).unwrap();
+        for rank in 0..12 {
+            assert_eq!(decoded(&a, rank), decoded(&b, rank), "rank {rank}");
+        }
+        assert_eq!(a.memory_stats(), b.memory_stats());
+    }
+
+    #[test]
+    fn ids_ref_debug_matches_vec_debug() {
+        assert_eq!(format!("{:?}", IdsRef::One(3)), format!("{:?}", vec![3u32]));
+        assert_eq!(format!("{:?}", IdsRef::Many(&[3, 4, 5])), format!("{:?}", vec![3u32, 4, 5]));
+    }
+
+    #[test]
+    fn op_view_debug_matches_op_debug() {
+        let p = ring_program(5, 2);
+        let c = p.compile().unwrap();
+        for rank in 0..5 {
+            for (i, op) in p.ranks[rank].ops.iter().enumerate() {
+                assert_eq!(format!("{:?}", c.op_view(rank, i)), format!("{op:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn check_bounds_rejects_bad_entry_range() {
+        let p = ring_program(4, 1);
+        let mut c = p.compile().unwrap();
+        c.entries[1].len += 1000;
+        assert!(matches!(c.check_bounds(), Err(ValidationError::CorruptArena { .. })));
+    }
+
+    #[test]
+    fn check_bounds_rejects_bad_pool_slice() {
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 1, 64, 0);
+        b.notify(0, 1, 1);
+        b.wait_notify(1, &[0, 1]);
+        let mut c = b.build().compile().unwrap();
+        // Find the WaitMany record and push its slice past the pool.
+        let idx = c.kinds.iter().position(|&k| k == OpKind::WaitMany).unwrap();
+        c.arg_b[idx] += 7;
+        assert!(matches!(c.check_bounds(), Err(ValidationError::CorruptArena { .. })));
+    }
+
+    #[test]
+    fn check_bounds_rejects_bad_target_code() {
+        let p = ring_program(4, 1);
+        let mut c = p.compile().unwrap();
+        let idx = c.kinds.iter().position(|&k| k == OpKind::PutNotify).unwrap();
+        c.arg_a[idx] = 9; // delta 9 at p = 4
+        assert!(matches!(c.check_bounds(), Err(ValidationError::CorruptArena { .. })));
+    }
+
+    #[test]
+    fn memory_stats_display_is_compact() {
+        let s = ring_program(8, 2).compile().unwrap().memory_stats().to_string();
+        assert!(s.contains("8 ranks"), "{s}");
+        assert!(s.contains("dedup"), "{s}");
+    }
+}

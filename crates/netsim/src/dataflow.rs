@@ -53,9 +53,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex};
 
 use crate::cluster::{ClusterSpec, RankId};
+use crate::compiled::{CompiledProgram, IdsRef, OpView};
 use crate::cost::CostModel;
 use crate::engine::SimError;
-use crate::program::{CommProfile, NotifyId, Op, Program};
+use crate::program::{CommProfile, NotifyId};
 use crate::report::{RankStats, RunReport};
 use crate::scenario::ScenarioInstance;
 
@@ -84,8 +85,6 @@ struct DfRank {
     queued: bool,
     /// Unapplied arrivals, FIFO in visible time (single writer).
     fifo: VecDeque<(f64, NotifyId)>,
-    /// Dense unconsumed-arrival counters, as in the strict engine.
-    notify_counts: Vec<u32>,
     /// Earliest time this rank's injection path is free again.
     tx_free: f64,
     /// Completion time of the rank's latest transfer (for `WaitAllSends`).
@@ -95,7 +94,7 @@ struct DfRank {
 }
 
 impl DfRank {
-    fn new(notify_bound: usize, compute_scale: f64) -> Self {
+    fn new(compute_scale: f64) -> Self {
         Self {
             pc: 0,
             clock: 0.0,
@@ -104,7 +103,6 @@ impl DfRank {
             blocked_since: 0.0,
             queued: true,
             fifo: VecDeque::new(),
-            notify_counts: vec![0; notify_bound],
             tx_free: 0.0,
             max_tx_done: 0.0,
             compute_scale,
@@ -113,12 +111,12 @@ impl DfRank {
     }
 }
 
-/// Record an arrival against the rank's counters (the strict engine's
+/// Record an arrival against the rank's counter slice (the strict engine's
 /// `on_notify` bookkeeping: out-of-range ids are counted but can never
 /// satisfy a wait).
 #[inline]
-fn note_arrival(r: &mut DfRank, id: NotifyId) {
-    if let Some(c) = r.notify_counts.get_mut(id as usize) {
+fn note_arrival(r: &mut DfRank, counts: &mut [u32], id: NotifyId) {
+    if let Some(c) = counts.get_mut(id as usize) {
         *c += 1;
     }
     r.stats.notifications_received += 1;
@@ -127,18 +125,18 @@ fn note_arrival(r: &mut DfRank, id: NotifyId) {
 /// Exact mirror of the strict engine's `consume_notifications`: if at least
 /// `count` of `ids` have unconsumed arrivals, consume one from each of the
 /// first `count` available ids in listed order.
-fn consume(r: &mut DfRank, ids: &[NotifyId], count: usize) -> bool {
+fn consume(r: &mut DfRank, counts: &mut [u32], ids: IdsRef<'_>, count: usize) -> bool {
     let need = count.min(ids.len());
-    let available = ids.iter().filter(|&&id| r.notify_counts.get(id as usize).is_some_and(|&c| c > 0)).count();
+    let available = ids.iter().filter(|&id| counts.get(id as usize).is_some_and(|&c| c > 0)).count();
     if available < need {
         return false;
     }
     let mut taken = 0usize;
-    for &id in ids {
+    for id in ids.iter() {
         if taken == need {
             break;
         }
-        let c = &mut r.notify_counts[id as usize];
+        let c = &mut counts[id as usize];
         if *c > 0 {
             *c -= 1;
             taken += 1;
@@ -165,22 +163,22 @@ fn finish_wait(r: &mut DfRank, at: f64, waited: f64) {
 /// unblocking at `visible + notify_overhead` like the strict `on_notify`.
 /// The split point is a *virtual* time, so the outcome is independent of
 /// when (in wall-clock terms) arrivals reached the FIFO.
-fn try_finish_wait(r: &mut DfRank, ids: &[NotifyId], count: usize, notify_overhead: f64) -> bool {
+fn try_finish_wait(r: &mut DfRank, counts: &mut [u32], ids: IdsRef<'_>, count: usize, notify_overhead: f64) -> bool {
     let bs = r.blocked_since;
     while let Some(&(v, _)) = r.fifo.front() {
         if v > bs {
             break;
         }
         let (_, id) = r.fifo.pop_front().expect("front exists");
-        note_arrival(r, id);
+        note_arrival(r, counts, id);
     }
-    if consume(r, ids, count) {
+    if consume(r, counts, ids, count) {
         finish_wait(r, bs + notify_overhead, 0.0);
         return true;
     }
     while let Some((v, id)) = r.fifo.pop_front() {
-        note_arrival(r, id);
-        if consume(r, ids, count) {
+        note_arrival(r, counts, id);
+        if consume(r, counts, ids, count) {
             finish_wait(r, v + notify_overhead, v + notify_overhead - bs);
             return true;
         }
@@ -196,9 +194,15 @@ struct Shard<'a> {
     chunk: usize,
     cluster: &'a ClusterSpec,
     cost: &'a CostModel,
-    program: &'a Program,
+    program: &'a CompiledProgram,
     scenario: Option<&'a ScenarioInstance>,
     ranks: Vec<DfRank>,
+    /// Dense unconsumed-arrival counters for this shard's ranks, flattened
+    /// into one allocation; local rank `li`'s counters live at
+    /// `counts[offs[li]..offs[li + 1]]` (as in the strict engine).
+    counts: Vec<u32>,
+    /// Per-local-rank prefix offsets into `counts` (length `hi - lo + 1`).
+    offs: Vec<usize>,
     /// Full-size per-node NIC cursors.  Only entries this shard's ranks send
     /// from (tx) or write to (rx) are touched; the single-writer and
     /// one-rank-per-node eligibility rules make those entry sets disjoint
@@ -220,16 +224,23 @@ impl<'a> Shard<'a> {
         num_shards: usize,
         cluster: &'a ClusterSpec,
         cost: &'a CostModel,
-        program: &'a Program,
+        program: &'a CompiledProgram,
         scenario: Option<&'a ScenarioInstance>,
         profile: &'a CommProfile,
     ) -> Self {
         let ranks = (lo..hi)
             .map(|r| {
                 let scale = scenario.map_or(1.0, |s| s.compute_scale(cluster.node_of(r)));
-                DfRank::new(profile.notify_bounds[r], scale)
+                DfRank::new(scale)
             })
             .collect();
+        let mut offs = Vec::with_capacity(hi - lo + 1);
+        let mut acc = 0usize;
+        offs.push(0);
+        for r in lo..hi {
+            acc += profile.notify_bounds[r];
+            offs.push(acc);
+        }
         Self {
             lo,
             hi,
@@ -239,6 +250,8 @@ impl<'a> Shard<'a> {
             program,
             scenario,
             ranks,
+            counts: vec![0; acc],
+            offs,
             node_tx_free: vec![0.0; cluster.nodes],
             node_rx_free: vec![0.0; cluster.nodes],
             worklist: (0..hi - lo).collect(),
@@ -282,46 +295,47 @@ impl<'a> Shard<'a> {
     fn run_rank(&mut self, li: usize) {
         let program = self.program;
         let rank = self.lo + li;
-        let ops: &[Op] = &program.ranks[rank].ops;
+        let view = program.rank_ops(rank);
         let notify_overhead = self.cost.notify_overhead;
+        let (clo, chi) = (self.offs[li], self.offs[li + 1]);
         loop {
             if self.ranks[li].blocked {
-                let (ids, count) = match &ops[self.ranks[li].pc] {
-                    Op::WaitNotify { ids } => (ids, ids.len()),
-                    Op::WaitNotifyAny { ids, count } => (ids, *count),
+                let (ids, count) = match view.op(self.ranks[li].pc) {
+                    OpView::WaitNotify { ids } => (ids, ids.len()),
+                    OpView::WaitNotifyAny { ids, count } => (ids, count),
                     _ => unreachable!("only notification waits park a dataflow rank"),
                 };
-                if !try_finish_wait(&mut self.ranks[li], ids, count, notify_overhead) {
+                if !try_finish_wait(&mut self.ranks[li], &mut self.counts[clo..chi], ids, count, notify_overhead) {
                     return;
                 }
             }
             let r = &mut self.ranks[li];
-            if r.pc >= ops.len() {
+            if r.pc >= view.len() {
                 r.done = true;
                 r.stats.finish_time = r.stats.finish_time.max(r.clock);
                 return;
             }
-            match &ops[r.pc] {
-                Op::Compute { seconds } => local_op(r, seconds.max(0.0)),
-                Op::Reduce { bytes } => local_op(r, self.cost.reduce_time(*bytes)),
-                Op::Copy { bytes } => local_op(r, self.cost.copy_time(*bytes)),
-                Op::PutNotify { dst, bytes, notify } => self.exec_put(li, rank, *dst, *bytes, *notify),
-                Op::Notify { dst, notify } => self.exec_put(li, rank, *dst, 0, *notify),
-                Op::WaitNotify { ids } => {
+            match view.op(r.pc) {
+                OpView::Compute { seconds } => local_op(r, seconds.max(0.0)),
+                OpView::Reduce { bytes } => local_op(r, self.cost.reduce_time(bytes)),
+                OpView::Copy { bytes } => local_op(r, self.cost.copy_time(bytes)),
+                OpView::PutNotify { dst, bytes, notify } => self.exec_put(li, rank, dst, bytes, notify),
+                OpView::Notify { dst, notify } => self.exec_put(li, rank, dst, 0, notify),
+                OpView::WaitNotify { ids } => {
                     r.blocked = true;
                     r.blocked_since = r.clock;
-                    if !try_finish_wait(r, ids, ids.len(), notify_overhead) {
+                    if !try_finish_wait(r, &mut self.counts[clo..chi], ids, ids.len(), notify_overhead) {
                         return;
                     }
                 }
-                Op::WaitNotifyAny { ids, count } => {
+                OpView::WaitNotifyAny { ids, count } => {
                     r.blocked = true;
                     r.blocked_since = r.clock;
-                    if !try_finish_wait(r, ids, *count, notify_overhead) {
+                    if !try_finish_wait(r, &mut self.counts[clo..chi], ids, count, notify_overhead) {
                         return;
                     }
                 }
-                Op::WaitAllSends => {
+                OpView::WaitAllSends => {
                     // All transfer completion times are known at issue time;
                     // the strict engine's outstanding-send counter reduces
                     // to a max over them.
@@ -332,7 +346,7 @@ impl<'a> Shard<'a> {
                     r.pc += 1;
                     r.stats.finish_time = r.stats.finish_time.max(r.clock);
                 }
-                Op::Send { .. } | Op::Isend { .. } | Op::Recv { .. } | Op::Barrier => {
+                OpView::Send { .. } | OpView::Isend { .. } | OpView::Recv { .. } | OpView::Barrier => {
                     unreachable!("two-sided ops and barriers are gated out by eligibility")
                 }
             }
@@ -399,7 +413,7 @@ fn local_op(r: &mut DfRank, d: f64) {
 pub(crate) fn run(
     cluster: &ClusterSpec,
     cost: &CostModel,
-    program: &Program,
+    program: &CompiledProgram,
     scenario: Option<&ScenarioInstance>,
     profile: &CommProfile,
     shards: usize,
@@ -461,18 +475,18 @@ pub(crate) fn run(
 }
 
 /// Final bookkeeping: flush arrivals nobody waited for (the strict engine
-/// still counts their `NotifyVisible` events), detect deadlock, and build
-/// the report.
-fn assemble(program: &Program, mut ranks: Vec<DfRank>) -> Result<RunReport, SimError> {
+/// still counts their `NotifyVisible` events — the counter values themselves
+/// are dead after the run, only the received tally matters), detect
+/// deadlock, and build the report.
+fn assemble(program: &CompiledProgram, mut ranks: Vec<DfRank>) -> Result<RunReport, SimError> {
     let mut blocked = Vec::new();
     for (rank, r) in ranks.iter_mut().enumerate() {
-        while let Some((_, id)) = r.fifo.pop_front() {
-            note_arrival(r, id);
-        }
+        r.stats.notifications_received += r.fifo.len() as u64;
+        r.fifo.clear();
         if !r.done {
-            let what = match &program.ranks[rank].ops[r.pc] {
-                Op::WaitNotify { ids } => format!("waiting for {} of notifications {ids:?}", ids.len()),
-                Op::WaitNotifyAny { ids, count } => format!("waiting for {count} of notifications {ids:?}"),
+            let what = match program.rank_ops(rank).op(r.pc) {
+                OpView::WaitNotify { ids } => format!("waiting for {} of notifications {ids:?}", ids.len()),
+                OpView::WaitNotifyAny { ids, count } => format!("waiting for {count} of notifications {ids:?}"),
                 other => format!("stuck at {other:?}"),
             };
             blocked.push((rank, r.pc, what));
@@ -481,5 +495,10 @@ fn assemble(program: &Program, mut ranks: Vec<DfRank>) -> Result<RunReport, SimE
     if !blocked.is_empty() {
         return Err(SimError::Deadlock { blocked });
     }
-    Ok(RunReport { ranks: ranks.into_iter().map(|r| r.stats).collect(), links: Vec::new(), trace: Vec::new() })
+    Ok(RunReport {
+        ranks: ranks.into_iter().map(|r| r.stats).collect(),
+        links: Vec::new(),
+        trace: Vec::new(),
+        summary: None,
+    })
 }

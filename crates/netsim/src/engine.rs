@@ -15,12 +15,14 @@
 //!
 //! ## Performance
 //!
-//! The hot loop is allocation-free in steady state: operations are executed
-//! by reference (never cloned), blocked waits borrow their notification-id
-//! lists straight from the program, notification counters are dense per-rank
-//! `Vec`s indexed by the program's notify-id range instead of hash maps, the
-//! event queue is pre-sized from the program, and trace details are only
-//! formatted when tracing is enabled.
+//! The hot loop is allocation-free in steady state: operations are decoded
+//! from the [`CompiledProgram`]'s fixed-width arena records (never cloned or
+//! materialized), blocked waits borrow their notification-id lists straight
+//! from the arena's id pool, notification counters live in one flat `Vec`
+//! shared by all ranks (indexed through per-rank prefix offsets) instead of
+//! hash maps or a million tiny allocations, the event queue is pre-sized
+//! from the program, and trace details are only formatted when tracing is
+//! enabled.
 //!
 //! ## Heterogeneity
 //!
@@ -34,15 +36,17 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use crate::calendar::{CalendarQueue, Timed};
 use crate::cluster::{ClusterSpec, RankId};
+use crate::compiled::{CompiledProgram, IdsRef, OpView};
 use crate::cost::{CostModel, Protocol};
 use crate::dataflow;
 use crate::fabric::{Fabric, FlowId};
-use crate::program::{CommProfile, NotifyId, Op, Program, Tag};
-use crate::report::{LinkStats, RankStats, RunReport};
+use crate::program::{NotifyId, Program, Tag};
+use crate::report::{LinkStats, RankStats, ReportDetail, RunReport};
 use crate::scenario::{Scenario, ScenarioInstance};
+use crate::source::ProgramSource;
 use crate::topology::Topology;
 use crate::trace::{TraceEvent, TraceKind};
-use crate::validate::{validate, ValidationError};
+use crate::validate::{validate_compiled, ValidationError};
 
 /// How inter-node transfers are priced.
 ///
@@ -138,6 +142,7 @@ pub struct Engine {
     network: NetworkModel,
     scheduler: SchedulerKind,
     shards: usize,
+    report_detail: ReportDetail,
 }
 
 impl Engine {
@@ -151,6 +156,7 @@ impl Engine {
             network: NetworkModel::AlphaBeta,
             scheduler: SchedulerKind::default(),
             shards: 1,
+            report_detail: ReportDetail::default(),
         }
     }
 
@@ -231,9 +237,70 @@ impl Engine {
         self.shards
     }
 
+    /// Select how much per-rank detail the returned [`RunReport`] retains
+    /// (see [`ReportDetail`]; the default keeps everything).  Summarized and
+    /// sampled reports fold the per-rank statistics — and capture the full
+    /// fingerprint — before dropping rows, so aggregate queries and
+    /// determinism checks are unaffected.
+    pub fn with_report_detail(mut self, detail: ReportDetail) -> Self {
+        self.report_detail = detail;
+        self
+    }
+
+    /// The configured report detail level.
+    pub fn report_detail(&self) -> ReportDetail {
+        self.report_detail
+    }
+
     /// Simulate `program` and return the run report.
+    ///
+    /// The program is validated, compiled to the arena form (see
+    /// [`CompiledProgram`]) and executed; callers running the same program
+    /// many times should [`Program::compile`] once and use
+    /// [`Engine::run_compiled`] instead.
     pub fn run(&self, program: &Program) -> Result<RunReport, SimError> {
-        validate(program, self.cluster.total_ranks()).map_err(SimError::Invalid)?;
+        let cluster_ranks = self.cluster.total_ranks();
+        if program.num_ranks() != cluster_ranks {
+            return Err(SimError::Invalid(ValidationError::RankCountMismatch {
+                program: program.num_ranks(),
+                cluster: cluster_ranks,
+            }));
+        }
+        let compiled = program.compile().map_err(SimError::Invalid)?;
+        self.run_compiled_inner(&compiled)
+    }
+
+    /// Simulate an already-compiled program.
+    ///
+    /// Compilation already validated the op streams, so only the cheap
+    /// structural checks run here (rank count against the cluster, arena
+    /// bounds); the expensive per-op validation is not repeated.
+    pub fn run_compiled(&self, program: &CompiledProgram) -> Result<RunReport, SimError> {
+        validate_compiled(program, self.cluster.total_ranks()).map_err(SimError::Invalid)?;
+        self.run_compiled_inner(program)
+    }
+
+    /// Simulate a [`ProgramSource`], compiling rank op streams on the fly.
+    ///
+    /// The materialized program never exists: ranks stream one at a time
+    /// through the compiler's scratch buffer and identical streams intern to
+    /// shared arena segments, so a symmetric million-rank collective
+    /// simulates in O(ops) program memory.
+    pub fn run_source<S: ProgramSource>(&self, source: &S) -> Result<RunReport, SimError> {
+        let cluster_ranks = self.cluster.total_ranks();
+        if source.num_ranks() != cluster_ranks {
+            return Err(SimError::Invalid(ValidationError::RankCountMismatch {
+                program: source.num_ranks(),
+                cluster: cluster_ranks,
+            }));
+        }
+        let compiled = CompiledProgram::from_source(source).map_err(SimError::Invalid)?;
+        self.run_compiled_inner(&compiled)
+    }
+
+    /// Shared execution path behind [`Engine::run`], [`Engine::run_compiled`]
+    /// and [`Engine::run_source`]: the program is known valid here.
+    fn run_compiled_inner(&self, program: &CompiledProgram) -> Result<RunReport, SimError> {
         let instance = match &self.scenario {
             Some(s) => {
                 s.validate().map_err(SimError::BadScenario)?;
@@ -268,7 +335,7 @@ impl Engine {
                 Some(Fabric::new(t.clone()).map_err(SimError::BadTopology)?)
             }
         };
-        let profile = program.comm_profile();
+        let profile = program.profile();
         // Dataflow fast path: one-sided single-writer programs on one-rank
         // nodes have per-destination arrival streams that are FIFO in both
         // issue order and visible time, so rank op chains can burst-execute
@@ -282,12 +349,13 @@ impl Engine {
             && self.cluster.ranks_per_node == 1
             && profile.one_sided_only
             && profile.single_writer;
-        if eligible {
-            return dataflow::run(&self.cluster, &self.cost, program, instance.as_ref(), &profile, self.shards);
-        }
-        let sim =
-            Sim::new(&self.cluster, &self.cost, program, self.tracing, instance, fabric, &profile, self.scheduler);
-        sim.run()
+        let mut report = if eligible {
+            dataflow::run(&self.cluster, &self.cost, program, instance.as_ref(), profile, self.shards)?
+        } else {
+            Sim::new(&self.cluster, &self.cost, program, self.tracing, instance, fabric, self.scheduler).run()?
+        };
+        report.finalize(self.report_detail);
+        Ok(report)
     }
 
     /// Convenience: simulate and return only the makespan (seconds).
@@ -397,11 +465,11 @@ impl EventQueue {
 }
 
 /// What a rank is blocked on.  Notification waits borrow their id list
-/// straight from the program — blocking allocates nothing.
+/// straight from the compiled program's arena — blocking allocates nothing.
 #[derive(Debug, Clone, Copy)]
 enum Blocked<'a> {
     Recv { src: RankId, tag: Tag },
-    Notify { ids: &'a [NotifyId], count: usize },
+    Notify { ids: IdsRef<'a>, count: usize },
     SendTxDone { msg: MsgId },
     WaitAllSends,
     Barrier,
@@ -482,9 +550,6 @@ struct RankSim<'a> {
     done: bool,
     blocked: Option<Blocked<'a>>,
     blocked_since: f64,
-    /// Dense notification counters (notify id -> unconsumed arrivals), sized
-    /// by the largest id this rank waits on or can receive.
-    notify_counts: Vec<u32>,
     /// Fully arrived two-sided messages without a matching posted receive.
     unexpected: HashMap<(RankId, Tag), VecDeque<(f64, u64)>>,
     /// Rendezvous senders waiting for this rank to post a matching receive.
@@ -499,13 +564,12 @@ struct RankSim<'a> {
 }
 
 impl RankSim<'_> {
-    fn new(notify_bound: usize, compute_scale: f64) -> Self {
+    fn new(compute_scale: f64) -> Self {
         Self {
             pc: 0,
             done: false,
             blocked: None,
             blocked_since: 0.0,
-            notify_counts: vec![0; notify_bound],
             unexpected: HashMap::new(),
             pending_rndv: HashMap::new(),
             outstanding_sends: 0,
@@ -519,7 +583,7 @@ impl RankSim<'_> {
 struct Sim<'a> {
     cluster: &'a ClusterSpec,
     cost: &'a CostModel,
-    program: &'a Program,
+    program: &'a CompiledProgram,
     tracing: bool,
     scenario: Option<ScenarioInstance>,
     now: f64,
@@ -527,8 +591,16 @@ struct Sim<'a> {
     next_msg: MsgId,
     events: EventQueue,
     ranks: Vec<RankSim<'a>>,
+    /// Dense notification counters (notify id -> unconsumed arrivals) for all
+    /// ranks, flattened into one allocation; rank `r`'s counters live at
+    /// `notify_counts[notify_off[r]..notify_off[r + 1]]`, sized by the largest
+    /// id the rank waits on or can receive.
+    notify_counts: Vec<u32>,
+    /// Per-rank prefix offsets into `notify_counts` (length `n + 1`).
+    notify_off: Vec<usize>,
     /// Ranks that execute `WaitAllSends` and therefore need `TxDone` events
-    /// for their one-sided puts (borrowed from the caller's [`CommProfile`]).
+    /// for their one-sided puts (borrowed from the compiled program's
+    /// profile).
     tracks_put_tx: &'a [bool],
     node_tx_free: Vec<f64>,
     node_rx_free: Vec<f64>,
@@ -552,20 +624,27 @@ impl<'a> Sim<'a> {
     fn new(
         cluster: &'a ClusterSpec,
         cost: &'a CostModel,
-        program: &'a Program,
+        program: &'a CompiledProgram,
         tracing: bool,
         scenario: Option<ScenarioInstance>,
         fabric: Option<Fabric>,
-        profile: &'a CommProfile,
         scheduler: SchedulerKind,
     ) -> Self {
+        let profile = program.profile();
         let n = program.num_ranks();
         let ranks = (0..n)
             .map(|r| {
                 let scale = scenario.as_ref().map_or(1.0, |s| s.compute_scale(cluster.node_of(r)));
-                RankSim::new(profile.notify_bounds[r], scale)
+                RankSim::new(scale)
             })
             .collect();
+        let mut notify_off = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        notify_off.push(0);
+        for &bound in &profile.notify_bounds {
+            acc += bound;
+            notify_off.push(acc);
+        }
         Self {
             cluster,
             cost,
@@ -583,6 +662,8 @@ impl<'a> Sim<'a> {
             // one wave of events.
             events: EventQueue::new(scheduler, cost.alpha_intra.min(cost.alpha_inter), 4 * n + 64),
             ranks,
+            notify_counts: vec![0; acc],
+            notify_off,
             tracks_put_tx: &profile.waits_sends,
             node_tx_free: vec![0.0; cluster.nodes],
             node_rx_free: vec![0.0; cluster.nodes],
@@ -663,7 +744,7 @@ impl<'a> Sim<'a> {
             None => Vec::new(),
         };
         let ranks = self.ranks.into_iter().map(|r| r.stats).collect();
-        Ok(RunReport { ranks, links, trace: self.trace })
+        Ok(RunReport { ranks, links, trace: self.trace, summary: None })
     }
 
     /// Resume a rank that was blocked, accounting the wait time.
@@ -696,59 +777,60 @@ impl<'a> Sim<'a> {
             return;
         }
         let pc = self.ranks[rank].pc;
-        // Copy the program reference out of `self` so the borrowed operation
-        // has the full `'a` lifetime — the hot loop never clones an `Op`.
+        // Copy the program reference out of `self` so the decoded operation's
+        // borrowed id lists have the full `'a` lifetime — the hot loop never
+        // materializes an `Op`.
         let program = self.program;
-        let ops = &program.ranks[rank].ops;
-        if pc >= ops.len() {
+        let view = program.rank_ops(rank);
+        if pc >= view.len() {
             let r = &mut self.ranks[rank];
             r.done = true;
             r.stats.finish_time = r.stats.finish_time.max(t);
             return;
         }
-        let op = &ops[pc];
+        let op = view.op(pc);
         if self.tracing {
             let detail = format!("{op:?}");
             self.trace.push(TraceEvent::new(t, rank, TraceKind::OpStart, Some(pc), detail));
         }
         self.ranks[rank].stats.finish_time = self.ranks[rank].stats.finish_time.max(t);
         match op {
-            Op::Compute { seconds } => self.finish_local(rank, t, seconds.max(0.0)),
-            Op::Reduce { bytes } => {
-                let d = self.cost.reduce_time(*bytes);
+            OpView::Compute { seconds } => self.finish_local(rank, t, seconds.max(0.0)),
+            OpView::Reduce { bytes } => {
+                let d = self.cost.reduce_time(bytes);
                 self.finish_local(rank, t, d)
             }
-            Op::Copy { bytes } => {
-                let d = self.cost.copy_time(*bytes);
+            OpView::Copy { bytes } => {
+                let d = self.cost.copy_time(bytes);
                 self.finish_local(rank, t, d)
             }
-            Op::PutNotify { dst, bytes, notify } => {
+            OpView::PutNotify { dst, bytes, notify } => {
                 let launch = t + self.cost.o_send;
-                self.schedule_put(rank, *dst, *bytes, *notify, launch);
+                self.schedule_put(rank, dst, bytes, notify, launch);
                 self.advance(rank, launch);
             }
-            Op::Notify { dst, notify } => {
+            OpView::Notify { dst, notify } => {
                 let launch = t + self.cost.o_send;
-                self.schedule_put(rank, *dst, 0, *notify, launch);
+                self.schedule_put(rank, dst, 0, notify, launch);
                 self.advance(rank, launch);
             }
-            Op::WaitNotify { ids } => {
+            OpView::WaitNotify { ids } => {
                 self.try_wait_notify(rank, t, ids, ids.len());
             }
-            Op::WaitNotifyAny { ids, count } => {
-                self.try_wait_notify(rank, t, ids, *count);
+            OpView::WaitNotifyAny { ids, count } => {
+                self.try_wait_notify(rank, t, ids, count);
             }
-            Op::Send { dst, bytes, tag } => self.exec_send(rank, *dst, *bytes, *tag, t, true),
-            Op::Isend { dst, bytes, tag } => self.exec_send(rank, *dst, *bytes, *tag, t, false),
-            Op::Recv { src, bytes, tag } => self.exec_recv(rank, *src, *bytes, *tag, t),
-            Op::WaitAllSends => {
+            OpView::Send { dst, bytes, tag } => self.exec_send(rank, dst, bytes, tag, t, true),
+            OpView::Isend { dst, bytes, tag } => self.exec_send(rank, dst, bytes, tag, t, false),
+            OpView::Recv { src, bytes, tag } => self.exec_recv(rank, src, bytes, tag, t),
+            OpView::WaitAllSends => {
                 if self.ranks[rank].outstanding_sends == 0 {
                     self.advance(rank, t);
                 } else {
                     self.block(rank, t, Blocked::WaitAllSends);
                 }
             }
-            Op::Barrier => self.exec_barrier(rank, t),
+            OpView::Barrier => self.exec_barrier(rank, t),
         }
     }
 
@@ -1124,7 +1206,7 @@ impl<'a> Sim<'a> {
 
     // -- notifications -------------------------------------------------------
 
-    fn try_wait_notify(&mut self, rank: RankId, t: f64, ids: &'a [NotifyId], count: usize) {
+    fn try_wait_notify(&mut self, rank: RankId, t: f64, ids: IdsRef<'a>, count: usize) {
         if self.consume_notifications(rank, ids, count) {
             self.advance(rank, t + self.cost.notify_overhead);
         } else {
@@ -1137,25 +1219,25 @@ impl<'a> Sim<'a> {
     /// listed order — and return true.  Arrivals beyond `count` are left for
     /// later waits: a `WaitNotifyAny { count }` must never drain ids a
     /// subsequent wait depends on.
-    fn consume_notifications(&mut self, rank: RankId, ids: &[NotifyId], count: usize) -> bool {
+    fn consume_notifications(&mut self, rank: RankId, ids: IdsRef<'_>, count: usize) -> bool {
         let need = count.min(ids.len());
-        let r = &mut self.ranks[rank];
-        let available = ids.iter().filter(|&&id| r.notify_counts.get(id as usize).is_some_and(|&c| c > 0)).count();
+        let counts = &mut self.notify_counts[self.notify_off[rank]..self.notify_off[rank + 1]];
+        let available = ids.iter().filter(|&id| counts.get(id as usize).is_some_and(|&c| c > 0)).count();
         if available < need {
             return false;
         }
         let mut taken = 0usize;
-        for &id in ids {
+        for id in ids.iter() {
             if taken == need {
                 break;
             }
-            let c = &mut r.notify_counts[id as usize];
+            let c = &mut counts[id as usize];
             if *c > 0 {
                 *c -= 1;
                 taken += 1;
             }
         }
-        r.stats.notifications_consumed += taken as u64;
+        self.ranks[rank].stats.notifications_consumed += taken as u64;
         true
     }
 
@@ -1164,14 +1246,14 @@ impl<'a> Sim<'a> {
             let detail = format!("notify={notify} bytes={bytes}");
             self.trace.push(TraceEvent::new(t, rank, TraceKind::NotifyVisible, None, detail));
         }
-        let r = &mut self.ranks[rank];
+        let counts = &mut self.notify_counts[self.notify_off[rank]..self.notify_off[rank + 1]];
         // An arrival no listed wait can reference may exceed this rank's
         // dense range; it can never satisfy a wait, so only count it.
-        if let Some(c) = r.notify_counts.get_mut(notify as usize) {
+        if let Some(c) = counts.get_mut(notify as usize) {
             *c += 1;
         }
-        r.stats.notifications_received += 1;
-        let satisfied = match r.blocked {
+        self.ranks[rank].stats.notifications_received += 1;
+        let satisfied = match self.ranks[rank].blocked {
             Some(Blocked::Notify { ids, count }) => self.consume_notifications(rank, ids, count),
             _ => false,
         };

@@ -55,6 +55,7 @@
 
 mod calendar;
 pub mod cluster;
+pub mod compiled;
 pub mod cost;
 mod dataflow;
 pub mod engine;
@@ -64,19 +65,22 @@ pub mod program;
 pub mod report;
 pub mod routing;
 pub mod scenario;
+pub mod source;
 pub mod topology;
 pub mod trace;
 pub mod validate;
 
 pub use cluster::{ClusterSpec, NodeId, RankId};
+pub use compiled::{CompileOptions, CompiledProgram, IdsRef, MemoryStats, OpView, RankOps};
 pub use cost::{CostModel, Protocol};
 pub use engine::{Engine, NetworkModel, SchedulerKind, SimError};
 pub use fabric::{Fabric, FlowId, LinkUsage};
 pub use presets::ClusterPreset;
 pub use program::{CommProfile, NotifyId, Op, Program, ProgramBuilder, RankProgram, Tag};
-pub use report::{LinkStats, RankStats, RunReport};
+pub use report::{LinkStats, RankStats, ReportDetail, ReportSummary, RunReport};
 pub use routing::RoutingTable;
 pub use scenario::{Scenario, ScenarioInstance, SplitMix64};
+pub use source::ProgramSource;
 pub use topology::{EndpointId, Link, LinkId, Topology, TopologyKind};
 pub use trace::{TraceEvent, TraceKind};
-pub use validate::{validate, ValidationError};
+pub use validate::{validate, validate_compiled, validate_source, ValidationError};

@@ -78,31 +78,100 @@ impl LinkStats {
     }
 }
 
+/// How much per-rank detail a [`RunReport`] retains after a run.
+///
+/// At a million ranks the per-rank [`RankStats`] vector is ~100 MB per
+/// report; figure binaries that only print aggregates select
+/// [`ReportDetail::Summary`] (or [`ReportDetail::Sampled`]) via
+/// [`crate::Engine::with_report_detail`] and the engine folds the aggregates
+/// — including the full determinism fingerprint — *before* dropping the
+/// per-rank rows, so summary reports stay byte-comparable to full ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportDetail {
+    /// Keep every per-rank row (the default; reports behave exactly as they
+    /// always have, and no summary is attached).
+    #[default]
+    Full,
+    /// Fold all aggregates into a [`ReportSummary`] and drop the per-rank
+    /// rows.  Aggregate accessors and [`RunReport::fingerprint`] keep
+    /// answering from the summary; per-rank accessors see an empty vector.
+    Summary,
+    /// Like [`ReportDetail::Summary`], but additionally retain every k-th
+    /// rank's row (rank 0, k, 2k, …) for spot inspection.  `Sampled(1)`
+    /// keeps everything and still attaches the summary.
+    Sampled(usize),
+}
+
+/// Whole-run aggregates folded from the per-rank rows before they are
+/// dropped (see [`ReportDetail`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportSummary {
+    /// Ranks that ran (the length the `ranks` vector had).
+    pub num_ranks: usize,
+    /// Maximum rank finish time.
+    pub makespan: f64,
+    /// Sum of per-rank finish times.
+    pub sum_finish_time: f64,
+    /// Sum of per-rank wait times.
+    pub total_wait_time: f64,
+    /// Sum of per-rank compute times.
+    pub total_compute_time: f64,
+    /// Total bytes injected into the network.
+    pub total_bytes_sent: u64,
+    /// Total messages injected.
+    pub total_messages: u64,
+    /// Total notification arrivals delivered.
+    pub total_notifications_received: u64,
+    /// Total notification arrivals consumed by waits.
+    pub total_notifications_consumed: u64,
+    /// Largest per-rank compute scale.
+    pub max_compute_scale: f64,
+    /// The **full** report fingerprint, computed over every per-rank row
+    /// before any were dropped — identical to what
+    /// [`RunReport::fingerprint`] returns on the [`ReportDetail::Full`]
+    /// report of the same run.
+    pub fingerprint: u64,
+}
+
 /// Result of simulating one [`crate::Program`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
-    /// Per-rank statistics, indexed by rank id.
+    /// Per-rank statistics, indexed by rank id ([`ReportDetail::Full`]),
+    /// every k-th rank ([`ReportDetail::Sampled`]) or empty
+    /// ([`ReportDetail::Summary`]).
     pub ranks: Vec<RankStats>,
     /// Per-link statistics, indexed like the fabric topology's link list
     /// (empty unless the engine ran with a contended network fabric).
     pub links: Vec<LinkStats>,
     /// Trace of simulation events (empty unless tracing was enabled).
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Folded aggregates (`None` under [`ReportDetail::Full`]).
+    pub summary: Option<ReportSummary>,
 }
 
 impl RunReport {
     /// Completion time of the whole program: the maximum rank finish time.
     pub fn makespan(&self) -> f64 {
+        if let Some(s) = &self.summary {
+            return s.makespan;
+        }
         self.ranks.iter().map(|r| r.finish_time).fold(0.0, f64::max)
     }
 
-    /// Finish time of a specific rank.
+    /// Finish time of a specific rank.  Under [`ReportDetail::Summary`] the
+    /// per-rank rows are gone and this panics; use the aggregates instead.
     pub fn finish_time(&self, rank: RankId) -> f64 {
         self.ranks[rank].finish_time
     }
 
     /// Average finish time across ranks.
     pub fn mean_finish_time(&self) -> f64 {
+        if let Some(s) = &self.summary {
+            if s.num_ranks == 0 {
+                return 0.0;
+            }
+            return s.sum_finish_time / s.num_ranks as f64;
+        }
         if self.ranks.is_empty() {
             return 0.0;
         }
@@ -111,29 +180,50 @@ impl RunReport {
 
     /// Total time all ranks spent blocked on remote progress.
     pub fn total_wait_time(&self) -> f64 {
+        if let Some(s) = &self.summary {
+            return s.total_wait_time;
+        }
         self.ranks.iter().map(|r| r.wait_time).sum()
     }
 
     /// Average per-rank wait time.
     pub fn mean_wait_time(&self) -> f64 {
-        if self.ranks.is_empty() {
+        let n = self.summary.as_ref().map_or(self.ranks.len(), |s| s.num_ranks);
+        if n == 0 {
             return 0.0;
         }
-        self.total_wait_time() / self.ranks.len() as f64
+        self.total_wait_time() / n as f64
+    }
+
+    /// Total time all ranks spent in local computation.
+    pub fn total_compute_time(&self) -> f64 {
+        if let Some(s) = &self.summary {
+            return s.total_compute_time;
+        }
+        self.ranks.iter().map(|r| r.compute_time).sum()
     }
 
     /// Total bytes injected into the network across all ranks.
     pub fn total_bytes_sent(&self) -> u64 {
+        if let Some(s) = &self.summary {
+            return s.total_bytes_sent;
+        }
         self.ranks.iter().map(|r| r.bytes_sent).sum()
     }
 
     /// Total number of messages injected across all ranks.
     pub fn total_messages(&self) -> u64 {
+        if let Some(s) = &self.summary {
+            return s.total_messages;
+        }
         self.ranks.iter().map(|r| r.messages_sent).sum()
     }
 
     /// Total notification arrivals delivered across all ranks.
     pub fn total_notifications_received(&self) -> u64 {
+        if let Some(s) = &self.summary {
+            return s.total_notifications_received;
+        }
         self.ranks.iter().map(|r| r.notifications_received).sum()
     }
 
@@ -141,13 +231,63 @@ impl RunReport {
     /// Conservation invariant: never exceeds
     /// [`RunReport::total_notifications_received`].
     pub fn total_notifications_consumed(&self) -> u64 {
+        if let Some(s) = &self.summary {
+            return s.total_notifications_consumed;
+        }
         self.ranks.iter().map(|r| r.notifications_consumed).sum()
     }
 
     /// Largest per-rank compute scale in the run (identifies the worst
     /// straggler; 1.0 on homogeneous clusters).
     pub fn max_compute_scale(&self) -> f64 {
+        if let Some(s) = &self.summary {
+            return s.max_compute_scale;
+        }
         self.ranks.iter().map(|r| r.compute_scale).fold(1.0, f64::max)
+    }
+
+    /// Apply a [`ReportDetail`] policy: fold the summary (including the full
+    /// fingerprint) and drop or thin the per-rank rows.  Called by the
+    /// engine after the report is fully assembled; [`ReportDetail::Full`] is
+    /// a no-op, so default runs are untouched.
+    pub fn finalize(&mut self, detail: ReportDetail) {
+        match detail {
+            ReportDetail::Full => {}
+            ReportDetail::Summary => {
+                self.fold_summary();
+                self.ranks = Vec::new();
+            }
+            ReportDetail::Sampled(k) => {
+                self.fold_summary();
+                let k = k.max(1);
+                let mut i = 0usize;
+                self.ranks.retain(|_| {
+                    let keep = i.is_multiple_of(k);
+                    i += 1;
+                    keep
+                });
+                self.ranks.shrink_to_fit();
+            }
+        }
+    }
+
+    /// Fold the aggregates of the (still complete) per-rank rows into
+    /// [`RunReport::summary`].
+    fn fold_summary(&mut self) {
+        let fingerprint = self.fingerprint();
+        self.summary = Some(ReportSummary {
+            num_ranks: self.ranks.len(),
+            makespan: self.ranks.iter().map(|r| r.finish_time).fold(0.0, f64::max),
+            sum_finish_time: self.ranks.iter().map(|r| r.finish_time).sum(),
+            total_wait_time: self.ranks.iter().map(|r| r.wait_time).sum(),
+            total_compute_time: self.ranks.iter().map(|r| r.compute_time).sum(),
+            total_bytes_sent: self.ranks.iter().map(|r| r.bytes_sent).sum(),
+            total_messages: self.ranks.iter().map(|r| r.messages_sent).sum(),
+            total_notifications_received: self.ranks.iter().map(|r| r.notifications_received).sum(),
+            total_notifications_consumed: self.ranks.iter().map(|r| r.notifications_consumed).sum(),
+            max_compute_scale: self.ranks.iter().map(|r| r.compute_scale).fold(1.0, f64::max),
+            fingerprint,
+        });
     }
 
     // -- fabric link aggregates ---------------------------------------------
@@ -181,7 +321,15 @@ impl RunReport {
     /// property the determinism tests and the CI smoke jobs assert across
     /// scheduler implementations and shard counts.  The trace is excluded:
     /// it is empty unless tracing was explicitly enabled.
+    ///
+    /// When a [`ReportSummary`] is attached, its stored fingerprint — folded
+    /// over the complete per-rank rows before any were dropped — is returned,
+    /// so `Summary`/`Sampled` reports fingerprint identically to the `Full`
+    /// report of the same run.
     pub fn fingerprint(&self) -> u64 {
+        if let Some(s) = &self.summary {
+            return s.fingerprint;
+        }
         // SplitMix64 absorption: mix(acc ^ word) per field.
         fn mix(mut z: u64) -> u64 {
             z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -226,6 +374,7 @@ mod tests {
             ranks: times.iter().map(|&t| RankStats { finish_time: t, ..RankStats::default() }).collect(),
             links: Vec::new(),
             trace: Vec::new(),
+            summary: None,
         }
     }
 
@@ -315,6 +464,64 @@ mod tests {
         let mut g = a.clone();
         g.trace.push(crate::trace::TraceEvent::new(0.0, 0, crate::trace::TraceKind::OpStart, Some(0), "x"));
         assert_eq!(a.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn summary_finalize_preserves_aggregates_and_fingerprint() {
+        let mut full = report_with_finish_times(&[1.0, 3.0, 2.0]);
+        full.ranks[0].wait_time = 0.5;
+        full.ranks[1].compute_time = 0.25;
+        full.ranks[1].bytes_sent = 100;
+        full.ranks[2].messages_sent = 4;
+        full.ranks[0].notifications_received = 7;
+        full.ranks[0].notifications_consumed = 6;
+        full.ranks[2].compute_scale = 2.5;
+
+        let mut summary = full.clone();
+        summary.finalize(ReportDetail::Summary);
+        assert!(summary.ranks.is_empty(), "per-rank rows dropped");
+        assert_eq!(summary.makespan(), full.makespan());
+        assert_eq!(summary.mean_finish_time(), full.mean_finish_time());
+        assert_eq!(summary.total_wait_time(), full.total_wait_time());
+        assert_eq!(summary.mean_wait_time(), full.mean_wait_time());
+        assert_eq!(summary.total_compute_time(), full.total_compute_time());
+        assert_eq!(summary.total_bytes_sent(), full.total_bytes_sent());
+        assert_eq!(summary.total_messages(), full.total_messages());
+        assert_eq!(summary.total_notifications_received(), full.total_notifications_received());
+        assert_eq!(summary.total_notifications_consumed(), full.total_notifications_consumed());
+        assert_eq!(summary.max_compute_scale(), full.max_compute_scale());
+        assert_eq!(summary.fingerprint(), full.fingerprint(), "summary keeps the full fingerprint");
+
+        // Full is a no-op: the report is untouched and has no summary.
+        let mut untouched = full.clone();
+        untouched.finalize(ReportDetail::Full);
+        assert_eq!(untouched, full);
+        assert!(untouched.summary.is_none());
+    }
+
+    #[test]
+    fn sampled_finalize_keeps_every_kth_rank() {
+        let mut r = report_with_finish_times(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let full_fp = r.fingerprint();
+        r.finalize(ReportDetail::Sampled(2));
+        assert_eq!(r.ranks.len(), 3, "ranks 0, 2, 4 kept");
+        assert_eq!(r.ranks[1].finish_time, 3.0);
+        assert_eq!(r.fingerprint(), full_fp);
+        assert_eq!(r.makespan(), 5.0, "aggregates answer from the summary");
+
+        // Sampled(0) is clamped to keep-everything rather than panicking.
+        let mut z = report_with_finish_times(&[1.0, 2.0]);
+        z.finalize(ReportDetail::Sampled(0));
+        assert_eq!(z.ranks.len(), 2);
+    }
+
+    #[test]
+    fn empty_summary_report_is_zero() {
+        let mut r = RunReport::default();
+        r.finalize(ReportDetail::Summary);
+        assert_eq!(r.makespan(), 0.0);
+        assert_eq!(r.mean_finish_time(), 0.0);
+        assert_eq!(r.mean_wait_time(), 0.0);
     }
 
     #[test]

@@ -7,7 +7,13 @@
 use std::collections::HashMap;
 
 use crate::cluster::RankId;
+use crate::compiled::CompiledProgram;
 use crate::program::{Op, Program, Tag};
+use crate::source::ProgramSource;
+
+/// Per-channel send/receive counts accumulated across ranks, keyed by
+/// `(src, dst, tag)`.
+pub(crate) type ChannelCounts = HashMap<(RankId, RankId, Tag), usize>;
 
 /// Why a program was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,6 +76,14 @@ pub enum ValidationError {
         /// Index of the offending operation.
         op_index: usize,
     },
+    /// A compiled program's arena is structurally inconsistent: a rank entry
+    /// or wait-id slice reaches outside its storage, or a stored target code
+    /// decodes to an invalid rank.  Compiled programs are valid by
+    /// construction, so this only fires for programs of unknown provenance.
+    CorruptArena {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
     /// The number of sends and receives on a channel differ.
     UnmatchedChannel {
         /// Sending rank.
@@ -109,6 +123,9 @@ impl std::fmt::Display for ValidationError {
             ValidationError::BadComputeDuration { rank, op_index } => {
                 write!(f, "rank {rank} op {op_index} has a negative or non-finite compute duration")
             }
+            ValidationError::CorruptArena { detail } => {
+                write!(f, "compiled program arena is corrupt: {detail}")
+            }
             ValidationError::UnmatchedChannel { src, dst, tag, sends, recvs } => {
                 write!(f, "channel {src}->{dst} tag {tag} has {sends} sends but {recvs} receives")
             }
@@ -142,72 +159,128 @@ fn check_distinct_wait_ids(ids: &[u32], rank: RankId, op_index: usize) -> Result
     Ok(())
 }
 
-/// Validate `program` against a cluster with `cluster_ranks` ranks.
-pub fn validate(program: &Program, cluster_ranks: usize) -> Result<(), ValidationError> {
-    let n = program.num_ranks();
-    if n != cluster_ranks {
-        return Err(ValidationError::RankCountMismatch { program: n, cluster: cluster_ranks });
-    }
-    // Per-channel send and receive counts must agree, otherwise the
-    // simulation deadlocks (or leaves unmatched traffic behind).
-    let mut sends: HashMap<(RankId, RankId, Tag), usize> = HashMap::new();
-    let mut recvs: HashMap<(RankId, RankId, Tag), usize> = HashMap::new();
-
-    for (rank, rp) in program.ranks.iter().enumerate() {
-        for (op_index, op) in rp.ops.iter().enumerate() {
-            let check_target = |target: RankId| -> Result<(), ValidationError> {
-                if target >= n {
-                    Err(ValidationError::RankOutOfRange { rank, op_index, target })
-                } else if target == rank {
-                    Err(ValidationError::SelfMessage { rank, op_index })
-                } else {
-                    Ok(())
-                }
-            };
-            match op {
-                Op::PutNotify { dst, bytes, .. } => {
-                    check_target(*dst)?;
-                    if *bytes == 0 {
-                        return Err(ValidationError::ZeroBytePut { rank, op_index });
-                    }
-                }
-                Op::Notify { dst, .. } => check_target(*dst)?,
-                Op::Send { dst, tag, .. } | Op::Isend { dst, tag, .. } => {
-                    check_target(*dst)?;
-                    *sends.entry((rank, *dst, *tag)).or_default() += 1;
-                }
-                Op::Recv { src, tag, .. } => {
-                    check_target(*src)?;
-                    *recvs.entry((*src, rank, *tag)).or_default() += 1;
-                }
-                Op::WaitNotifyAny { ids, count } => {
-                    if *count == 0 || *count > ids.len() {
-                        return Err(ValidationError::BadNotifyCount { rank, op_index });
-                    }
-                    check_distinct_wait_ids(ids, rank, op_index)?;
-                }
-                Op::WaitNotify { ids } => check_distinct_wait_ids(ids, rank, op_index)?,
-                Op::Compute { seconds } if !seconds.is_finite() || *seconds < 0.0 => {
-                    return Err(ValidationError::BadComputeDuration { rank, op_index });
-                }
-                _ => {}
+/// Per-op structural checks for one rank, accumulating its two-sided channel
+/// traffic into `sends`/`recvs` for the whole-program channel check.  Shared
+/// by [`validate`], [`validate_source`] and the streaming compiler, so every
+/// entry path rejects a broken program with the same error at the same op.
+pub(crate) fn check_rank_ops(
+    rank: RankId,
+    ops: &[Op],
+    n: usize,
+    sends: &mut ChannelCounts,
+    recvs: &mut ChannelCounts,
+) -> Result<(), ValidationError> {
+    for (op_index, op) in ops.iter().enumerate() {
+        let check_target = |target: RankId| -> Result<(), ValidationError> {
+            if target >= n {
+                Err(ValidationError::RankOutOfRange { rank, op_index, target })
+            } else if target == rank {
+                Err(ValidationError::SelfMessage { rank, op_index })
+            } else {
+                Ok(())
             }
+        };
+        match op {
+            Op::PutNotify { dst, bytes, .. } => {
+                check_target(*dst)?;
+                if *bytes == 0 {
+                    return Err(ValidationError::ZeroBytePut { rank, op_index });
+                }
+            }
+            Op::Notify { dst, .. } => check_target(*dst)?,
+            Op::Send { dst, tag, .. } | Op::Isend { dst, tag, .. } => {
+                check_target(*dst)?;
+                *sends.entry((rank, *dst, *tag)).or_default() += 1;
+            }
+            Op::Recv { src, tag, .. } => {
+                check_target(*src)?;
+                *recvs.entry((*src, rank, *tag)).or_default() += 1;
+            }
+            Op::WaitNotifyAny { ids, count } => {
+                if *count == 0 || *count > ids.len() {
+                    return Err(ValidationError::BadNotifyCount { rank, op_index });
+                }
+                check_distinct_wait_ids(ids, rank, op_index)?;
+            }
+            Op::WaitNotify { ids } => check_distinct_wait_ids(ids, rank, op_index)?,
+            Op::Compute { seconds } if !seconds.is_finite() || *seconds < 0.0 => {
+                return Err(ValidationError::BadComputeDuration { rank, op_index });
+            }
+            _ => {}
         }
     }
+    Ok(())
+}
 
-    for (&(src, dst, tag), &s) in &sends {
+/// Per-channel send and receive counts must agree, otherwise the simulation
+/// deadlocks (or leaves unmatched traffic behind).
+pub(crate) fn check_channels(sends: &ChannelCounts, recvs: &ChannelCounts) -> Result<(), ValidationError> {
+    for (&(src, dst, tag), &s) in sends {
         let r = recvs.get(&(src, dst, tag)).copied().unwrap_or(0);
         if r != s {
             return Err(ValidationError::UnmatchedChannel { src, dst, tag, sends: s, recvs: r });
         }
     }
-    for (&(src, dst, tag), &r) in &recvs {
+    for (&(src, dst, tag), &r) in recvs {
         let s = sends.get(&(src, dst, tag)).copied().unwrap_or(0);
         if r != s {
             return Err(ValidationError::UnmatchedChannel { src, dst, tag, sends: s, recvs: r });
         }
     }
     Ok(())
+}
+
+/// Validate `program` against a cluster with `cluster_ranks` ranks.
+pub fn validate(program: &Program, cluster_ranks: usize) -> Result<(), ValidationError> {
+    let n = program.num_ranks();
+    if n != cluster_ranks {
+        return Err(ValidationError::RankCountMismatch { program: n, cluster: cluster_ranks });
+    }
+    let mut sends = ChannelCounts::new();
+    let mut recvs = ChannelCounts::new();
+    for (rank, rp) in program.ranks.iter().enumerate() {
+        check_rank_ops(rank, &rp.ops, n, &mut sends, &mut recvs)?;
+    }
+    check_channels(&sends, &recvs)
+}
+
+/// Validate a symbolic [`ProgramSource`] streamingly: one rank's ops are
+/// materialized into a reused scratch buffer at a time, so a p = 2^20
+/// generator validates in O(ops) memory — the full program never exists.
+/// Applies exactly the checks (and yields exactly the errors) of [`validate`]
+/// on the materialized equivalent.
+pub fn validate_source<S: ProgramSource>(source: &S, cluster_ranks: usize) -> Result<(), ValidationError> {
+    let n = source.num_ranks();
+    if n != cluster_ranks {
+        return Err(ValidationError::RankCountMismatch { program: n, cluster: cluster_ranks });
+    }
+    let mut sends = ChannelCounts::new();
+    let mut recvs = ChannelCounts::new();
+    let mut scratch = Vec::new();
+    for rank in 0..n {
+        scratch.clear();
+        source.rank_ops(rank, &mut scratch);
+        check_rank_ops(rank, &scratch, n, &mut sends, &mut recvs)?;
+    }
+    check_channels(&sends, &recvs)
+}
+
+/// Validate an already-compiled program against a cluster with
+/// `cluster_ranks` ranks.
+///
+/// Compilation re-runs the full per-op validation, so a [`CompiledProgram`]
+/// is structurally valid by construction; this check is the cheap O(arena)
+/// defense applied before execution: rank count, rank-entry and wait-id
+/// slice bounds, and target-code ranges (rejecting out-of-bounds arena slice
+/// ranges with [`ValidationError::CorruptArena`]).  It never materializes or
+/// re-walks per-rank op streams except for the rank-dependent xor-mode
+/// target check at non-power-of-two rank counts.
+pub fn validate_compiled(program: &CompiledProgram, cluster_ranks: usize) -> Result<(), ValidationError> {
+    let n = program.num_ranks();
+    if n != cluster_ranks {
+        return Err(ValidationError::RankCountMismatch { program: n, cluster: cluster_ranks });
+    }
+    program.check_bounds()
 }
 
 #[cfg(test)]
@@ -307,5 +380,37 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("0->1"));
         assert!(s.contains("3 sends"));
+        let e = ValidationError::CorruptArena { detail: "bad slice".into() };
+        assert!(e.to_string().contains("bad slice"));
+    }
+
+    #[test]
+    fn validate_source_agrees_with_validate() {
+        // Valid program: both paths accept.
+        let mut ok = ProgramBuilder::new(3);
+        ok.send(0, 1, 100, 0);
+        ok.recv(1, 0, 100, 0);
+        ok.put_notify(2, 0, 8, 1);
+        ok.wait_notify(0, &[1]);
+        let ok = ok.build();
+        assert!(validate(&ok, 3).is_ok());
+        assert!(validate_source(&ok, 3).is_ok());
+        // Broken program: same error from both paths.
+        let mut bad = ProgramBuilder::new(2);
+        bad.wait_notify(0, &[4, 4]);
+        let bad = bad.build();
+        assert_eq!(validate(&bad, 2).unwrap_err(), validate_source(&bad, 2).unwrap_err());
+        // Rank-count mismatch is caught before any rank materializes.
+        assert!(matches!(validate_source(&ok, 5), Err(ValidationError::RankCountMismatch { .. })));
+    }
+
+    #[test]
+    fn validate_compiled_checks_rank_count_and_bounds() {
+        let mut b = ProgramBuilder::new(2);
+        b.put_notify(0, 1, 8, 0);
+        b.wait_notify(1, &[0]);
+        let c = b.build().compile().unwrap();
+        assert!(validate_compiled(&c, 2).is_ok());
+        assert!(matches!(validate_compiled(&c, 3), Err(ValidationError::RankCountMismatch { .. })));
     }
 }

@@ -8,11 +8,14 @@
 //!
 //! Both files are the flat JSON baselines the Criterion benches emit
 //! (`BENCH_engine.json`, `BENCH_fabric.json`).  Every numeric field whose
-//! name contains `per_sec` is treated as a throughput metric: the gate
-//! prints the relative delta for each and **fails** (exit code 1) when any
-//! metric regressed by more than the threshold (default 15%).  A throughput
-//! field present in the baseline but missing from the fresh file also fails
-//! — silently dropping a metric must not pass the gate.
+//! name contains `per_sec` is treated as a throughput metric (higher is
+//! better; a drop beyond the threshold fails), and every field whose name
+//! contains `peak_rss_bytes` as a memory metric (lower is better; growth
+//! beyond the threshold fails).  The gate prints the relative delta for each
+//! and **fails** (exit code 1) when any metric regressed by more than the
+//! threshold (default 15%).  A gated field present in the baseline but
+//! missing from the fresh file also fails — silently dropping a metric must
+//! not pass the gate.
 //!
 //! The parser is deliberately minimal (the workspace is offline and has no
 //! serde): it understands exactly the flat `"key": value` shape our bench
@@ -57,27 +60,47 @@ struct Delta {
     fresh: Option<f64>,
     /// Relative change, `(fresh - baseline) / baseline`.
     relative: Option<f64>,
+    /// Memory-style metric (`peak_rss_bytes`): growth is the regression.
+    lower_is_better: bool,
 }
 
 impl Delta {
     fn regressed(&self, threshold: f64) -> bool {
         match self.relative {
-            Some(rel) => rel < -threshold,
+            Some(rel) => {
+                if self.lower_is_better {
+                    rel > threshold
+                } else {
+                    rel < -threshold
+                }
+            }
             None => true, // metric disappeared
         }
     }
 }
 
-/// Compare every `per_sec` throughput field of `baseline` against `fresh`.
+/// Whether a field name is gated, and in which direction.
+fn gated_direction(key: &str) -> Option<bool> {
+    if key.contains("peak_rss_bytes") {
+        Some(true) // lower is better
+    } else if key.contains("per_sec") {
+        Some(false) // higher is better
+    } else {
+        None
+    }
+}
+
+/// Compare every gated field (`per_sec` throughput, `peak_rss_bytes` memory)
+/// of `baseline` against `fresh`.
 fn compare_throughput(baseline: &str, fresh: &str) -> Vec<Delta> {
     let fresh_fields = numeric_fields(fresh);
     numeric_fields(baseline)
         .into_iter()
-        .filter(|(k, _)| k.contains("per_sec"))
-        .map(|(key, base)| {
+        .filter_map(|(key, base)| gated_direction(&key).map(|lower| (key, base, lower)))
+        .map(|(key, base, lower_is_better)| {
             let fresh = fresh_fields.iter().find(|(k, _)| *k == key).map(|&(_, v)| v);
             let relative = fresh.filter(|_| base != 0.0).map(|f| (f - base) / base);
-            Delta { key, baseline: base, fresh, relative }
+            Delta { key, baseline: base, fresh, relative, lower_is_better }
         })
         .collect()
 }
@@ -90,7 +113,7 @@ fn gate(baseline: &str, fresh: &str, threshold: f64) -> (String, bool) {
     let mut out = String::new();
     let mut ok = true;
     if deltas.is_empty() {
-        let _ = writeln!(out, "error: the baseline file contains no `per_sec` throughput fields");
+        let _ = writeln!(out, "error: the baseline file contains no `per_sec` or `peak_rss_bytes` fields");
         return (out, false);
     }
     let _ = writeln!(out, "{:<44} {:>14} {:>14} {:>9}", "metric", "baseline", "fresh", "delta");
@@ -109,9 +132,9 @@ fn gate(baseline: &str, fresh: &str, threshold: f64) -> (String, bool) {
         out,
         "{}",
         if ok {
-            format!("bench gate passed (threshold: -{:.0}%)", threshold * 100.0)
+            format!("bench gate passed (threshold: {:.0}%)", threshold * 100.0)
         } else {
-            format!("bench gate FAILED: throughput regressed by more than {:.0}%", threshold * 100.0)
+            format!("bench gate FAILED: a metric regressed by more than {:.0}%", threshold * 100.0)
         }
     );
     (out, ok)
@@ -273,6 +296,36 @@ mod tests {
 
         let (_, ok) = gate(base, base, 0.15);
         assert!(ok, "identical per-shard rows pass");
+    }
+
+    #[test]
+    fn peak_rss_growth_fails_the_gate() {
+        // Memory metrics gate in the opposite direction: growth beyond the
+        // threshold is the regression, shrinkage is an improvement.
+        let base = r#"{"ops_per_sec_p_1m": 30000000, "peak_rss_bytes": 4000000000}"#;
+        let grown = r#"{"ops_per_sec_p_1m": 30000000, "peak_rss_bytes": 6000000000}"#; // +50%
+        let (report, ok) = gate(base, grown, 0.15);
+        assert!(!ok, "{report}");
+        assert!(report.contains("peak_rss_bytes"));
+        assert!(report.contains("REGRESSION"));
+
+        let shrunk = r#"{"ops_per_sec_p_1m": 30000000, "peak_rss_bytes": 2000000000}"#; // -50%
+        let (report, ok) = gate(base, shrunk, 0.15);
+        assert!(ok, "less memory must pass: {report}");
+
+        let dropped = r#"{"ops_per_sec_p_1m": 30000000}"#;
+        let (report, ok) = gate(base, dropped, 0.15);
+        assert!(!ok, "a disappearing RSS metric must fail: {report}");
+        assert!(report.contains("missing"));
+    }
+
+    #[test]
+    fn smoke_rss_keys_are_gated_too() {
+        let base = r#"{"ops_per_sec_p_131072": 38000000, "peak_rss_bytes_smoke": 800000000}"#;
+        let grown = base.replace("800000000", "1000000000"); // +25%
+        let (report, ok) = gate(base, &grown, 0.15);
+        assert!(!ok, "{report}");
+        assert!(report.contains("peak_rss_bytes_smoke"));
     }
 
     #[test]

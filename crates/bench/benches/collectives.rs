@@ -29,7 +29,7 @@ fn bench_allreduce(c: &mut Criterion) {
                     data[0]
                 })
                 .unwrap()
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("gaspi_ssp_slack2", format!("{RANKS}x{ELEMS}")), |b| {
         b.iter(|| {
@@ -44,7 +44,7 @@ fn bench_allreduce(c: &mut Criterion) {
                     last
                 })
                 .unwrap()
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("mpi_ring", format!("{RANKS}x{ELEMS}")), |b| {
         b.iter(|| {
@@ -55,7 +55,7 @@ fn bench_allreduce(c: &mut Criterion) {
                 }
                 data[0]
             })
-        })
+        });
     });
     group.finish();
 }
@@ -76,7 +76,7 @@ fn bench_bcast_reduce(c: &mut Criterion) {
                         data[0]
                     })
                     .unwrap()
-            })
+            });
         });
         group.bench_function(BenchmarkId::new("gaspi_reduce_bst", format!("{threshold}%")), |b| {
             b.iter(|| {
@@ -96,7 +96,7 @@ fn bench_bcast_reduce(c: &mut Criterion) {
                         }
                     })
                     .unwrap()
-            })
+            });
         });
     }
     group.bench_function("mpi_bcast_binomial", |b| {
@@ -108,7 +108,7 @@ fn bench_bcast_reduce(c: &mut Criterion) {
                 }
                 data[0]
             })
-        })
+        });
     });
     group.finish();
 }
@@ -130,7 +130,7 @@ fn bench_alltoall(c: &mut Criterion) {
                     recv[0]
                 })
                 .unwrap()
-        })
+        });
     });
     group.bench_function("mpi_pairwise_16KiB", |b| {
         b.iter(|| {
@@ -142,7 +142,7 @@ fn bench_alltoall(c: &mut Criterion) {
                 }
                 out
             })
-        })
+        });
     });
     group.finish();
 }

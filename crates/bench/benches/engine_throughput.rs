@@ -133,12 +133,12 @@ fn bench_engine_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
     group.sample_size(5);
     group.bench_function(BenchmarkId::new("ring_allreduce", format!("p{ranks}")), |b| {
-        b.iter(|| engine.run_compiled(&prog).unwrap())
+        b.iter(|| engine.run_compiled(&prog).unwrap());
     });
     if !test_mode {
         group.bench_function(BenchmarkId::new("ring_allreduce_shards4", format!("p{ranks}")), |b| {
             let sharded = bench_engine(ranks).with_shards(4);
-            b.iter(|| sharded.run_compiled(&prog).unwrap())
+            b.iter(|| sharded.run_compiled(&prog).unwrap());
         });
     }
     group.finish();

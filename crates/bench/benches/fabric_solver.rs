@@ -80,7 +80,7 @@ fn bench_fabric_solver(c: &mut Criterion) {
     for k in [1.0, 4.0] {
         let mut fabric = loaded_fabric(k);
         group.bench_function(BenchmarkId::new("max_min_resolve", format!("{FLOWS}flows_{k}to1")), |b| {
-            b.iter(|| fabric.resolve_full(0.0))
+            b.iter(|| fabric.resolve_full(0.0));
         });
     }
     group.finish();

@@ -13,19 +13,19 @@ fn bench_schedule_simulation(c: &mut Criterion) {
     let engine32 = Engine::new(ClusterSpec::homogeneous(32, 1), CostModel::skylake_fdr());
     group.bench_function(BenchmarkId::new("ring_allreduce", "32x8MB"), |b| {
         let prog = ring_allreduce_schedule(32, 8_000_000);
-        b.iter(|| engine32.makespan(&prog).unwrap())
+        b.iter(|| engine32.makespan(&prog).unwrap());
     });
     group.bench_function(BenchmarkId::new("mpi_rabenseifner", "32x8MB"), |b| {
         let prog = MpiAllreduceVariant::Rabenseifner.schedule(32, 8_000_000, 1);
-        b.iter(|| engine32.makespan(&prog).unwrap())
+        b.iter(|| engine32.makespan(&prog).unwrap());
     });
     let engine_galileo = Engine::new(ClusterSpec::homogeneous(16, 4), CostModel::galileo_opa());
     group.bench_function(BenchmarkId::new("alltoall_direct", "64ranks_32KiB"), |b| {
         let prog = alltoall_direct_schedule(64, 32 * 1024);
-        b.iter(|| engine_galileo.makespan(&prog).unwrap())
+        b.iter(|| engine_galileo.makespan(&prog).unwrap());
     });
     group.bench_function(BenchmarkId::new("schedule_generation", "alltoall_64"), |b| {
-        b.iter(|| alltoall_direct_schedule(64, 32 * 1024).total_ops())
+        b.iter(|| alltoall_direct_schedule(64, 32 * 1024).total_ops());
     });
     group.finish();
 }

@@ -110,7 +110,7 @@ fn bench_transport_overhead(c: &mut Criterion) {
                         data[0]
                     })
                     .unwrap()
-            })
+            });
         });
         group.bench_function(BenchmarkId::new("ring_transport_generic", elems), |b| {
             b.iter(|| {
@@ -124,7 +124,7 @@ fn bench_transport_overhead(c: &mut Criterion) {
                         data[0]
                     })
                     .unwrap()
-            })
+            });
         });
     }
     group.finish();

@@ -64,7 +64,7 @@ fn main() {
         Some(kb) => println!("  gaspi overtakes every MPI variant from {kb:.0} KiB (paper: ~2 MB)"),
         None => println!("  gaspi never overtakes all MPI variants in this sweep"),
     }
-    let last_kb = series[0].points.last().map(|&(kb, _)| kb).unwrap_or(0.0);
+    let last_kb = series[0].points.last().map_or(0.0, |&(kb, _)| kb);
     let g = series[0].y_at(last_kb).unwrap_or(f64::NAN);
     let s7 = series.iter().find(|s| s.label.starts_with("mpi7")).and_then(|s| s.y_at(last_kb)).unwrap_or(f64::NAN);
     let s8 = series.iter().find(|s| s.label.starts_with("mpi8")).and_then(|s| s.y_at(last_kb)).unwrap_or(f64::NAN);

@@ -305,8 +305,7 @@ impl Row {
         self.fabric
             .iter()
             .find(|(k, _)| *k == taper)
-            .map(|(_, sel)| sel.best_vendor().label != self.alpha_beta.best_vendor().label)
-            .unwrap_or(false)
+            .is_some_and(|(_, sel)| sel.best_vendor().label != self.alpha_beta.best_vendor().label)
     }
 }
 
@@ -372,7 +371,7 @@ pub fn winner_table(cfg: &SweepConfig) -> Vec<Row> {
     }
     let results: Mutex<Vec<Option<Vec<f64>>>> = Mutex::new(vec![None; jobs.len()]);
     let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(jobs.len().max(1));
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get).min(jobs.len().max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {

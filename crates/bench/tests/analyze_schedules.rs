@@ -1,0 +1,297 @@
+//! Mutation corpus and differential tests for the static schedule analyzer.
+//!
+//! Three layers of evidence that `ec_netsim::analyze` tells good schedules
+//! from bad ones:
+//!
+//! 1. **Mutation corpus** — take known-good library schedules, break them
+//!    mechanically (drop a notify, swap two waits, shrink a composite wait,
+//!    overlap two put targets) and assert the analyzer reports the *right*
+//!    error class for each mutant while the unmutated base stays clean.
+//! 2. **Differential property** — for random one-sided programs, the
+//!    analyzer certifies deadlock-freedom if and only if the engine actually
+//!    completes the run.
+//! 3. **Scale** — the compiled `p = 2^20` windowed ring analyzes clean
+//!    through its two interned segments, nowhere near the fig17 8 GiB
+//!    budget.
+
+use ec_baseline::MpiAllreduceVariant;
+use ec_bench::million::{peak_rss_bytes, WindowedRingSource};
+use ec_collectives::schedule::{
+    alltoall_direct_schedule, bcast_bst_schedule, reduce_bst_schedule, ring_allreduce_schedule,
+};
+use ec_netsim::{
+    analyze, analyze_compiled, AnalysisError, ClusterSpec, CompiledProgram, CostModel, Engine, Op, Program, SimError,
+    SplitMix64,
+};
+use proptest::prelude::*;
+
+/// The analyzer must accept the unmutated base before a mutant of it means
+/// anything.
+fn assert_clean_base(program: &Program, what: &str) {
+    let report = analyze(program).expect("library schedules pass validation");
+    assert!(report.is_clean(), "{what} should analyze clean, got {:?}", report.errors);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation corpus: one mechanical defect per known defect class.
+// ---------------------------------------------------------------------------
+
+/// Dropping one `PutNotify` from a ring starves the right neighbor's wait.
+#[test]
+fn dropped_notify_is_reported_as_starvation() {
+    let mut program = ring_allreduce_schedule(8, 4096);
+    assert_clean_base(&program, "ring_allreduce(8)");
+    let ops = &mut program.ranks[2].ops;
+    let put = ops.iter().position(|op| matches!(op, Op::PutNotify { .. })).expect("the ring is made of puts");
+    ops.remove(put);
+    let report = analyze(&program).unwrap();
+    assert!(
+        report.errors.iter().any(|e| matches!(e, AnalysisError::Starvation { rank: 3, .. })),
+        "rank 3 waits forever for rank 2's dropped chunk, got {:?}",
+        report.errors
+    );
+}
+
+/// Swapping an interior bcast rank's data wait with its ack wait makes it
+/// demand acknowledgements from children it has not forwarded to yet — a
+/// certain cross-rank cycle.
+#[test]
+fn swapped_waits_are_reported_as_a_deadlock() {
+    let mut program = bcast_bst_schedule(8, 4096, 1.0);
+    assert_clean_base(&program, "bcast_bst(8)");
+    let victim = program
+        .ranks
+        .iter()
+        .position(|r| r.ops.iter().filter(|op| matches!(op, Op::WaitNotify { .. })).count() >= 2)
+        .expect("an interior rank waits for both its data and its children's acks");
+    let waits: Vec<usize> = program.ranks[victim]
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| matches!(op, Op::WaitNotify { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    program.ranks[victim].ops.swap(waits[0], *waits.last().unwrap());
+    let report = analyze(&program).unwrap();
+    assert!(
+        report.errors.iter().any(|e| matches!(e, AnalysisError::Deadlock { certain: true, .. })),
+        "waiting for acks before forwarding the data is a certain cycle, got {:?}",
+        report.errors
+    );
+}
+
+/// Shrinking the AlltoAll's composite wait leaves one peer's landed block
+/// never awaited: its payload is read unsynchronized.
+#[test]
+fn shrunken_wait_is_reported_as_an_unsynced_payload_read() {
+    let mut program = alltoall_direct_schedule(4, 512);
+    assert_clean_base(&program, "alltoall_direct(4)");
+    let ops = &mut program.ranks[0].ops;
+    let dropped = ops
+        .iter_mut()
+        .find_map(|op| match op {
+            Op::WaitNotify { ids } if ids.len() > 1 => ids.pop(),
+            _ => None,
+        })
+        .expect("rank 0 waits for all three peers at once");
+    let report = analyze(&program).unwrap();
+    assert!(
+        report
+            .errors
+            .iter()
+            .any(|e| matches!(e, AnalysisError::UnsyncedPayloadRead { rank: 0, id, .. } if *id == dropped)),
+        "peer {dropped}'s block lands but is never awaited, got {:?}",
+        report.errors
+    );
+}
+
+/// Dropping a leaf's wait for the parent's bare "slot free" notification
+/// leaks that notification (there is no payload behind it).
+#[test]
+fn dropped_handshake_wait_is_reported_as_a_leak() {
+    let mut program = reduce_bst_schedule(8, 4096, 1.0);
+    assert_clean_base(&program, "reduce_bst(8)");
+    let victim = program
+        .ranks
+        .iter()
+        .position(|r| {
+            r.ops.iter().any(|op| matches!(op, Op::WaitNotify { ids } if ids == &[0]))
+                && !r.ops.iter().any(|op| matches!(op, Op::Notify { .. }))
+        })
+        .expect("a leaf waits for the ready handshake and has no children of its own");
+    let ops = &mut program.ranks[victim].ops;
+    let wait = ops.iter().position(|op| matches!(op, Op::WaitNotify { ids } if ids == &[0])).unwrap();
+    ops.remove(wait);
+    let report = analyze(&program).unwrap();
+    assert!(
+        report
+            .errors
+            .iter()
+            .any(|e| matches!(e, AnalysisError::NotificationLeak { rank, id: 0, .. } if *rank == victim)),
+        "the parent's ready notification to rank {victim} is never consumed, got {:?}",
+        report.errors
+    );
+}
+
+/// Redirecting one writer's notification onto another writer's slot makes
+/// two ranks race on the same (dst, id) landing slot.
+#[test]
+fn overlapping_put_targets_are_reported_as_a_multi_writer_race() {
+    let mut program = alltoall_direct_schedule(4, 512);
+    let stolen = program.ranks[2]
+        .ops
+        .iter()
+        .find_map(|op| match op {
+            Op::PutNotify { dst: 0, notify, .. } => Some(*notify),
+            _ => None,
+        })
+        .expect("rank 2 writes a block to rank 0");
+    let mutated = program.ranks[1]
+        .ops
+        .iter_mut()
+        .find_map(|op| match op {
+            Op::PutNotify { dst: 0, notify, .. } => {
+                *notify = stolen;
+                Some(())
+            }
+            _ => None,
+        })
+        .is_some();
+    assert!(mutated, "rank 1 writes a block to rank 0");
+    let report = analyze(&program).unwrap();
+    assert!(
+        report.errors.iter().any(|e| matches!(e, AnalysisError::MultiWriterRace { rank: 0, id, .. } if *id == stolen)),
+        "ranks 1 and 2 both land on slot (0, {stolen}), got {:?}",
+        report.errors
+    );
+}
+
+/// The checked engine entry point refuses a schedule the analyzer rejects
+/// and accepts (and runs) one it certifies.
+#[test]
+fn run_checked_rejects_broken_and_runs_clean_schedules() {
+    let engine = Engine::new(ClusterSpec::homogeneous(8, 1), CostModel::test_model());
+    let clean = ring_allreduce_schedule(8, 4096);
+    let checked = engine.run_checked(&clean).unwrap();
+    let unchecked = engine.run(&clean).unwrap();
+    assert_eq!(checked.fingerprint(), unchecked.fingerprint());
+
+    let mut broken = ring_allreduce_schedule(8, 4096);
+    let put = broken.ranks[2].ops.iter().position(|op| matches!(op, Op::PutNotify { .. })).unwrap();
+    broken.ranks[2].ops.remove(put);
+    match engine.run_checked(&broken) {
+        Err(SimError::Analysis(errors)) => {
+            assert!(errors.iter().any(|e| matches!(e, AnalysisError::Starvation { .. })));
+        }
+        other => panic!("expected an analysis rejection, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Clean-variant properties and the analyzer/engine differential.
+// ---------------------------------------------------------------------------
+
+/// A random one-sided program: every rank issues a handful of puts and
+/// single-id waits over a small notification id space.  Some draws starve a
+/// wait or form a cross-rank cycle; most complete.
+fn random_one_sided_program(seed: u64) -> Program {
+    let mut rng = SplitMix64::new(seed);
+    let p = 2 + rng.next_below(4); // 2..=5 ranks
+    let mut program = Program::empty(p);
+    for rank in 0..p {
+        for _ in 0..rng.next_below(7) {
+            let id = rng.next_below(3) as u32;
+            let op = match rng.next_below(3) {
+                0 => {
+                    let dst = (rank + 1 + rng.next_below(p - 1)) % p;
+                    Op::PutNotify { dst, bytes: 1 + rng.next_below(4096) as u64, notify: id }
+                }
+                1 => {
+                    let dst = (rank + 1 + rng.next_below(p - 1)) % p;
+                    Op::Notify { dst, notify: id }
+                }
+                _ => Op::WaitNotify { ids: vec![id] },
+            };
+            program.ranks[rank].ops.push(op);
+        }
+    }
+    program
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every library variant analyzes clean on the acceptance rank grid.
+    #[test]
+    fn library_variants_analyze_clean(which in 0usize..4, bytes in 1u64..65536) {
+        for p in [3usize, 6, 16, 64] {
+            let program = match which {
+                0 => ring_allreduce_schedule(p, bytes),
+                1 => bcast_bst_schedule(p, bytes, 1.0),
+                2 => reduce_bst_schedule(p, bytes, 0.5),
+                _ => alltoall_direct_schedule(p, bytes),
+            };
+            let report = analyze(&program).unwrap();
+            prop_assert!(report.is_clean(), "variant {} at p={} got {:?}", which, p, report.errors);
+        }
+    }
+
+    /// All twelve MPI allreduce baselines analyze clean on the same grid.
+    #[test]
+    fn mpi_baselines_analyze_clean(bytes in 1u64..65536) {
+        for variant in MpiAllreduceVariant::all() {
+            for p in [3usize, 6, 16, 64] {
+                let report = analyze(&variant.schedule(p, bytes, 1)).unwrap();
+                prop_assert!(
+                    report.is_clean(),
+                    "{} at p={} got {:?}", variant.label(), p, report.errors
+                );
+            }
+        }
+    }
+
+    /// Differential: the analyzer certifies a random one-sided program
+    /// deadlock-free exactly when the engine completes it.
+    #[test]
+    fn analyzer_and_engine_agree_on_deadlock_freedom(seed in 0u64..512) {
+        let program = random_one_sided_program(seed);
+        let report = analyze(&program).unwrap();
+        let engine = Engine::new(
+            ClusterSpec::homogeneous(program.num_ranks(), 1),
+            CostModel::test_model(),
+        );
+        let ran = engine.run(&program);
+        match ran {
+            Ok(_) => prop_assert!(
+                report.is_deadlock_free(),
+                "engine completed but the analyzer predicted {:?}", report.errors
+            ),
+            Err(SimError::Deadlock { .. }) => prop_assert!(
+                !report.is_deadlock_free(),
+                "engine deadlocked but the analyzer certified the schedule"
+            ),
+            Err(other) => prop_assert!(false, "unexpected engine error: {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scale: the million-rank ring through its two interned segments.
+// ---------------------------------------------------------------------------
+
+/// Analyzing the compiled `p = 2^20` windowed ring touches the two unique
+/// rank-relative segments plus one O(p) class scan — far inside the fig17
+/// 8 GiB budget.
+#[test]
+fn million_rank_ring_analyzes_clean_within_budget() {
+    let source = WindowedRingSource::new(1 << 20, 4, 1 << 16);
+    let compiled = CompiledProgram::from_source(&source).unwrap();
+    let report = analyze_compiled(&compiled);
+    assert!(report.is_clean(), "got {:?}", report.errors);
+    assert_eq!(report.num_ranks, 1 << 20);
+    assert!(report.classes <= 2, "uniform ring must intern to two segments, got {}", report.classes);
+    assert!(report.pieces <= 3, "got {} pieces", report.pieces);
+    if let Some(rss) = peak_rss_bytes() {
+        assert!(rss < 4 << 30, "peak RSS {rss} bytes is not 'well under' 8 GiB");
+    }
+}

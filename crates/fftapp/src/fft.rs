@@ -181,7 +181,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn parseval_energy_is_preserved(values in proptest::collection::vec(-100.0f64..100.0, 64)) {
+        fn parseval_energy_is_preserved(values in collection::vec(-100.0f64..100.0, 64)) {
             let input: Vec<Complex> = values.iter().map(|&v| Complex::new(v, 0.0)).collect();
             let mut freq = input.clone();
             fft_in_place(&mut freq);
@@ -191,7 +191,7 @@ mod tests {
         }
 
         #[test]
-        fn fft_is_linear(a in proptest::collection::vec(-10.0f64..10.0, 32), b in proptest::collection::vec(-10.0f64..10.0, 32)) {
+        fn fft_is_linear(a in collection::vec(-10.0f64..10.0, 32), b in collection::vec(-10.0f64..10.0, 32)) {
             let xa: Vec<Complex> = a.iter().map(|&v| Complex::new(v, 0.0)).collect();
             let xb: Vec<Complex> = b.iter().map(|&v| Complex::new(v, 0.0)).collect();
             let sum: Vec<Complex> = xa.iter().zip(&xb).map(|(x, y)| *x + *y).collect();

@@ -62,7 +62,7 @@ pub(crate) struct CalendarQueue<T> {
 impl<T: Timed + Ord + Copy> CalendarQueue<T> {
     /// Create a queue with the given bucket `width` (clamped to a sane
     /// positive value) and pre-sized for roughly `capacity` events.
-    pub fn new(width: f64, capacity: usize) -> Self {
+    pub(crate) fn new(width: f64, capacity: usize) -> Self {
         let width = if width.is_finite() && width > 0.0 { width } else { 1e-6 };
         let per_bucket = (capacity / NUM_BUCKETS).max(4);
         Self {
@@ -86,17 +86,17 @@ impl<T: Timed + Ord + Copy> CalendarQueue<T> {
     /// Number of queued events (differential tests only; the engine drains
     /// by popping until `None`).
     #[cfg(test)]
-    pub fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.len
     }
 
     #[cfg(test)]
-    pub fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     #[inline]
-    pub fn push(&mut self, item: T) {
+    pub(crate) fn push(&mut self, item: T) {
         self.len += 1;
         let b = self.bucket_of(item.time());
         if b <= self.cur {
@@ -151,7 +151,7 @@ impl<T: Timed + Ord + Copy> CalendarQueue<T> {
     }
 
     /// The minimum element, without removing it.
-    pub fn peek(&mut self) -> Option<&T> {
+    pub(crate) fn peek(&mut self) -> Option<&T> {
         if self.len == 0 {
             return None;
         }
@@ -166,7 +166,7 @@ impl<T: Timed + Ord + Copy> CalendarQueue<T> {
     }
 
     /// Remove and return the minimum element.
-    pub fn pop(&mut self) -> Option<T> {
+    pub(crate) fn pop(&mut self) -> Option<T> {
         if self.len == 0 {
             return None;
         }

@@ -53,7 +53,7 @@ impl Default for CompileOptions {
 /// Op discriminant stored in the arena's kind column (1 byte per op).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
-enum OpKind {
+pub(crate) enum OpKind {
     Compute,
     Reduce,
     Copy,
@@ -71,7 +71,7 @@ enum OpKind {
 
 /// How a segment's stored target codes map back to absolute ranks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum TargetMode {
+pub(crate) enum TargetMode {
     /// `code = (dst + p − rank) mod p`; decode `dst = (rank + code) mod p`.
     /// Always applicable (ring rotations become rank-invariant).
     Delta,
@@ -395,7 +395,7 @@ impl fmt::Debug for CompiledProgram {
 }
 
 #[inline]
-fn decode_target(rank: RankId, code: u32, mode: TargetMode, n: usize) -> RankId {
+pub(crate) fn decode_target(rank: RankId, code: u32, mode: TargetMode, n: usize) -> RankId {
     match mode {
         TargetMode::Delta => {
             let s = rank + code as usize;
@@ -499,7 +499,7 @@ fn encode_rank(
             Op::Reduce { bytes } => out.push(OpKind::Reduce, 0, 0, *bytes),
             Op::Copy { bytes } => out.push(OpKind::Copy, 0, 0, *bytes),
             Op::PutNotify { dst, bytes, notify } => {
-                out.push(OpKind::PutNotify, encode_target(rank, *dst, mode, n), *notify, *bytes)
+                out.push(OpKind::PutNotify, encode_target(rank, *dst, mode, n), *notify, *bytes);
             }
             Op::Notify { dst, notify } => out.push(OpKind::Notify, encode_target(rank, *dst, mode, n), *notify, 0),
             Op::WaitNotify { ids } if inline_single && ids.len() == 1 => out.push(OpKind::WaitOne, ids[0], 0, 0),
@@ -768,9 +768,9 @@ impl CompiledProgram {
     /// Footprint of the compiled representation.
     pub fn memory_stats(&self) -> MemoryStats {
         let stored_ops = self.kinds.len();
-        let arena_bytes = stored_ops * (std::mem::size_of::<OpKind>() + 4 + 4 + 8)
-            + self.pool.len() * std::mem::size_of::<NotifyId>()
-            + self.entries.len() * std::mem::size_of::<RankEntry>();
+        let arena_bytes = stored_ops * (size_of::<OpKind>() + 4 + 4 + 8)
+            + self.pool.len() * size_of::<NotifyId>()
+            + self.entries.len() * size_of::<RankEntry>();
         MemoryStats {
             num_ranks: self.num_ranks,
             total_ops: self.total_ops,
@@ -780,6 +780,27 @@ impl CompiledProgram {
             arena_bytes,
             dedup_ratio: self.total_ops as f64 / stored_ops.max(1) as f64,
         }
+    }
+
+    /// Raw arena view of rank `rank`'s segment for the static analyzer:
+    /// `(start, len, mode)` of the shared record range.  Ranks sharing a
+    /// segment return identical triples, which is how
+    /// [`crate::analyze`] groups ranks into equivalence classes.
+    pub(crate) fn raw_entry(&self, rank: RankId) -> (usize, usize, TargetMode) {
+        let e = self.entries[rank];
+        (e.start as usize, e.len as usize, e.mode)
+    }
+
+    /// Raw record at arena index `idx`: `(kind, arg_a, arg_b, arg_c)` with
+    /// target codes still rank-relative (undecoded).
+    pub(crate) fn raw_op(&self, idx: usize) -> (OpKind, u32, u32, u64) {
+        (self.kinds[idx], self.arg_a[idx], self.arg_b[idx], self.arg_c[idx])
+    }
+
+    /// Slice of the shared wait-id pool referenced by a `WaitMany`/`WaitAny`
+    /// record.
+    pub(crate) fn pool_ids(&self, off: u32, len: u32) -> &[NotifyId] {
+        &self.pool[off as usize..(off + len) as usize]
     }
 
     #[inline]
@@ -930,9 +951,9 @@ impl Program {
                 _ => 0,
             })
             .sum();
-        let arena_bytes = total_ops as usize * std::mem::size_of::<Op>()
-            + pool_ids * std::mem::size_of::<NotifyId>()
-            + self.ranks.len() * std::mem::size_of::<Vec<Op>>();
+        let arena_bytes = total_ops as usize * size_of::<Op>()
+            + pool_ids * size_of::<NotifyId>()
+            + self.ranks.len() * size_of::<Vec<Op>>();
         MemoryStats {
             num_ranks: self.num_ranks(),
             total_ops,

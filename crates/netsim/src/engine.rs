@@ -44,7 +44,7 @@ use crate::program::{NotifyId, Program, Tag};
 use crate::report::{LinkStats, RankStats, ReportDetail, RunReport};
 use crate::scenario::{Scenario, ScenarioInstance};
 use crate::source::ProgramSource;
-use crate::topology::Topology;
+use crate::topology::{Topology, TopologyError};
 use crate::trace::{TraceEvent, TraceKind};
 use crate::validate::{validate_compiled, ValidationError};
 
@@ -75,7 +75,7 @@ pub enum SimError {
     BadScenario(String),
     /// The engine's fabric topology does not fit the cluster (node-count
     /// mismatch, invalid or disconnected link graph).
-    BadTopology(String),
+    BadTopology(TopologyError),
     /// Execution stalled: the event queue drained while ranks were still
     /// blocked (mismatched sends/receives or missing notifications).
     Deadlock {
@@ -83,6 +83,9 @@ pub enum SimError {
         /// what it was waiting for.
         blocked: Vec<(RankId, usize, String)>,
     },
+    /// The pre-flight static analyzer rejected the schedule (see
+    /// [`Engine::run_checked`]); the simulation was never started.
+    Analysis(Vec<crate::analyze::AnalysisError>),
 }
 
 impl std::fmt::Display for SimError {
@@ -95,6 +98,13 @@ impl std::fmt::Display for SimError {
                 write!(f, "simulation deadlocked; blocked ranks: ")?;
                 for (r, pc, what) in blocked {
                     write!(f, "[rank {r} at op {pc}: {what}] ")?;
+                }
+                Ok(())
+            }
+            SimError::Analysis(errors) => {
+                write!(f, "static analysis rejected the schedule: ")?;
+                for e in errors {
+                    write!(f, "[{e}] ")?;
                 }
                 Ok(())
             }
@@ -298,6 +308,57 @@ impl Engine {
         self.run_compiled_inner(&compiled)
     }
 
+    /// [`Engine::run`] with an opt-in static pre-flight: the program is
+    /// passed through [`crate::analyze()`] first and rejected with
+    /// [`SimError::Analysis`] if any defect — deadlock, starvation,
+    /// notification leak, consumption race, or one-sided buffer race — is
+    /// found, before any virtual time is simulated.
+    pub fn run_checked(&self, program: &Program) -> Result<RunReport, SimError> {
+        let cluster_ranks = self.cluster.total_ranks();
+        if program.num_ranks() != cluster_ranks {
+            return Err(SimError::Invalid(ValidationError::RankCountMismatch {
+                program: program.num_ranks(),
+                cluster: cluster_ranks,
+            }));
+        }
+        let compiled = program.compile().map_err(SimError::Invalid)?;
+        self.preflight(&compiled)?;
+        self.run_compiled_inner(&compiled)
+    }
+
+    /// [`Engine::run_compiled`] with the static pre-flight of
+    /// [`Engine::run_checked`].
+    pub fn run_compiled_checked(&self, program: &CompiledProgram) -> Result<RunReport, SimError> {
+        validate_compiled(program, self.cluster.total_ranks()).map_err(SimError::Invalid)?;
+        self.preflight(program)?;
+        self.run_compiled_inner(program)
+    }
+
+    /// [`Engine::run_source`] with the static pre-flight of
+    /// [`Engine::run_checked`].
+    pub fn run_source_checked<S: ProgramSource>(&self, source: &S) -> Result<RunReport, SimError> {
+        let cluster_ranks = self.cluster.total_ranks();
+        if source.num_ranks() != cluster_ranks {
+            return Err(SimError::Invalid(ValidationError::RankCountMismatch {
+                program: source.num_ranks(),
+                cluster: cluster_ranks,
+            }));
+        }
+        let compiled = CompiledProgram::from_source(source).map_err(SimError::Invalid)?;
+        self.preflight(&compiled)?;
+        self.run_compiled_inner(&compiled)
+    }
+
+    /// The analyzer gate shared by the `*_checked` entry points.
+    fn preflight(&self, compiled: &CompiledProgram) -> Result<(), SimError> {
+        let report = crate::analyze::analyze_compiled(compiled);
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(SimError::Analysis(report.errors))
+        }
+    }
+
     /// Shared execution path behind [`Engine::run`], [`Engine::run_compiled`]
     /// and [`Engine::run_source`]: the program is known valid here.
     fn run_compiled_inner(&self, program: &CompiledProgram) -> Result<RunReport, SimError> {
@@ -314,23 +375,21 @@ impl Engine {
             // alpha-beta path prices it exactly.
             NetworkModel::Fabric(t) if t.is_contention_free() => {
                 if t.nodes() != self.cluster.nodes {
-                    return Err(SimError::BadTopology(format!(
-                        "topology {} has {} nodes but the cluster has {}",
-                        t.name(),
-                        t.nodes(),
-                        self.cluster.nodes
-                    )));
+                    return Err(SimError::BadTopology(TopologyError::NodeCountMismatch {
+                        topology: t.name().to_string(),
+                        nodes: t.nodes(),
+                        cluster: self.cluster.nodes,
+                    }));
                 }
                 None
             }
             NetworkModel::Fabric(t) => {
                 if t.nodes() != self.cluster.nodes {
-                    return Err(SimError::BadTopology(format!(
-                        "topology {} has {} nodes but the cluster has {}",
-                        t.name(),
-                        t.nodes(),
-                        self.cluster.nodes
-                    )));
+                    return Err(SimError::BadTopology(TopologyError::NodeCountMismatch {
+                        topology: t.name().to_string(),
+                        nodes: t.nodes(),
+                        cluster: self.cluster.nodes,
+                    }));
                 }
                 Some(Fabric::new(t.clone()).map_err(SimError::BadTopology)?)
             }
@@ -707,7 +766,7 @@ impl<'a> Sim<'a> {
             match ev.kind {
                 EventKind::Resume => self.step_rank(ev.rank, ev.time),
                 EventKind::Delivered { src, tag, bytes, msg } => {
-                    self.on_delivered(ev.rank, src, tag, bytes, msg, ev.time)
+                    self.on_delivered(ev.rank, src, tag, bytes, msg, ev.time);
                 }
                 EventKind::NotifyVisible { notify, bytes } => self.on_notify(ev.rank, notify, bytes, ev.time),
                 EventKind::TxDone { msg } => self.on_tx_done(ev.rank, msg, ev.time),
@@ -721,7 +780,7 @@ impl<'a> Sim<'a> {
             .enumerate()
             .filter(|(_, r)| !r.done)
             .map(|(i, r)| {
-                let what = r.blocked.as_ref().map(|b| b.describe()).unwrap_or_else(|| "not scheduled".to_owned());
+                let what = r.blocked.as_ref().map_or_else(|| "not scheduled".to_owned(), Blocked::describe);
                 (i, r.pc, what)
             })
             .collect();
@@ -798,11 +857,11 @@ impl<'a> Sim<'a> {
             OpView::Compute { seconds } => self.finish_local(rank, t, seconds.max(0.0)),
             OpView::Reduce { bytes } => {
                 let d = self.cost.reduce_time(bytes);
-                self.finish_local(rank, t, d)
+                self.finish_local(rank, t, d);
             }
             OpView::Copy { bytes } => {
                 let d = self.cost.copy_time(bytes);
-                self.finish_local(rank, t, d)
+                self.finish_local(rank, t, d);
             }
             OpView::PutNotify { dst, bytes, notify } => {
                 let launch = t + self.cost.o_send;

@@ -23,7 +23,7 @@
 
 use crate::cluster::NodeId;
 use crate::routing::RoutingTable;
-use crate::topology::{LinkId, Topology};
+use crate::topology::{LinkId, Topology, TopologyError};
 
 /// Identifier of an in-flight flow (slab index; ids are reused after
 /// completion — the engine pairs them with [`Fabric::epoch`] to discard
@@ -117,9 +117,9 @@ impl Fabric {
     /// Fails if the topology is invalid or not fully connected.  The
     /// degenerate contention-free topology has no links to share, hence no
     /// fabric: the engine prices it with the plain alpha–beta model instead.
-    pub fn new(topology: Topology) -> Result<Self, String> {
+    pub fn new(topology: Topology) -> Result<Self, TopologyError> {
         if topology.is_contention_free() {
-            return Err(format!("topology {} is contention-free: no fabric to model", topology.name()));
+            return Err(TopologyError::ContentionFree { topology: topology.name().to_string() });
         }
         let routing = RoutingTable::new(&topology)?;
         let links = topology.links().len();

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 mod calendar;
 pub mod cluster;
 pub mod compiled;
@@ -70,6 +71,7 @@ pub mod topology;
 pub mod trace;
 pub mod validate;
 
+pub use analyze::{analyze, analyze_compiled, analyze_source, AnalysisError, AnalysisReport, BlockedWait};
 pub use cluster::{ClusterSpec, NodeId, RankId};
 pub use compiled::{CompileOptions, CompiledProgram, IdsRef, MemoryStats, OpView, RankOps};
 pub use cost::{CostModel, Protocol};
@@ -81,6 +83,6 @@ pub use report::{LinkStats, RankStats, ReportDetail, ReportSummary, RunReport};
 pub use routing::RoutingTable;
 pub use scenario::{Scenario, ScenarioInstance, SplitMix64};
 pub use source::ProgramSource;
-pub use topology::{EndpointId, Link, LinkId, Topology, TopologyKind};
+pub use topology::{EndpointId, Link, LinkId, Topology, TopologyError, TopologyKind};
 pub use trace::{TraceEvent, TraceKind};
 pub use validate::{validate, validate_compiled, validate_source, ValidationError};

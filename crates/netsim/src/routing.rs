@@ -12,7 +12,7 @@
 //! per-pair path storage is required.
 
 use crate::cluster::NodeId;
-use crate::topology::{EndpointId, LinkId, Topology};
+use crate::topology::{EndpointId, LinkId, Topology, TopologyError};
 
 /// Sentinel for "no route" entries in the next-hop table.
 const NO_ROUTE: u32 = u32::MAX;
@@ -35,7 +35,7 @@ impl RoutingTable {
     ///
     /// Returns an error if the topology is invalid or some node pair is
     /// unreachable (every compute node must be able to reach every other).
-    pub fn new(topology: &Topology) -> Result<Self, String> {
+    pub fn new(topology: &Topology) -> Result<Self, TopologyError> {
         topology.validate()?;
         let nodes = topology.nodes();
         let endpoints = topology.endpoints();
@@ -67,7 +67,7 @@ impl RoutingTable {
             }
             for (src, &d) in dist.iter().enumerate().take(nodes) {
                 if src != dst && d == u32::MAX {
-                    return Err(format!("topology {}: node {src} cannot reach node {dst}", topology.name()));
+                    return Err(TopologyError::Unreachable { topology: topology.name().to_string(), src, dst });
                 }
                 if d != u32::MAX {
                     max_path_len = max_path_len.max(d as usize);
@@ -167,7 +167,7 @@ mod tests {
         use crate::topology::Link;
         // Two nodes, a link only one way: 1 cannot reach 0.
         let t = Topology::custom("one-way", 2, 0, vec![Link { from: 0, to: 1, capacity: 1.0, label: "a".into() }]);
-        assert!(RoutingTable::new(&t).err().unwrap().contains("cannot reach"));
+        assert!(matches!(RoutingTable::new(&t), Err(TopologyError::Unreachable { .. })));
     }
 
     #[test]

@@ -197,22 +197,104 @@ impl Topology {
 
     /// Check the graph is well-formed: endpoints in range, positive finite
     /// capacities, no self-loop links.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TopologyError> {
         let ep = self.endpoints();
         for (i, link) in self.links.iter().enumerate() {
             if link.from >= ep || link.to >= ep {
-                return Err(format!("link {i} ({}) references endpoint out of range 0..{ep}", link.label));
+                return Err(TopologyError::EndpointOutOfRange { link: i, label: link.label.clone(), endpoints: ep });
             }
             if link.from == link.to {
-                return Err(format!("link {i} ({}) is a self-loop", link.label));
+                return Err(TopologyError::SelfLoop { link: i, label: link.label.clone() });
             }
             if !link.capacity.is_finite() || link.capacity <= 0.0 {
-                return Err(format!("link {i} ({}) must have positive finite capacity", link.label));
+                return Err(TopologyError::BadCapacity { link: i, label: link.label.clone(), capacity: link.capacity });
             }
         }
         Ok(())
     }
 }
+
+/// Why a [`Topology`] was rejected — by its own structural
+/// [`Topology::validate`], by route computation
+/// ([`crate::routing::RoutingTable::new`]), or by the engine wiring it to a
+/// cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// A link references an endpoint outside `0..endpoints`.
+    EndpointOutOfRange {
+        /// Index of the offending link.
+        link: LinkId,
+        /// The link's human-readable label.
+        label: String,
+        /// Number of endpoints in the graph.
+        endpoints: usize,
+    },
+    /// A link connects an endpoint to itself.
+    SelfLoop {
+        /// Index of the offending link.
+        link: LinkId,
+        /// The link's human-readable label.
+        label: String,
+    },
+    /// A link's capacity is zero, negative, or not finite.
+    BadCapacity {
+        /// Index of the offending link.
+        link: LinkId,
+        /// The link's human-readable label.
+        label: String,
+        /// The rejected capacity.
+        capacity: f64,
+    },
+    /// Some compute node cannot reach another through the link graph.
+    Unreachable {
+        /// Topology name.
+        topology: String,
+        /// Source node of the missing route.
+        src: NodeId,
+        /// Unreachable destination node.
+        dst: NodeId,
+    },
+    /// The degenerate contention-free topology has no links to share, so
+    /// there is no fabric to model.
+    ContentionFree {
+        /// Topology name.
+        topology: String,
+    },
+    /// The topology spans a different number of nodes than the cluster.
+    NodeCountMismatch {
+        /// Topology name.
+        topology: String,
+        /// Nodes in the topology.
+        nodes: usize,
+        /// Nodes in the cluster.
+        cluster: usize,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::EndpointOutOfRange { link, label, endpoints } => {
+                write!(f, "link {link} ({label}) references endpoint out of range 0..{endpoints}")
+            }
+            TopologyError::SelfLoop { link, label } => write!(f, "link {link} ({label}) is a self-loop"),
+            TopologyError::BadCapacity { link, label, capacity } => {
+                write!(f, "link {link} ({label}) must have positive finite capacity, got {capacity}")
+            }
+            TopologyError::Unreachable { topology, src, dst } => {
+                write!(f, "topology {topology}: node {src} cannot reach node {dst}")
+            }
+            TopologyError::ContentionFree { topology } => {
+                write!(f, "topology {topology} is contention-free: no fabric to model")
+            }
+            TopologyError::NodeCountMismatch { topology, nodes, cluster } => {
+                write!(f, "topology {topology} has {nodes} nodes but the cluster has {cluster}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 #[cfg(test)]
 mod tests {

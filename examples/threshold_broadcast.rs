@@ -45,7 +45,7 @@ fn main() {
             .expect("job");
         let bcast_ms = results.iter().map(|r| r.0).fold(0.0, f64::max) * 1e3;
         let reduce_ms = results.iter().map(|r| r.1).fold(0.0, f64::max) * 1e3;
-        println!("{:>11}% {:>22.3} {:>22.3}", pct, bcast_ms, reduce_ms);
+        println!("{pct:>11}% {bcast_ms:>22.3} {reduce_ms:>22.3}");
     }
 
     println!("\nCluster cost model (32 SkyLake nodes, 1,000,000 doubles — the Figure 8/10 setting):");
@@ -57,7 +57,7 @@ fn main() {
         let bcast = engine.makespan(&bcast_bst_schedule(32, bytes, frac)).expect("bcast schedule") * 1e3;
         let reduce =
             engine.makespan(&reduce_process_threshold_schedule(32, bytes, frac)).expect("reduce schedule") * 1e3;
-        println!("{:>11}% {:>26.3} {:>30.3}", pct, bcast, reduce);
+        println!("{pct:>11}% {bcast:>26.3} {reduce:>30.3}");
     }
     println!("\nShipping a quarter of the data (or pruning the outer tree stages) trades accuracy for time,");
     println!("which is exactly the eventual-consistency knob the paper proposes for ML workloads.");

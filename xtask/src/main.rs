@@ -1,10 +1,20 @@
 //! `cargo xtask` — repository automation.
 //!
-//! The only task so far is the **bench-regression gate** used by CI:
+//! Two tasks, both run by CI:
 //!
 //! ```text
 //! cargo run -p xtask -- bench-gate --baseline OLD.json --fresh NEW.json [--threshold 0.15]
+//! cargo run -p xtask -- lint-schedules [--out report.txt]
 //! ```
+//!
+//! **lint-schedules** sweeps every schedule generator and `ProgramSource`
+//! in `ec_collectives` and `ec_baseline` through the `ec_netsim::analyze`
+//! static analyzer (deadlock/starvation, notification conservation,
+//! one-sided buffer races) across a grid of rank counts — including
+//! non-power-of-two — and payload sizes, and fails if any schedule is not
+//! certified clean.  See the `lint` module.
+//!
+//! **bench-gate** compares two bench baseline files:
 //!
 //! Both files are the flat JSON baselines the Criterion benches emit
 //! (`BENCH_engine.json`, `BENCH_fabric.json`).  Every numeric field whose
@@ -22,6 +32,8 @@
 //! baselines use.
 
 use std::process::ExitCode;
+
+mod lint;
 
 /// Extract the `(key, value)` pairs of every numeric field in a flat JSON
 /// object.  String-valued fields are skipped; nested objects are not
@@ -142,13 +154,43 @@ fn gate(baseline: &str, fresh: &str, threshold: f64) -> (String, bool) {
 
 fn usage() -> ExitCode {
     eprintln!("usage: cargo run -p xtask -- bench-gate --baseline <file> --fresh <file> [--threshold 0.15]");
+    eprintln!("       cargo run -p xtask -- lint-schedules [--out <report-file>]");
     ExitCode::from(2)
+}
+
+/// `lint-schedules [--out <file>]`: run the static-analyzer sweep and
+/// optionally persist the report (CI uploads it as an artifact).
+fn lint_schedules_main(args: &[String]) -> ExitCode {
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { return usage() };
+        match flag.as_str() {
+            "--out" => out_path = Some(value.clone()),
+            _ => return usage(),
+        }
+    }
+    let (report, ok) = lint::lint_schedules();
+    print!("{report}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("error: could not write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("bench-gate") {
-        return usage();
+    match args.first().map(String::as_str) {
+        Some("bench-gate") => {}
+        Some("lint-schedules") => return lint_schedules_main(&args[1..]),
+        _ => return usage(),
     }
     let mut baseline = None;
     let mut fresh = None;

@@ -188,6 +188,76 @@ fn run_checked_rejects_broken_and_runs_clean_schedules() {
 }
 
 // ---------------------------------------------------------------------------
+// Pipelined chains through one interned segment.
+//
+// The random differential below never interns two ranks into one class
+// (each rank draws its own stream), so it cannot exercise the lockstep
+// quotient's blind spot: a piece whose supply comes from earlier ranks of
+// its *own* segment.  These chains do — the exact shape that once made the
+// analyzer report a certain deadlock on a schedule the engine completes.
+// ---------------------------------------------------------------------------
+
+/// A pipelined token chain: the seeding edge rank starts `stages` tokens,
+/// every middle rank waits for its upstream neighbor and forwards, and the
+/// far edge rank only waits.  All middle ranks share one interned segment.
+/// With `seeded` false the chain has no base case: every wait starves.
+fn chain_program(p: usize, stages: usize, reversed: bool, seeded: bool) -> Program {
+    let mut program = Program::empty(p);
+    let (first, last) = if reversed { (p - 1, 0) } else { (0, p - 1) };
+    let next = |r: usize| if reversed { r - 1 } else { r + 1 };
+    for s in 0..stages as u32 {
+        if seeded {
+            program.ranks[first].ops.push(Op::PutNotify { dst: next(first), bytes: 64, notify: s });
+        } else {
+            program.ranks[first].ops.push(Op::WaitNotify { ids: vec![s] });
+        }
+    }
+    let mut r = next(first);
+    while r != last {
+        for s in 0..stages as u32 {
+            program.ranks[r].ops.push(Op::WaitNotify { ids: vec![s] });
+            program.ranks[r].ops.push(Op::PutNotify { dst: next(r), bytes: 64, notify: s });
+        }
+        r = next(r);
+    }
+    for s in 0..stages as u32 {
+        program.ranks[last].ops.push(Op::WaitNotify { ids: vec![s] });
+    }
+    program
+}
+
+/// The seeded chain is clean, runs under the engine, and is accepted by the
+/// checked entry point; closing it into a wait-first ring removes the base
+/// case and must stay a *certain* deadlock.
+#[test]
+fn pipelined_chain_is_certified_and_runs() {
+    for p in [3usize, 8, 64] {
+        for reversed in [false, true] {
+            let chain = chain_program(p, 2, reversed, true);
+            let report = analyze(&chain).unwrap();
+            assert!(report.is_clean(), "p={p} reversed={reversed}: {:?}", report.errors);
+            let engine = Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::test_model());
+            let checked = engine.run_checked(&chain).expect("the analyzer certified the chain");
+            assert_eq!(checked.fingerprint(), engine.run(&chain).unwrap().fingerprint());
+        }
+    }
+
+    // Every rank waits before putting: a genuine cycle, order-independent.
+    let p = 8;
+    let mut ring = Program::empty(p);
+    for r in 0..p {
+        ring.ranks[r].ops.push(Op::WaitNotify { ids: vec![0] });
+        ring.ranks[r].ops.push(Op::PutNotify { dst: (r + 1) % p, bytes: 64, notify: 0 });
+    }
+    let report = analyze(&ring).unwrap();
+    assert!(
+        report.errors.iter().any(|e| matches!(e, AnalysisError::Deadlock { certain: true, .. })),
+        "got {:?}",
+        report.errors
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Clean-variant properties and the analyzer/engine differential.
 // ---------------------------------------------------------------------------
 
@@ -269,6 +339,32 @@ proptest! {
             Err(SimError::Deadlock { .. }) => prop_assert!(
                 !report.is_deadlock_free(),
                 "engine deadlocked but the analyzer certified the schedule"
+            ),
+            Err(other) => prop_assert!(false, "unexpected engine error: {other}"),
+        }
+    }
+
+    /// Differential over interned chains: pieces of one shared segment supply
+    /// each other, seeded chains complete, and seedless chains starve — the
+    /// analyzer must agree with the engine on every combination.
+    #[test]
+    fn analyzer_and_engine_agree_on_interned_chains(
+        p in 3usize..24,
+        stages in 1usize..4,
+        flags in 0usize..4,
+    ) {
+        let (reversed, seeded) = (flags & 1 != 0, flags & 2 != 0);
+        let program = chain_program(p, stages, reversed, seeded);
+        let report = analyze(&program).unwrap();
+        let engine = Engine::new(ClusterSpec::homogeneous(p, 1), CostModel::test_model());
+        match engine.run(&program) {
+            Ok(_) => prop_assert!(
+                report.is_deadlock_free(),
+                "engine completed the chain but the analyzer predicted {:?}", report.errors
+            ),
+            Err(SimError::Deadlock { .. }) => prop_assert!(
+                !report.is_deadlock_free(),
+                "engine starved on the seedless chain but the analyzer certified it"
             ),
             Err(other) => prop_assert!(false, "unexpected engine error: {other}"),
         }

@@ -43,29 +43,62 @@
 //! op feeds which notification id, and how many times) is uniform — by
 //! interval arithmetic over the rank space: a delta-coded put from a class
 //! covering `[lo, hi)` supplies `[lo+c, hi+c) mod p` (at most two
-//! intervals), and xor-coded puts from a full power-of-two class supply the
-//! same full interval.  Every per-op check then runs once per piece instead
-//! of once per rank, so the p = 2^20 windowed ring — two shared segments,
-//! three pieces — is analyzed in the time and memory of a handful of ranks:
-//! `O(unique segment ops + supply edges + p)` (the `p` term is the single
-//! scan of the rank→segment table; nothing else is per-rank).
+//! intervals), and an xor-coded put resolves by decomposing `[lo, hi)`
+//! into aligned power-of-two blocks, each of which xor maps onto one
+//! aligned block of the same size (at most `O(log p)` intervals — never a
+//! per-rank enumeration).  Every per-op check then runs once per piece
+//! instead of once per rank, so the p = 2^20 windowed ring — two shared
+//! segments, three pieces — is analyzed in the time and memory of a
+//! handful of ranks: `O(unique segment ops + supply edges + p)` (the `p`
+//! term is the single scan of the rank→segment table; nothing else is
+//! per-rank).  The one exception is the `certain` classification of an
+//! already-found deadlock, which sweeps the stalled pieces to a second
+//! fixpoint: clean schedules never pay for it, and its work is bounded
+//! by the residual (unexecuted) ops of the blocked pieces per sweep.
 //!
 //! ## Soundness and approximation
 //!
 //! The abstract execution advances each piece as one representative rank
-//! and gates remote supply on the *minimum* cursor over the producing
-//! class's pieces — supply is never assumed available before every rank of
-//! the producing class could have issued it.  Completion of the abstract
-//! execution therefore implies the engine completes (the engine's schedule
-//! is one of the interleavings the optimistic semantics dominates), and a
-//! stall is a certain deadlock whenever consumption is deterministic —
-//! which is the case for every program whose `WaitNotifyAny` ops demand
-//! their full id set (`count == ids.len()`), including everything the
-//! recording transports emit.  Programs with partial any-waits get
-//! `certain: false` on the reported deadlock, because which ids such a wait
-//! drains depends on arrival order.  Blocking `Send` is modeled eagerly
-//! (non-blocking): whether a rendezvous handshake blocks is a property of
-//! the cost model's eager threshold, not of the schedule.
+//! in lockstep and gates remote supply on the *minimum* cursor over the
+//! producing class's pieces — supply is never assumed available before
+//! every rank of the producing class could have issued it.  Completion of
+//! the abstract execution therefore implies the engine completes (the
+//! engine's schedule is one of the interleavings the optimistic semantics
+//! dominates).
+//!
+//! Lockstep alone is too coarse for one legitimate pattern: a pipeline
+//! *within* one segment, where every rank of a piece waits on supply from
+//! an earlier (or later) rank of the same interned segment — rank 0 puts,
+//! rank r waits for r−1 and forwards.  Rank by rank the chain drains, but
+//! no piece can take the first step as a unit.  When the execution stalls,
+//! such pieces are discharged by *pipeline certificates*: a rank-order
+//! induction (ascending or descending) that admits in-piece supply from
+//! ranks strictly on the hypothesis side once the boundary ranks' external
+//! writers have individually passed the producing op, re-runs the
+//! representative under that hypothesis, and commits its progress.  A full
+//! completion commits unconditionally; a prefix commit to cursor `k`
+//! additionally requires every inductively-supplied producing op consumed
+//! so far to lie below `k` (the hypothesis "every rank reaches op `k`"
+//! produces nothing beyond `k`).
+//!
+//! A stall that survives certification is reported as a deadlock.  It is
+//! `certain` only when (a) consumption is deterministic for every piece
+//! that could still run — no class of an incomplete piece contains a
+//! `WaitNotifyAny` demanding less than its full id set (which ids such a
+//! wait drains depends on arrival order; completed pieces are exempt,
+//! since whatever a finished piece chose to consume it produced everything
+//! it can) — and (b) the residual stalls under every arrival order: the
+//! stalled state is re-run to fixpoint under the *over*-approximating
+//! per-rank gate (a supply edge is granted as soon as any rank in its
+//! writer interval individually passed the producing op, and a grant
+//! unblocks the whole piece), and even that run leaves a piece
+//! incomplete.  Every concrete order's progress lies pointwise below that
+//! fixpoint, so its stall makes the deadlock order-independent; if it
+//! completes instead, some rank might proceed where the lockstep quotient
+//! cannot, and the deadlock is reported with
+//! `certain: false`.  Blocking `Send` is modeled eagerly (non-blocking):
+//! whether a rendezvous handshake blocks is a property of the cost model's
+//! eager threshold, not of the schedule.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
@@ -108,9 +141,12 @@ pub enum AnalysisError {
         /// One entry per blocked piece: representative rank, op index, and
         /// a description of what it waits for.
         blocked: Vec<BlockedWait>,
-        /// True when consumption is deterministic (no partial
-        /// `WaitNotifyAny`), making the stall a certain deadlock rather
-        /// than one reachable only under some arrival orders.
+        /// True when the stall is provably a deadlock under every arrival
+        /// order: consumption is deterministic for every piece that could
+        /// still run (no partial `WaitNotifyAny` in an incomplete piece's
+        /// class) and no individual rank can make progress the lockstep
+        /// abstraction missed (see the module docs).  Otherwise the
+        /// deadlock is reachable only under some arrival orders.
         certain: bool,
     },
     /// Notifications produced for a rank that no wait can ever consume.
@@ -362,24 +398,27 @@ fn shift_interval(lo: usize, hi: usize, c: usize, n: usize, out: &mut Vec<(usize
 }
 
 /// Receiver intervals of an op with target `code` issued by every rank in
-/// `[lo, hi)`.  Delta codes rotate the interval; xor codes map a singleton
-/// to a singleton and a full power-of-two space to itself, and fall back to
-/// per-rank enumeration otherwise (xor segments are only ever shared by
-/// hypercube-shaped classes, so the fallback is cold).
+/// `[lo, hi)`.  Delta codes rotate the interval (at most two intervals).
+/// Xor codes are resolved by decomposing `[lo, hi)` into aligned
+/// power-of-two blocks: xor by any code maps an aligned block `[b, b+2^k)`
+/// (with `2^k | b`) onto the aligned block of the same size whose high bits
+/// are `b ^ code` — so an arbitrary interval yields at most
+/// `O(log(hi - lo))` receiver intervals, never a per-rank enumeration.
 fn receiver_intervals(lo: usize, hi: usize, code: u32, mode: TargetMode, n: usize, out: &mut Vec<(usize, usize)>) {
     match mode {
         TargetMode::Delta => shift_interval(lo, hi, code as usize % n, n, out),
         TargetMode::Xor => {
-            if hi - lo == 1 {
-                let r = lo ^ code as usize;
-                out.push((r, r + 1));
-            } else if lo == 0 && hi == n && n.is_power_of_two() && (code as usize) < n {
-                out.push((0, n));
-            } else {
-                for r in lo..hi {
-                    let d = r ^ code as usize;
-                    out.push((d, d + 1));
-                }
+            let code = code as usize;
+            let mut a = lo;
+            while a < hi {
+                // Largest power-of-two block starting at `a` that both
+                // respects `a`'s alignment and fits inside `[a, hi)`.
+                let align = if a == 0 { hi - a } else { a & a.wrapping_neg() };
+                let fit = align.min(hi - a);
+                let size = 1usize << (usize::BITS - 1 - fit.leading_zeros());
+                let b = (a ^ code) & !(size - 1);
+                out.push((b, b + size));
+                a += size;
             }
         }
     }
@@ -400,6 +439,7 @@ enum Stuck {
     Barrier,
 }
 
+#[derive(Clone)]
 struct PieceState {
     cursor: usize,
     stuck: Stuck,
@@ -414,9 +454,11 @@ struct Analyzer<'a> {
     pieces: Vec<Piece>,
     /// Sorted piece boundaries (`pieces[i].lo`), for rank → piece lookup.
     piece_starts: Vec<usize>,
-    /// Per class: does any of its ops demand `WaitNotifyAny` with
-    /// `count < ids.len()`?
-    has_partial_any: bool,
+    /// Per class (indexed by class id): does any of the class's ops demand
+    /// `WaitNotifyAny` with `count < ids.len()`?  Consumption is
+    /// nondeterministic exactly for those classes, so a reported deadlock
+    /// is only `certain` when no *still-incomplete* piece belongs to one.
+    partial_any: Vec<bool>,
     errors: Vec<AnalysisError>,
 }
 
@@ -428,7 +470,7 @@ impl<'a> Analyzer<'a> {
             classes: Vec::new(),
             pieces: Vec::new(),
             piece_starts: Vec::new(),
-            has_partial_any: false,
+            partial_any: Vec::new(),
             errors: Vec::new(),
         }
     }
@@ -491,6 +533,7 @@ impl<'a> Analyzer<'a> {
         }
         let mut contributions: Vec<Contribution> = Vec::new();
         let mut scratch: Vec<(usize, usize)> = Vec::new();
+        self.partial_any = vec![false; self.classes.len()];
         for (ci, class) in self.classes.iter().enumerate() {
             for op in 0..class.len {
                 let (kind, a, b, _c) = self.prog.raw_op(class.start + op);
@@ -501,7 +544,7 @@ impl<'a> Analyzer<'a> {
                     OpKind::WaitAny => {
                         let count = _c as usize;
                         if count < b as usize {
-                            self.has_partial_any = true;
+                            self.partial_any[ci] = true;
                         }
                         continue;
                     }
@@ -639,10 +682,23 @@ impl<'a> Analyzer<'a> {
                         .filter(|&&id| total.get(&id).copied().unwrap_or(0) > mand.get(&id).copied().unwrap_or(0))
                         .count();
                     if best_avail >= count && worst_avail < count {
+                        // Name an id that is actually endangered: available
+                        // under some arrival order (counted by `best_avail`)
+                        // but drained away in the worst case.
+                        let endangered = wids
+                            .iter()
+                            .copied()
+                            .find(|&id| {
+                                let t = total.get(&id).copied().unwrap_or(0) as i64;
+                                let m = mand.get(&id).copied().unwrap_or(0) as i64;
+                                let o = opt.get(&id).copied().unwrap_or(0) as i64;
+                                t > m && t - m - o < 1
+                            })
+                            .unwrap_or(wids[0]);
                         errors.push(AnalysisError::ConsumptionRace {
                             rank: rep,
                             op_index: op,
-                            id: wids[0],
+                            id: endangered,
                             worst_case_available: worst_avail as i64 - count as i64,
                             ranks_affected: piece.ranks(),
                         });
@@ -837,103 +893,137 @@ impl<'a> Analyzer<'a> {
         let mut at_barrier: usize = 0;
         let mut wids: Vec<NotifyId> = Vec::new();
 
-        while let Some(pi) = queue.pop_front() {
-            in_queue[pi] = false;
-            let class_idx = self.pieces[pi].class as usize;
-            let (start, len) = (self.classes[class_idx].start, self.classes[class_idx].len);
-            let before = state[pi].cursor;
-            if state[pi].stuck == Stuck::Barrier {
-                continue; // Only the barrier release path unparks these.
-            }
-            loop {
-                let cursor = state[pi].cursor;
-                if cursor >= len {
-                    state[pi].stuck = Stuck::Done;
-                    break;
+        'fixpoint: loop {
+            while let Some(pi) = queue.pop_front() {
+                in_queue[pi] = false;
+                let class_idx = self.pieces[pi].class as usize;
+                let (start, len) = (self.classes[class_idx].start, self.classes[class_idx].len);
+                let before = state[pi].cursor;
+                if state[pi].stuck == Stuck::Barrier {
+                    continue; // Only the barrier release path unparks these.
                 }
-                let idx = start + cursor;
-                let (kind, a, b, _) = self.prog.raw_op(idx);
-                match kind {
-                    OpKind::Compute
-                    | OpKind::Reduce
-                    | OpKind::Copy
-                    | OpKind::PutNotify
-                    | OpKind::Notify
-                    | OpKind::Send
-                    | OpKind::Isend
-                    | OpKind::WaitAllSends => {
-                        state[pi].cursor += 1;
-                    }
-                    OpKind::WaitOne | OpKind::WaitMany | OpKind::WaitAny => {
-                        let count = self.wait_ids(idx, &mut wids);
-                        let satisfied = if kind == OpKind::WaitAny && count < wids.len() {
-                            self.try_consume_any(&self.pieces[pi], &mut state[pi], &wids, count, &class_min)
-                        } else {
-                            self.try_consume_all(&self.pieces[pi], &mut state[pi], &wids, &class_min)
-                        };
-                        if satisfied {
-                            state[pi].cursor += 1;
-                        } else {
-                            state[pi].stuck = Stuck::Wait;
-                            break;
-                        }
-                    }
-                    OpKind::Recv => {
-                        let piece = &self.pieces[pi];
-                        let src = decode_target(piece.rep(), a, self.classes[class_idx].mode, self.n);
-                        let key = (src, b);
-                        let avail = piece.msgs.get(&key).map_or(0, |srcs| {
-                            srcs.iter()
-                                .filter(|s| class_min[s.class as usize] > s.op as usize)
-                                .map(|s| s.count)
-                                .sum::<u64>()
-                        });
-                        let used = state[pi].msgs_consumed.get(&key).copied().unwrap_or(0);
-                        if avail > used {
-                            *state[pi].msgs_consumed.entry(key).or_insert(0) += 1;
-                            state[pi].cursor += 1;
-                        } else {
-                            state[pi].stuck = Stuck::Recv;
-                            break;
-                        }
-                    }
-                    OpKind::Barrier => {
-                        state[pi].stuck = Stuck::Barrier;
-                        at_barrier += 1;
-                        if at_barrier == n_pieces {
-                            // Every rank is parked at a barrier: release.
-                            at_barrier = 0;
-                            for (qi, s) in state.iter_mut().enumerate() {
-                                debug_assert_eq!(s.stuck, Stuck::Barrier);
-                                s.cursor += 1;
-                                s.stuck = Stuck::Ready;
-                                if !in_queue[qi] {
-                                    in_queue[qi] = true;
-                                    queue.push_back(qi);
-                                }
-                            }
-                        }
+                loop {
+                    let cursor = state[pi].cursor;
+                    if cursor >= len {
+                        state[pi].stuck = Stuck::Done;
                         break;
                     }
-                }
-            }
-            // Did this class's minimum cursor advance?  Wake dependents.
-            if state[pi].cursor != before {
-                let new_min =
-                    self.classes[class_idx].piece_idx.iter().map(|&q| state[q].cursor).min().unwrap_or(usize::MAX);
-                if new_min > class_min[class_idx] {
-                    class_min[class_idx] = new_min;
-                    let w = &wake[class_idx];
-                    let ptr = &mut wake_ptr[class_idx];
-                    while *ptr < w.len() && (w[*ptr].0 as usize) < new_min {
-                        let dep = w[*ptr].1 as usize;
-                        *ptr += 1;
-                        if !in_queue[dep] && !matches!(state[dep].stuck, Stuck::Done | Stuck::Barrier) {
-                            in_queue[dep] = true;
-                            queue.push_back(dep);
+                    let idx = start + cursor;
+                    let (kind, a, b, _) = self.prog.raw_op(idx);
+                    match kind {
+                        OpKind::Compute
+                        | OpKind::Reduce
+                        | OpKind::Copy
+                        | OpKind::PutNotify
+                        | OpKind::Notify
+                        | OpKind::Send
+                        | OpKind::Isend
+                        | OpKind::WaitAllSends => {
+                            state[pi].cursor += 1;
+                        }
+                        OpKind::WaitOne | OpKind::WaitMany | OpKind::WaitAny => {
+                            let count = self.wait_ids(idx, &mut wids);
+                            let satisfied = if kind == OpKind::WaitAny && count < wids.len() {
+                                self.try_consume_any(&self.pieces[pi], &mut state[pi], &wids, count, &class_min)
+                            } else {
+                                self.try_consume_all(&self.pieces[pi], &mut state[pi], &wids, &class_min)
+                            };
+                            if satisfied {
+                                state[pi].cursor += 1;
+                            } else {
+                                state[pi].stuck = Stuck::Wait;
+                                break;
+                            }
+                        }
+                        OpKind::Recv => {
+                            let piece = &self.pieces[pi];
+                            let src = decode_target(piece.rep(), a, self.classes[class_idx].mode, self.n);
+                            let key = (src, b);
+                            let avail = piece.msgs.get(&key).map_or(0, |srcs| {
+                                srcs.iter()
+                                    .filter(|s| class_min[s.class as usize] > s.op as usize)
+                                    .map(|s| s.count)
+                                    .sum::<u64>()
+                            });
+                            let used = state[pi].msgs_consumed.get(&key).copied().unwrap_or(0);
+                            if avail > used {
+                                *state[pi].msgs_consumed.entry(key).or_insert(0) += 1;
+                                state[pi].cursor += 1;
+                            } else {
+                                state[pi].stuck = Stuck::Recv;
+                                break;
+                            }
+                        }
+                        OpKind::Barrier => {
+                            state[pi].stuck = Stuck::Barrier;
+                            at_barrier += 1;
+                            if at_barrier == n_pieces {
+                                // Every rank is parked at a barrier: release.
+                                at_barrier = 0;
+                                for (qi, s) in state.iter_mut().enumerate() {
+                                    debug_assert_eq!(s.stuck, Stuck::Barrier);
+                                    s.cursor += 1;
+                                    s.stuck = Stuck::Ready;
+                                    if !in_queue[qi] {
+                                        in_queue[qi] = true;
+                                        queue.push_back(qi);
+                                    }
+                                }
+                            }
+                            break;
                         }
                     }
                 }
+                // Did this class's minimum cursor advance?  Wake dependents.
+                if state[pi].cursor != before {
+                    bump_class_min(
+                        &self.classes,
+                        &state,
+                        &wake,
+                        &mut wake_ptr,
+                        &mut class_min,
+                        &mut queue,
+                        &mut in_queue,
+                        class_idx,
+                    );
+                }
+            }
+
+            // The lockstep quotient stalled (or finished).  A pipeline *within*
+            // one interned segment — every rank of a piece waiting on supply
+            // from an earlier (or later) rank of the same segment — drains rank
+            // by rank even though no piece can take the first step as a unit:
+            // discharge such pieces by rank-order induction and resume.
+            let mut progressed = false;
+            for pi in 0..n_pieces {
+                if !matches!(state[pi].stuck, Stuck::Wait | Stuck::Recv) {
+                    continue;
+                }
+                let Some(commit) = self.pipeline_certificate(pi, &state, &class_min) else { continue };
+                let s = &mut state[pi];
+                s.cursor = commit.cursor;
+                s.consumed = commit.consumed;
+                s.msgs_consumed = commit.msgs_consumed;
+                s.stuck = Stuck::Ready;
+                if !in_queue[pi] {
+                    in_queue[pi] = true;
+                    queue.push_back(pi);
+                }
+                let ci = self.pieces[pi].class as usize;
+                bump_class_min(
+                    &self.classes,
+                    &state,
+                    &wake,
+                    &mut wake_ptr,
+                    &mut class_min,
+                    &mut queue,
+                    &mut in_queue,
+                    ci,
+                );
+                progressed = true;
+            }
+            if !progressed {
+                break 'fixpoint;
             }
         }
 
@@ -963,7 +1053,18 @@ impl<'a> Analyzer<'a> {
             });
         }
         if !blocked.is_empty() {
-            let certain = !self.has_partial_any;
+            // `certain` needs two things.  Consumption must be deterministic
+            // for every piece that could still run — a partial any-wait in a
+            // *completed* piece cannot un-produce anything, so completed
+            // pieces are exempt.  And the residual must stall under *every*
+            // arrival order, which the lockstep stall alone cannot show:
+            // re-run it under the over-approximating per-rank gate and
+            // demand that even that run leaves some piece incomplete.
+            let deterministic = state
+                .iter()
+                .enumerate()
+                .all(|(pi, s)| s.stuck == Stuck::Done || !self.partial_any[self.pieces[pi].class as usize]);
+            let certain = deterministic && self.residual_stalls_under_every_order(&state);
             self.errors.push(AnalysisError::Deadlock { blocked, certain });
         }
     }
@@ -1009,6 +1110,467 @@ impl<'a> Analyzer<'a> {
             srcs.iter().filter(|s| class_min[s.class as usize] > s.op as usize).map(|s| s.count).sum()
         });
         produced.saturating_sub(state.consumed.get(&id).copied().unwrap_or(0))
+    }
+
+    /// Try to advance a stalled piece by *rank-order induction* — the
+    /// pipelined-chain pattern the lockstep quotient cannot express: every
+    /// rank of the piece waits on supply from an earlier (ascending) or
+    /// later (descending) rank of the same interned segment before
+    /// producing its own.  See the module docs ("Soundness and
+    /// approximation").
+    fn pipeline_certificate(&self, pi: usize, state: &[PieceState], class_min: &[usize]) -> Option<CertCommit> {
+        [Dir::Asc, Dir::Desc].into_iter().find_map(|dir| self.certificate_with(pi, dir, state, class_min))
+    }
+
+    /// One direction of [`Analyzer::pipeline_certificate`]: classify every
+    /// supply edge of the piece, then re-run the representative's abstract
+    /// execution under the induction hypothesis and commit its progress.
+    ///
+    /// Soundness is strong induction over the piece's ranks in `dir` order.
+    /// Full completion commits unconditionally: rank `r` assumes every rank
+    /// on the hypothesis side completed its *whole* segment, and the base
+    /// ranks (whose writers fall outside the piece) were checked against
+    /// the writers' actual cursors.  A prefix commit to cursor `k` proves
+    /// only "every rank reaches op `k`", which produces just the ops below
+    /// `k` — so it additionally requires every inductively-supplied
+    /// producing op consumed so far to lie below `k`.
+    fn certificate_with(&self, pi: usize, dir: Dir, state: &[PieceState], class_min: &[usize]) -> Option<CertCommit> {
+        let piece = &self.pieces[pi];
+        let class = &self.classes[piece.class as usize];
+
+        let mut notify_sup: HashMap<NotifyId, CertSupply> = HashMap::new();
+        for (&id, srcs) in &piece.notify {
+            notify_sup.insert(id, self.cert_supply(piece, srcs, dir, state, class_min));
+        }
+        let mut msg_sup: HashMap<(RankId, u32), CertSupply> = HashMap::new();
+        for (&key, srcs) in &piece.msgs {
+            msg_sup.insert(key, self.cert_supply(piece, srcs, dir, state, class_min));
+        }
+
+        let start = state[pi].cursor;
+        let mut cursor = start;
+        let mut consumed = state[pi].consumed.clone();
+        let mut msgs_consumed = state[pi].msgs_consumed.clone();
+        // Largest inductively-supplied producing op relied upon so far.
+        let mut inductive_bound: Option<usize> = None;
+        let mut wids: Vec<NotifyId> = Vec::new();
+
+        while cursor < class.len {
+            let idx = class.start + cursor;
+            let (kind, a, b, _) = self.prog.raw_op(idx);
+            match kind {
+                OpKind::Compute
+                | OpKind::Reduce
+                | OpKind::Copy
+                | OpKind::PutNotify
+                | OpKind::Notify
+                | OpKind::Send
+                | OpKind::Isend
+                | OpKind::WaitAllSends => cursor += 1,
+                OpKind::WaitOne | OpKind::WaitMany | OpKind::WaitAny => {
+                    let count = self.wait_ids(idx, &mut wids);
+                    let avail_of = |id: NotifyId, consumed: &HashMap<NotifyId, u64>| {
+                        notify_sup
+                            .get(&id)
+                            .map_or(0, |cs| cs.avail)
+                            .saturating_sub(consumed.get(&id).copied().unwrap_or(0))
+                    };
+                    let take: Vec<NotifyId> = if kind == OpKind::WaitAny && count < wids.len() {
+                        let available: Vec<NotifyId> =
+                            wids.iter().copied().filter(|&id| avail_of(id, &consumed) >= 1).collect();
+                        if available.len() < count {
+                            break;
+                        }
+                        available[..count].to_vec()
+                    } else {
+                        if !wids.iter().all(|&id| avail_of(id, &consumed) >= 1) {
+                            break;
+                        }
+                        wids.clone()
+                    };
+                    for id in take {
+                        *consumed.entry(id).or_insert(0) += 1;
+                        if let Some(op) = notify_sup.get(&id).and_then(|cs| cs.inductive_op) {
+                            inductive_bound = Some(inductive_bound.map_or(op, |m| m.max(op)));
+                        }
+                    }
+                    cursor += 1;
+                }
+                OpKind::Recv => {
+                    let src = decode_target(piece.rep(), a, class.mode, self.n);
+                    let key = (src, b);
+                    let avail = msg_sup.get(&key).map_or(0, |cs| cs.avail);
+                    if avail <= msgs_consumed.get(&key).copied().unwrap_or(0) {
+                        break;
+                    }
+                    *msgs_consumed.entry(key).or_insert(0) += 1;
+                    if let Some(op) = msg_sup.get(&key).and_then(|cs| cs.inductive_op) {
+                        inductive_bound = Some(inductive_bound.map_or(op, |m| m.max(op)));
+                    }
+                    cursor += 1;
+                }
+                OpKind::Barrier => break,
+            }
+        }
+        let complete = cursor >= class.len;
+        let prefix_sound = inductive_bound.is_none_or(|op| op < cursor);
+        if complete || (cursor > start && prefix_sound) {
+            Some(CertCommit { cursor, consumed, msgs_consumed })
+        } else {
+            None
+        }
+    }
+
+    /// Arrivals one key's supply edges contribute under the certificate:
+    /// globally-produced and certified edges count in full; the largest
+    /// producing op among inductive edges is kept for the prefix-commit
+    /// soundness check.
+    fn cert_supply(
+        &self,
+        piece: &Piece,
+        srcs: &[Supply],
+        dir: Dir,
+        state: &[PieceState],
+        class_min: &[usize],
+    ) -> CertSupply {
+        let mut cs = CertSupply { avail: 0, inductive_op: None };
+        for s in srcs {
+            let op = s.op as usize;
+            if class_min[s.class as usize] > op {
+                cs.avail += s.count;
+                continue;
+            }
+            match self.certify_edge(piece, s, dir, state) {
+                EdgeCert::External => cs.avail += s.count,
+                EdgeCert::Inductive => {
+                    cs.avail += s.count;
+                    cs.inductive_op = Some(cs.inductive_op.map_or(op, |m| m.max(op)));
+                }
+                EdgeCert::No => {}
+            }
+        }
+        cs
+    }
+
+    /// Classify one supply edge of `piece` that the class-minimum gate
+    /// currently rejects.  In-piece writers are admissible only on the
+    /// induction side of `dir` (strictly lower ranks for ascending,
+    /// strictly higher for descending); every writer outside the piece must
+    /// have individually passed the producing op.
+    fn certify_edge(&self, piece: &Piece, s: &Supply, dir: Dir, state: &[PieceState]) -> EdgeCert {
+        let n = self.n;
+        let (lo, hi) = (piece.lo, piece.hi);
+        let op = s.op as usize;
+        match s.mode {
+            TargetMode::Delta => {
+                let c = s.code as usize % n;
+                if c == 0 {
+                    return EdgeCert::No;
+                }
+                let mut inductive = false;
+                // Writers of the non-wrapped readers `[max(lo, c), hi)` sit
+                // at `r - c`: strictly lower than their reader.
+                if lo.max(c) < hi {
+                    match self.span_cert(lo.max(c) - c, hi - c, lo, hi, dir == Dir::Asc, op, state) {
+                        Some(ind) => inductive |= ind,
+                        None => return EdgeCert::No,
+                    }
+                }
+                // Writers of the wrapped readers `[lo, min(hi, c))` sit at
+                // `r + n - c`: strictly higher than their reader.
+                if lo < hi.min(c) {
+                    match self.span_cert(lo + n - c, hi.min(c) + n - c, lo, hi, dir == Dir::Desc, op, state) {
+                        Some(ind) => inductive |= ind,
+                        None => return EdgeCert::No,
+                    }
+                }
+                if inductive {
+                    EdgeCert::Inductive
+                } else {
+                    EdgeCert::External
+                }
+            }
+            TargetMode::Xor => {
+                // Xor supply carries no rank order to induct over: certify
+                // only when every writer block lies outside the piece and
+                // has individually passed the op.
+                let mut blocks = Vec::new();
+                receiver_intervals(lo, hi, s.code, TargetMode::Xor, n, &mut blocks);
+                for (wa, wb) in blocks {
+                    if wa < hi && wb > lo {
+                        return EdgeCert::No;
+                    }
+                    if !self.ranks_past_op(wa, wb, op, state) {
+                        return EdgeCert::No;
+                    }
+                }
+                EdgeCert::External
+            }
+        }
+    }
+
+    /// Certify the writer span `[wa, wb)` feeding piece `[lo, hi)`:
+    /// in-piece writers are admissible only when `hypothesis_side` holds;
+    /// writers outside the piece must each have passed op `op`.  Returns
+    /// whether any in-piece writer was admitted (the edge turns inductive),
+    /// or `None` when the span cannot be certified.
+    #[allow(clippy::too_many_arguments)]
+    fn span_cert(
+        &self,
+        wa: usize,
+        wb: usize,
+        lo: usize,
+        hi: usize,
+        hypothesis_side: bool,
+        op: usize,
+        state: &[PieceState],
+    ) -> Option<bool> {
+        let mut inductive = false;
+        if wa.max(lo) < wb.min(hi) {
+            if !hypothesis_side {
+                return None;
+            }
+            inductive = true;
+        }
+        let (ea, eb) = (wa, wb.min(lo));
+        if ea < eb && !self.ranks_past_op(ea, eb, op, state) {
+            return None;
+        }
+        let (ea, eb) = (wa.max(hi), wb);
+        if ea < eb && !self.ranks_past_op(ea, eb, op, state) {
+            return None;
+        }
+        Some(inductive)
+    }
+
+    /// True when every rank in `[a, b)` belongs to a piece whose abstract
+    /// cursor has passed op index `op` of its segment.
+    fn ranks_past_op(&self, a: usize, b: usize, op: usize, state: &[PieceState]) -> bool {
+        let mut qi = self.piece_starts.partition_point(|&s| s <= a) - 1;
+        while qi < self.pieces.len() && self.pieces[qi].lo < b {
+            if state[qi].cursor <= op {
+                return false;
+            }
+            qi += 1;
+        }
+        true
+    }
+
+    /// True when any rank in `[a, b)` belongs to a piece whose abstract
+    /// cursor has passed op index `op` of its segment.
+    fn any_rank_past_op(&self, a: usize, b: usize, op: usize, state: &[PieceState]) -> bool {
+        let mut qi = self.piece_starts.partition_point(|&s| s <= a) - 1;
+        while qi < self.pieces.len() && self.pieces[qi].lo < b {
+            if state[qi].cursor > op {
+                return true;
+            }
+            qi += 1;
+        }
+        false
+    }
+
+    /// True when a supply edge of `piece` could deliver to *some* rank of
+    /// the piece under *some* arrival order: any rank in the edge's writer
+    /// interval (the inverse image of the piece under the edge's target
+    /// map) has individually passed the producing op.
+    fn edge_live_for_any_rank(
+        &self,
+        piece: &Piece,
+        sup: &Supply,
+        state: &[PieceState],
+        spans: &mut Vec<(usize, usize)>,
+    ) -> bool {
+        spans.clear();
+        match sup.mode {
+            TargetMode::Delta => {
+                let c = sup.code as usize % self.n;
+                shift_interval(piece.lo, piece.hi, self.n - c, self.n, spans);
+            }
+            TargetMode::Xor => {
+                receiver_intervals(piece.lo, piece.hi, sup.code, TargetMode::Xor, self.n, spans);
+            }
+        }
+        spans.iter().any(|&(wa, wb)| self.any_rank_past_op(wa, wb, sup.op as usize, state))
+    }
+
+    /// Unconsumed arrivals of `id` at `piece` under the *optimistic* gate:
+    /// an edge counts as soon as any rank in its writer interval has
+    /// passed the producing op (the class-minimum gate is subsumed —
+    /// `class_min > op` implies every writer passed it).
+    fn avail_optimistic(&self, piece: &Piece, ps: &PieceState, id: NotifyId, state: &[PieceState]) -> u64 {
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        let produced: u64 = piece.notify.get(&id).map_or(0, |srcs| {
+            srcs.iter().filter(|s| self.edge_live_for_any_rank(piece, s, state, &mut spans)).map(|s| s.count).sum()
+        });
+        produced.saturating_sub(ps.consumed.get(&id).copied().unwrap_or(0))
+    }
+
+    /// True when the stalled residual state cannot complete under *any*
+    /// arrival order — the condition for reporting the deadlock `certain`.
+    ///
+    /// The lockstep quotient under-approximates progress (the class-minimum
+    /// gate holds whole classes back on their slowest piece), so its stall
+    /// alone proves nothing about other interleavings.  This re-runs the
+    /// residual to fixpoint under the opposite, *over*-approximating gate:
+    /// a supply edge is granted the moment any rank in its writer interval
+    /// is individually past the producing op, and a grant unblocks the
+    /// whole piece.  Every concrete arrival order's progress is pointwise
+    /// below this run's fixpoint, so if even it leaves a piece incomplete,
+    /// every order does.  Only sound for deterministic consumption — the
+    /// caller has already ruled out partial any-waits in live classes.
+    fn residual_stalls_under_every_order(&self, residual: &[PieceState]) -> bool {
+        let mut state: Vec<PieceState> = residual.to_vec();
+        let mut wids: Vec<NotifyId> = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        loop {
+            let mut progressed = false;
+            for pi in 0..self.pieces.len() {
+                if matches!(state[pi].stuck, Stuck::Done | Stuck::Barrier) {
+                    continue;
+                }
+                let piece = &self.pieces[pi];
+                let class = &self.classes[piece.class as usize];
+                loop {
+                    let cursor = state[pi].cursor;
+                    if cursor >= class.len {
+                        state[pi].stuck = Stuck::Done;
+                        break;
+                    }
+                    let idx = class.start + cursor;
+                    let (kind, a, b, _) = self.prog.raw_op(idx);
+                    match kind {
+                        OpKind::Compute
+                        | OpKind::Reduce
+                        | OpKind::Copy
+                        | OpKind::PutNotify
+                        | OpKind::Notify
+                        | OpKind::Send
+                        | OpKind::Isend
+                        | OpKind::WaitAllSends => {}
+                        OpKind::WaitOne | OpKind::WaitMany | OpKind::WaitAny => {
+                            let count = self.wait_ids(idx, &mut wids);
+                            let available: Vec<NotifyId> = wids
+                                .iter()
+                                .copied()
+                                .filter(|&id| self.avail_optimistic(piece, &state[pi], id, &state) >= 1)
+                                .collect();
+                            let take = if kind == OpKind::WaitAny { count.min(wids.len()) } else { wids.len() };
+                            if available.len() < take {
+                                state[pi].stuck = Stuck::Wait;
+                                break;
+                            }
+                            for &id in available.iter().take(take) {
+                                *state[pi].consumed.entry(id).or_insert(0) += 1;
+                            }
+                        }
+                        OpKind::Recv => {
+                            let src = decode_target(piece.rep(), a, class.mode, self.n);
+                            let key = (src, b);
+                            let produced: u64 = piece.msgs.get(&key).map_or(0, |srcs| {
+                                srcs.iter()
+                                    .filter(|s| self.edge_live_for_any_rank(piece, s, &state, &mut spans))
+                                    .map(|s| s.count)
+                                    .sum()
+                            });
+                            let used = state[pi].msgs_consumed.get(&key).copied().unwrap_or(0);
+                            if produced <= used {
+                                state[pi].stuck = Stuck::Recv;
+                                break;
+                            }
+                            *state[pi].msgs_consumed.entry(key).or_insert(0) += 1;
+                        }
+                        OpKind::Barrier => {
+                            state[pi].stuck = Stuck::Barrier;
+                            break;
+                        }
+                    }
+                    state[pi].cursor += 1;
+                    progressed = true;
+                }
+            }
+            // Barrier release mirrors the engine (and the lockstep loop):
+            // *every* piece must be parked — a piece that ran out of ops
+            // without a barrier never arrives at one, so its ranks hold any
+            // remaining barrier closed forever.
+            let parked = state.iter().filter(|s| s.stuck == Stuck::Barrier).count();
+            if parked > 0 && parked == self.pieces.len() {
+                for s in state.iter_mut().filter(|s| s.stuck == Stuck::Barrier) {
+                    s.cursor += 1;
+                    s.stuck = Stuck::Ready;
+                }
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        state.iter().any(|s| s.stuck != Stuck::Done)
+    }
+}
+
+/// Direction of the rank-order induction a pipeline certificate runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Dir {
+    /// Supply flows from lower to higher ranks (writer < reader).
+    Asc,
+    /// Supply flows from higher to lower ranks (writer > reader).
+    Desc,
+}
+
+/// How one class-min-gated supply edge is justified inside a certificate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EdgeCert {
+    /// Every writer is outside the piece and individually past the
+    /// producing op: available regardless of the class minimum.
+    External,
+    /// Some writers are ranks of the certified piece itself on the
+    /// induction side: available by the induction hypothesis.
+    Inductive,
+    /// Not certifiable in this direction.
+    No,
+}
+
+/// Per-key certificate supply: arrivals available under the induction
+/// hypothesis, plus the largest inductively-supplied producing op.
+struct CertSupply {
+    avail: u64,
+    inductive_op: Option<usize>,
+}
+
+/// The piece state a successful pipeline certificate commits back.
+struct CertCommit {
+    cursor: usize,
+    consumed: HashMap<NotifyId, u64>,
+    msgs_consumed: HashMap<(RankId, u32), u64>,
+}
+
+/// Recompute class `ci`'s minimum cursor and, if it advanced, wake the
+/// pieces whose supply edges it newly satisfies (shared by the drain loop
+/// and the certificate commit path).
+#[allow(clippy::too_many_arguments)]
+fn bump_class_min(
+    classes: &[Class],
+    state: &[PieceState],
+    wake: &[Vec<(u32, u32)>],
+    wake_ptr: &mut [usize],
+    class_min: &mut [usize],
+    queue: &mut VecDeque<usize>,
+    in_queue: &mut [bool],
+    ci: usize,
+) {
+    let new_min = classes[ci].piece_idx.iter().map(|&q| state[q].cursor).min().unwrap_or(usize::MAX);
+    if new_min > class_min[ci] {
+        class_min[ci] = new_min;
+        let w = &wake[ci];
+        let ptr = &mut wake_ptr[ci];
+        while *ptr < w.len() && (w[*ptr].0 as usize) < new_min {
+            let dep = w[*ptr].1 as usize;
+            *ptr += 1;
+            if !in_queue[dep] && !matches!(state[dep].stuck, Stuck::Done | Stuck::Barrier) {
+                in_queue[dep] = true;
+                queue.push_back(dep);
+            }
+        }
     }
 }
 
@@ -1270,6 +1832,154 @@ mod tests {
             assert!(r.is_clean(), "p={p}: {:?}", r.errors);
             assert!(r.classes <= 2, "p={p}: {}", r.classes);
             assert!(r.pieces <= 3, "p={p}: {}", r.pieces);
+        }
+    }
+
+    /// Rank 0 puts, rank r waits for r−1 and forwards, the last rank only
+    /// waits: the middle ranks intern into one shared segment and drain
+    /// rank by rank.  The lockstep quotient alone stalls here (no piece
+    /// can take the first step as a unit); the ascending pipeline
+    /// certificate must discharge it at any rank count.
+    #[test]
+    fn shared_segment_pipelined_chain_is_clean() {
+        for p in [3usize, 8, 64, 1 << 14] {
+            let mut b = ProgramBuilder::new(p);
+            b.put_notify(0, 1, 64, 0);
+            for r in 1..p - 1 {
+                b.wait_notify(r, &[0]);
+                b.put_notify(r, (r + 1) % p, 64, 0);
+            }
+            b.wait_notify(p - 1, &[0]);
+            let r = report(&b.build());
+            assert!(r.is_clean(), "p={p}: {:?}", r.errors);
+            assert!(r.is_deadlock_free());
+            assert!(r.classes <= 4, "p={p}: the middle ranks must share a segment, got {} classes", r.classes);
+        }
+    }
+
+    /// The same chain flowing downward (rank p−1 puts, rank r waits for
+    /// r+1 and forwards) exercises the descending induction.
+    #[test]
+    fn reversed_pipelined_chain_is_clean() {
+        for p in [3usize, 8, 64] {
+            let mut b = ProgramBuilder::new(p);
+            b.put_notify(p - 1, p - 2, 64, 0);
+            for r in (1..p - 1).rev() {
+                b.wait_notify(r, &[0]);
+                b.put_notify(r, r - 1, 64, 0);
+            }
+            b.wait_notify(0, &[0]);
+            let r = report(&b.build());
+            assert!(r.is_clean(), "p={p}: {:?}", r.errors);
+            assert!(r.is_deadlock_free());
+        }
+    }
+
+    /// A multi-stage pipeline: two forward chains back to back through the
+    /// same shared segment.  The certificate must compose across stages.
+    #[test]
+    fn two_stage_pipelined_chain_is_clean() {
+        let p = 16;
+        let mut b = ProgramBuilder::new(p);
+        b.put_notify(0, 1, 64, 0);
+        b.put_notify(0, 1, 64, 1);
+        for r in 1..p - 1 {
+            b.wait_notify(r, &[0]);
+            b.put_notify(r, r + 1, 64, 0);
+            b.wait_notify(r, &[1]);
+            b.put_notify(r, r + 1, 64, 1);
+        }
+        b.wait_notify(p - 1, &[0]);
+        b.wait_notify(p - 1, &[1]);
+        let r = report(&b.build());
+        assert!(r.is_clean(), "{:?}", r.errors);
+    }
+
+    /// Closing the chain into a full ring where *every* rank waits before
+    /// putting removes the base case: a genuine cycle.  The wrapped writer
+    /// defeats both induction directions and even the over-approximating
+    /// residual run cannot complete, so the deadlock stays `certain`.
+    #[test]
+    fn wait_first_full_ring_is_a_certain_deadlock() {
+        let p = 8;
+        let mut b = ProgramBuilder::new(p);
+        for r in 0..p {
+            b.wait_notify(r, &[0]);
+            b.put_notify(r, (r + 1) % p, 64, 0);
+        }
+        let r = report(&b.build());
+        assert!(r.errors.iter().any(|e| matches!(e, AnalysisError::Deadlock { certain: true, .. })), "{:?}", r.errors);
+        assert!(!r.is_deadlock_free());
+    }
+
+    /// A partial any-wait in a piece that *completes* must not downgrade an
+    /// unrelated deterministic deadlock to `certain: false`.
+    #[test]
+    fn partial_any_in_a_completed_piece_keeps_unrelated_deadlocks_certain() {
+        let mut b = ProgramBuilder::new(4);
+        // Ranks 0/1: deterministic circular wait.
+        b.wait_notify(0, &[0]);
+        b.notify(0, 1, 1);
+        b.wait_notify(1, &[1]);
+        b.notify(1, 0, 0);
+        // Ranks 2/3: a partial any-wait that runs to completion.
+        b.notify(2, 3, 5);
+        b.notify(2, 3, 6);
+        b.wait_notify_any(3, &[5, 6], 1);
+        b.wait_notify(3, &[6]);
+        let r = report(&b.build());
+        let certain = r
+            .errors
+            .iter()
+            .find_map(|e| match e {
+                AnalysisError::Deadlock { certain, .. } => Some(*certain),
+                _ => None,
+            })
+            .expect("ranks 0/1 deadlock");
+        assert!(certain, "the any-wait's piece completed; the 0/1 cycle is order-independent: {:?}", r.errors);
+    }
+
+    /// The partial-any consumption race must name an id that is actually
+    /// endangered (available under some order, drained in the worst case),
+    /// not merely the first id of the wait's list.
+    #[test]
+    fn consumption_race_names_an_endangered_id() {
+        let mut b = ProgramBuilder::new(2);
+        b.notify(0, 1, 1);
+        // Id 2 is listed first but never produced; only id 1 can be
+        // drained from under the second any-wait.
+        b.wait_notify_any(1, &[2, 1], 1);
+        b.wait_notify_any(1, &[2, 1], 1);
+        let r = report(&b.build());
+        assert!(
+            r.errors.iter().any(|e| matches!(e, AnalysisError::ConsumptionRace { rank: 1, op_index: 1, id: 1, .. })),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    /// The xor branch of `receiver_intervals` must cover exactly the
+    /// per-rank image for arbitrary sub-intervals — in O(log p) aligned
+    /// blocks, not O(p) singletons.
+    #[test]
+    fn xor_receiver_intervals_match_per_rank_enumeration() {
+        let n = 64;
+        let mut out = Vec::new();
+        for &(lo, hi) in &[(0usize, 64usize), (3, 8), (5, 37), (17, 18), (0, 48), (31, 63)] {
+            for code in 1..n as u32 {
+                out.clear();
+                receiver_intervals(lo, hi, code, TargetMode::Xor, n, &mut out);
+                assert!(
+                    out.len() <= 2 * usize::BITS as usize,
+                    "[{lo},{hi}) code {code}: {} intervals is not O(log p)",
+                    out.len()
+                );
+                let mut got: Vec<usize> = out.iter().flat_map(|&(a, b)| a..b).collect();
+                got.sort_unstable();
+                let mut want: Vec<usize> = (lo..hi).map(|r| r ^ code as usize).collect();
+                want.sort_unstable();
+                assert_eq!(got, want, "[{lo},{hi}) code {code}");
+            }
         }
     }
 }

@@ -61,6 +61,7 @@ fn write_baseline(
     secs_per_run: f64,
     ops_per_sec: f64,
     pooled: f64,
+    traced: f64,
     per_shard: &[(usize, f64)],
     legacy: f64,
 ) {
@@ -77,6 +78,8 @@ fn write_baseline(
         ("seconds_per_run", format!("{secs_per_run:.6}")),
         ("simulated_ops_per_sec", format!("{ops_per_sec:.0}")),
         ("simulated_ops_per_sec_pooled_waits", format!("{pooled:.0}")),
+        ("trace_overhead_ops_per_sec", format!("{traced:.0}")),
+        ("trace_overhead_slowdown", format!("{:.2}", ops_per_sec / traced)),
     ];
     let shard_keys: Vec<(String, String)> =
         per_shard.iter().map(|(s, ops)| (format!("simulated_ops_per_sec_shards_{s}"), format!("{ops:.0}"))).collect();
@@ -115,6 +118,15 @@ fn bench_engine_throughput(c: &mut Criterion) {
             .expect("benchmark program must compile");
         let (_, pooled) = measure_ops_per_sec(&engine, &pooled_prog, 3);
         println!("engine_throughput[pooled waits]: {:.3} M simulated ops/sec", pooled / 1e6);
+        // Full in-memory tracing on the same program: the cost of recording
+        // every typed event.  Gated so the typed-emission path cannot rot.
+        let traced_engine = bench_engine(ranks).with_trace(true);
+        let (_, traced) = measure_ops_per_sec(&traced_engine, &prog, 2);
+        println!(
+            "engine_throughput[traced]: {:.3} M simulated ops/sec ({:.2}x slowdown)",
+            traced / 1e6,
+            ops_per_sec / traced
+        );
         // Per-shard-count rows (worker threads over contiguous rank blocks)
         // and the legacy binary-heap event loop, for the perf trajectory.
         let mut per_shard = Vec::new();
@@ -127,7 +139,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
         let legacy_engine = bench_engine(ranks).with_scheduler(SchedulerKind::BinaryHeap);
         let (_, legacy) = measure_ops_per_sec(&legacy_engine, &prog, 2);
         println!("engine_throughput[legacy heap]: {:.3} M simulated ops/sec", legacy / 1e6);
-        write_baseline(&prog, secs_per_run, ops_per_sec, pooled, &per_shard, legacy);
+        write_baseline(&prog, secs_per_run, ops_per_sec, pooled, traced, &per_shard, legacy);
     }
 
     let mut group = c.benchmark_group("engine");
@@ -139,6 +151,10 @@ fn bench_engine_throughput(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("ring_allreduce_shards4", format!("p{ranks}")), |b| {
             let sharded = bench_engine(ranks).with_shards(4);
             b.iter(|| sharded.run_compiled(&prog).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("ring_allreduce_traced", format!("p{ranks}")), |b| {
+            let traced = bench_engine(ranks).with_trace(true);
+            b.iter(|| traced.run_compiled(&prog).unwrap());
         });
     }
     group.finish();

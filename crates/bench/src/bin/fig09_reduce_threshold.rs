@@ -56,4 +56,12 @@ fn main() {
             );
         }
     }
+
+    // Representative observability run (`--metrics` / `--trace-out`): the
+    // full-data BST reduce at the largest node count.
+    ec_bench::Observability::from_args().observe_run(
+        "reduce-bst-100%",
+        Engine::new(ClusterSpec::homogeneous(max_nodes, 1), CostModel::skylake_fdr()),
+        &reduce_bst_schedule(max_nodes, (large * 8) as u64, 1.0),
+    );
 }

@@ -63,4 +63,12 @@ fn main() {
             ((s100 - s75) / s100 * 100.0).abs()
         );
     }
+
+    // Representative observability run (`--metrics` / `--trace-out`): all
+    // processes engaged at the largest node count.
+    ec_bench::Observability::from_args().observe_run(
+        "reduce-procs-100%",
+        Engine::new(ClusterSpec::homogeneous(max_nodes, 1), CostModel::skylake_fdr()),
+        &reduce_process_threshold_schedule(max_nodes, bytes, 1.0),
+    );
 }

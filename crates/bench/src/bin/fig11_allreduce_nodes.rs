@@ -69,4 +69,12 @@ fn main() {
             println!();
         }
     }
+
+    // Representative observability run (`--metrics` / `--trace-out`): the
+    // pipelined ring at the largest node count and vector size.
+    ec_bench::Observability::from_args().observe_run(
+        "ring-allreduce",
+        Engine::new(ClusterSpec::homogeneous(max_nodes, 1), CostModel::skylake_fdr()),
+        &ring_allreduce_schedule(max_nodes, (large * 8) as u64),
+    );
 }

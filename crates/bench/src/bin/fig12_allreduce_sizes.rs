@@ -73,4 +73,12 @@ fn main() {
         speedup(s7, g),
         speedup(s8, g)
     );
+
+    // Representative observability run (`--metrics` / `--trace-out`): the
+    // ring at the largest message size of the sweep.
+    ec_bench::Observability::from_args().observe_run(
+        "ring-allreduce",
+        Engine::new(ClusterSpec::homogeneous(nodes, 1), CostModel::skylake_fdr()),
+        &ring_allreduce_schedule(nodes, (max_elems * 8) as u64),
+    );
 }

@@ -68,4 +68,13 @@ fn main() {
         }
     }
     println!("  (Quantum Espresso's FFT exchanges 6-24 KB blocks, inside the GASPI-favourable region.)");
+
+    // Representative observability run (`--metrics` / `--trace-out`): the
+    // direct alltoall at the largest scale and block size.
+    let nodes = node_counts[node_counts.len() - 1];
+    ec_bench::Observability::from_args().observe_run(
+        "alltoall-direct",
+        Engine::new(ClusterSpec::homogeneous(nodes, ppn), CostModel::galileo_opa()),
+        &alltoall_direct_schedule(max_ranks, max_block),
+    );
 }

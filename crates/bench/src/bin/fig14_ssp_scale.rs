@@ -118,4 +118,18 @@ fn main() {
     // CI logs: same seed, same fingerprint — for every shard count.
     println!("## determinism fingerprint: {digest:016x}");
     println!("(the paper's Figures 6-7 stop at 32 threaded workers; these runs are simulated)");
+
+    // Representative observability run (`--metrics` / `--trace-out`): the
+    // max-slack hypercube exchange at the largest worker count, on the same
+    // heterogeneous scenario as the sweep.
+    let obs = ec_bench::Observability::from_args().with_default_window(0, 63);
+    if obs.active() {
+        let engine = obs.instrument(
+            Engine::new(ClusterSpec::homogeneous(max_workers, 1), CostModel::marenostrum4_opa())
+                .with_scenario(fig14_scenario(seed))
+                .with_shards(shards),
+        );
+        let report = engine.run(&ssp_scale_program(&stats_cfg)).expect("fig14 observability run");
+        obs.emit("ssp-scale", &report);
+    }
 }

@@ -152,4 +152,18 @@ fn main() {
     let fingerprint = makespans.iter().fold(0u64, |acc, m| ec_netsim::SplitMix64::mix(acc ^ m.to_bits()));
     println!("\n## determinism fingerprint: {fingerprint:016x}");
     println!("(the paper's Figure 13 stops at 32 ranks on a non-blocking fabric; these runs are simulated)");
+
+    // Representative observability run (`--metrics` / `--trace-out`): the
+    // alltoall at the smallest rank count under 4:1 oversubscription, so the
+    // exported trace carries saturated-link counter tracks.
+    let obs = ec_bench::Observability::from_args();
+    if obs.active() {
+        let mut cfg = CongestionConfig::new(rank_counts[0]);
+        cfg.alltoall_block = block;
+        cfg.ring_bytes = ring_bytes;
+        cfg.seed = seed;
+        let engine = obs.instrument(ec_bench::congestion::fig15_engine(&cfg, 4.0));
+        let report = engine.run(&Collective::Alltoall.program(&cfg)).expect("fig15 observability run");
+        obs.emit("alltoall-4to1", &report);
+    }
 }

@@ -107,4 +107,15 @@ fn main() {
     let fingerprint = makespans.iter().fold(0u64, |acc, m| SplitMix64::mix(acc ^ m.to_bits()));
     println!("\n## determinism fingerprint: {fingerprint:016x}");
     println!("(the paper assembled its best-of-N vendor line by hand; this table regenerates it per cell)");
+
+    // Representative observability run (`--metrics` / `--trace-out`): the
+    // ring allreduce at the largest grid cell on the alpha-beta model.
+    ec_bench::Observability::from_args().observe_run(
+        "ring-allreduce",
+        ec_netsim::Engine::new(
+            ec_netsim::ClusterSpec::homogeneous(stats_p.div_ceil(cfg.ranks_per_node), cfg.ranks_per_node),
+            ec_netsim::CostModel::galileo_opa(),
+        ),
+        &ring_allreduce_schedule(stats_p, stats_bytes),
+    );
 }

@@ -142,4 +142,22 @@ fn main() {
 
     println!("## determinism fingerprint: {digest:016x}");
     println!("(the paper's figures stop at 32 nodes; these runs are simulated at p = {ranks})");
+
+    // Representative observability run (`--metrics` / `--trace-out`): the
+    // windowed ring on the dataflow fast path.  A bare `--trace-out` at
+    // p = 2^20 would record every rank's events, so the trace window defaults
+    // to ranks 0..=63 here — override with `--trace-ranks` / `--trace-sample`.
+    let obs = ec_bench::Observability::from_args().with_default_window(0, 63);
+    if obs.active() {
+        let compiled = CompiledProgram::from_source(&WindowedRingSource::new(ranks, rounds, chunk))
+            .expect("fig17 program must validate");
+        let engine = obs.instrument(
+            Engine::new(ClusterSpec::homogeneous(ranks, 1), CostModel::marenostrum4_opa())
+                .with_scenario(fig14_scenario(seed))
+                .with_shards(shards)
+                .with_report_detail(ReportDetail::Summary),
+        );
+        let report = engine.run_compiled(&compiled).expect("fig17 observability run");
+        obs.emit("ring", &report);
+    }
 }

@@ -125,6 +125,130 @@ pub fn shards_flag() -> usize {
     1
 }
 
+/// Observability switches shared by the simulator-backed `fig*` binaries:
+///
+/// * `--metrics` prints the engine's counter registry and, when the run was
+///   traced, the critical-path attribution of the representative run;
+/// * `--trace-out FILE` exports the representative run's trace as Chrome
+///   Trace Event JSON (loadable at <https://ui.perfetto.dev>);
+/// * `--trace-ranks LO..HI` keeps only that rank window (inclusive) and
+///   `--trace-sample N` keeps every Nth rank of it — the sampled sink that
+///   keeps traced million-rank runs within the fig17 RSS budget.
+///
+/// Each binary applies the switches to one *representative* run (its
+/// largest or most characteristic configuration); the figure sweeps
+/// themselves always run untraced, so golden makespans and fingerprints
+/// are unaffected.
+#[derive(Debug, Clone)]
+pub struct Observability {
+    /// Print the engine metrics registry (`--metrics`).
+    pub metrics: bool,
+    /// Export a Chrome trace to this path (`--trace-out FILE`).
+    pub trace_out: Option<String>,
+    /// Rank window / sampling stride applied when tracing.
+    pub filter: ec_netsim::TraceFilter,
+}
+
+impl Observability {
+    /// Parse the process arguments.
+    pub fn from_args() -> Self {
+        let mut metrics = false;
+        let mut trace_out = None;
+        let mut filter = ec_netsim::TraceFilter::all();
+        let parse_ranks = |v: &str, filter: &mut ec_netsim::TraceFilter| {
+            if let Some((lo, hi)) = v.split_once("..") {
+                if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse()) {
+                    filter.first_rank = lo;
+                    filter.last_rank = hi;
+                }
+            }
+        };
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--metrics" => metrics = true,
+                "--trace-out" => trace_out = args.next(),
+                "--trace-ranks" => {
+                    if let Some(v) = args.next() {
+                        parse_ranks(&v, &mut filter);
+                    }
+                }
+                "--trace-sample" => {
+                    filter.sample = args.next().and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+                }
+                _ => {
+                    if let Some(v) = a.strip_prefix("--trace-out=") {
+                        trace_out = Some(v.to_string());
+                    } else if let Some(v) = a.strip_prefix("--trace-ranks=") {
+                        parse_ranks(v, &mut filter);
+                    } else if let Some(v) = a.strip_prefix("--trace-sample=") {
+                        filter.sample = v.parse().ok().unwrap_or(1).max(1);
+                    }
+                }
+            }
+        }
+        Self { metrics, trace_out, filter }
+    }
+
+    /// True when any observability output was requested.
+    pub fn active(&self) -> bool {
+        self.metrics || self.trace_out.is_some()
+    }
+
+    /// True when the representative run must collect a trace.
+    pub fn wants_trace(&self) -> bool {
+        self.trace_out.is_some()
+    }
+
+    /// Narrow the default rank window (used by the huge-scale binaries so a
+    /// bare `--trace-out` does not materialize a million-rank trace); an
+    /// explicit `--trace-ranks`/`--trace-sample` still wins.
+    pub fn with_default_window(mut self, first: usize, last: usize) -> Self {
+        if self.filter.is_full() {
+            self.filter = ec_netsim::TraceFilter::window(first, last);
+        }
+        self
+    }
+
+    /// Enable tracing on `engine` when the switches require it.
+    pub fn instrument(&self, engine: ec_netsim::Engine) -> ec_netsim::Engine {
+        if self.wants_trace() {
+            engine.with_trace_filter(self.filter)
+        } else {
+            engine
+        }
+    }
+
+    /// Print/export everything requested from the representative report.
+    pub fn emit(&self, label: &str, report: &ec_netsim::RunReport) {
+        if self.metrics {
+            println!("\n## engine metrics [{label}]");
+            print!("{}", report.metrics.render());
+            if let Some(cp) = report.critical_path() {
+                print!("{}", cp.render());
+            }
+        }
+        if let Some(path) = &self.trace_out {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            let out = std::io::BufWriter::new(file);
+            ec_netsim::write_chrome_trace(out, &report.trace, &report.links)
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("\n## trace [{label}]: {} events -> {path}", report.trace.len());
+        }
+    }
+
+    /// Run `program` on `engine` as the binary's representative
+    /// observability run.  No-op unless `--metrics` or `--trace-out` was
+    /// passed, so figure sweeps stay untraced by default.
+    pub fn observe_run(&self, label: &str, engine: ec_netsim::Engine, program: &ec_netsim::Program) {
+        if !self.active() {
+            return;
+        }
+        let report = self.instrument(engine).run(program).unwrap_or_else(|e| panic!("observability run {label}: {e}"));
+        self.emit(label, &report);
+    }
+}
+
 /// `full` normally, `small` under [`smoke_flag`] — the default-shrinking
 /// helper the figure binaries use.
 pub fn smoke_default(smoke: bool, full: usize, small: usize) -> usize {

@@ -1,0 +1,130 @@
+//! Acceptance tests for the observability stack: critical-path exactness on
+//! the paper's collectives, Chrome Trace Event export validity, and trace
+//! equivalence across every way of feeding a program to the engine.
+
+use ec_collectives::schedule::{bcast_bst_schedule, ring_allreduce_schedule};
+use ec_netsim::{
+    validate_chrome_trace, write_chrome_trace, ClusterSpec, CostModel, Engine, Program, RunReport, Topology,
+};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+fn traced_engine(ranks: usize) -> Engine {
+    Engine::new(ClusterSpec::homogeneous(ranks, 1), CostModel::skylake_fdr()).with_trace(true)
+}
+
+/// The critical path must attribute the entire makespan: the category
+/// breakdown telescopes to the makespan and the path tail lands exactly on
+/// the last finisher.
+fn assert_exact_critical_path(report: &RunReport, what: &str) {
+    let cp = report.critical_path().unwrap_or_else(|| panic!("{what}: a traced run must yield a critical path"));
+    let makespan = report.makespan();
+    assert!(
+        (cp.breakdown.total() - makespan).abs() < TOL,
+        "{what}: categories must sum to the makespan: {} vs {makespan}",
+        cp.breakdown.total()
+    );
+    assert!(
+        (cp.tail_time() - makespan).abs() < TOL,
+        "{what}: the path tail must be the last finisher: {} vs {makespan}",
+        cp.tail_time()
+    );
+    assert!((cp.makespan - makespan).abs() < TOL);
+    // The path is gapless and starts at (or before) the first event.
+    for w in cp.segments.windows(2) {
+        assert!(
+            (w[0].end - w[1].start).abs() < TOL,
+            "{what}: path segments must chain without gaps: {} -> {}",
+            w[0].end,
+            w[1].start
+        );
+    }
+    assert!(!cp.hot_ranks.is_empty(), "{what}: a non-trivial path names its hot ranks");
+}
+
+#[test]
+fn critical_path_is_exact_on_the_pipelined_ring() {
+    let report = traced_engine(16).run(&ring_allreduce_schedule(16, 1 << 20)).expect("ring must simulate");
+    assert_exact_critical_path(&report, "p=16 pipelined ring allreduce");
+}
+
+#[test]
+fn critical_path_is_exact_on_the_binomial_bcast() {
+    let report = traced_engine(64).run(&bcast_bst_schedule(64, 1 << 20, 1.0)).expect("bcast must simulate");
+    assert_exact_critical_path(&report, "p=64 binomial bcast");
+}
+
+#[test]
+fn exported_chrome_trace_is_valid_and_fully_paired() {
+    let report = traced_engine(16).run(&ring_allreduce_schedule(16, 1 << 20)).expect("ring must simulate");
+    let mut out = Vec::new();
+    write_chrome_trace(&mut out, &report.trace, &report.links).expect("export must succeed");
+    let json = String::from_utf8(out).expect("the trace is ASCII JSON");
+    let stats = validate_chrome_trace(&json).expect("the exported trace must validate");
+    assert_eq!(stats.tracks, 16, "one track per rank");
+    assert!(stats.spans > 0, "op and block spans must be present");
+    assert!(stats.flow_starts > 0, "every put contributes a flow arrow");
+    assert_eq!(stats.flow_starts, stats.flow_ends, "an unfiltered trace pairs every flow");
+    assert_eq!(stats.dangling_flows, 0);
+    assert!(
+        (stats.end_time - report.makespan()).abs() < TOL,
+        "the trace ends at the makespan: {} vs {}",
+        stats.end_time,
+        report.makespan()
+    );
+}
+
+/// Run `program` through one of the engine's three entry points.
+fn run_mode(engine: &Engine, program: &Program, mode: usize) -> RunReport {
+    match mode {
+        0 => engine.run(program).expect("materialized run"),
+        1 => {
+            let compiled = program.compile().expect("program must compile");
+            engine.run_compiled(&compiled).expect("compiled run")
+        }
+        _ => engine.run_source(program).expect("source run"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The trace (and the per-rank statistics) must not depend on how the
+    /// program was fed to the engine (materialized / compiled / source), how
+    /// many worker shards executed it, or whether the flow-level fabric
+    /// priced the wires.
+    #[test]
+    fn traces_are_identical_across_program_forms_shards_and_fabric(
+        ranks in 4usize..12,
+        kib in 1u64..32,
+        fabric_flag in 0usize..2,
+    ) {
+        let fabric = fabric_flag == 1;
+        let program = ring_allreduce_schedule(ranks, kib * 1024);
+        let engine = |shards: usize| {
+            let e = traced_engine(ranks).with_shards(shards);
+            if fabric {
+                e.with_topology(Topology::single_switch(ranks, 6.8e9))
+            } else {
+                e
+            }
+        };
+        let reference = run_mode(&engine(1), &program, 0);
+        prop_assert!(!reference.trace.is_empty());
+        for shards in [1usize, 4] {
+            for mode in 0..3 {
+                let report = run_mode(&engine(shards), &program, mode);
+                prop_assert_eq!(
+                    &report.trace,
+                    &reference.trace,
+                    "mode {} x {} shard(s), fabric {}: the event multiset must be invariant",
+                    mode,
+                    shards,
+                    fabric
+                );
+                prop_assert_eq!(&report.ranks, &reference.ranks);
+            }
+        }
+    }
+}

@@ -57,6 +57,10 @@ pub(crate) struct CalendarQueue<T> {
     /// Bucket width in seconds.
     width: f64,
     len: usize,
+    /// Current-bucket sorts performed (the queue's analogue of a resize:
+    /// the price paid to keep the ring's head ordered; see
+    /// [`crate::EngineMetrics::calendar_bucket_sorts`]).
+    sorts: u64,
 }
 
 impl<T: Timed + Ord + Copy> CalendarQueue<T> {
@@ -73,7 +77,13 @@ impl<T: Timed + Ord + Copy> CalendarQueue<T> {
             far: BinaryHeap::new(),
             width,
             len: 0,
+            sorts: 0,
         }
+    }
+
+    /// Number of current-bucket sorts performed so far.
+    pub(crate) fn sorts(&self) -> u64 {
+        self.sorts
     }
 
     /// Absolute bucket index of a timestamp.
@@ -122,7 +132,11 @@ impl<T: Timed + Ord + Copy> CalendarQueue<T> {
             if !self.sidecar.is_empty() || !self.ring[(self.cur & (NUM_BUCKETS as u64 - 1)) as usize].is_empty() {
                 if !self.cur_sorted {
                     // Sort once, descending, so the minimum pops from the back.
-                    self.ring[(self.cur & (NUM_BUCKETS as u64 - 1)) as usize].sort_unstable_by(|a, b| b.cmp(a));
+                    let bucket = &mut self.ring[(self.cur & (NUM_BUCKETS as u64 - 1)) as usize];
+                    if !bucket.is_empty() {
+                        bucket.sort_unstable_by(|a, b| b.cmp(a));
+                        self.sorts += 1;
+                    }
                     self.cur_sorted = true;
                 }
                 return;

@@ -286,6 +286,26 @@ impl OpView<'_> {
             OpView::Barrier => Op::Barrier,
         }
     }
+
+    /// The operation's trace classification (see [`crate::trace::OpClass`]);
+    /// cheap — no fields are cloned.
+    pub fn class(&self) -> crate::trace::OpClass {
+        use crate::trace::OpClass;
+        match self {
+            OpView::Compute { .. } => OpClass::Compute,
+            OpView::Reduce { .. } => OpClass::Reduce,
+            OpView::Copy { .. } => OpClass::Copy,
+            OpView::PutNotify { .. } => OpClass::PutNotify,
+            OpView::Notify { .. } => OpClass::Notify,
+            OpView::WaitNotify { .. } => OpClass::WaitNotify,
+            OpView::WaitNotifyAny { .. } => OpClass::WaitNotifyAny,
+            OpView::Send { .. } => OpClass::Send,
+            OpView::Isend { .. } => OpClass::Isend,
+            OpView::Recv { .. } => OpClass::Recv,
+            OpView::WaitAllSends => OpClass::WaitAllSends,
+            OpView::Barrier => OpClass::Barrier,
+        }
+    }
 }
 
 /// One rank's compiled op stream: a cheap, copyable cursor over the arena

@@ -47,8 +47,19 @@
 //! arrival as present.  Makespans agree either way (both continue at
 //! `t + notify_overhead`); only the wait-time attribution of the tied
 //! arrival can differ by one `notify_overhead`.
+//!
+//! ## Trace parity
+//!
+//! When tracing is on, the burst path emits the *same* event stream as the
+//! strict engine: per-op `OpStart`/`OpEnd`, `MsgInjected` at launch,
+//! future-dated `NotifyVisible` arrivals with the exact queue/wire timing
+//! decomposition, and `BlockStart`/`BlockEnd` pairs for waits that would
+//! have blocked the strict engine.  Sequence numbers use the same two
+//! channels (own events per rank, arrival events per destination minted by
+//! the single writer), so sorting the merged shard buffers by
+//! `(time, rank, seq)` reproduces the strict trace event-for-event.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -56,9 +67,11 @@ use crate::cluster::{ClusterSpec, RankId};
 use crate::compiled::{CompiledProgram, IdsRef, OpView};
 use crate::cost::CostModel;
 use crate::engine::SimError;
+use crate::metrics::EngineMetrics;
 use crate::program::{CommProfile, NotifyId};
 use crate::report::{RankStats, RunReport};
 use crate::scenario::ScenarioInstance;
+use crate::trace::{sort_trace, BlockReason, MsgLabel, TraceDetail, TraceEvent, TraceFilter, TraceKind, ARRIVAL_SEQ};
 
 /// A notification arrival in flight between shards.
 #[derive(Debug, Clone, Copy)]
@@ -90,6 +103,11 @@ struct DfRank {
     /// Completion time of the rank's latest transfer (for `WaitAllSends`).
     max_tx_done: f64,
     compute_scale: f64,
+    /// Own-event trace sequence counter (mirrors the strict engine's
+    /// per-rank channel; advances even for filtered-out ranks).
+    seq: u64,
+    /// Trace flow-id counter for this rank's injections.
+    flow_seq: u64,
     stats: RankStats,
 }
 
@@ -106,6 +124,8 @@ impl DfRank {
             tx_free: 0.0,
             max_tx_done: 0.0,
             compute_scale,
+            seq: 0,
+            flow_seq: 0,
             stats: RankStats { compute_scale, ..RankStats::default() },
         }
     }
@@ -156,6 +176,21 @@ fn finish_wait(r: &mut DfRank, at: f64, waited: f64) {
     r.stats.finish_time = r.stats.finish_time.max(at);
 }
 
+/// How a notification wait resolved (drives trace emission: the strict
+/// engine emits `OpEnd` for an immediately satisfied wait but a
+/// `BlockStart`/`BlockEnd` pair for one that parked).
+#[derive(Debug, Clone, Copy)]
+enum WaitOutcome {
+    /// Still unsatisfiable; the rank stays parked.
+    Pending,
+    /// Satisfied by arrivals visible at or before the wait started — the
+    /// strict engine would not have blocked at all.
+    Immediate { end: f64 },
+    /// Satisfied by a later arrival — the strict engine blocked at `from`
+    /// and unblocked at `end`.
+    Waited { from: f64, end: f64 },
+}
+
 /// Try to satisfy the notification wait the rank is parked in.  Arrivals at
 /// or before the wait's start time are batch-applied first (the strict
 /// engine processed those before the wait executed, so no per-arrival
@@ -163,7 +198,13 @@ fn finish_wait(r: &mut DfRank, at: f64, waited: f64) {
 /// unblocking at `visible + notify_overhead` like the strict `on_notify`.
 /// The split point is a *virtual* time, so the outcome is independent of
 /// when (in wall-clock terms) arrivals reached the FIFO.
-fn try_finish_wait(r: &mut DfRank, counts: &mut [u32], ids: IdsRef<'_>, count: usize, notify_overhead: f64) -> bool {
+fn try_finish_wait(
+    r: &mut DfRank,
+    counts: &mut [u32],
+    ids: IdsRef<'_>,
+    count: usize,
+    notify_overhead: f64,
+) -> WaitOutcome {
     let bs = r.blocked_since;
     while let Some(&(v, _)) = r.fifo.front() {
         if v > bs {
@@ -173,17 +214,19 @@ fn try_finish_wait(r: &mut DfRank, counts: &mut [u32], ids: IdsRef<'_>, count: u
         note_arrival(r, counts, id);
     }
     if consume(r, counts, ids, count) {
-        finish_wait(r, bs + notify_overhead, 0.0);
-        return true;
+        let end = bs + notify_overhead;
+        finish_wait(r, end, 0.0);
+        return WaitOutcome::Immediate { end };
     }
     while let Some((v, id)) = r.fifo.pop_front() {
         note_arrival(r, counts, id);
         if consume(r, counts, ids, count) {
-            finish_wait(r, v + notify_overhead, v + notify_overhead - bs);
-            return true;
+            let end = v + notify_overhead;
+            finish_wait(r, end, end - bs);
+            return WaitOutcome::Waited { from: bs, end };
         }
     }
-    false
+    WaitOutcome::Pending
 }
 
 /// One worker's slice of the simulation: the ranks in `[lo, hi)`.
@@ -213,6 +256,18 @@ struct Shard<'a> {
     worklist: VecDeque<usize>,
     /// Outbound arrivals per destination shard, flushed once per round.
     outbox: Vec<Vec<Arrival>>,
+    /// Emit trace events mirroring the strict engine's stream.
+    tracing: bool,
+    filter: TraceFilter,
+    /// Events emitted by this shard: own-channel events of its local ranks
+    /// plus arrival-channel events for the destinations its ranks write to
+    /// (the single-writer rule makes those destination sets disjoint across
+    /// shards, so the post-merge sort is a deterministic total order).
+    trace: Vec<TraceEvent>,
+    /// Arrival-channel sequence counters keyed by destination rank; minted
+    /// sender-side in the writer's program order, which is exactly the order
+    /// the strict engine schedules the corresponding `NotifyVisible` events.
+    arrival_seq: HashMap<RankId, u64>,
 }
 
 impl<'a> Shard<'a> {
@@ -227,6 +282,8 @@ impl<'a> Shard<'a> {
         program: &'a CompiledProgram,
         scenario: Option<&'a ScenarioInstance>,
         profile: &'a CommProfile,
+        tracing: bool,
+        filter: TraceFilter,
     ) -> Self {
         let ranks = (lo..hi)
             .map(|r| {
@@ -256,6 +313,61 @@ impl<'a> Shard<'a> {
             node_rx_free: vec![0.0; cluster.nodes],
             worklist: (0..hi - lo).collect(),
             outbox: vec![Vec::new(); num_shards],
+            tracing,
+            filter,
+            trace: Vec::new(),
+            arrival_seq: HashMap::new(),
+        }
+    }
+
+    /// Record an own-channel event for local rank `li`.  Identical numbering
+    /// to the strict engine's `trace_own`: the counter advances even when
+    /// the filter drops the rank, so a windowed trace is a strict subset of
+    /// the full one.
+    fn trace_own(&mut self, li: usize, time: f64, kind: TraceKind, op_index: Option<usize>, detail: TraceDetail) {
+        if !self.tracing {
+            return;
+        }
+        let rank = self.lo + li;
+        let r = &mut self.ranks[li];
+        let seq = r.seq;
+        r.seq += 1;
+        if self.filter.keeps(rank) {
+            self.trace.push(TraceEvent::new(time, rank, kind, op_index, seq, detail));
+        }
+    }
+
+    /// Record a (future-dated) arrival-channel event for destination `dst`.
+    fn trace_arrival(&mut self, time: f64, dst: RankId, kind: TraceKind, detail: TraceDetail) {
+        if !self.tracing {
+            return;
+        }
+        let c = self.arrival_seq.entry(dst).or_insert(0);
+        let seq = ARRIVAL_SEQ | *c;
+        *c += 1;
+        if self.filter.keeps(dst) {
+            self.trace.push(TraceEvent::new(time, dst, kind, None, seq, detail));
+        }
+    }
+
+    /// Emit the strict-engine-equivalent events for a wait outcome and
+    /// report whether the wait resolved.  The `BlockStart` is emitted
+    /// retroactively at resolution time — its virtual timestamp and sequence
+    /// number are the same ones the strict engine assigns at block time,
+    /// because a parked rank emits no own-channel events in between.
+    fn emit_wait(&mut self, li: usize, pc: usize, outcome: WaitOutcome) -> bool {
+        match outcome {
+            WaitOutcome::Pending => false,
+            WaitOutcome::Immediate { end } => {
+                self.trace_own(li, end, TraceKind::OpEnd, Some(pc), TraceDetail::None);
+                true
+            }
+            WaitOutcome::Waited { from, end } => {
+                let detail = TraceDetail::Block { reason: BlockReason::Notify };
+                self.trace_own(li, from, TraceKind::BlockStart, Some(pc), detail);
+                self.trace_own(li, end, TraceKind::BlockEnd, Some(pc), detail);
+                true
+            }
         }
     }
 
@@ -300,38 +412,52 @@ impl<'a> Shard<'a> {
         let (clo, chi) = (self.offs[li], self.offs[li + 1]);
         loop {
             if self.ranks[li].blocked {
-                let (ids, count) = match view.op(self.ranks[li].pc) {
+                let pc = self.ranks[li].pc;
+                let (ids, count) = match view.op(pc) {
                     OpView::WaitNotify { ids } => (ids, ids.len()),
                     OpView::WaitNotifyAny { ids, count } => (ids, count),
                     _ => unreachable!("only notification waits park a dataflow rank"),
                 };
-                if !try_finish_wait(&mut self.ranks[li], &mut self.counts[clo..chi], ids, count, notify_overhead) {
+                let outcome =
+                    try_finish_wait(&mut self.ranks[li], &mut self.counts[clo..chi], ids, count, notify_overhead);
+                if !self.emit_wait(li, pc, outcome) {
                     return;
                 }
+                continue;
             }
-            let r = &mut self.ranks[li];
-            if r.pc >= view.len() {
+            let pc = self.ranks[li].pc;
+            if pc >= view.len() {
+                let r = &mut self.ranks[li];
                 r.done = true;
                 r.stats.finish_time = r.stats.finish_time.max(r.clock);
                 return;
             }
-            match view.op(r.pc) {
-                OpView::Compute { seconds } => local_op(r, seconds.max(0.0)),
-                OpView::Reduce { bytes } => local_op(r, self.cost.reduce_time(bytes)),
-                OpView::Copy { bytes } => local_op(r, self.cost.copy_time(bytes)),
-                OpView::PutNotify { dst, bytes, notify } => self.exec_put(li, rank, dst, bytes, notify),
-                OpView::Notify { dst, notify } => self.exec_put(li, rank, dst, 0, notify),
+            let op = view.op(pc);
+            if self.tracing {
+                let t = self.ranks[li].clock;
+                self.trace_own(li, t, TraceKind::OpStart, Some(pc), TraceDetail::Op { op: op.class() });
+            }
+            match op {
+                OpView::Compute { seconds } => self.exec_local(li, pc, seconds.max(0.0)),
+                OpView::Reduce { bytes } => self.exec_local(li, pc, self.cost.reduce_time(bytes)),
+                OpView::Copy { bytes } => self.exec_local(li, pc, self.cost.copy_time(bytes)),
+                OpView::PutNotify { dst, bytes, notify } => self.exec_put(li, rank, dst, bytes, notify, pc),
+                OpView::Notify { dst, notify } => self.exec_put(li, rank, dst, 0, notify, pc),
                 OpView::WaitNotify { ids } => {
+                    let r = &mut self.ranks[li];
                     r.blocked = true;
                     r.blocked_since = r.clock;
-                    if !try_finish_wait(r, &mut self.counts[clo..chi], ids, ids.len(), notify_overhead) {
+                    let outcome = try_finish_wait(r, &mut self.counts[clo..chi], ids, ids.len(), notify_overhead);
+                    if !self.emit_wait(li, pc, outcome) {
                         return;
                     }
                 }
                 OpView::WaitNotifyAny { ids, count } => {
+                    let r = &mut self.ranks[li];
                     r.blocked = true;
                     r.blocked_since = r.clock;
-                    if !try_finish_wait(r, &mut self.counts[clo..chi], ids, count, notify_overhead) {
+                    let outcome = try_finish_wait(r, &mut self.counts[clo..chi], ids, count, notify_overhead);
+                    if !self.emit_wait(li, pc, outcome) {
                         return;
                     }
                 }
@@ -339,12 +465,21 @@ impl<'a> Shard<'a> {
                     // All transfer completion times are known at issue time;
                     // the strict engine's outstanding-send counter reduces
                     // to a max over them.
-                    if r.max_tx_done > r.clock {
-                        r.stats.wait_time += r.max_tx_done - r.clock;
-                        r.clock = r.max_tx_done;
+                    let r = &mut self.ranks[li];
+                    let (t, tx) = (r.clock, r.max_tx_done);
+                    if tx > t {
+                        r.stats.wait_time += tx - t;
+                        r.clock = tx;
                     }
                     r.pc += 1;
                     r.stats.finish_time = r.stats.finish_time.max(r.clock);
+                    if tx > t {
+                        let detail = TraceDetail::Block { reason: BlockReason::AllSends };
+                        self.trace_own(li, t, TraceKind::BlockStart, Some(pc), detail);
+                        self.trace_own(li, tx, TraceKind::BlockEnd, Some(pc), detail);
+                    } else {
+                        self.trace_own(li, t, TraceKind::OpEnd, Some(pc), TraceDetail::None);
+                    }
                 }
                 OpView::Send { .. } | OpView::Isend { .. } | OpView::Recv { .. } | OpView::Barrier => {
                     unreachable!("two-sided ops and barriers are gated out by eligibility")
@@ -353,10 +488,23 @@ impl<'a> Shard<'a> {
         }
     }
 
+    /// A purely local operation of nominal duration `d`, scaled by the
+    /// rank's scenario compute factor.
+    fn exec_local(&mut self, li: usize, pc: usize, d: f64) {
+        let r = &mut self.ranks[li];
+        let d = d * r.compute_scale;
+        r.stats.compute_time += d;
+        r.clock += d;
+        r.pc += 1;
+        r.stats.finish_time = r.stats.finish_time.max(r.clock);
+        let end = r.clock;
+        self.trace_own(li, end, TraceKind::OpEnd, Some(pc), TraceDetail::None);
+    }
+
     /// One-sided put (or zero-byte notify): the exact wire-timing formulas
     /// of the strict engine's `schedule_put`/`schedule_wire`, evaluated
     /// inline.
-    fn exec_put(&mut self, li: usize, src: RankId, dst: RankId, bytes: u64, notify: NotifyId) {
+    fn exec_put(&mut self, li: usize, src: RankId, dst: RankId, bytes: u64, notify: NotifyId, pc: usize) {
         let cost = self.cost;
         let same = self.cluster.same_node(src, dst);
         let src_node = self.cluster.node_of(src);
@@ -393,23 +541,31 @@ impl<'a> Shard<'a> {
         r.clock = launch;
         r.stats.finish_time = r.stats.finish_time.max(launch);
         let visible = delivered + cost.notify_overhead;
+        if self.tracing {
+            let flow = ((src as u64) << 32) | r.flow_seq;
+            r.flow_seq += 1;
+            let label = MsgLabel::Notify(notify);
+            // Same per-op order as the strict engine: OpStart (already
+            // emitted by the caller), MsgInjected, OpEnd, plus the
+            // future-dated arrival on the destination's channel with the
+            // identical queue/wire decomposition as `schedule_wire`.
+            let queue = (tx_start - launch) + (rx_start - (tx_start + alpha));
+            self.trace_own(li, launch, TraceKind::MsgInjected, None, TraceDetail::Inject { dst, bytes, label, flow });
+            self.trace_own(li, launch, TraceKind::OpEnd, Some(pc), TraceDetail::None);
+            self.trace_arrival(
+                visible,
+                dst,
+                TraceKind::NotifyVisible,
+                TraceDetail::Arrival { src, bytes, label, flow, inject: launch, queue, wire: ser },
+            );
+        }
         self.deliver(Arrival { dst, visible, notify, bytes });
     }
 }
 
-/// A purely local operation of nominal duration `d`, scaled by the rank's
-/// scenario compute factor.
-#[inline]
-fn local_op(r: &mut DfRank, d: f64) {
-    let d = d * r.compute_scale;
-    r.stats.compute_time += d;
-    r.clock += d;
-    r.pc += 1;
-    r.stats.finish_time = r.stats.finish_time.max(r.clock);
-}
-
 /// Execute an eligible program (see the module docs for the eligibility
 /// rules, which [`crate::engine::Engine::run`] enforces).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     cluster: &ClusterSpec,
     cost: &CostModel,
@@ -417,6 +573,8 @@ pub(crate) fn run(
     scenario: Option<&ScenarioInstance>,
     profile: &CommProfile,
     shards: usize,
+    tracing: bool,
+    filter: TraceFilter,
 ) -> Result<RunReport, SimError> {
     let n = program.num_ranks();
     let shards = shards.clamp(1, n.max(1));
@@ -424,9 +582,9 @@ pub(crate) fn run(
     let bounds: Vec<(usize, usize)> = (0..shards).map(|s| ((s * chunk).min(n), ((s + 1) * chunk).min(n))).collect();
 
     if shards == 1 {
-        let mut shard = Shard::new(0, n, chunk, 1, cluster, cost, program, scenario, profile);
+        let mut shard = Shard::new(0, n, chunk, 1, cluster, cost, program, scenario, profile, tracing, filter);
         shard.run_to_quiescence();
-        return assemble(program, shard.ranks);
+        return assemble(program, shard.ranks, shard.trace);
     }
 
     // Parallel execution: one worker per shard, synchronized in rounds.
@@ -439,12 +597,13 @@ pub(crate) fn run(
     let inboxes: Vec<Mutex<Vec<Arrival>>> = (0..shards).map(|_| Mutex::new(Vec::new())).collect();
     let active: Vec<AtomicBool> = (0..shards).map(|_| AtomicBool::new(false)).collect();
     let barrier = Barrier::new(shards);
-    let mut results: Vec<(usize, Vec<DfRank>)> = std::thread::scope(|scope| {
+    let mut results: Vec<(usize, Vec<DfRank>, Vec<TraceEvent>)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (s, &(lo, hi)) in bounds.iter().enumerate() {
             let (inboxes, active, barrier) = (&inboxes, &active, &barrier);
             handles.push(scope.spawn(move || {
-                let mut shard = Shard::new(lo, hi, chunk, shards, cluster, cost, program, scenario, profile);
+                let mut shard =
+                    Shard::new(lo, hi, chunk, shards, cluster, cost, program, scenario, profile, tracing, filter);
                 loop {
                     shard.run_to_quiescence();
                     for (t, out) in shard.outbox.iter_mut().enumerate() {
@@ -465,20 +624,30 @@ pub(crate) fn run(
                         break;
                     }
                 }
-                (lo, shard.ranks)
+                (lo, shard.ranks, shard.trace)
             }));
         }
         handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
     });
-    results.sort_by_key(|&(lo, _)| lo);
-    assemble(program, results.into_iter().flat_map(|(_, ranks)| ranks).collect())
+    results.sort_by_key(|&(lo, _, _)| lo);
+    let mut ranks = Vec::new();
+    let mut trace = Vec::new();
+    for (_, rs, tr) in results {
+        ranks.extend(rs);
+        trace.extend(tr);
+    }
+    assemble(program, ranks, trace)
 }
 
 /// Final bookkeeping: flush arrivals nobody waited for (the strict engine
 /// still counts their `NotifyVisible` events — the counter values themselves
 /// are dead after the run, only the received tally matters), detect
 /// deadlock, and build the report.
-fn assemble(program: &CompiledProgram, mut ranks: Vec<DfRank>) -> Result<RunReport, SimError> {
+fn assemble(
+    program: &CompiledProgram,
+    mut ranks: Vec<DfRank>,
+    mut trace: Vec<TraceEvent>,
+) -> Result<RunReport, SimError> {
     let mut blocked = Vec::new();
     for (rank, r) in ranks.iter_mut().enumerate() {
         r.stats.notifications_received += r.fifo.len() as u64;
@@ -495,10 +664,17 @@ fn assemble(program: &CompiledProgram, mut ranks: Vec<DfRank>) -> Result<RunRepo
     if !blocked.is_empty() {
         return Err(SimError::Deadlock { blocked });
     }
+    sort_trace(&mut trace);
+    let metrics = EngineMetrics {
+        dataflow_burst_ops: ranks.iter().map(|r| r.pc as u64).sum(),
+        trace_events: trace.len() as u64,
+        ..EngineMetrics::default()
+    };
     Ok(RunReport {
         ranks: ranks.into_iter().map(|r| r.stats).collect(),
         links: Vec::new(),
-        trace: Vec::new(),
+        trace,
         summary: None,
+        metrics,
     })
 }

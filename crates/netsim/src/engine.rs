@@ -21,7 +21,8 @@
 //! from the arena's id pool, notification counters live in one flat `Vec`
 //! shared by all ranks (indexed through per-rank prefix offsets) instead of
 //! hash maps or a million tiny allocations, the event queue is pre-sized
-//! from the program, and trace details are only formatted when tracing is
+//! from the program, and trace events (typed, copyable [`TraceDetail`]
+//! payloads — never formatted strings) are only recorded when tracing is
 //! enabled.
 //!
 //! ## Heterogeneity
@@ -33,6 +34,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
 
 use crate::calendar::{CalendarQueue, Timed};
 use crate::cluster::{ClusterSpec, RankId};
@@ -40,12 +42,15 @@ use crate::compiled::{CompiledProgram, IdsRef, OpView};
 use crate::cost::{CostModel, Protocol};
 use crate::dataflow;
 use crate::fabric::{Fabric, FlowId};
+use crate::metrics::EngineMetrics;
 use crate::program::{NotifyId, Program, Tag};
 use crate::report::{LinkStats, RankStats, ReportDetail, RunReport};
 use crate::scenario::{Scenario, ScenarioInstance};
 use crate::source::ProgramSource;
 use crate::topology::{Topology, TopologyError};
-use crate::trace::{TraceEvent, TraceKind};
+use crate::trace::{
+    sort_trace, BlockReason, MsgLabel, TraceDetail, TraceEvent, TraceFilter, TraceKind, TraceSink, ARRIVAL_SEQ,
+};
 use crate::validate::{validate_compiled, ValidationError};
 
 /// How inter-node transfers are priced.
@@ -143,16 +148,35 @@ pub(crate) fn time_backstep_tolerance(now: f64) -> f64 {
 }
 
 /// Discrete-event simulator configured with a cluster and a cost model.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Engine {
     cluster: ClusterSpec,
     cost: CostModel,
     tracing: bool,
+    filter: TraceFilter,
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
     scenario: Option<Scenario>,
     network: NetworkModel,
     scheduler: SchedulerKind,
     shards: usize,
     report_detail: ReportDetail,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cluster", &self.cluster)
+            .field("cost", &self.cost)
+            .field("tracing", &self.tracing)
+            .field("filter", &self.filter)
+            .field("sink", &self.sink.as_ref().map(|_| "TraceSink"))
+            .field("scenario", &self.scenario)
+            .field("network", &self.network)
+            .field("scheduler", &self.scheduler)
+            .field("shards", &self.shards)
+            .field("report_detail", &self.report_detail)
+            .finish()
+    }
 }
 
 impl Engine {
@@ -162,6 +186,8 @@ impl Engine {
             cluster,
             cost,
             tracing: false,
+            filter: TraceFilter::all(),
+            sink: None,
             scenario: None,
             network: NetworkModel::AlphaBeta,
             scheduler: SchedulerKind::default(),
@@ -173,6 +199,36 @@ impl Engine {
     /// Enable or disable event tracing (traces are returned in the report).
     pub fn with_trace(mut self, tracing: bool) -> Self {
         self.tracing = tracing;
+        self
+    }
+
+    /// Restrict trace collection to a rank window and/or sampling stride
+    /// (see [`TraceFilter`]) — the way a million-rank run keeps its trace
+    /// within the memory budget.  Implies [`Engine::with_trace`]`(true)`.
+    ///
+    /// Filtering only gates which events are *kept*: sequence numbers and
+    /// timings are identical to an unfiltered run, so a windowed trace is a
+    /// strict subset of the full one.
+    pub fn with_trace_filter(mut self, filter: TraceFilter) -> Self {
+        self.tracing = true;
+        self.filter = filter;
+        self
+    }
+
+    /// The trace filter in effect (keeps everything by default).
+    pub fn trace_filter(&self) -> TraceFilter {
+        self.filter
+    }
+
+    /// Stream every kept trace event into `sink` after each run, in the
+    /// canonical `(time, rank, seq)` order — e.g. a
+    /// [`ChromeTraceWriter`](crate::trace::ChromeTraceWriter) writing a
+    /// Perfetto-loadable file.  The in-memory trace in the report is
+    /// unaffected.  Implies [`Engine::with_trace`]`(true)`.  The caller
+    /// finishes the sink when all runs are done.
+    pub fn with_trace_sink(mut self, sink: Arc<Mutex<dyn TraceSink>>) -> Self {
+        self.tracing = true;
+        self.sink = Some(sink);
         self
     }
 
@@ -234,9 +290,9 @@ impl Engine {
     /// inbound queues whose per-sender FIFO order makes the result
     /// *identical for every shard count* (see the `dataflow` module docs).
     /// Programs the fast path cannot execute (two-sided traffic, barriers,
-    /// fabric contention, tracing, multiple writers per destination, more
-    /// than one rank per node) conservatively fall back to the serial strict
-    /// event loop regardless of this setting.
+    /// fabric contention, multiple writers per destination, more than one
+    /// rank per node) conservatively fall back to the serial strict event
+    /// loop regardless of this setting.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
@@ -399,20 +455,37 @@ impl Engine {
         // nodes have per-destination arrival streams that are FIFO in both
         // issue order and visible time, so rank op chains can burst-execute
         // without a global event queue — and shard across threads without
-        // changing a single output bit.  Anything else (fabric contention,
-        // two-sided matching, barriers, tracing, shared NICs, multiple
-        // writers) runs the strict event loop.
+        // changing a single output bit.  Traced runs stay eligible: the
+        // burst path emits the same events as the strict loop, merged into
+        // the canonical `(time, rank, seq)` order post-run.  Anything else
+        // (fabric contention, two-sided matching, barriers, shared NICs,
+        // multiple writers) runs the strict event loop.
         let eligible = self.scheduler == SchedulerKind::CalendarQueue
             && fabric.is_none()
-            && !self.tracing
             && self.cluster.ranks_per_node == 1
             && profile.one_sided_only
             && profile.single_writer;
         let mut report = if eligible {
-            dataflow::run(&self.cluster, &self.cost, program, instance.as_ref(), profile, self.shards)?
+            dataflow::run(
+                &self.cluster,
+                &self.cost,
+                program,
+                instance.as_ref(),
+                profile,
+                self.shards,
+                self.tracing,
+                self.filter,
+            )?
         } else {
-            Sim::new(&self.cluster, &self.cost, program, self.tracing, instance, fabric, self.scheduler).run()?
+            Sim::new(&self.cluster, &self.cost, program, self.tracing, self.filter, instance, fabric, self.scheduler)
+                .run()?
         };
+        if let Some(sink) = &self.sink {
+            let mut sink = sink.lock().expect("trace sink lock poisoned");
+            for ev in &report.trace {
+                sink.record(ev);
+            }
+        }
         report.finalize(self.report_detail);
         Ok(report)
     }
@@ -575,6 +648,13 @@ struct FlowMeta {
     /// Propagation latency added between flow completion and delivery.
     alpha: f64,
     kind: FlowKind,
+    /// Virtual time the transfer entered the injection queue (the trace's
+    /// inject timestamp; fabric-queueing is `launched - inject`).
+    inject: f64,
+    /// Virtual time the flow actually entered the fabric.
+    launched: f64,
+    /// Trace flow id pairing the injection with the arrival (0 untraced).
+    flow: u64,
 }
 
 /// An inter-node transfer waiting in a rank's fabric injection queue.  Each
@@ -592,6 +672,8 @@ struct QueuedTransfer {
     /// rendezvous clear-to-send).
     earliest: f64,
     kind: FlowKind,
+    /// Trace flow id (0 untraced).
+    flow: u64,
 }
 
 /// Per-rank fabric injection pipeline state.
@@ -676,6 +758,40 @@ struct Sim<'a> {
     completed_buf: Vec<FlowId>,
     meta_buf: Vec<FlowMeta>,
     trace: Vec<TraceEvent>,
+    /// Which ranks' events the trace keeps (`TraceFilter::all()` untraced).
+    filter: TraceFilter,
+    /// Per-rank sequence counters for a rank's own events (empty untraced).
+    trace_seq: Vec<u64>,
+    /// Per-destination counters for the arrival sequence channel
+    /// (`ARRIVAL_SEQ | n`; empty untraced).
+    arrival_seq: Vec<u64>,
+    /// Per-source counters minting trace flow ids (empty untraced).
+    flow_seq: Vec<u64>,
+    metrics: EngineMetrics,
+}
+
+/// Timing of one alpha-beta transfer (see `Sim::schedule_wire`).
+#[derive(Debug, Clone, Copy)]
+struct WireTiming {
+    /// When the sender's NIC is released.
+    tx_done: f64,
+    /// When the last byte lands in the receiver's memory.
+    delivered: f64,
+    /// NIC queueing between injection and transmission (tx + rx side).
+    queue: f64,
+    /// Serialization (wire) time.
+    ser: f64,
+}
+
+/// The typed trace reason of a blocked state.
+fn block_reason(b: &Blocked<'_>) -> BlockReason {
+    match b {
+        Blocked::Recv { src, tag } => BlockReason::Recv { src: *src, tag: *tag },
+        Blocked::Notify { .. } => BlockReason::Notify,
+        Blocked::SendTxDone { .. } => BlockReason::SendTxDone,
+        Blocked::WaitAllSends => BlockReason::AllSends,
+        Blocked::Barrier => BlockReason::Barrier,
+    }
 }
 
 impl<'a> Sim<'a> {
@@ -685,6 +801,7 @@ impl<'a> Sim<'a> {
         cost: &'a CostModel,
         program: &'a CompiledProgram,
         tracing: bool,
+        filter: TraceFilter,
         scenario: Option<ScenarioInstance>,
         fabric: Option<Fabric>,
         scheduler: SchedulerKind,
@@ -733,19 +850,58 @@ impl<'a> Sim<'a> {
             completed_buf: Vec::new(),
             meta_buf: Vec::new(),
             trace: Vec::new(),
+            filter,
+            trace_seq: if tracing { vec![0; n] } else { Vec::new() },
+            arrival_seq: if tracing { vec![0; n] } else { Vec::new() },
+            flow_seq: if tracing { vec![0; n] } else { Vec::new() },
+            metrics: EngineMetrics::default(),
         }
     }
 
     fn push_event(&mut self, time: f64, rank: RankId, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
+        self.metrics.events_scheduled += 1;
         self.events.push(Event { time, seq, rank, kind });
     }
 
-    fn trace_event(&mut self, time: f64, rank: RankId, kind: TraceKind, op_index: Option<usize>, detail: String) {
-        if self.tracing {
-            self.trace.push(TraceEvent::new(time, rank, kind, op_index, detail));
+    /// Record an event on `rank`'s own sequence channel.  The counter
+    /// advances even for filtered-out ranks, so a windowed trace is a
+    /// strict subset of the full one.
+    fn trace_own(&mut self, time: f64, rank: RankId, kind: TraceKind, op_index: Option<usize>, detail: TraceDetail) {
+        if !self.tracing {
+            return;
         }
+        let seq = self.trace_seq[rank];
+        self.trace_seq[rank] += 1;
+        if self.filter.keeps(rank) {
+            self.trace.push(TraceEvent::new(time, rank, kind, op_index, seq, detail));
+        }
+    }
+
+    /// Record a message arrival on the destination's arrival sequence
+    /// channel.  Arrivals are emitted (future-dated) when their timing is
+    /// decided, not when the event fires; the post-run sort merges them
+    /// into canonical order.
+    fn trace_arrival(&mut self, time: f64, dst: RankId, kind: TraceKind, detail: TraceDetail) {
+        if !self.tracing {
+            return;
+        }
+        let seq = ARRIVAL_SEQ | self.arrival_seq[dst];
+        self.arrival_seq[dst] += 1;
+        if self.filter.keeps(dst) {
+            self.trace.push(TraceEvent::new(time, dst, kind, None, seq, detail));
+        }
+    }
+
+    /// Mint a flow id pairing an injection with its arrival (0 untraced).
+    fn next_flow(&mut self, src: RankId) -> u64 {
+        if !self.tracing {
+            return 0;
+        }
+        let c = self.flow_seq[src];
+        self.flow_seq[src] += 1;
+        ((src as u64) << 32) | c
     }
 
     fn run(mut self) -> Result<RunReport, SimError> {
@@ -787,6 +943,13 @@ impl<'a> Sim<'a> {
         if !blocked.is_empty() {
             return Err(SimError::Deadlock { blocked });
         }
+        if let Some(f) = &self.fabric {
+            self.metrics.fabric_solves = f.solver_passes();
+            self.metrics.balanced_swap_hits = f.balanced_swap_hits();
+        }
+        if let EventQueue::Calendar(c) = &self.events {
+            self.metrics.calendar_bucket_sorts = c.sorts();
+        }
         let links = match &self.fabric {
             Some(f) => f
                 .usage()
@@ -798,33 +961,37 @@ impl<'a> Sim<'a> {
                     bytes: u.bytes,
                     busy_time: u.busy_time,
                     saturated_time: u.saturated_time,
+                    busy_intervals: u.intervals.clone(),
                 })
                 .collect(),
             None => Vec::new(),
         };
         let ranks = self.ranks.into_iter().map(|r| r.stats).collect();
-        Ok(RunReport { ranks, links, trace: self.trace, summary: None })
+        let mut trace = self.trace;
+        sort_trace(&mut trace);
+        self.metrics.trace_events = trace.len() as u64;
+        Ok(RunReport { ranks, links, trace, summary: None, metrics: self.metrics })
     }
 
     /// Resume a rank that was blocked, accounting the wait time.
     fn unblock(&mut self, rank: RankId, at: f64) {
         let r = &mut self.ranks[rank];
         debug_assert!(r.blocked.is_some());
+        let reason = r.blocked.as_ref().map(block_reason);
         r.stats.wait_time += (at - r.blocked_since).max(0.0);
         r.blocked = None;
         // Hoist the op index *before* mutating the pc: BlockEnd must pair
         // with the BlockStart that `block()` emitted for the same op.
         let op_index = r.pc;
         r.pc += 1;
-        self.trace_event(at, rank, TraceKind::BlockEnd, Some(op_index), String::new());
+        let detail = reason.map_or(TraceDetail::None, |reason| TraceDetail::Block { reason });
+        self.trace_own(at, rank, TraceKind::BlockEnd, Some(op_index), detail);
         self.push_event(at, rank, EventKind::Resume);
     }
 
     fn block(&mut self, rank: RankId, at: f64, why: Blocked<'a>) {
-        if self.tracing {
-            let detail = why.describe();
-            self.trace.push(TraceEvent::new(at, rank, TraceKind::BlockStart, Some(self.ranks[rank].pc), detail));
-        }
+        let pc = self.ranks[rank].pc;
+        self.trace_own(at, rank, TraceKind::BlockStart, Some(pc), TraceDetail::Block { reason: block_reason(&why) });
         let r = &mut self.ranks[rank];
         r.blocked = Some(why);
         r.blocked_since = at;
@@ -848,10 +1015,7 @@ impl<'a> Sim<'a> {
             return;
         }
         let op = view.op(pc);
-        if self.tracing {
-            let detail = format!("{op:?}");
-            self.trace.push(TraceEvent::new(t, rank, TraceKind::OpStart, Some(pc), detail));
-        }
+        self.trace_own(t, rank, TraceKind::OpStart, Some(pc), TraceDetail::Op { op: op.class() });
         self.ranks[rank].stats.finish_time = self.ranks[rank].stats.finish_time.max(t);
         match op {
             OpView::Compute { seconds } => self.finish_local(rank, t, seconds.max(0.0)),
@@ -904,9 +1068,10 @@ impl<'a> Sim<'a> {
     /// Advance the program counter and schedule the next step at `at`.
     fn advance(&mut self, rank: RankId, at: f64) {
         let r = &mut self.ranks[rank];
+        let op_index = r.pc;
         r.pc += 1;
         r.stats.finish_time = r.stats.finish_time.max(at);
-        self.trace_event(at, rank, TraceKind::OpEnd, Some(self.ranks[rank].pc.saturating_sub(1)), String::new());
+        self.trace_own(at, rank, TraceKind::OpEnd, Some(op_index), TraceDetail::None);
         self.push_event(at, rank, EventKind::Resume);
     }
 
@@ -922,6 +1087,7 @@ impl<'a> Sim<'a> {
     /// `dst`, injected no earlier than `earliest`.
     fn schedule_put(&mut self, src: RankId, dst: RankId, bytes: u64, notify: NotifyId, earliest: f64) {
         let same = self.cluster.same_node(src, dst);
+        let label = MsgLabel::Notify(notify);
         if self.fabric.is_some() && !same {
             let msg = if bytes > 0 && self.tracks_put_tx[src] {
                 let msg = self.alloc_msg();
@@ -930,16 +1096,20 @@ impl<'a> Sim<'a> {
             } else {
                 None
             };
-            self.fabric_transfer(src, dst, bytes, 1.0, earliest, FlowKind::Put { notify, msg });
-            if self.tracing {
-                let detail = format!("put dst={dst} bytes={bytes} notify={notify}");
-                self.trace.push(TraceEvent::new(earliest, src, TraceKind::MsgInjected, None, detail));
-            }
+            let flow = self.next_flow(src);
+            self.trace_own(
+                earliest,
+                src,
+                TraceKind::MsgInjected,
+                None,
+                TraceDetail::Inject { dst, bytes, label, flow },
+            );
+            self.fabric_transfer(src, dst, bytes, 1.0, earliest, FlowKind::Put { notify, msg }, flow);
             return;
         }
         let beta = self.cost.beta_one_sided(same);
-        let (tx_done, delivered) = self.schedule_wire(src, dst, bytes, beta, same, earliest);
-        let visible = delivered + self.cost.notify_overhead;
+        let w = self.schedule_wire(src, dst, bytes, beta, same, earliest);
+        let visible = w.delivered + self.cost.notify_overhead;
         self.ranks[src].stats.bytes_sent += bytes;
         self.ranks[src].stats.messages_sent += 1;
         // The TxDone event only feeds `WaitAllSends` accounting; ranks that
@@ -947,41 +1117,71 @@ impl<'a> Sim<'a> {
         if self.tracks_put_tx[src] {
             let msg = self.alloc_msg();
             self.ranks[src].outstanding_sends += 1;
-            self.push_event(tx_done, src, EventKind::TxDone { msg });
+            self.push_event(w.tx_done, src, EventKind::TxDone { msg });
         }
         self.push_event(visible, dst, EventKind::NotifyVisible { notify, bytes });
         if self.tracing {
-            let detail = format!("put dst={dst} bytes={bytes} notify={notify}");
-            self.trace.push(TraceEvent::new(earliest, src, TraceKind::MsgInjected, None, detail));
+            let flow = self.next_flow(src);
+            self.trace_own(
+                earliest,
+                src,
+                TraceKind::MsgInjected,
+                None,
+                TraceDetail::Inject { dst, bytes, label, flow },
+            );
+            self.trace_arrival(
+                visible,
+                dst,
+                TraceKind::NotifyVisible,
+                TraceDetail::Arrival { src, bytes, label, flow, inject: earliest, queue: w.queue, wire: w.ser },
+            );
         }
     }
 
     /// Schedule a two-sided transfer from `src` to `dst`.
     fn schedule_two_sided(&mut self, src: RankId, dst: RankId, bytes: u64, tag: Tag, earliest: f64, msg: MsgId) {
         let same = self.cluster.same_node(src, dst);
+        let label = MsgLabel::Tag(tag);
         if self.fabric.is_some() && !same {
             let penalty = self.cost.two_sided_bw_penalty.max(1.0);
-            self.fabric_transfer(src, dst, bytes, penalty, earliest, FlowKind::TwoSided { tag, msg });
-            if self.tracing {
-                let detail = format!("send dst={dst} bytes={bytes} tag={tag}");
-                self.trace.push(TraceEvent::new(earliest, src, TraceKind::MsgInjected, None, detail));
-            }
+            let flow = self.next_flow(src);
+            self.trace_own(
+                earliest,
+                src,
+                TraceKind::MsgInjected,
+                None,
+                TraceDetail::Inject { dst, bytes, label, flow },
+            );
+            self.fabric_transfer(src, dst, bytes, penalty, earliest, FlowKind::TwoSided { tag, msg }, flow);
             return;
         }
         let beta = self.cost.beta_two_sided(same);
-        let (tx_done, delivered) = self.schedule_wire(src, dst, bytes, beta, same, earliest);
+        let w = self.schedule_wire(src, dst, bytes, beta, same, earliest);
         self.ranks[src].stats.bytes_sent += bytes;
         self.ranks[src].stats.messages_sent += 1;
-        self.push_event(tx_done, src, EventKind::TxDone { msg });
-        self.push_event(delivered, dst, EventKind::Delivered { src, tag, bytes, msg });
+        self.push_event(w.tx_done, src, EventKind::TxDone { msg });
+        self.push_event(w.delivered, dst, EventKind::Delivered { src, tag, bytes, msg });
         if self.tracing {
-            let detail = format!("send dst={dst} bytes={bytes} tag={tag}");
-            self.trace.push(TraceEvent::new(earliest, src, TraceKind::MsgInjected, None, detail));
+            let flow = self.next_flow(src);
+            self.trace_own(
+                earliest,
+                src,
+                TraceKind::MsgInjected,
+                None,
+                TraceDetail::Inject { dst, bytes, label, flow },
+            );
+            self.trace_arrival(
+                w.delivered,
+                dst,
+                TraceKind::MsgDelivered,
+                TraceDetail::Arrival { src, bytes, label, flow, inject: earliest, queue: w.queue, wire: w.ser },
+            );
         }
     }
 
-    /// Common wire timing: returns (time the sender's NIC is released,
-    /// time the last byte lands in the receiver's memory).
+    /// Common wire timing: when the sender's NIC is released, when the last
+    /// byte lands in the receiver's memory, and the trace decomposition of
+    /// the transfer (NIC queueing, serialization).
     fn schedule_wire(
         &mut self,
         src: RankId,
@@ -990,7 +1190,7 @@ impl<'a> Sim<'a> {
         beta: f64,
         same_node: bool,
         earliest: f64,
-    ) -> (f64, f64) {
+    ) -> WireTiming {
         let src_node = self.cluster.node_of(src);
         let dst_node = self.cluster.node_of(dst);
         let mut ser = self.cost.serialization(bytes, beta);
@@ -1021,7 +1221,12 @@ impl<'a> Sim<'a> {
         }
         self.ranks[dst].stats.bytes_received += bytes;
         self.ranks[dst].stats.messages_received += 1;
-        (tx_done, delivered)
+        // NIC queueing: the injection wait behind earlier traffic plus the
+        // receive-side wait behind the destination node's inbound traffic.
+        // Everything else in `delivered - earliest` is serialization and
+        // alpha, so the arrival decomposition telescopes exactly.
+        let queue = (tx_start - earliest) + (rx_start - (tx_start + alpha));
+        WireTiming { tx_done, delivered, queue, ser }
     }
 
     // -- fabric (flow-level contention) path --------------------------------
@@ -1031,7 +1236,17 @@ impl<'a> Sim<'a> {
     /// the alpha-beta model's per-rank NIC serialization).  Scenario jitter
     /// composes on top: bandwidth jitter scales the wire bytes, latency
     /// jitter the propagation delay added at delivery.
-    fn fabric_transfer(&mut self, src: RankId, dst: RankId, bytes: u64, penalty: f64, earliest: f64, kind: FlowKind) {
+    #[allow(clippy::too_many_arguments)]
+    fn fabric_transfer(
+        &mut self,
+        src: RankId,
+        dst: RankId,
+        bytes: u64,
+        penalty: f64,
+        earliest: f64,
+        kind: FlowKind,
+        flow: u64,
+    ) {
         let src_node = self.cluster.node_of(src);
         let dst_node = self.cluster.node_of(dst);
         let mut alpha = self.cost.alpha_inter;
@@ -1050,15 +1265,44 @@ impl<'a> Sim<'a> {
                     debug_assert!(msg.is_none(), "zero-byte puts are never tracked");
                     let visible = earliest + alpha + self.cost.notify_overhead;
                     self.push_event(visible, dst, EventKind::NotifyVisible { notify, bytes: 0 });
+                    self.trace_arrival(
+                        visible,
+                        dst,
+                        TraceKind::NotifyVisible,
+                        TraceDetail::Arrival {
+                            src,
+                            bytes: 0,
+                            label: MsgLabel::Notify(notify),
+                            flow,
+                            inject: earliest,
+                            queue: 0.0,
+                            wire: 0.0,
+                        },
+                    );
                 }
                 FlowKind::TwoSided { tag, msg } => {
                     self.push_event(earliest, src, EventKind::TxDone { msg });
-                    self.push_event(earliest + alpha, dst, EventKind::Delivered { src, tag, bytes: 0, msg });
+                    let delivered = earliest + alpha;
+                    self.push_event(delivered, dst, EventKind::Delivered { src, tag, bytes: 0, msg });
+                    self.trace_arrival(
+                        delivered,
+                        dst,
+                        TraceKind::MsgDelivered,
+                        TraceDetail::Arrival {
+                            src,
+                            bytes: 0,
+                            label: MsgLabel::Tag(tag),
+                            flow,
+                            inject: earliest,
+                            queue: 0.0,
+                            wire: 0.0,
+                        },
+                    );
                 }
             }
             return;
         }
-        self.inject[src].fifo.push_back(QueuedTransfer { dst, bytes, wire_bytes, alpha, earliest, kind });
+        self.inject[src].fifo.push_back(QueuedTransfer { dst, bytes, wire_bytes, alpha, earliest, kind, flow });
         if !self.inject[src].busy {
             self.inject[src].busy = true;
             self.push_event(earliest, src, EventKind::FlowLaunch);
@@ -1103,7 +1347,16 @@ impl<'a> Sim<'a> {
                 let src_node = self.cluster.node_of(rank);
                 let dst_node = self.cluster.node_of(qt.dst);
                 let id = fabric.add_flow(t, src_node, dst_node, qt.wire_bytes);
-                let meta = FlowMeta { src: rank, dst: qt.dst, bytes: qt.bytes, alpha: qt.alpha, kind: qt.kind };
+                let meta = FlowMeta {
+                    src: rank,
+                    dst: qt.dst,
+                    bytes: qt.bytes,
+                    alpha: qt.alpha,
+                    kind: qt.kind,
+                    inject: qt.earliest,
+                    launched: t,
+                    flow: qt.flow,
+                };
                 if id >= self.flow_meta.len() {
                     self.flow_meta.resize(id + 1, None);
                 }
@@ -1153,6 +1406,20 @@ impl<'a> Sim<'a> {
                     }
                     let visible = t + meta.alpha + self.cost.notify_overhead;
                     self.push_event(visible, meta.dst, EventKind::NotifyVisible { notify, bytes: meta.bytes });
+                    self.trace_arrival(
+                        visible,
+                        meta.dst,
+                        TraceKind::NotifyVisible,
+                        TraceDetail::Arrival {
+                            src: meta.src,
+                            bytes: meta.bytes,
+                            label: MsgLabel::Notify(notify),
+                            flow: meta.flow,
+                            inject: meta.inject,
+                            queue: meta.launched - meta.inject,
+                            wire: t - meta.launched,
+                        },
+                    );
                 }
                 FlowKind::TwoSided { tag, msg } => {
                     self.push_event(t, meta.src, EventKind::TxDone { msg });
@@ -1161,6 +1428,20 @@ impl<'a> Sim<'a> {
                         delivered,
                         meta.dst,
                         EventKind::Delivered { src: meta.src, tag, bytes: meta.bytes, msg },
+                    );
+                    self.trace_arrival(
+                        delivered,
+                        meta.dst,
+                        TraceKind::MsgDelivered,
+                        TraceDetail::Arrival {
+                            src: meta.src,
+                            bytes: meta.bytes,
+                            label: MsgLabel::Tag(tag),
+                            flow: meta.flow,
+                            inject: meta.inject,
+                            queue: meta.launched - meta.inject,
+                            wire: t - meta.launched,
+                        },
                     );
                 }
             }
@@ -1248,10 +1529,8 @@ impl<'a> Sim<'a> {
     }
 
     fn on_delivered(&mut self, dst: RankId, src: RankId, tag: Tag, bytes: u64, _msg: MsgId, t: f64) {
-        if self.tracing {
-            let detail = format!("src={src} bytes={bytes} tag={tag}");
-            self.trace.push(TraceEvent::new(t, dst, TraceKind::MsgDelivered, None, detail));
-        }
+        // The MsgDelivered trace event was emitted (future-dated) when the
+        // delivery was scheduled, together with its timing decomposition.
         let matches_block = matches!(
             &self.ranks[dst].blocked,
             Some(Blocked::Recv { src: s, tag: rtag }) if *s == src && *rtag == tag
@@ -1301,10 +1580,9 @@ impl<'a> Sim<'a> {
     }
 
     fn on_notify(&mut self, rank: RankId, notify: NotifyId, bytes: u64, t: f64) {
-        if self.tracing {
-            let detail = format!("notify={notify} bytes={bytes}");
-            self.trace.push(TraceEvent::new(t, rank, TraceKind::NotifyVisible, None, detail));
-        }
+        // The NotifyVisible trace event was emitted (future-dated) when the
+        // put was scheduled, together with its timing decomposition.
+        let _ = bytes;
         let counts = &mut self.notify_counts[self.notify_off[rank]..self.notify_off[rank + 1]];
         // An arrival no listed wait can reference may exceed this rank's
         // dense range; it can never satisfy a wait, so only count it.
@@ -2095,12 +2373,30 @@ mod tests {
     }
 
     #[test]
-    fn tracing_disables_the_dataflow_path_but_keeps_timings() {
+    fn traced_dataflow_run_emits_the_strict_trace() {
+        // Satellite regression: the burst path used to return an empty
+        // trace, so tracing silently forced the slow strict path.  A traced
+        // eligible run must stay on the dataflow path AND produce the exact
+        // event stream the strict engine emits.
         let p = ring_rounds_program(8, 2, 4096);
         let fast = engine(8, 1).run(&p).unwrap();
         let traced = engine(8, 1).with_trace(true).run(&p).unwrap();
-        assert!(!traced.trace.is_empty());
+        assert!(!traced.trace.is_empty(), "burst path must emit trace events");
+        assert!(traced.metrics.dataflow_burst_ops > 0, "tracing must not evict the run from the dataflow path");
         assert_eq!(fast.ranks, traced.ranks, "tracing must not change the timings");
+        let strict = engine(8, 1).with_scheduler(SchedulerKind::BinaryHeap).with_trace(true).run(&p).unwrap();
+        assert_eq!(strict.metrics.dataflow_burst_ops, 0);
+        assert_eq!(traced.trace, strict.trace, "burst-path trace must match the strict engine event-for-event");
+    }
+
+    #[test]
+    fn sharded_trace_matches_the_single_shard_trace() {
+        let p = ring_rounds_program(12, 3, 2048);
+        let one = engine(12, 1).with_trace(true).with_shards(1).run(&p).unwrap();
+        let four = engine(12, 1).with_trace(true).with_shards(4).run(&p).unwrap();
+        assert!(!one.trace.is_empty());
+        assert_eq!(one.trace, four.trace, "the (time, rank, seq) merge must be shard-count independent");
+        assert_eq!(one.ranks, four.ranks);
     }
 
     #[test]

@@ -72,6 +72,12 @@ pub struct LinkUsage {
     /// Time during which the link was fully allocated (the bottleneck of the
     /// flows crossing it) — the "rate-limited" congestion measure.
     pub saturated_time: f64,
+    /// Coalesced `[start, end)` intervals during which at least one flow
+    /// used the link, in increasing time order; their total length is
+    /// [`LinkUsage::busy_time`].  Adjacent windows merge as time advances,
+    /// so the vector length is bounded by the number of idle gaps, not by
+    /// the number of solver re-resolutions.
+    pub intervals: Vec<(f64, f64)>,
 }
 
 /// Flow-level fabric state: active flows, their max-min rates and per-link
@@ -103,6 +109,10 @@ pub struct Fabric {
     unmatched_completions: usize,
     /// Admissions not matched against a completed flow's path.
     unmatched_additions: usize,
+    /// Full max-min solver passes run (see [`crate::EngineMetrics`]).
+    solves: u64,
+    /// Resolutions that took the balanced-swap shortcut instead of solving.
+    balanced_swaps: u64,
     // --- solver scratch (kept to stay allocation-free in steady state) ---
     cap_left: Vec<f64>,
     unfrozen_count: Vec<u32>,
@@ -137,6 +147,8 @@ impl Fabric {
             just_completed: Vec::new(),
             unmatched_completions: 0,
             unmatched_additions: 0,
+            solves: 0,
+            balanced_swaps: 0,
             cap_left: vec![0.0; links],
             unfrozen_count: vec![0; links],
             link_flows: vec![Vec::new(); links],
@@ -194,6 +206,16 @@ impl Fabric {
     /// Accumulated usage counters, indexed like [`Topology::links`].
     pub fn usage(&self) -> &[LinkUsage] {
         &self.usage
+    }
+
+    /// Full max-min solver passes run so far.
+    pub fn solver_passes(&self) -> u64 {
+        self.solves
+    }
+
+    /// Resolutions served by the balanced-swap fast path (no solver run).
+    pub fn balanced_swap_hits(&self) -> u64 {
+        self.balanced_swaps
     }
 
     /// Register a flow of `bytes` bytes from node `src` to node `dst` at
@@ -280,6 +302,15 @@ impl Fabric {
                 if rate >= self.topology.links()[l].capacity * (1.0 - SATURATION_RTOL) {
                     usage.saturated_time += dt;
                 }
+                // Coalesce the busy window with the previous one when they
+                // abut (consecutive advances share the boundary exactly; the
+                // tolerance absorbs float rebasing at large makespans).
+                match usage.intervals.last_mut() {
+                    Some(last) if self.now <= last.1 + crate::engine::time_backstep_tolerance(self.now) => {
+                        last.1 = now;
+                    }
+                    _ => usage.intervals.push((self.now, now)),
+                }
             }
         }
         for &id in &self.active {
@@ -351,6 +382,7 @@ impl Fabric {
             return None;
         }
         if balanced {
+            self.balanced_swaps += 1;
             let mut earliest = f64::INFINITY;
             for &id in &self.active {
                 let f = &self.flows[id];
@@ -385,6 +417,7 @@ impl Fabric {
     /// The max-min solver proper: feasibility fast path, else progressive
     /// filling; rebuilds the per-link allocation and the completion estimate.
     fn solve(&mut self, now: f64) -> Option<f64> {
+        self.solves += 1;
         let links = self.topology.links();
         self.allocated.iter_mut().for_each(|a| *a = 0.0);
 
@@ -620,6 +653,26 @@ mod tests {
         assert!((usage.bytes - 1e6).abs() < 1.0);
         assert!((usage.busy_time - 1e-3).abs() < 1e-12);
         assert!((usage.saturated_time - 1e-3).abs() < 1e-12, "a lone flow saturates its access links");
+        assert_eq!(usage.intervals.len(), 1, "one contiguous busy window coalesces into one interval");
+        let (s, e) = usage.intervals[0];
+        assert!((e - s - usage.busy_time).abs() < 1e-15);
+        assert_eq!(f.solver_passes(), 1, "the second resolve finds no active flows and skips the solver");
+    }
+
+    #[test]
+    fn balanced_swap_counter_tracks_the_fast_path() {
+        let mut f = single_switch(4);
+        let a = f.add_flow(0.0, 0, 3, 1e6);
+        let _b = f.add_flow(0.0, 1, 3, 2e6);
+        f.resolve(0.0);
+        let t = f.next_completion().unwrap();
+        let mut done = Vec::new();
+        f.take_completed(t, &mut done);
+        assert_eq!(done, vec![a]);
+        f.add_flow(t, 0, 3, 1e6);
+        f.resolve(t);
+        assert_eq!(f.balanced_swap_hits(), 1);
+        assert_eq!(f.solver_passes(), 1, "the swap skipped the second solve");
     }
 
     #[test]

@@ -58,9 +58,11 @@ mod calendar;
 pub mod cluster;
 pub mod compiled;
 pub mod cost;
+pub mod critpath;
 mod dataflow;
 pub mod engine;
 pub mod fabric;
+pub mod metrics;
 pub mod presets;
 pub mod program;
 pub mod report;
@@ -75,8 +77,10 @@ pub use analyze::{analyze, analyze_compiled, analyze_source, AnalysisError, Anal
 pub use cluster::{ClusterSpec, NodeId, RankId};
 pub use compiled::{CompileOptions, CompiledProgram, IdsRef, MemoryStats, OpView, RankOps};
 pub use cost::{CostModel, Protocol};
+pub use critpath::{Category, CategoryBreakdown, CriticalPath, PathSegment, SegmentKind};
 pub use engine::{Engine, NetworkModel, SchedulerKind, SimError};
 pub use fabric::{Fabric, FlowId, LinkUsage};
+pub use metrics::EngineMetrics;
 pub use presets::ClusterPreset;
 pub use program::{CommProfile, NotifyId, Op, Program, ProgramBuilder, RankProgram, Tag};
 pub use report::{LinkStats, RankStats, ReportDetail, ReportSummary, RunReport};
@@ -84,5 +88,8 @@ pub use routing::RoutingTable;
 pub use scenario::{Scenario, ScenarioInstance, SplitMix64};
 pub use source::ProgramSource;
 pub use topology::{EndpointId, Link, LinkId, Topology, TopologyError, TopologyKind};
-pub use trace::{TraceEvent, TraceKind};
+pub use trace::{
+    sort_trace, validate_chrome_trace, write_chrome_trace, BlockReason, ChromeTraceStats, ChromeTraceWriter,
+    MemorySink, MsgLabel, OpClass, TraceDetail, TraceEvent, TraceFilter, TraceKind, TraceSink,
+};
 pub use validate::{validate, validate_compiled, validate_source, ValidationError};

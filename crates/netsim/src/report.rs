@@ -1,6 +1,8 @@
 //! Simulation results: per-rank statistics and whole-run reports.
 
 use crate::cluster::RankId;
+use crate::critpath::{self, CriticalPath};
+use crate::metrics::EngineMetrics;
 
 /// Per-rank accounting gathered during a simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +67,14 @@ pub struct LinkStats {
     /// Time during which the link was fully allocated — flows crossing it
     /// were rate-limited by this link (the congestion measure).
     pub saturated_time: f64,
+    /// Coalesced `[start, end)` intervals during which at least one flow
+    /// used the link, in increasing time order.  Together with
+    /// [`LinkStats::busy_time`] (their total length) this lets `xtask
+    /// trace-stats` print a link-utilization timeline without re-running
+    /// the fabric.  Adjacent intervals are merged at collection time, so
+    /// the vector length is bounded by the number of idle gaps, not by the
+    /// number of solver re-resolutions.
+    pub busy_intervals: Vec<(f64, f64)>,
 }
 
 impl LinkStats {
@@ -134,7 +144,7 @@ pub struct ReportSummary {
 }
 
 /// Result of simulating one [`crate::Program`].
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Per-rank statistics, indexed by rank id ([`ReportDetail::Full`]),
     /// every k-th rank ([`ReportDetail::Sampled`]) or empty
@@ -147,6 +157,23 @@ pub struct RunReport {
     pub trace: Vec<crate::trace::TraceEvent>,
     /// Folded aggregates (`None` under [`ReportDetail::Full`]).
     pub summary: Option<ReportSummary>,
+    /// Engine work counters for this run (see [`EngineMetrics`]).
+    pub metrics: EngineMetrics,
+}
+
+/// Report equality deliberately ignores [`RunReport::metrics`]: the
+/// counters describe how much work the *engine* did (queue maintenance,
+/// solver passes), which legitimately differs between the calendar queue
+/// and the binary heap — or between shard counts — while the simulation
+/// outputs they produce are bit-identical.  The determinism tests compare
+/// whole reports across those configurations.
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.ranks == other.ranks
+            && self.links == other.links
+            && self.trace == other.trace
+            && self.summary == other.summary
+    }
 }
 
 impl RunReport {
@@ -290,6 +317,16 @@ impl RunReport {
         });
     }
 
+    /// Post-run critical-path analysis: walk intra-rank op precedence plus
+    /// message/notification supply edges backward from the last finisher
+    /// and return the makespan-dominating chain with per-category time
+    /// attribution (see [`CriticalPath`]).  Requires a traced run
+    /// ([`crate::Engine::with_trace`]); returns `None` when the trace is
+    /// empty.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        critpath::analyze(self)
+    }
+
     // -- fabric link aggregates ---------------------------------------------
 
     /// Peak mean link utilization across the fabric over the makespan
@@ -372,10 +409,12 @@ mod tests {
     fn report_with_finish_times(times: &[f64]) -> RunReport {
         RunReport {
             ranks: times.iter().map(|&t| RankStats { finish_time: t, ..RankStats::default() }).collect(),
-            links: Vec::new(),
-            trace: Vec::new(),
-            summary: None,
+            ..RunReport::default()
         }
+    }
+
+    fn link(label: &str, capacity: f64, bytes: f64, busy_time: f64, saturated_time: f64) -> LinkStats {
+        LinkStats { label: label.into(), capacity, bytes, busy_time, saturated_time, busy_intervals: Vec::new() }
     }
 
     #[test]
@@ -423,10 +462,7 @@ mod tests {
         let mut r = report_with_finish_times(&[2.0]);
         assert_eq!(r.max_link_utilization(), 0.0, "no fabric, no link stats");
         assert_eq!(r.congested_links(), 0);
-        r.links = vec![
-            LinkStats { label: "n0->sw".into(), capacity: 1e9, bytes: 1e9, busy_time: 1.5, saturated_time: 0.5 },
-            LinkStats { label: "sw->n1".into(), capacity: 1e9, bytes: 4e8, busy_time: 0.4, saturated_time: 0.0 },
-        ];
+        r.links = vec![link("n0->sw", 1e9, 1e9, 1.5, 0.5), link("sw->n1", 1e9, 4e8, 0.4, 0.0)];
         assert!((r.max_link_utilization() - 0.5).abs() < 1e-12, "1e9 bytes over 2 s at 1 GB/s");
         assert!((r.total_congestion_time() - 0.5).abs() < 1e-12);
         assert!((r.max_link_congestion_time() - 0.5).abs() < 1e-12);
@@ -437,8 +473,7 @@ mod tests {
     #[test]
     fn fingerprint_is_stable_and_sensitive() {
         let mut a = report_with_finish_times(&[1.0, 2.0]);
-        a.links =
-            vec![LinkStats { label: "n0->sw".into(), capacity: 1e9, bytes: 1e6, busy_time: 0.1, saturated_time: 0.0 }];
+        a.links = vec![link("n0->sw", 1e9, 1e6, 0.1, 0.0)];
         let b = a.clone();
         assert_eq!(a.fingerprint(), b.fingerprint(), "equal reports hash equal");
 
@@ -460,10 +495,24 @@ mod tests {
         f.ranks.swap(0, 1);
         assert_ne!(a.fingerprint(), f.fingerprint());
 
-        // The trace is excluded by design.
+        // The trace and the engine metrics are excluded by design.
         let mut g = a.clone();
-        g.trace.push(crate::trace::TraceEvent::new(0.0, 0, crate::trace::TraceKind::OpStart, Some(0), "x"));
+        g.trace.push(crate::trace::TraceEvent::new(
+            0.0,
+            0,
+            crate::trace::TraceKind::OpStart,
+            Some(0),
+            0,
+            crate::trace::TraceDetail::None,
+        ));
+        g.metrics.events_scheduled = 999;
         assert_eq!(a.fingerprint(), g.fingerprint());
+
+        // Metrics do not participate in report equality either: the heap
+        // and the calendar queue do different queue work for the same run.
+        let mut h = a.clone();
+        h.metrics.calendar_bucket_sorts = 123;
+        assert_eq!(a, h);
     }
 
     #[test]

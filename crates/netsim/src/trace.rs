@@ -1,9 +1,38 @@
-//! Optional event tracing for debugging schedules and producing timelines.
+//! Structured event tracing: typed trace events, pluggable sinks, a
+//! streaming Chrome Trace Event writer, and a validator for exported files.
+//!
+//! Every execution path of the engine — the strict event loop, the dataflow
+//! burst path and the sharded workers — emits the same [`TraceEvent`] stream,
+//! merged deterministically by `(time, rank, seq)`.  Events carry a typed,
+//! copyable [`TraceDetail`] instead of a free-form string, so post-run
+//! analyses (the critical-path walk in [`crate::critpath`], the `xtask
+//! trace-stats` summarizer) never parse text.
+//!
+//! Sinks: the engine buffers events in memory (the back-compat
+//! [`RunReport::trace`](crate::RunReport) vector is a [`MemorySink`]); an
+//! optional external [`TraceSink`] — typically a [`ChromeTraceWriter`] — is
+//! fed the sorted stream after the run.  A [`TraceFilter`] applies at
+//! emission, so rank-windowed or sampled traces of million-rank runs stay
+//! within the fig17 RSS budget: dropped events are never materialized.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
 
 use crate::cluster::RankId;
+use crate::program::{NotifyId, Op, Tag};
+use crate::report::LinkStats;
+
+/// Bit set in [`TraceEvent::seq`] for events that arrive *at* a rank from
+/// the network (deliveries, notifications) rather than being issued by the
+/// rank's own op chain.  Arrival sequence numbers count per destination in
+/// visible-time order; own-event sequence numbers count per rank in program
+/// execution order.  The two channels are disjoint, so the merged
+/// `(time, rank, seq)` order is identical no matter which execution path
+/// (strict loop, burst path, sharded workers) produced the events.
+pub const ARRIVAL_SEQ: u64 = 1 << 63;
 
 /// Category of a traced event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceKind {
     /// A rank started executing an operation.
     OpStart,
@@ -22,6 +51,174 @@ pub enum TraceKind {
     BlockEnd,
 }
 
+/// Coarse class of an operation, recorded on `OpStart` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Local computation.
+    Compute,
+    /// Local reduction arithmetic.
+    Reduce,
+    /// Local staging copy.
+    Copy,
+    /// One-sided write plus notification.
+    PutNotify,
+    /// Payload-free notification.
+    Notify,
+    /// Wait for all listed notifications.
+    WaitNotify,
+    /// Wait for a quorum of listed notifications.
+    WaitNotifyAny,
+    /// Two-sided blocking send.
+    Send,
+    /// Two-sided non-blocking send.
+    Isend,
+    /// Two-sided receive.
+    Recv,
+    /// Wait for all outstanding non-blocking sends.
+    WaitAllSends,
+    /// Full synchronization.
+    Barrier,
+}
+
+impl OpClass {
+    /// Stable display name (used as the Chrome trace span name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpClass::Compute => "compute",
+            OpClass::Reduce => "reduce",
+            OpClass::Copy => "copy",
+            OpClass::PutNotify => "put_notify",
+            OpClass::Notify => "notify",
+            OpClass::WaitNotify => "wait_notify",
+            OpClass::WaitNotifyAny => "wait_notify_any",
+            OpClass::Send => "send",
+            OpClass::Isend => "isend",
+            OpClass::Recv => "recv",
+            OpClass::WaitAllSends => "wait_all_sends",
+            OpClass::Barrier => "barrier",
+        }
+    }
+
+    /// True for purely local work (compute / reduce / copy).
+    pub fn is_local_work(&self) -> bool {
+        matches!(self, OpClass::Compute | OpClass::Reduce | OpClass::Copy)
+    }
+}
+
+impl From<&Op> for OpClass {
+    fn from(op: &Op) -> Self {
+        match op {
+            Op::Compute { .. } => OpClass::Compute,
+            Op::Reduce { .. } => OpClass::Reduce,
+            Op::Copy { .. } => OpClass::Copy,
+            Op::PutNotify { .. } => OpClass::PutNotify,
+            Op::Notify { .. } => OpClass::Notify,
+            Op::WaitNotify { .. } => OpClass::WaitNotify,
+            Op::WaitNotifyAny { .. } => OpClass::WaitNotifyAny,
+            Op::Send { .. } => OpClass::Send,
+            Op::Isend { .. } => OpClass::Isend,
+            Op::Recv { .. } => OpClass::Recv,
+            Op::WaitAllSends => OpClass::WaitAllSends,
+            Op::Barrier => OpClass::Barrier,
+        }
+    }
+}
+
+/// Why a rank blocked, recorded on `BlockStart`/`BlockEnd` events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockReason {
+    /// Waiting for a matching two-sided message.
+    Recv {
+        /// Expected source rank.
+        src: RankId,
+        /// Expected tag.
+        tag: Tag,
+    },
+    /// Waiting for one-sided notifications.
+    Notify,
+    /// Blocking send waiting for its transfer to leave the NIC.
+    SendTxDone,
+    /// Waiting for all outstanding non-blocking sends.
+    AllSends,
+    /// Waiting inside a barrier.
+    Barrier,
+}
+
+impl BlockReason {
+    /// Stable display name (used in Chrome trace span names).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BlockReason::Recv { .. } => "recv",
+            BlockReason::Notify => "notify",
+            BlockReason::SendTxDone => "send_tx",
+            BlockReason::AllSends => "all_sends",
+            BlockReason::Barrier => "barrier",
+        }
+    }
+}
+
+/// Identity of a message: the notification slot it raises (one-sided) or
+/// the tag it matches (two-sided).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgLabel {
+    /// One-sided put/notify: the notification slot.
+    Notify(NotifyId),
+    /// Two-sided send: the matching tag.
+    Tag(Tag),
+}
+
+/// Typed, copyable payload of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceDetail {
+    /// No extra information (e.g. `OpEnd`).
+    None,
+    /// The class of the operation (`OpStart`).
+    Op {
+        /// Operation class.
+        op: OpClass,
+    },
+    /// Why the rank blocked (`BlockStart`/`BlockEnd`).
+    Block {
+        /// Blocking reason.
+        reason: BlockReason,
+    },
+    /// A message left this rank (`MsgInjected`).
+    Inject {
+        /// Destination rank.
+        dst: RankId,
+        /// Payload bytes.
+        bytes: u64,
+        /// Notification slot or tag.
+        label: MsgLabel,
+        /// Flow id pairing this injection with its arrival
+        /// (`(src << 32) | per-src counter`).
+        flow: u64,
+    },
+    /// A message arrived at this rank (`NotifyVisible`/`MsgDelivered`),
+    /// with the exact decomposition of its network time.  The components
+    /// satisfy `queue + wire + residual == event.time - inject`, where the
+    /// residual is latency/overhead (alpha, injection and notification
+    /// overheads); the critical-path walk attributes them per category.
+    Arrival {
+        /// Source rank.
+        src: RankId,
+        /// Payload bytes.
+        bytes: u64,
+        /// Notification slot or tag.
+        label: MsgLabel,
+        /// Flow id pairing this arrival with its injection.
+        flow: u64,
+        /// Virtual time the message was injected at the source.
+        inject: f64,
+        /// Time spent waiting for NIC/fabric injection capacity
+        /// (alpha-beta: tx+rx NIC queueing; fabric: injection FIFO wait).
+        queue: f64,
+        /// Time spent moving bytes (serialization, or time in the fabric
+        /// at the max-min fair rate).
+        wire: f64,
+    },
+}
+
 /// One entry of a simulation trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
@@ -33,14 +230,580 @@ pub struct TraceEvent {
     pub kind: TraceKind,
     /// Index of the operation in the rank's program, when applicable.
     pub op_index: Option<usize>,
-    /// Free-form details (peer rank, byte count, notification id, ...).
-    pub detail: String,
+    /// Deterministic per-rank sequence number; arrival-channel events have
+    /// [`ARRIVAL_SEQ`] set.  `(time, rank, seq)` totally orders the trace
+    /// identically across execution paths.
+    pub seq: u64,
+    /// Typed details (peer rank, byte count, notification id, timing
+    /// decomposition, ...).
+    pub detail: TraceDetail,
 }
 
 impl TraceEvent {
     /// Create a trace event.
-    pub fn new(time: f64, rank: RankId, kind: TraceKind, op_index: Option<usize>, detail: impl Into<String>) -> Self {
-        Self { time, rank, kind, op_index, detail: detail.into() }
+    pub fn new(
+        time: f64,
+        rank: RankId,
+        kind: TraceKind,
+        op_index: Option<usize>,
+        seq: u64,
+        detail: TraceDetail,
+    ) -> Self {
+        Self { time, rank, kind, op_index, seq, detail }
+    }
+}
+
+/// Sort a trace into its canonical deterministic order.
+pub fn sort_trace(events: &mut [TraceEvent]) {
+    // `(time, rank, seq)` is unique per event, so the unstable sort is just
+    // as deterministic as a stable one — and it sorts a multi-million-event
+    // burst trace several times faster (no allocation, fewer element moves).
+    events.sort_unstable_by(|a, b| {
+        a.time.total_cmp(&b.time).then_with(|| a.rank.cmp(&b.rank)).then_with(|| a.seq.cmp(&b.seq))
+    });
+}
+
+// ---------------------------------------------------------------------------
+// sinks
+// ---------------------------------------------------------------------------
+
+/// Consumer of a (sorted) trace event stream.
+pub trait TraceSink: Send {
+    /// Record one event.
+    fn record(&mut self, event: &TraceEvent);
+    /// Flush any buffered output; called once after the last event.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The back-compat in-memory sink: collects events into a vector.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// Create an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the sink and return the collected events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Emission-time filter: a rank window plus a sampling stride.  Events of
+/// ranks outside the window, or whose rank is not a multiple of the stride,
+/// are never materialized — this is what keeps traced million-rank runs
+/// within the fig17 RSS budget.  Message events are filtered by the rank
+/// the event belongs to (injections by source, arrivals by destination),
+/// so a flow whose peer lies outside the window keeps one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceFilter {
+    /// First rank kept (inclusive).
+    pub first_rank: RankId,
+    /// Last rank kept (inclusive).
+    pub last_rank: RankId,
+    /// Keep only ranks where `rank % sample == 0` (1 = keep all).
+    pub sample: usize,
+}
+
+impl Default for TraceFilter {
+    fn default() -> Self {
+        Self { first_rank: 0, last_rank: usize::MAX, sample: 1 }
+    }
+}
+
+impl TraceFilter {
+    /// Keep everything.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Keep only ranks in `[first, last]`.
+    pub fn window(first: RankId, last: RankId) -> Self {
+        Self { first_rank: first, last_rank: last, sample: 1 }
+    }
+
+    /// True if events of `rank` are recorded.
+    #[inline]
+    pub fn keeps(&self, rank: RankId) -> bool {
+        rank >= self.first_rank && rank <= self.last_rank && rank.is_multiple_of(self.sample.max(1))
+    }
+
+    /// True if the filter drops nothing.
+    pub fn is_full(&self) -> bool {
+        self.first_rank == 0 && self.last_rank == usize::MAX && self.sample <= 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome Trace Event writer
+// ---------------------------------------------------------------------------
+
+/// Streaming writer producing the Chrome Trace Event JSON array format,
+/// loadable in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+///
+/// Mapping: one track (`tid`) per rank under `pid` 0; op and block spans
+/// become `B`/`E` duration events; message inject→arrival edges become
+/// `s`/`f` flow arrows keyed by the flow id; arrivals additionally emit an
+/// instant so the flow head is visible even outside a span.  Timestamps are
+/// microseconds of virtual time.
+pub struct ChromeTraceWriter<W: Write + Send> {
+    out: W,
+    first: bool,
+    named: std::collections::HashSet<RankId>,
+}
+
+impl<W: Write + Send> ChromeTraceWriter<W> {
+    /// Start writing: emits the array opener.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        out.write_all(b"[\n")?;
+        Ok(Self { out, first: true, named: std::collections::HashSet::new() })
+    }
+
+    fn sep(&mut self) -> io::Result<()> {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.write_all(b",\n")?;
+        }
+        Ok(())
+    }
+
+    fn raw(&mut self, json: &str) -> io::Result<()> {
+        self.sep()?;
+        self.out.write_all(json.as_bytes())
+    }
+
+    fn ensure_track(&mut self, rank: RankId) -> io::Result<()> {
+        if self.named.insert(rank) {
+            let meta = format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\"args\":{{\"name\":\"rank {rank}\"}}}}"
+            );
+            self.raw(&meta)?;
+        }
+        Ok(())
+    }
+
+    fn write_event(&mut self, e: &TraceEvent) -> io::Result<()> {
+        self.ensure_track(e.rank)?;
+        let ts = e.time * 1e6;
+        let tid = e.rank;
+        let op = e.op_index.map_or(-1i64, |i| i as i64);
+        let json = match (e.kind, &e.detail) {
+            (TraceKind::OpStart, TraceDetail::Op { op: class }) => format!(
+                "{{\"name\":\"{}\",\"cat\":\"op\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"op_index\":{op}}}}}",
+                class.name()
+            ),
+            (TraceKind::OpStart, _) => format!(
+                "{{\"name\":\"op\",\"cat\":\"op\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"op_index\":{op}}}}}"
+            ),
+            (TraceKind::OpEnd, _) => {
+                format!("{{\"name\":\"op\",\"cat\":\"op\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":{tid}}}")
+            }
+            (TraceKind::BlockStart, TraceDetail::Block { reason }) => format!(
+                "{{\"name\":\"blocked:{}\",\"cat\":\"block\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"op_index\":{op}}}}}",
+                reason.name()
+            ),
+            (TraceKind::BlockStart, _) => format!(
+                "{{\"name\":\"blocked\",\"cat\":\"block\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"op_index\":{op}}}}}"
+            ),
+            (TraceKind::BlockEnd, _) => {
+                // A blocked op emits no `OpEnd` of its own — resolving the
+                // block ends both the block span and the op span around it.
+                self.raw(&format!(
+                    "{{\"name\":\"blocked\",\"cat\":\"block\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":{tid}}}"
+                ))?;
+                format!("{{\"name\":\"op\",\"cat\":\"op\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":{tid}}}")
+            }
+            (TraceKind::MsgInjected, TraceDetail::Inject { dst, bytes, flow, .. }) => format!(
+                "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"s\",\"id\":{flow},\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"dst\":{dst},\"bytes\":{bytes}}}}}"
+            ),
+            (TraceKind::NotifyVisible | TraceKind::MsgDelivered, TraceDetail::Arrival { src, bytes, flow, .. }) => {
+                let name = if e.kind == TraceKind::NotifyVisible { "notify_visible" } else { "delivered" };
+                self.raw(&format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"msg\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{tid},\"args\":{{\"src\":{src},\"bytes\":{bytes}}}}}"
+                ))?;
+                format!(
+                    "{{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{flow},\"ts\":{ts},\"pid\":0,\"tid\":{tid}}}"
+                )
+            }
+            (kind, _) => format!(
+                "{{\"name\":\"{kind:?}\",\"cat\":\"misc\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\"tid\":{tid}}}"
+            ),
+        };
+        self.raw(&json)
+    }
+
+    /// Emit one `C` (counter) sample: `value` is 1 at the start of a busy
+    /// interval of `link` and 0 at its end, so Perfetto renders the link's
+    /// utilization timeline as a square wave.
+    pub fn write_link_sample(&mut self, link: &str, ts_seconds: f64, value: u32) -> io::Result<()> {
+        let ts = ts_seconds * 1e6;
+        let json = format!(
+            "{{\"name\":\"link:{link}\",\"cat\":\"link\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"busy\":{value}}}}}"
+        );
+        self.raw(&json)
+    }
+}
+
+impl<W: Write + Send> TraceSink for ChromeTraceWriter<W> {
+    fn record(&mut self, event: &TraceEvent) {
+        // I/O errors surface on `finish`; recording is infallible by trait.
+        let _ = self.write_event(event);
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.write_all(b"\n]\n")?;
+        self.out.flush()
+    }
+}
+
+/// Write a complete Chrome trace: every event of `events` (already in
+/// canonical order) plus one counter track per fabric link with recorded
+/// busy intervals.
+pub fn write_chrome_trace<W: Write + Send>(out: W, events: &[TraceEvent], links: &[LinkStats]) -> io::Result<()> {
+    let mut w = ChromeTraceWriter::new(out)?;
+    for e in events {
+        w.write_event(e)?;
+    }
+    for link in links {
+        for &(start, end) in &link.busy_intervals {
+            w.write_link_sample(&link.label, start, 1)?;
+            w.write_link_sample(&link.label, end, 0)?;
+        }
+    }
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace validation / summarization
+// ---------------------------------------------------------------------------
+
+/// Aggregates extracted from an exported Chrome trace file by
+/// [`validate_chrome_trace`]; printed by `cargo run -p xtask -- trace-stats`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChromeTraceStats {
+    /// Total number of JSON events in the file.
+    pub events: usize,
+    /// Number of distinct `(pid, tid)` tracks with at least one span.
+    pub tracks: usize,
+    /// Number of completed `B`/`E` span pairs.
+    pub spans: usize,
+    /// Number of flow-start (`s`) events.
+    pub flow_starts: usize,
+    /// Number of flow-finish (`f`) events.
+    pub flow_ends: usize,
+    /// Flow starts and finishes whose pair is missing (non-zero only for
+    /// filtered traces whose peer rank fell outside the rank window).
+    pub dangling_flows: usize,
+    /// Total span wall time per span name, sorted by descending time.
+    pub span_time_by_name: Vec<(String, f64, usize)>,
+    /// Per-counter-track (link) busy time integrated from `C` samples.
+    pub counter_busy: Vec<(String, f64)>,
+    /// Largest timestamp seen, in seconds.
+    pub end_time: f64,
+}
+
+/// Parse and validate an exported Chrome Trace Event JSON file: the file
+/// must be a JSON array of objects, every event needs `ph`/`ts`/`pid`
+/// fields, and `B`/`E` spans must nest correctly per track.  Unpaired flow
+/// arrows are tallied as `dangling_flows` (legal in rank-windowed traces)
+/// rather than rejected.  Returns aggregate statistics on success and a
+/// description of the first violation on failure.
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceStats, String> {
+    let value = minijson::parse(json)?;
+    let minijson::Value::Array(events) = value else {
+        return Err("top-level JSON value is not an array".into());
+    };
+    let mut stats = ChromeTraceStats { events: events.len(), ..Default::default() };
+    // Per-track open-span stack: (name, ts).
+    let mut open: BTreeMap<(i64, i64), Vec<(String, f64)>> = BTreeMap::new();
+    let mut span_time: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    let mut flows: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+    // Per-counter last (ts, value) for busy-time integration.
+    let mut counters: BTreeMap<String, (f64, f64, f64)> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev.as_object().ok_or_else(|| format!("event {i} is not an object"))?;
+        let ph = obj.get_str("ph").ok_or_else(|| format!("event {i} lacks a \"ph\" field"))?;
+        if ph == "M" {
+            // Metadata events carry no timestamp.
+            continue;
+        }
+        let ts = obj.get_num("ts").ok_or_else(|| format!("event {i} lacks a numeric \"ts\" field"))?;
+        let pid = obj.get_num("pid").ok_or_else(|| format!("event {i} lacks a \"pid\" field"))? as i64;
+        let name = obj.get_str("name").unwrap_or("");
+        stats.end_time = stats.end_time.max(ts / 1e6);
+        let tid = obj.get_num("tid").unwrap_or(0.0) as i64;
+        match ph {
+            "B" => open.entry((pid, tid)).or_default().push((name.to_string(), ts)),
+            "E" => {
+                let stack = open.get_mut(&(pid, tid));
+                let (open_name, start) = stack
+                    .and_then(Vec::pop)
+                    .ok_or_else(|| format!("event {i}: \"E\" on track {pid}/{tid} without an open \"B\""))?;
+                if ts + 1e-9 < start {
+                    return Err(format!("event {i}: span \"{open_name}\" ends before it starts"));
+                }
+                let entry = span_time.entry(open_name).or_insert((0.0, 0));
+                entry.0 += (ts - start) / 1e6;
+                entry.1 += 1;
+                stats.spans += 1;
+            }
+            "s" => {
+                let id = obj.get_num("id").ok_or_else(|| format!("event {i}: flow start without an id"))? as u64;
+                flows.entry(id).or_insert((0, 0)).0 += 1;
+                stats.flow_starts += 1;
+            }
+            "f" => {
+                // A finish without a start is legal in a rank-windowed
+                // trace (the sender fell outside the window); it is counted
+                // as dangling below rather than rejected.
+                let id = obj.get_num("id").ok_or_else(|| format!("event {i}: flow finish without an id"))? as u64;
+                flows.entry(id).or_insert((0, 0)).1 += 1;
+                stats.flow_ends += 1;
+            }
+            "C" => {
+                let v = obj.get("args").and_then(|a| a.as_object()).and_then(|a| a.get_num("busy")).unwrap_or(0.0);
+                let entry = counters.entry(name.to_string()).or_insert((ts, 0.0, 0.0));
+                if entry.2 > 0.0 {
+                    entry.1 += (ts - entry.0) / 1e6;
+                }
+                entry.0 = ts;
+                entry.2 = v;
+            }
+            "M" | "i" => {}
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+    }
+    for ((pid, tid), stack) in &open {
+        if let Some((name, _)) = stack.last() {
+            return Err(format!("span \"{name}\" on track {pid}/{tid} never ends"));
+        }
+    }
+    stats.tracks = open.len();
+    stats.dangling_flows = flows.values().map(|&(s, f)| s.abs_diff(f)).sum();
+    stats.span_time_by_name = span_time.into_iter().map(|(n, (t, c))| (n, t, c)).collect();
+    stats.span_time_by_name.sort_by(|a, b| b.1.total_cmp(&a.1));
+    stats.counter_busy = counters.into_iter().map(|(n, (_, busy, _))| (n, busy)).collect();
+    Ok(stats)
+}
+
+/// Minimal recursive-descent JSON parser — the workspace builds offline, so
+/// trace validation cannot lean on serde.  Supports exactly the grammar the
+/// writer emits (and general JSON): null, booleans, numbers, strings with
+/// escapes, arrays and objects.
+mod minijson {
+    #[derive(Debug, Clone, PartialEq)]
+    pub(super) enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Array(Vec<Value>),
+        Object(Obj),
+    }
+
+    #[derive(Debug, Clone, PartialEq, Default)]
+    pub(super) struct Obj(pub(super) Vec<(String, Value)>);
+
+    impl Obj {
+        pub(super) fn get(&self, key: &str) -> Option<&Value> {
+            self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+        pub(super) fn get_str(&self, key: &str) -> Option<&str> {
+            match self.get(key) {
+                Some(Value::Str(s)) => Some(s),
+                _ => None,
+            }
+        }
+        pub(super) fn get_num(&self, key: &str) -> Option<f64> {
+            match self.get(key) {
+                Some(Value::Num(n)) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    impl Value {
+        pub(super) fn as_object(&self) -> Option<&Obj> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+    }
+
+    pub(super) fn parse(input: &str) -> Result<Value, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => parse_object(b, pos),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        debug_assert_eq!(b[*pos], b'"');
+        *pos += 1;
+        let mut s = String::new();
+        while let Some(&c) = b.get(*pos) {
+            match c {
+                b'"' => {
+                    *pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err("invalid escape".into()),
+                    }
+                    *pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through verbatim.
+                    let ch_len = utf8_len(c);
+                    let chunk = b.get(*pos..*pos + ch_len).ok_or("truncated UTF-8 sequence")?;
+                    s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    *pos += ch_len;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7f => 1,
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // '['
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // '{'
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(Obj(fields)));
+        }
+        loop {
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b'"') {
+                return Err(format!("expected object key at byte {pos}", pos = *pos));
+            }
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            if b.get(*pos) != Some(&b':') {
+                return Err(format!("expected ':' at byte {pos}", pos = *pos));
+            }
+            *pos += 1;
+            let value = parse_value(b, pos)?;
+            fields.push((key, value));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(Obj(fields)));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+            }
+        }
     }
 }
 
@@ -50,10 +813,109 @@ mod tests {
 
     #[test]
     fn trace_event_round_trip() {
-        let e = TraceEvent::new(1.5e-6, 3, TraceKind::MsgInjected, Some(2), "dst=4 bytes=1024");
+        let e = TraceEvent::new(
+            1.5e-6,
+            3,
+            TraceKind::MsgInjected,
+            Some(2),
+            7,
+            TraceDetail::Inject { dst: 4, bytes: 1024, label: MsgLabel::Notify(0), flow: (3 << 32) | 1 },
+        );
         assert_eq!(e.rank, 3);
         assert_eq!(e.kind, TraceKind::MsgInjected);
         assert_eq!(e.op_index, Some(2));
-        assert!(e.detail.contains("1024"));
+        assert!(matches!(e.detail, TraceDetail::Inject { bytes: 1024, .. }));
+    }
+
+    #[test]
+    fn sort_is_canonical_by_time_rank_seq() {
+        let ev = |t, r, s| TraceEvent::new(t, r, TraceKind::OpStart, None, s, TraceDetail::None);
+        let mut trace = vec![ev(2.0, 0, 0), ev(1.0, 1, 5), ev(1.0, 1, ARRIVAL_SEQ), ev(1.0, 0, 9)];
+        sort_trace(&mut trace);
+        let key: Vec<(f64, usize, u64)> = trace.iter().map(|e| (e.time, e.rank, e.seq)).collect();
+        assert_eq!(key, vec![(1.0, 0, 9), (1.0, 1, 5), (1.0, 1, ARRIVAL_SEQ), (2.0, 0, 0)]);
+    }
+
+    #[test]
+    fn filter_window_and_sampling() {
+        let f = TraceFilter::window(4, 7);
+        assert!(!f.keeps(3) && f.keeps(4) && f.keeps(7) && !f.keeps(8));
+        let s = TraceFilter { sample: 4, ..TraceFilter::default() };
+        assert!(s.keeps(0) && !s.keeps(2) && s.keeps(8));
+        assert!(TraceFilter::all().is_full());
+        assert!(!f.is_full());
+    }
+
+    #[test]
+    fn memory_sink_collects_in_order() {
+        let mut sink = MemorySink::new();
+        let e = TraceEvent::new(0.0, 0, TraceKind::OpStart, Some(0), 0, TraceDetail::Op { op: OpClass::Compute });
+        sink.record(&e);
+        sink.record(&e);
+        assert_eq!(sink.into_events().len(), 2);
+    }
+
+    #[test]
+    fn chrome_writer_produces_valid_pairing_json() {
+        let mut events = vec![
+            TraceEvent::new(0.0, 0, TraceKind::OpStart, Some(0), 0, TraceDetail::Op { op: OpClass::PutNotify }),
+            TraceEvent::new(
+                1e-6,
+                0,
+                TraceKind::MsgInjected,
+                Some(0),
+                1,
+                TraceDetail::Inject { dst: 1, bytes: 64, label: MsgLabel::Notify(0), flow: 1 },
+            ),
+            TraceEvent::new(1e-6, 0, TraceKind::OpEnd, Some(0), 2, TraceDetail::None),
+            TraceEvent::new(
+                3e-6,
+                1,
+                TraceKind::NotifyVisible,
+                None,
+                ARRIVAL_SEQ,
+                TraceDetail::Arrival {
+                    src: 0,
+                    bytes: 64,
+                    label: MsgLabel::Notify(0),
+                    flow: 1,
+                    inject: 1e-6,
+                    queue: 0.0,
+                    wire: 1e-6,
+                },
+            ),
+        ];
+        sort_trace(&mut events);
+        let link = LinkStats {
+            label: "leaf0->core".into(),
+            capacity: 1e9,
+            bytes: 64.0,
+            busy_time: 1e-6,
+            saturated_time: 0.0,
+            busy_intervals: vec![(1e-6, 2e-6)],
+        };
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events, std::slice::from_ref(&link)).unwrap();
+        let json = String::from_utf8(buf).unwrap();
+        let stats = validate_chrome_trace(&json).unwrap();
+        assert_eq!(stats.spans, 1);
+        assert_eq!(stats.flow_starts, 1);
+        assert_eq!(stats.flow_ends, 1);
+        assert_eq!(stats.dangling_flows, 0);
+        assert_eq!(stats.counter_busy.len(), 1);
+        assert!((stats.counter_busy[0].1 - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_spans() {
+        let bad = r#"[{"name":"op","ph":"E","ts":1.0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(bad).is_err());
+        let unclosed = r#"[{"name":"op","ph":"B","ts":1.0,"pid":0,"tid":0}]"#;
+        assert!(validate_chrome_trace(unclosed).is_err());
+        // An orphan flow finish is legal (the start may have been filtered
+        // out by a rank window) but must be reported as dangling.
+        let orphan_flow = r#"[{"name":"msg","ph":"f","id":3,"ts":1.0,"pid":0,"tid":0}]"#;
+        assert_eq!(validate_chrome_trace(orphan_flow).expect("orphan finish is dangling").dangling_flows, 1);
+        assert!(validate_chrome_trace("not json").is_err());
     }
 }

@@ -1,11 +1,16 @@
 //! `cargo xtask` — repository automation.
 //!
-//! Two tasks, both run by CI:
+//! Three tasks, all run by CI:
 //!
 //! ```text
 //! cargo run -p xtask -- bench-gate --baseline OLD.json --fresh NEW.json [--threshold 0.15]
 //! cargo run -p xtask -- lint-schedules [--out report.txt]
+//! cargo run -p xtask -- trace-stats run.json
 //! ```
+//!
+//! **trace-stats** validates a Chrome Trace Event JSON file exported by a
+//! fig binary's `--trace-out` flag (span pairing, flow-arrow pairing,
+//! counter tracks) and prints a per-span-name time summary.
 //!
 //! **lint-schedules** sweeps every schedule generator and `ProgramSource`
 //! in `ec_collectives` and `ec_baseline` through the `ec_netsim::analyze`
@@ -155,7 +160,53 @@ fn gate(baseline: &str, fresh: &str, threshold: f64) -> (String, bool) {
 fn usage() -> ExitCode {
     eprintln!("usage: cargo run -p xtask -- bench-gate --baseline <file> --fresh <file> [--threshold 0.15]");
     eprintln!("       cargo run -p xtask -- lint-schedules [--out <report-file>]");
+    eprintln!("       cargo run -p xtask -- trace-stats <trace.json>");
     ExitCode::from(2)
+}
+
+/// `trace-stats <file>`: parse and validate an exported Chrome Trace Event
+/// JSON file (`--trace-out` on any fig binary) and print a summary.  Fails
+/// (exit code 1) when the file is not a structurally valid trace — unpaired
+/// spans, flow finishes without a start, non-monotone span nesting.
+fn trace_stats_main(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: could not read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match ec_netsim::validate_chrome_trace(&json) {
+        Ok(stats) => {
+            println!("{path}: valid Chrome Trace Event JSON");
+            println!("  events:         {}", stats.events);
+            println!("  rank tracks:    {}", stats.tracks);
+            println!("  spans (B/E):    {}", stats.spans);
+            println!("  flows (s -> f): {} started, {} finished", stats.flow_starts, stats.flow_ends);
+            if stats.dangling_flows > 0 {
+                println!("  dangling flows: {} (peer rank outside the trace window)", stats.dangling_flows);
+            }
+            println!("  trace end:      {:.6} s", stats.end_time);
+            if !stats.span_time_by_name.is_empty() {
+                println!("  span time by name:");
+                for (name, secs, count) in &stats.span_time_by_name {
+                    println!("    {name:<12} {secs:>12.6} s over {count} span(s)");
+                }
+            }
+            if !stats.counter_busy.is_empty() {
+                println!("  link busy time (from counter tracks):");
+                for (link, secs) in &stats.counter_busy {
+                    println!("    {link:<24} {secs:>12.6} s");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path} is not a valid trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `lint-schedules [--out <file>]`: run the static-analyzer sweep and
@@ -190,6 +241,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("bench-gate") => {}
         Some("lint-schedules") => return lint_schedules_main(&args[1..]),
+        Some("trace-stats") => return trace_stats_main(&args[1..]),
         _ => return usage(),
     }
     let mut baseline = None;

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub mod congestion;
+pub mod incast;
 pub mod million;
 pub mod ssp_scale;
 pub mod tuner;

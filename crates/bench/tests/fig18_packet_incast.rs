@@ -1,0 +1,106 @@
+//! Acceptance tests for the fig18 packet-level incast experiment: the
+//! double winner flip must hold (flow model picks the ring, the lossless
+//! PFC fabric picks the AlltoAll, disabling PFC hands the win back to the
+//! ring), the ring must price backend-insensitively, PFC must keep the
+//! fabric lossless, and the whole sweep must be bit-deterministic.
+
+use ec_bench::incast::{run_point, Collective, FabricKind, IncastConfig, IncastPoint};
+
+const TAPER: f64 = 4.0;
+
+fn point(kind: FabricKind, collective: Collective) -> IncastPoint {
+    run_point(&IncastConfig::new(64), collective, kind, TAPER)
+}
+
+fn makespan(kind: FabricKind, collective: Collective) -> f64 {
+    point(kind, collective).makespan
+}
+
+#[test]
+fn flow_model_picks_the_ring_under_taper() {
+    let (alltoall, ring) =
+        (makespan(FabricKind::Flow, Collective::Alltoall), makespan(FabricKind::Flow, Collective::Ring));
+    assert!(
+        ring < alltoall,
+        "max-min fair shares must charge the alltoall more than the ring (ring {ring:.6}s vs alltoall {alltoall:.6}s)"
+    );
+}
+
+#[test]
+fn lossless_pfc_fabric_flips_the_winner_to_the_alltoall() {
+    let alltoall = point(FabricKind::PacketPfc, Collective::Alltoall);
+    let ring = point(FabricKind::PacketPfc, Collective::Ring);
+    assert!(
+        alltoall.makespan < ring.makespan,
+        "the PFC fabric must pick the alltoall (alltoall {:.6}s vs ring {:.6}s)",
+        alltoall.makespan,
+        ring.makespan
+    );
+    // The flip comes from lossless backpressure doing real work, not from a
+    // quiet fabric: pauses and ECN marks fire, but nothing is ever dropped.
+    assert!(alltoall.pfc_pauses > 0, "the tapered incast must assert PFC pauses");
+    assert!(alltoall.pause_time > 0.0, "pause assertions must accumulate paused link-time");
+    assert!(alltoall.ecn_marks > 0, "congested switch queues must mark ECN");
+    assert_eq!(alltoall.drops, 0, "PFC must keep the fabric lossless");
+    assert_eq!(alltoall.retransmits, 0, "a lossless fabric never rewinds go-back-N");
+}
+
+#[test]
+fn disabling_pfc_flips_the_winner_back_to_the_ring() {
+    let alltoall = point(FabricKind::PacketLossy, Collective::Alltoall);
+    let ring = point(FabricKind::PacketLossy, Collective::Ring);
+    assert!(
+        ring.makespan < alltoall.makespan,
+        "drop-tail losses must hand the win back to the ring (ring {:.6}s vs alltoall {:.6}s)",
+        ring.makespan,
+        alltoall.makespan
+    );
+    assert!(alltoall.drops > 0, "the unprotected incast must overrun the drop-tail queues");
+    assert!(alltoall.retransmits > 0, "every drop must cost go-back-N retransmissions");
+    // The losses must be expensive enough to matter: the lossy alltoall has
+    // to land well above the lossless one, not within noise of it.
+    let lossless = makespan(FabricKind::PacketPfc, Collective::Alltoall);
+    assert!(
+        alltoall.makespan > 1.2 * lossless,
+        "go-back-N rewinds must cost the alltoall >20% over the lossless run ({:.6}s vs {:.6}s)",
+        alltoall.makespan,
+        lossless
+    );
+}
+
+#[test]
+fn congestion_control_choice_barely_matters_while_pfc_holds() {
+    let dcqcn = point(FabricKind::PacketPfc, Collective::Alltoall);
+    let window = point(FabricKind::PacketWindow, Collective::Alltoall);
+    let rel = (dcqcn.makespan - window.makespan).abs() / dcqcn.makespan;
+    assert!(rel < 0.05, "under PFC the fixed-window and DCQCN alltoall must agree within 5% (got {rel:.3})");
+    assert_eq!(window.drops, 0, "PFC must keep the fixed-window run lossless too");
+}
+
+#[test]
+fn ring_prices_backend_insensitively() {
+    // The pipelined ring never queues more than one flow per link, so every
+    // backend must price it within a few percent of the flow solver.
+    let flow = makespan(FabricKind::Flow, Collective::Ring);
+    for kind in [FabricKind::PacketPfc, FabricKind::PacketWindow, FabricKind::PacketLossy] {
+        let packet = point(kind, Collective::Ring);
+        let rel = (packet.makespan - flow).abs() / flow;
+        assert!(rel < 0.08, "{} ring must agree with the flow solver within 8% (got {rel:.3})", kind.label());
+        assert_eq!(packet.drops, 0, "the uncrowded ring must not drop packets on {}", kind.label());
+    }
+}
+
+#[test]
+fn sweep_points_are_deterministic() {
+    for kind in FabricKind::all() {
+        let a = point(kind, Collective::Alltoall);
+        let b = point(kind, Collective::Alltoall);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "{} makespan must repeat bit-identically", kind.label());
+        assert_eq!(
+            (a.pfc_pauses, a.ecn_marks, a.drops, a.retransmits),
+            (b.pfc_pauses, b.ecn_marks, b.drops, b.retransmits),
+            "{} packet totals must repeat exactly",
+            kind.label()
+        );
+    }
+}

@@ -317,6 +317,22 @@ pub fn analyze_compiled(prog: &CompiledProgram) -> AnalysisReport {
 }
 
 /// Compile (which validates) and analyze a materialized program.
+///
+/// ```
+/// use ec_netsim::{analyze, ProgramBuilder};
+///
+/// // Rank 0 puts at rank 1, which waits for the notification: clean.
+/// let mut b = ProgramBuilder::new(2);
+/// b.put_notify(0, 1, 1024, 7);
+/// b.wait_notify(1, &[7]);
+/// assert!(analyze(&b.build()).unwrap().is_clean());
+///
+/// // Remove the put and the wait can never be satisfied: starvation.
+/// let mut b = ProgramBuilder::new(2);
+/// b.wait_notify(1, &[7]);
+/// let report = analyze(&b.build()).unwrap();
+/// assert!(!report.is_deadlock_free());
+/// ```
 pub fn analyze(program: &Program) -> Result<AnalysisReport, ValidationError> {
     Ok(analyze_compiled(&program.compile()?))
 }

@@ -1,0 +1,318 @@
+//! Pluggable congestion control for the per-packet fabric backend.
+//!
+//! The packet simulator ([`crate::packet`]) delegates *how fast a message may
+//! inject packets* to a per-message controller implementing [`CongAlg`].  The
+//! controller sees the same feedback a real NIC would — cumulative ACKs with
+//! an ECN-echo bit, and NACK-triggered go-back-N rewinds — and answers with a
+//! pacing rate and a window, both of which the sender honors jointly (a
+//! packet is injected only when the window has room *and* the pacing clock
+//! allows it).
+//!
+//! Two implementations ship with the crate:
+//!
+//! * [`Dcqcn`] — a DCQCN-style rate-based algorithm (the de-facto standard
+//!   for RoCEv2 fabrics): multiplicative decrease driven by an EWMA of the
+//!   ECN-mark fraction, then fast recovery toward the pre-cut target followed
+//!   by additive increase.  This is the realistic choice for the lossless
+//!   (PFC) configurations.
+//! * [`FixedWindow`] — a windowed baseline with no reaction to marks at all.
+//!   Useful as a control: any divergence between the two under the same
+//!   workload is attributable to congestion control, not to the fabric.
+//!
+//! Algorithms are deterministic by construction: they may only consult the
+//! virtual clock passed to their callbacks, never wall-clock time or
+//! unseeded randomness, so a run fingerprints identically across repeats.
+
+/// Per-message congestion-control state machine.
+///
+/// One instance exists per in-flight message; the packet fabric calls the
+/// feedback methods as ACKs and NACKs arrive and consults [`CongAlg::rate`]
+/// and [`CongAlg::window`] before each injection.  All times are virtual
+/// seconds from the simulation clock.
+pub trait CongAlg: std::fmt::Debug + Send {
+    /// Current pacing rate in bytes/second.  `f64::INFINITY` means
+    /// "line rate": the sender is limited only by its window and the
+    /// first-hop queue.
+    fn rate(&self) -> f64;
+
+    /// Current window in bytes: the maximum volume of unacknowledged data
+    /// the sender may keep in flight.  `u64::MAX` means unwindowed.
+    fn window(&self) -> u64;
+
+    /// A cumulative ACK advanced the message by `acked_bytes`; `marked` is
+    /// true when the receiver echoed an ECN congestion-experienced mark for
+    /// the acknowledged span.
+    fn on_ack(&mut self, now: f64, acked_bytes: u64, marked: bool);
+
+    /// The receiver reported a sequence gap (NACK) and the sender performed
+    /// a go-back-N rewind.
+    fn on_loss(&mut self, now: f64);
+}
+
+/// Factory for per-message [`CongAlg`] instances.
+///
+/// The fabric holds one `CongControl` (shared across all messages of a run)
+/// and asks it for a fresh controller whenever a message is injected, handing
+/// it the line rate of the message's first hop so rate-based algorithms know
+/// their ceiling.
+pub trait CongControl: std::fmt::Debug + Send + Sync {
+    /// Short algorithm name, used in [`Debug`](std::fmt::Debug) output and
+    /// figure labels (e.g. `"dcqcn"`).
+    fn name(&self) -> &'static str;
+
+    /// Build the controller for one new message whose first hop serializes
+    /// at `line_rate` bytes/second.
+    fn new_flow(&self, line_rate: f64) -> Box<dyn CongAlg>;
+}
+
+/// DCQCN-style rate-based congestion control (factory).
+///
+/// The shipped parameters follow the published algorithm's shape — an EWMA
+/// `alpha` of the mark fraction drives multiplicative decrease, recovery
+/// halves the distance back to the pre-cut target, then additive increase
+/// probes upward — with the timer-driven pieces re-expressed on ACK arrival
+/// so the fabric needs no extra timer events: elapsed virtual time between
+/// ACKs is converted into the equivalent number of update periods.
+///
+/// ```
+/// use ec_netsim::congcontrol::{CongControl, Dcqcn};
+/// let cc = Dcqcn::default();
+/// let mut flow = cc.new_flow(12.5e9);
+/// assert_eq!(flow.rate(), 12.5e9); // starts at line rate
+/// flow.on_ack(1.0e-3, 4096, true); // ECN mark => multiplicative decrease
+/// assert!(flow.rate() < 12.5e9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dcqcn {
+    /// EWMA gain for the mark-fraction estimate (the paper's `g`).
+    pub gain: f64,
+    /// Additive-increase step in bytes/second per update period.
+    pub rate_ai: f64,
+    /// Update period in seconds for alpha decay, recovery and increase
+    /// stages (the paper runs ~55 us timers).
+    pub period: f64,
+    /// Rate floor in bytes/second; decreases never go below this.
+    pub min_rate: f64,
+}
+
+impl Default for Dcqcn {
+    fn default() -> Self {
+        Self { gain: 1.0 / 16.0, rate_ai: 5e6, period: 55e-6, min_rate: 1e6 }
+    }
+}
+
+impl CongControl for Dcqcn {
+    fn name(&self) -> &'static str {
+        "dcqcn"
+    }
+
+    fn new_flow(&self, line_rate: f64) -> Box<dyn CongAlg> {
+        Box::new(DcqcnFlow {
+            params: self.clone(),
+            line_rate,
+            rate: line_rate,
+            target: line_rate,
+            alpha: 1.0,
+            stage: 0,
+            last_event: f64::NEG_INFINITY,
+        })
+    }
+}
+
+/// Number of recovery periods spent halving back toward the target before
+/// additive increase starts probing above it.
+const DCQCN_RECOVERY_STAGES: u32 = 5;
+
+/// Per-message DCQCN state (see [`Dcqcn`]).
+#[derive(Debug)]
+struct DcqcnFlow {
+    params: Dcqcn,
+    line_rate: f64,
+    /// Current sending rate (bytes/s).
+    rate: f64,
+    /// Pre-cut target the recovery stages converge back to.
+    target: f64,
+    /// EWMA estimate of the fraction of marked ACK spans.
+    alpha: f64,
+    /// Completed update periods since the last cut (recovery progress).
+    stage: u32,
+    /// Virtual time of the last processed update period boundary.
+    last_event: f64,
+}
+
+impl DcqcnFlow {
+    /// Run `n` update periods of alpha decay and rate recovery/increase.
+    fn advance_periods(&mut self, n: u32) {
+        for _ in 0..n {
+            self.alpha *= 1.0 - self.params.gain;
+            self.stage = self.stage.saturating_add(1);
+            if self.stage > DCQCN_RECOVERY_STAGES {
+                self.target = (self.target + self.params.rate_ai).min(self.line_rate);
+            }
+            self.rate = ((self.rate + self.target) / 2.0).min(self.line_rate);
+        }
+    }
+}
+
+impl CongAlg for DcqcnFlow {
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn window(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn on_ack(&mut self, now: f64, _acked_bytes: u64, marked: bool) {
+        if self.last_event == f64::NEG_INFINITY {
+            self.last_event = now;
+        }
+        // Convert elapsed virtual time into whole update periods; the
+        // fractional remainder stays banked in `last_event`.
+        let elapsed = (now - self.last_event).max(0.0);
+        let periods = (elapsed / self.params.period) as u32;
+        if periods > 0 {
+            self.advance_periods(periods.min(10_000));
+            self.last_event += f64::from(periods) * self.params.period;
+        }
+        if marked {
+            // Cut: remember where we were, decrease by the estimated
+            // congestion level, restart recovery.
+            self.alpha = (1.0 - self.params.gain) * self.alpha + self.params.gain;
+            self.target = self.rate;
+            self.rate = (self.rate * (1.0 - self.alpha / 2.0)).max(self.params.min_rate);
+            self.stage = 0;
+            self.last_event = now;
+        }
+    }
+
+    fn on_loss(&mut self, now: f64) {
+        // Losses are a stronger signal than marks: treat as a full-alpha cut.
+        self.alpha = 1.0;
+        self.target = self.rate;
+        self.rate = (self.rate / 2.0).max(self.params.min_rate);
+        self.stage = 0;
+        self.last_event = now;
+    }
+}
+
+/// Fixed-window baseline (factory): a constant window of `packets * mtu`
+/// bytes, line-rate pacing, and no reaction to ECN marks or losses.
+///
+/// ```
+/// use ec_netsim::congcontrol::{CongControl, FixedWindow};
+/// let cc = FixedWindow { window_bytes: 16 * 4096 };
+/// let mut flow = cc.new_flow(12.5e9);
+/// assert_eq!(flow.window(), 16 * 4096);
+/// flow.on_ack(0.0, 4096, true); // marks are ignored
+/// assert_eq!(flow.rate(), f64::INFINITY);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedWindow {
+    /// Window size in bytes (unacknowledged data cap per message).
+    pub window_bytes: u64,
+}
+
+impl Default for FixedWindow {
+    fn default() -> Self {
+        Self { window_bytes: 64 * 4096 }
+    }
+}
+
+impl CongControl for FixedWindow {
+    fn name(&self) -> &'static str {
+        "fixed-window"
+    }
+
+    fn new_flow(&self, _line_rate: f64) -> Box<dyn CongAlg> {
+        Box::new(FixedWindowFlow { window: self.window_bytes.max(1) })
+    }
+}
+
+/// Per-message state for [`FixedWindow`] (no state beyond the window).
+#[derive(Debug)]
+struct FixedWindowFlow {
+    window: u64,
+}
+
+impl CongAlg for FixedWindowFlow {
+    fn rate(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn window(&self) -> u64 {
+        self.window
+    }
+
+    fn on_ack(&mut self, _now: f64, _acked_bytes: u64, _marked: bool) {}
+
+    fn on_loss(&mut self, _now: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcqcn_starts_at_line_rate_and_cuts_on_marks() {
+        let cc = Dcqcn::default();
+        let mut f = cc.new_flow(1e9);
+        assert_eq!(f.rate(), 1e9);
+        f.on_ack(0.0, 4096, true);
+        let after_one = f.rate();
+        assert!(after_one < 1e9, "a mark must cut the rate, got {after_one}");
+        f.on_ack(1e-6, 4096, true);
+        assert!(f.rate() < after_one, "successive marks keep cutting");
+        assert!(f.rate() >= cc.min_rate, "cuts respect the floor");
+    }
+
+    #[test]
+    fn dcqcn_recovers_toward_line_rate_after_marks_stop() {
+        let cc = Dcqcn::default();
+        let mut f = cc.new_flow(1e9);
+        f.on_ack(0.0, 4096, true);
+        let cut = f.rate();
+        // A long quiet stretch of unmarked ACKs: recovery halves back to the
+        // target, additive increase then pushes the target upward.
+        let mut t = 0.0;
+        for _ in 0..200 {
+            t += cc.period;
+            f.on_ack(t, 4096, false);
+        }
+        assert!(f.rate() > cut, "rate must recover after marks stop: {} vs {cut}", f.rate());
+        assert!(f.rate() <= 1e9, "never exceeds line rate");
+    }
+
+    #[test]
+    fn dcqcn_loss_halves_the_rate() {
+        let cc = Dcqcn::default();
+        let mut f = cc.new_flow(1e9);
+        f.on_loss(0.0);
+        assert_eq!(f.rate(), 0.5e9);
+    }
+
+    #[test]
+    fn dcqcn_is_deterministic() {
+        let cc = Dcqcn::default();
+        let mut a = cc.new_flow(1e9);
+        let mut b = cc.new_flow(1e9);
+        for i in 0..50 {
+            let t = f64::from(i) * 20e-6;
+            let marked = i % 7 == 0;
+            a.on_ack(t, 4096, marked);
+            b.on_ack(t, 4096, marked);
+        }
+        assert_eq!(a.rate(), b.rate());
+    }
+
+    #[test]
+    fn fixed_window_ignores_feedback() {
+        let cc = FixedWindow { window_bytes: 8192 };
+        let mut f = cc.new_flow(1e9);
+        f.on_ack(0.0, 4096, true);
+        f.on_loss(1.0);
+        assert_eq!(f.window(), 8192);
+        assert_eq!(f.rate(), f64::INFINITY);
+        assert_eq!(cc.name(), "fixed-window");
+    }
+}

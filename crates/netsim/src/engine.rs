@@ -37,12 +37,13 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use crate::calendar::{CalendarQueue, Timed};
-use crate::cluster::{ClusterSpec, RankId};
+use crate::cluster::{ClusterSpec, NodeId, RankId};
 use crate::compiled::{CompiledProgram, IdsRef, OpView};
 use crate::cost::{CostModel, Protocol};
 use crate::dataflow;
 use crate::fabric::{Fabric, FlowId};
 use crate::metrics::EngineMetrics;
+use crate::packet::{PacketConfig, PacketFabric};
 use crate::program::{NotifyId, Program, Tag};
 use crate::report::{LinkStats, RankStats, ReportDetail, RunReport};
 use crate::scenario::{Scenario, ScenarioInstance};
@@ -69,6 +70,17 @@ pub enum NetworkModel {
     /// degenerate [`Topology::contention_free`] preset falls back to the
     /// exact alpha–beta path, reproducing its makespans bit-for-bit.
     Fabric(Topology),
+    /// Per-packet simulation over the same capacitated topology: MTU
+    /// segmentation, per-port queues, PFC/ECN and go-back-N recovery (see
+    /// [`PacketFabric`]).  The contention-free
+    /// preset falls back to the alpha–beta path, as for
+    /// [`NetworkModel::Fabric`].
+    Packet {
+        /// The capacitated link graph packets are routed over.
+        topology: Topology,
+        /// Queueing, PFC/ECN and congestion-control parameters.
+        config: PacketConfig,
+    },
 }
 
 /// Errors produced while simulating a program.
@@ -81,6 +93,9 @@ pub enum SimError {
     /// The engine's fabric topology does not fit the cluster (node-count
     /// mismatch, invalid or disconnected link graph).
     BadTopology(TopologyError),
+    /// The packet-backend configuration is inconsistent (see
+    /// [`PacketConfig::validate`](crate::packet::PacketConfig::validate)).
+    BadPacketConfig(String),
     /// Execution stalled: the event queue drained while ranks were still
     /// blocked (mismatched sends/receives or missing notifications).
     Deadlock {
@@ -99,6 +114,7 @@ impl std::fmt::Display for SimError {
             SimError::Invalid(e) => write!(f, "invalid program: {e}"),
             SimError::BadScenario(e) => write!(f, "invalid scenario: {e}"),
             SimError::BadTopology(e) => write!(f, "invalid topology: {e}"),
+            SimError::BadPacketConfig(e) => write!(f, "invalid packet config: {e}"),
             SimError::Deadlock { blocked } => {
                 write!(f, "simulation deadlocked; blocked ranks: ")?;
                 for (r, pc, what) in blocked {
@@ -256,6 +272,30 @@ impl Engine {
     }
 
     /// Select the [`NetworkModel`] pricing inter-node transfers.
+    ///
+    /// ```
+    /// use ec_netsim::{ClusterSpec, CostModel, Engine, NetworkModel, ProgramBuilder, Topology};
+    ///
+    /// let mut b = ProgramBuilder::new(2);
+    /// b.put_notify(0, 1, 1 << 20, 0);
+    /// b.wait_notify(1, &[0]);
+    /// let prog = b.build();
+    /// let nic = 1.0 / CostModel::skylake_fdr().beta_inter;
+    /// let mk = || Engine::new(ClusterSpec::homogeneous(2, 1), CostModel::skylake_fdr());
+    /// // The same program priced by all three backends:
+    /// let ab = mk().makespan(&prog).unwrap();
+    /// let flow = mk().with_network(NetworkModel::Fabric(Topology::single_switch(2, nic))).makespan(&prog).unwrap();
+    /// let pkt = mk()
+    ///     .with_network(NetworkModel::Packet {
+    ///         topology: Topology::single_switch(2, nic),
+    ///         config: ec_netsim::PacketConfig::default(),
+    ///     })
+    ///     .makespan(&prog)
+    ///     .unwrap();
+    /// // An uncontended put runs at NIC speed under every model.
+    /// assert!((flow - ab).abs() / ab < 0.05);
+    /// assert!((pkt - ab).abs() / ab < 0.05);
+    /// ```
     pub fn with_network(mut self, network: NetworkModel) -> Self {
         self.network = network;
         self
@@ -265,6 +305,33 @@ impl Engine {
     /// over `topology` (see [`NetworkModel::Fabric`]).
     pub fn with_topology(self, topology: Topology) -> Self {
         self.with_network(NetworkModel::Fabric(topology))
+    }
+
+    /// Convenience: price inter-node transfers with the per-packet fabric
+    /// over `topology` (see [`NetworkModel::Packet`]).
+    ///
+    /// ```
+    /// use ec_netsim::{ClusterSpec, CostModel, Engine, PacketConfig, ProgramBuilder, Topology};
+    ///
+    /// let cost = CostModel::galileo_opa();
+    /// let topology = Topology::fat_tree(8, 4, 4.0, 1.0 / cost.beta_inter);
+    /// let engine = Engine::new(ClusterSpec::homogeneous(8, 1), cost)
+    ///     .with_packet_network(topology, PacketConfig::default());
+    ///
+    /// // A 7:1 incast: every rank puts 256 KiB at rank 0.
+    /// let mut b = ProgramBuilder::new(8);
+    /// for r in 1..8u32 {
+    ///     b.put_notify(r as usize, 0, 256 * 1024, r);
+    /// }
+    /// b.wait_notify(0, &(1..8).collect::<Vec<u32>>());
+    ///
+    /// let report = engine.run(&b.build()).unwrap();
+    /// assert!(report.makespan() > 0.0);
+    /// // PFC is on by default: the tapered incast pauses, but never drops.
+    /// assert_eq!(report.metrics.packet_drops, 0);
+    /// ```
+    pub fn with_packet_network(self, topology: Topology, config: PacketConfig) -> Self {
+        self.with_network(NetworkModel::Packet { topology, config })
     }
 
     /// The network model this engine prices transfers with.
@@ -425,29 +492,36 @@ impl Engine {
             }
             None => None,
         };
+        let check_nodes = |t: &Topology| {
+            if t.nodes() != self.cluster.nodes {
+                return Err(SimError::BadTopology(TopologyError::NodeCountMismatch {
+                    topology: t.name().to_string(),
+                    nodes: t.nodes(),
+                    cluster: self.cluster.nodes,
+                }));
+            }
+            Ok(())
+        };
         let fabric = match &self.network {
             NetworkModel::AlphaBeta => None,
             // The degenerate contention-free fabric has no shared links: the
             // alpha-beta path prices it exactly.
             NetworkModel::Fabric(t) if t.is_contention_free() => {
-                if t.nodes() != self.cluster.nodes {
-                    return Err(SimError::BadTopology(TopologyError::NodeCountMismatch {
-                        topology: t.name().to_string(),
-                        nodes: t.nodes(),
-                        cluster: self.cluster.nodes,
-                    }));
-                }
+                check_nodes(t)?;
                 None
             }
             NetworkModel::Fabric(t) => {
-                if t.nodes() != self.cluster.nodes {
-                    return Err(SimError::BadTopology(TopologyError::NodeCountMismatch {
-                        topology: t.name().to_string(),
-                        nodes: t.nodes(),
-                        cluster: self.cluster.nodes,
-                    }));
+                check_nodes(t)?;
+                Some(NetSim::Flow(Fabric::new(t.clone()).map_err(SimError::BadTopology)?))
+            }
+            NetworkModel::Packet { topology: t, config } => {
+                check_nodes(t)?;
+                config.validate().map_err(SimError::BadPacketConfig)?;
+                if t.is_contention_free() {
+                    None
+                } else {
+                    Some(NetSim::Packet(PacketFabric::new(t, config.clone()).map_err(SimError::BadTopology)?))
                 }
-                Some(Fabric::new(t.clone()).map_err(SimError::BadTopology)?)
             }
         };
         let profile = program.profile();
@@ -626,6 +700,47 @@ struct PendingRendezvous {
     send_time: f64,
 }
 
+/// The contention backend behind the engine's `FabricTick` loop: either the
+/// flow-level max-min solver or the per-packet simulator.  Both share the
+/// same engine-facing contract (`add_flow` / `resolve` / `take_completed` /
+/// `epoch`), so the injection pipeline, the epoch-guarded tick events and
+/// the completion path are identical.
+#[derive(Debug)]
+enum NetSim {
+    Flow(Fabric),
+    Packet(PacketFabric),
+}
+
+impl NetSim {
+    fn epoch(&self) -> u64 {
+        match self {
+            NetSim::Flow(f) => f.epoch(),
+            NetSim::Packet(p) => p.epoch(),
+        }
+    }
+
+    fn add_flow(&mut self, now: f64, src: NodeId, dst: NodeId, bytes: f64) -> FlowId {
+        match self {
+            NetSim::Flow(f) => f.add_flow(now, src, dst, bytes),
+            NetSim::Packet(p) => p.add_flow(now, src, dst, bytes),
+        }
+    }
+
+    fn resolve(&mut self, now: f64) -> Option<f64> {
+        match self {
+            NetSim::Flow(f) => f.resolve(now),
+            NetSim::Packet(p) => p.resolve(now),
+        }
+    }
+
+    fn take_completed(&mut self, now: f64, out: &mut Vec<FlowId>) {
+        match self {
+            NetSim::Flow(f) => f.take_completed(now, out),
+            NetSim::Packet(p) => p.take_completed(now, out),
+        }
+    }
+}
+
 /// What the engine must do when a fabric flow completes.
 #[derive(Debug, Clone, Copy)]
 enum FlowKind {
@@ -746,9 +861,9 @@ struct Sim<'a> {
     node_tx_free: Vec<f64>,
     node_rx_free: Vec<f64>,
     barrier_arrived: Vec<Option<f64>>,
-    /// Flow-level contention model (None: the alpha-beta path prices all
-    /// inter-node transfers).
-    fabric: Option<Fabric>,
+    /// Contention backend — flow-level solver or per-packet simulator
+    /// (None: the alpha-beta path prices all inter-node transfers).
+    fabric: Option<NetSim>,
     /// Engine-side metadata per fabric flow, indexed by [`FlowId`].
     flow_meta: Vec<Option<FlowMeta>>,
     /// Per-rank fabric injection pipelines.
@@ -803,7 +918,7 @@ impl<'a> Sim<'a> {
         tracing: bool,
         filter: TraceFilter,
         scenario: Option<ScenarioInstance>,
-        fabric: Option<Fabric>,
+        fabric: Option<NetSim>,
         scheduler: SchedulerKind,
     ) -> Self {
         let profile = program.profile();
@@ -943,15 +1058,26 @@ impl<'a> Sim<'a> {
         if !blocked.is_empty() {
             return Err(SimError::Deadlock { blocked });
         }
-        if let Some(f) = &self.fabric {
-            self.metrics.fabric_solves = f.solver_passes();
-            self.metrics.balanced_swap_hits = f.balanced_swap_hits();
+        match &self.fabric {
+            Some(NetSim::Flow(f)) => {
+                self.metrics.fabric_solves = f.solver_passes();
+                self.metrics.balanced_swap_hits = f.balanced_swap_hits();
+            }
+            Some(NetSim::Packet(p)) => {
+                let t = p.totals();
+                self.metrics.packet_events = t.events;
+                self.metrics.packet_drops = t.drops;
+                self.metrics.packet_retransmits = t.retransmits;
+                self.metrics.pfc_pauses = t.pfc_pauses;
+                self.metrics.ecn_marks = t.ecn_marks;
+            }
+            None => {}
         }
         if let EventQueue::Calendar(c) = &self.events {
             self.metrics.calendar_bucket_sorts = c.sorts();
         }
         let links = match &self.fabric {
-            Some(f) => f
+            Some(NetSim::Flow(f)) => f
                 .usage()
                 .iter()
                 .zip(f.topology().links())
@@ -962,6 +1088,26 @@ impl<'a> Sim<'a> {
                     busy_time: u.busy_time,
                     saturated_time: u.saturated_time,
                     busy_intervals: u.intervals.clone(),
+                    ..LinkStats::default()
+                })
+                .collect(),
+            Some(NetSim::Packet(p)) => p
+                .usage()
+                .iter()
+                .zip(p.packet_usage())
+                .zip(p.topology().links())
+                .map(|((u, pu), l)| LinkStats {
+                    label: l.label.clone(),
+                    capacity: l.capacity,
+                    bytes: u.bytes,
+                    busy_time: u.busy_time,
+                    saturated_time: u.saturated_time,
+                    busy_intervals: u.intervals.clone(),
+                    packets: pu.packets,
+                    drops: pu.drops,
+                    ecn_marks: pu.ecn_marks,
+                    pfc_pauses: pu.pfc_pauses,
+                    pause_time: pu.pause_time,
                 })
                 .collect(),
             None => Vec::new(),
@@ -1395,8 +1541,24 @@ impl<'a> Sim<'a> {
             let meta = self.flow_meta[id].take().expect("completed flow has metadata");
             self.meta_buf.push(meta);
         }
+        // Indexed on purpose: iterating `meta_buf` would hold a borrow of
+        // `self` across the `push_event`/`trace_arrival` calls below.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..self.meta_buf.len() {
             let meta = self.meta_buf[i];
+            // Queue/wire attribution for the arrival trace: the flow model
+            // splits at the launch instant (injection wait vs in-fabric
+            // time); the packet model knows the real decomposition — wire is
+            // the contention-free store-and-forward time, queueing is
+            // injection wait plus everything the queues, pauses and
+            // retransmissions added on top.
+            let (queue, wire) = match self.fabric.as_ref().expect("fabric tick requires a fabric") {
+                NetSim::Flow(_) => (meta.launched - meta.inject, t - meta.launched),
+                NetSim::Packet(p) => {
+                    let (fabric_queue, wire) = p.completion_split(done[i]);
+                    ((meta.launched - meta.inject) + fabric_queue, wire)
+                }
+            };
             self.ranks[meta.dst].stats.bytes_received += meta.bytes;
             self.ranks[meta.dst].stats.messages_received += 1;
             match meta.kind {
@@ -1416,8 +1578,8 @@ impl<'a> Sim<'a> {
                             label: MsgLabel::Notify(notify),
                             flow: meta.flow,
                             inject: meta.inject,
-                            queue: meta.launched - meta.inject,
-                            wire: t - meta.launched,
+                            queue,
+                            wire,
                         },
                     );
                 }
@@ -1439,8 +1601,8 @@ impl<'a> Sim<'a> {
                             label: MsgLabel::Tag(tag),
                             flow: meta.flow,
                             inject: meta.inject,
-                            queue: meta.launched - meta.inject,
-                            wire: t - meta.launched,
+                            queue,
+                            wire,
                         },
                     );
                 }

@@ -57,12 +57,14 @@ pub mod analyze;
 mod calendar;
 pub mod cluster;
 pub mod compiled;
+pub mod congcontrol;
 pub mod cost;
 pub mod critpath;
 mod dataflow;
 pub mod engine;
 pub mod fabric;
 pub mod metrics;
+pub mod packet;
 pub mod presets;
 pub mod program;
 pub mod report;
@@ -76,11 +78,13 @@ pub mod validate;
 pub use analyze::{analyze, analyze_compiled, analyze_source, AnalysisError, AnalysisReport, BlockedWait};
 pub use cluster::{ClusterSpec, NodeId, RankId};
 pub use compiled::{CompileOptions, CompiledProgram, IdsRef, MemoryStats, OpView, RankOps};
+pub use congcontrol::{CongAlg, CongControl, Dcqcn, FixedWindow};
 pub use cost::{CostModel, Protocol};
 pub use critpath::{Category, CategoryBreakdown, CriticalPath, PathSegment, SegmentKind};
 pub use engine::{Engine, NetworkModel, SchedulerKind, SimError};
 pub use fabric::{Fabric, FlowId, LinkUsage};
 pub use metrics::EngineMetrics;
+pub use packet::{LossConfig, PacketConfig, PacketFabric, PacketLinkUsage, PacketTotals, PfcConfig};
 pub use presets::ClusterPreset;
 pub use program::{CommProfile, NotifyId, Op, Program, ProgramBuilder, RankProgram, Tag};
 pub use report::{LinkStats, RankStats, ReportDetail, ReportSummary, RunReport};

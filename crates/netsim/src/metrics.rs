@@ -29,6 +29,18 @@ pub struct EngineMetrics {
     pub dataflow_burst_ops: u64,
     /// Trace events recorded (after filtering).
     pub trace_events: u64,
+    /// Internal events the per-packet backend processed (0 for the other
+    /// network models).
+    pub packet_events: u64,
+    /// Packets the per-packet backend dropped (queue overflow or seeded
+    /// loss).
+    pub packet_drops: u64,
+    /// Packets re-sent by go-back-N rewinds.
+    pub packet_retransmits: u64,
+    /// PFC pause assertions (per congested egress queue).
+    pub pfc_pauses: u64,
+    /// Packets ECN-marked in switch queues.
+    pub ecn_marks: u64,
 }
 
 impl EngineMetrics {
@@ -36,13 +48,18 @@ impl EngineMetrics {
     /// `--metrics` output.
     pub fn render(&self) -> String {
         format!(
-            "events_scheduled {}\ncalendar_bucket_sorts {}\nfabric_solves {}\nbalanced_swap_hits {}\ndataflow_burst_ops {}\ntrace_events {}\n",
+            "events_scheduled {}\ncalendar_bucket_sorts {}\nfabric_solves {}\nbalanced_swap_hits {}\ndataflow_burst_ops {}\ntrace_events {}\npacket_events {}\npacket_drops {}\npacket_retransmits {}\npfc_pauses {}\necn_marks {}\n",
             self.events_scheduled,
             self.calendar_bucket_sorts,
             self.fabric_solves,
             self.balanced_swap_hits,
             self.dataflow_burst_ops,
-            self.trace_events
+            self.trace_events,
+            self.packet_events,
+            self.packet_drops,
+            self.packet_retransmits,
+            self.pfc_pauses,
+            self.ecn_marks
         )
     }
 }
@@ -58,6 +75,8 @@ mod tests {
         assert!(text.contains("events_scheduled 7"));
         assert!(text.contains("dataflow_burst_ops 3"));
         assert!(text.contains("fabric_solves 0"));
-        assert_eq!(text.lines().count(), 6);
+        assert!(text.contains("packet_drops 0"));
+        assert!(text.contains("pfc_pauses 0"));
+        assert_eq!(text.lines().count(), 11);
     }
 }

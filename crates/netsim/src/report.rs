@@ -51,10 +51,13 @@ impl Default for RankStats {
     }
 }
 
-/// Per-link accounting gathered by the flow-level fabric model (see
-/// [`crate::fabric::Fabric`]).  Empty for alpha–beta runs and contention-free
-/// topologies, which have no shared links to account.
-#[derive(Debug, Clone, PartialEq)]
+/// Per-link accounting gathered by the flow-level fabric model
+/// ([`crate::fabric::Fabric`]) or the per-packet backend
+/// ([`crate::packet::PacketFabric`]).  Empty for alpha–beta runs and
+/// contention-free topologies, which have no shared links to account.  The
+/// packet counters ([`LinkStats::packets`] onward) stay zero for flow-level
+/// runs, which do not model individual packets.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LinkStats {
     /// Human-readable link label (e.g. `"leaf0->core"`).
     pub label: String,
@@ -75,6 +78,18 @@ pub struct LinkStats {
     /// the vector length is bounded by the number of idle gaps, not by the
     /// number of solver re-resolutions.
     pub busy_intervals: Vec<(f64, f64)>,
+    /// Data packets fully serialized onto the link (packet backend only;
+    /// retransmits included).
+    pub packets: u64,
+    /// Packets dropped at this link's queue or, on final hops, by seeded
+    /// loss (packet backend only).
+    pub drops: u64,
+    /// Packets ECN-marked while enqueuing here (packet backend only).
+    pub ecn_marks: u64,
+    /// PFC pause assertions this link received (packet backend only).
+    pub pfc_pauses: u64,
+    /// Total time this link spent PFC-paused (packet backend only).
+    pub pause_time: f64,
 }
 
 impl LinkStats {
@@ -394,8 +409,11 @@ impl RunReport {
             for b in l.label.as_bytes() {
                 acc = mix(acc ^ u64::from(*b));
             }
-            for f in [l.capacity, l.bytes, l.busy_time, l.saturated_time] {
+            for f in [l.capacity, l.bytes, l.busy_time, l.saturated_time, l.pause_time] {
                 acc = mix(acc ^ f.to_bits());
+            }
+            for u in [l.packets, l.drops, l.ecn_marks, l.pfc_pauses] {
+                acc = mix(acc ^ u);
             }
         }
         acc
@@ -414,7 +432,7 @@ mod tests {
     }
 
     fn link(label: &str, capacity: f64, bytes: f64, busy_time: f64, saturated_time: f64) -> LinkStats {
-        LinkStats { label: label.into(), capacity, bytes, busy_time, saturated_time, busy_intervals: Vec::new() }
+        LinkStats { label: label.into(), capacity, bytes, busy_time, saturated_time, ..LinkStats::default() }
     }
 
     #[test]

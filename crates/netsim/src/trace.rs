@@ -893,6 +893,7 @@ mod tests {
             busy_time: 1e-6,
             saturated_time: 0.0,
             busy_intervals: vec![(1e-6, 2e-6)],
+            ..LinkStats::default()
         };
         let mut buf = Vec::new();
         write_chrome_trace(&mut buf, &events, std::slice::from_ref(&link)).unwrap();

@@ -1,12 +1,19 @@
 //! `cargo xtask` — repository automation.
 //!
-//! Three tasks, all run by CI:
+//! Four tasks, all run by CI:
 //!
 //! ```text
 //! cargo run -p xtask -- bench-gate --baseline OLD.json --fresh NEW.json [--threshold 0.15]
 //! cargo run -p xtask -- lint-schedules [--out report.txt]
 //! cargo run -p xtask -- trace-stats run.json
+//! cargo run -p xtask -- doc-check
 //! ```
+//!
+//! **doc-check** builds the rustdoc of every first-party crate with all
+//! rustdoc warnings (broken intra-doc links included) promoted to errors,
+//! then rebuilds `ec_netsim` — the crate whose API the architecture book
+//! links into — with `missing_docs` denied, so every public item of the
+//! simulator stays documented.
 //!
 //! **trace-stats** validates a Chrome Trace Event JSON file exported by a
 //! fig binary's `--trace-out` flag (span pairing, flow-arrow pairing,
@@ -161,7 +168,69 @@ fn usage() -> ExitCode {
     eprintln!("usage: cargo run -p xtask -- bench-gate --baseline <file> --fresh <file> [--threshold 0.15]");
     eprintln!("       cargo run -p xtask -- lint-schedules [--out <report-file>]");
     eprintln!("       cargo run -p xtask -- trace-stats <trace.json>");
+    eprintln!("       cargo run -p xtask -- doc-check");
     ExitCode::from(2)
+}
+
+/// The first-party crates `doc-check` holds to the strict rustdoc bar (the
+/// vendored stand-ins keep their upstream docs as-is).
+const FIRST_PARTY: [&str; 11] = [
+    "ec-collectives-suite",
+    "ec_gaspi",
+    "ec_ssp",
+    "ec_comm",
+    "ec_collectives",
+    "ec_baseline",
+    "ec_netsim",
+    "ec_mlapp",
+    "ec_fftapp",
+    "ec_bench",
+    "xtask",
+];
+
+/// `doc-check`: fail on any rustdoc warning in a first-party crate, then
+/// deny `missing_docs` on the `ec_netsim` public API.
+fn doc_check_main(args: &[String]) -> ExitCode {
+    if !args.is_empty() {
+        return usage();
+    }
+    let run = |what: &str, cmd: &mut std::process::Command| -> bool {
+        println!("doc-check: {what}");
+        match cmd.status() {
+            Ok(status) if status.success() => true,
+            Ok(status) => {
+                eprintln!("error: {what} failed with {status}");
+                false
+            }
+            Err(e) => {
+                eprintln!("error: could not spawn cargo for {what}: {e}");
+                false
+            }
+        }
+    };
+
+    let mut doc = std::process::Command::new(env!("CARGO"));
+    doc.args(["doc", "--no-deps"]);
+    for pkg in FIRST_PARTY {
+        doc.args(["-p", pkg]);
+    }
+    // `-D warnings` already covers the rustdoc lints, but broken intra-doc
+    // links are the failure mode the architecture book cares about most, so
+    // deny them by name too (the flag survives a future softening of the
+    // blanket deny).
+    doc.env("RUSTDOCFLAGS", "-D warnings -D rustdoc::broken-intra-doc-links");
+    if !run("rustdoc (deny warnings, deny broken intra-doc links)", &mut doc) {
+        return ExitCode::FAILURE;
+    }
+
+    let mut missing = std::process::Command::new(env!("CARGO"));
+    missing.args(["rustc", "-p", "ec_netsim", "--lib", "--", "-D", "missing-docs"]);
+    if !run("ec_netsim public API (deny missing docs)", &mut missing) {
+        return ExitCode::FAILURE;
+    }
+
+    println!("doc-check passed");
+    ExitCode::SUCCESS
 }
 
 /// `trace-stats <file>`: parse and validate an exported Chrome Trace Event
@@ -242,6 +311,7 @@ fn main() -> ExitCode {
         Some("bench-gate") => {}
         Some("lint-schedules") => return lint_schedules_main(&args[1..]),
         Some("trace-stats") => return trace_stats_main(&args[1..]),
+        Some("doc-check") => return doc_check_main(&args[1..]),
         _ => return usage(),
     }
     let mut baseline = None;
